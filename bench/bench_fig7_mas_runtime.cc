@@ -1,0 +1,46 @@
+// Reproduces Figure 7: execution time of the four semantics' algorithms
+// on MAS programs 1-20 (the paper plots log-scale seconds; we print
+// milliseconds). Expected shape: end/stage cheapest; Algorithms 1 and 2
+// pay for provenance construction and solving/traversal.
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "repair/repair_engine.h"
+#include "workload/programs.h"
+
+namespace deltarepair {
+namespace {
+
+int Main() {
+  MasData mas = BenchMas();
+  PrintHeader("Figure 7: execution time, MAS programs 1-20");
+  TablePrinter table({"Program", "End", "Stage", "Step(Alg2)", "Ind(Alg1)",
+                      "|End| result"});
+  double sum_end = 0, sum_stage = 0, sum_step = 0, sum_ind = 0;
+  for (int num : AllMasPrograms()) {
+    Database db = mas.db;
+    StatusOr<RepairEngine> engine =
+        RepairEngine::Create(&db, MasProgram(num, mas.hubs));
+    if (!engine.ok()) continue;
+    RepairResult end = engine->Run(SemanticsKind::kEnd);
+    RepairResult stage = engine->Run(SemanticsKind::kStage);
+    RepairResult step = engine->Run(SemanticsKind::kStep);
+    RepairResult ind = engine->Run(SemanticsKind::kIndependent);
+    sum_end += end.stats.total_seconds;
+    sum_stage += stage.stats.total_seconds;
+    sum_step += step.stats.total_seconds;
+    sum_ind += ind.stats.total_seconds;
+    table.AddRow({std::to_string(num), Ms(end.stats.total_seconds),
+                  Ms(stage.stats.total_seconds), Ms(step.stats.total_seconds),
+                  Ms(ind.stats.total_seconds), std::to_string(end.size())});
+  }
+  table.Print();
+  std::printf("\naverage: end=%s stage=%s step=%s independent=%s\n",
+              Ms(sum_end / 20).c_str(), Ms(sum_stage / 20).c_str(),
+              Ms(sum_step / 20).c_str(), Ms(sum_ind / 20).c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace deltarepair
+
+int main() { return deltarepair::Main(); }

@@ -1,0 +1,49 @@
+// Reproduces Figure 9: (a) result sizes and (b) runtimes of the four
+// semantics on the TPC-H programs T1-T6 of Table 2.
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "repair/repair_engine.h"
+#include "workload/programs.h"
+
+namespace deltarepair {
+namespace {
+
+int Main() {
+  TpchData tpch = BenchTpch();
+  std::printf("TPC-H instance: %s tuples (DR_SCALE=%.2f)\n",
+              WithThousands(static_cast<int64_t>(tpch.db.TotalLive())).c_str(),
+              BenchScale());
+
+  PrintHeader("Figure 9a: result sizes, TPC-H programs");
+  TablePrinter sizes({"Program", "End", "Stage", "Step", "Independent"});
+  PrintHeader("Figure 9b: runtimes (collected in the same pass)");
+  TablePrinter times({"Program", "End", "Stage", "Step(Alg2)", "Ind(Alg1)"});
+  for (int num : AllTpchPrograms()) {
+    Database db = tpch.db;
+    StatusOr<RepairEngine> engine =
+        RepairEngine::Create(&db, TpchProgram(num, tpch.consts));
+    if (!engine.ok()) continue;
+    RepairResult end = engine->Run(SemanticsKind::kEnd);
+    RepairResult stage = engine->Run(SemanticsKind::kStage);
+    RepairResult step = engine->Run(SemanticsKind::kStep);
+    RepairResult ind = engine->Run(SemanticsKind::kIndependent);
+    std::string name = "T-" + std::to_string(num);
+    sizes.AddRow({name, std::to_string(end.size()),
+                  std::to_string(stage.size()), std::to_string(step.size()),
+                  std::to_string(ind.size())});
+    times.AddRow({name, Ms(end.stats.total_seconds),
+                  Ms(stage.stats.total_seconds),
+                  Ms(step.stats.total_seconds),
+                  Ms(ind.stats.total_seconds)});
+  }
+  std::printf("\n-- Figure 9a --\n");
+  sizes.Print();
+  std::printf("\n-- Figure 9b --\n");
+  times.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace deltarepair
+
+int main() { return deltarepair::Main(); }

@@ -1,0 +1,183 @@
+// Microbenchmarks (google-benchmark) of the engine substrates plus the
+// ablations called out in DESIGN.md: join grounding, hypothetical
+// grounding, the semi-naive fixpoint in both modes, provenance-graph
+// construction, Algorithm 2's traversal, and Min-Ones scaling on
+// vertex-cover instances.
+#include <benchmark/benchmark.h>
+
+#include "provenance/bool_formula.h"
+#include "provenance/prov_graph.h"
+#include "repair/end_semantics.h"
+#include "repair/independent_semantics.h"
+#include "repair/stage_semantics.h"
+#include "repair/step_semantics.h"
+#include "sat/min_ones.h"
+#include "workload/mas_generator.h"
+#include "workload/programs.h"
+
+namespace deltarepair {
+namespace {
+
+MasData& SharedMas() {
+  static MasData data = [] {
+    MasConfig config;
+    config.num_orgs = 30;
+    config.num_authors = 450;
+    config.num_pubs = 900;
+    return GenerateMas(config);
+  }();
+  return data;
+}
+
+void BM_GrounderJoinChain(benchmark::State& state) {
+  MasData& mas = SharedMas();
+  Program program = MasProgram(static_cast<int>(state.range(0)), mas.hubs);
+  Database db = mas.db;
+  if (!ResolveProgram(&program, db).ok()) return;
+  for (auto _ : state) {
+    Grounder grounder(&db);
+    size_t n = 0;
+    grounder.EnumerateRule(program.rules()[0], 0, BaseMatch::kLive,
+                           DeltaMatch::kCurrent,
+                           [&](const GroundAssignment&) {
+                             ++n;
+                             return true;
+                           });
+    benchmark::DoNotOptimize(n);
+  }
+}
+// Programs 11-15: the single rule with 1..5 joined atoms (Figure 6b).
+BENCHMARK(BM_GrounderJoinChain)->DenseRange(11, 15);
+
+void BM_HypotheticalGrounding(benchmark::State& state) {
+  MasData& mas = SharedMas();
+  Program program = MasProgram(10, mas.hubs);
+  Database db = mas.db;
+  if (!ResolveProgram(&program, db).ok()) return;
+  for (auto _ : state) {
+    Grounder grounder(&db);
+    DeletionCnfBuilder builder;
+    for (size_t i = 0; i < program.rules().size(); ++i) {
+      grounder.EnumerateRule(program.rules()[i], static_cast<int>(i),
+                             BaseMatch::kLive, DeltaMatch::kHypothetical,
+                             [&](const GroundAssignment& ga) {
+                               builder.AddAssignment(ga);
+                               return true;
+                             });
+    }
+    benchmark::DoNotOptimize(builder.cnf().num_clauses());
+  }
+}
+BENCHMARK(BM_HypotheticalGrounding);
+
+// Ablation: the shared fixpoint in end mode (frozen bases) vs stage mode
+// (shrinking bases) on the program-10 cascade.
+void BM_FixpointEndMode(benchmark::State& state) {
+  MasData& mas = SharedMas();
+  Program program = MasProgram(10, mas.hubs);
+  Database db = mas.db;
+  if (!ResolveProgram(&program, db).ok()) return;
+  for (auto _ : state) {
+    Database::State snap = db.SaveState();
+    RepairResult r = RunEndSemantics(&db, program);
+    benchmark::DoNotOptimize(r.size());
+    db.RestoreState(snap);
+  }
+}
+BENCHMARK(BM_FixpointEndMode);
+
+void BM_FixpointStageMode(benchmark::State& state) {
+  MasData& mas = SharedMas();
+  Program program = MasProgram(10, mas.hubs);
+  Database db = mas.db;
+  if (!ResolveProgram(&program, db).ok()) return;
+  for (auto _ : state) {
+    Database::State snap = db.SaveState();
+    RepairResult r = RunStageSemantics(&db, program);
+    benchmark::DoNotOptimize(r.size());
+    db.RestoreState(snap);
+  }
+}
+BENCHMARK(BM_FixpointStageMode);
+
+void BM_ProvenanceGraphBuild(benchmark::State& state) {
+  MasData& mas = SharedMas();
+  Program program = MasProgram(20, mas.hubs);
+  Database db = mas.db;
+  if (!ResolveProgram(&program, db).ok()) return;
+  for (auto _ : state) {
+    Database::State snap = db.SaveState();
+    ProvenanceGraph graph;
+    RunEndSemantics(&db, program, &graph);
+    benchmark::DoNotOptimize(graph.num_assignments());
+    db.RestoreState(snap);
+  }
+}
+BENCHMARK(BM_ProvenanceGraphBuild);
+
+void BM_StepAlgorithm2(benchmark::State& state) {
+  MasData& mas = SharedMas();
+  Program program = MasProgram(static_cast<int>(state.range(0)), mas.hubs);
+  Database db = mas.db;
+  if (!ResolveProgram(&program, db).ok()) return;
+  for (auto _ : state) {
+    Database::State snap = db.SaveState();
+    RepairResult r = RunStepSemantics(&db, program);
+    benchmark::DoNotOptimize(r.size());
+    db.RestoreState(snap);
+  }
+}
+BENCHMARK(BM_StepAlgorithm2)->Arg(3)->Arg(8)->Arg(20);
+
+void BM_IndependentAlgorithm1(benchmark::State& state) {
+  MasData& mas = SharedMas();
+  Program program = MasProgram(static_cast<int>(state.range(0)), mas.hubs);
+  Database db = mas.db;
+  if (!ResolveProgram(&program, db).ok()) return;
+  for (auto _ : state) {
+    Database::State snap = db.SaveState();
+    RepairResult r = RunIndependentSemantics(&db, program);
+    benchmark::DoNotOptimize(r.size());
+    db.RestoreState(snap);
+  }
+}
+BENCHMARK(BM_IndependentAlgorithm1)->Arg(2)->Arg(14)->Arg(20);
+
+// Min-Ones scaling on vertex-cover-shaped formulas: star-of-cliques with
+// n hubs (optimum = n).
+void BM_MinOnesVertexCover(benchmark::State& state) {
+  const uint32_t hubs = static_cast<uint32_t>(state.range(0));
+  Cnf cnf;
+  uint32_t var = 0;
+  for (uint32_t h = 0; h < hubs; ++h) {
+    uint32_t center = var++;
+    for (int leaf = 0; leaf < 8; ++leaf) {
+      uint32_t l = var++;
+      cnf.AddClause({PosLit(center), PosLit(l)});
+    }
+  }
+  for (auto _ : state) {
+    MinOnesResult r = MinOnesSat(cnf);
+    benchmark::DoNotOptimize(r.num_true);
+  }
+}
+BENCHMARK(BM_MinOnesVertexCover)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_StabilityCheck(benchmark::State& state) {
+  MasData& mas = SharedMas();
+  Program program = MasProgram(9, mas.hubs);
+  Database db = mas.db;
+  if (!ResolveProgram(&program, db).ok()) return;
+  for (auto _ : state) {
+    Grounder grounder(&db);
+    bool unstable = grounder.AnyAssignment(program, BaseMatch::kLive,
+                                           DeltaMatch::kCurrent);
+    benchmark::DoNotOptimize(unstable);
+  }
+}
+BENCHMARK(BM_StabilityCheck);
+
+}  // namespace
+}  // namespace deltarepair
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Reproduces Table 3: containment relationships between the results of
+// the four semantics for MAS programs 1-20 and TPC-H programs T1-T6.
+// Columns: Step = Stage (set equality), Ind ⊆ Stage, Ind ⊆ Step.
+// The remaining relationships (Stage ⊆ End, Step ⊆ End, |Ind| minimum)
+// always hold (Figure 3 / Prop. 3.20) and are verified here as a sanity
+// footer.
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "repair/repair_engine.h"
+#include "workload/programs.h"
+
+namespace deltarepair {
+namespace {
+
+struct Row {
+  std::string name;
+  bool step_eq_stage;
+  bool ind_in_stage;
+  bool ind_in_step;
+};
+
+int Main() {
+  PrintHeader("Table 3: containment of results (paper Sec. 6)");
+  TablePrinter table({"Program", "Step = Stage", "Ind <= Stage",
+                      "Ind <= Step", "|End|", "|Stage|", "|Step|", "|Ind|"});
+  bool invariants_ok = true;
+
+  auto run = [&](const std::string& name, Database* db, Program program) {
+    StatusOr<RepairEngine> engine = RepairEngine::Create(db, program);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                   engine.status().ToString().c_str());
+      return;
+    }
+    RepairResult end = engine->Run(SemanticsKind::kEnd);
+    RepairResult stage = engine->Run(SemanticsKind::kStage);
+    RepairResult step = engine->Run(SemanticsKind::kStep);
+    RepairResult ind = engine->Run(SemanticsKind::kIndependent);
+    table.AddRow({name, Tick(step.SameSet(stage)), Tick(ind.SubsetOf(stage)),
+                  Tick(ind.SubsetOf(step)), std::to_string(end.size()),
+                  std::to_string(stage.size()), std::to_string(step.size()),
+                  std::to_string(ind.size())});
+    invariants_ok &= stage.SubsetOf(end) && step.SubsetOf(end) &&
+                     ind.size() <= stage.size() && ind.size() <= step.size();
+  };
+
+  MasData mas = BenchMas();
+  for (int num : AllMasPrograms()) {
+    Database db = mas.db;
+    run(std::to_string(num), &db, MasProgram(num, mas.hubs));
+  }
+  TpchData tpch = BenchTpch();
+  for (int num : AllTpchPrograms()) {
+    Database db = tpch.db;
+    run("T-" + std::to_string(num), &db, TpchProgram(num, tpch.consts));
+  }
+  table.Print();
+  std::printf(
+      "\nFigure 3 invariants (Stage<=End, Step<=End, |Ind| minimum): %s\n",
+      invariants_ok ? "all hold" : "VIOLATED");
+  return invariants_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace deltarepair
+
+int main() { return deltarepair::Main(); }

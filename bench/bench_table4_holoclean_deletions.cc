@@ -1,0 +1,79 @@
+// Reproduces Table 4: over-deletions (+) of each semantics versus
+// HoloClean's under-repairs (−) on a 5000-row Author table with DC1-DC4,
+// for an increasing number of injected errors. Our semantics treat the
+// DCs as hard constraints and always fix every violation (over-deleting
+// when the semantics forces it); the HoloClean-style baseline repairs
+// cells and repairs fewer tuples than required.
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "holoclean/holoclean.h"
+#include "repair/repair_engine.h"
+#include "workload/error_injector.h"
+#include "workload/programs.h"
+
+namespace deltarepair {
+namespace {
+
+int Main() {
+  const size_t rows =
+      static_cast<size_t>(5000 * BenchScale());
+  PrintHeader(StrFormat("Table 4: deletions vs HoloClean repairs (%zu rows)",
+                        rows));
+  TablePrinter table({"Errors", "Ind", "Step", "Stage", "End",
+                      "HC repaired-errors", "HC restored-errors"});
+  std::vector<DenialConstraint> dcs = AuthorDenialConstraints();
+  Program dc_program = DcsToProgram(dcs, DcTranslation::kRulePerAtom);
+
+  for (size_t errors : {100, 200, 300, 500, 700, 1000}) {
+    ErrorInjectorConfig config;
+    config.num_rows = rows;
+    config.num_errors = errors;
+    InjectedTable injected = MakeInjectedAuthorTable(config);
+    Database db = injected.MakeDb();
+    StatusOr<RepairEngine> engine = RepairEngine::Create(&db, dc_program);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+      return 1;
+    }
+    auto signed_diff = [&](size_t deleted) {
+      int64_t d = static_cast<int64_t>(deleted) -
+                  static_cast<int64_t>(errors);
+      return StrFormat("%+lld", static_cast<long long>(d));
+    };
+    RepairResult ind = engine->Run(SemanticsKind::kIndependent);
+    RepairResult step = engine->Run(SemanticsKind::kStep);
+    RepairResult stage = engine->Run(SemanticsKind::kStage);
+    RepairResult end = engine->Run(SemanticsKind::kEnd);
+
+    HoloCleanReport hc = RunHoloClean(&db, "Author", dcs);
+    int64_t hc_diff = static_cast<int64_t>(hc.repaired_rows) -
+                      static_cast<int64_t>(errors);
+    // The paper's under-repair number: cells actually fixed (ground
+    // truth restored) minus required repairs.
+    size_t restored = 0;
+    for (const InjectedCell& e : injected.errors) {
+      if (hc.rows[e.row][e.column] == e.clean_value) ++restored;
+    }
+    int64_t restored_diff =
+        static_cast<int64_t>(restored) - static_cast<int64_t>(errors);
+
+    table.AddRow({std::to_string(errors), signed_diff(ind.size()),
+                  signed_diff(step.size()), signed_diff(stage.size()),
+                  signed_diff(end.size()),
+                  StrFormat("%+lld", static_cast<long long>(hc_diff)),
+                  StrFormat("%+lld", static_cast<long long>(restored_diff))});
+  }
+  table.Print();
+  std::printf(
+      "\npaper shape: Ind ~ +0; Step slightly above; Stage/End over-delete "
+      "(both sides of every violation); HoloClean under-repairs — the "
+      "restored-errors column is negative and increasingly so with more "
+      "errors (our baseline also touches clean cells, so its raw repair "
+      "count can exceed the error count; see EXPERIMENTS.md).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace deltarepair
+
+int main() { return deltarepair::Main(); }

@@ -1,0 +1,78 @@
+// Reproduces Table 5: per-DC counts of tuples still violating each denial
+// constraint after/before repair, for HoloClean (cell repairs; residual
+// violations remain) versus our semantics (tuple deletions; always zero
+// residual violations, Prop. 3.18).
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "holoclean/holoclean.h"
+#include "repair/repair_engine.h"
+#include "workload/error_injector.h"
+#include "workload/programs.h"
+
+namespace deltarepair {
+namespace {
+
+int Main() {
+  const size_t rows = static_cast<size_t>(5000 * BenchScale());
+  PrintHeader(
+      StrFormat("Table 5: violating tuples after/before repair (%zu rows)",
+                rows));
+  std::vector<DenialConstraint> dcs = AuthorDenialConstraints();
+  Program dc_program = DcsToProgram(dcs, DcTranslation::kRulePerAtom);
+  TablePrinter table({"Errors", "DC1", "DC2", "DC3", "DC4",
+                      "HoloClean Total", "Semantics Total"});
+
+  for (size_t errors : {100, 200, 300, 500, 700, 1000}) {
+    ErrorInjectorConfig config;
+    config.num_rows = rows;
+    config.num_errors = errors;
+    InjectedTable injected = MakeInjectedAuthorTable(config);
+    Database db = injected.MakeDb();
+
+    // Violations before repair.
+    std::vector<size_t> before;
+    size_t before_total = 0;
+    for (const auto& dc : dcs) {
+      before.push_back(CountViolations(&db, dc).violating_tuples);
+      before_total += before.back();
+    }
+
+    // HoloClean repair, then re-count per DC.
+    HoloCleanReport hc = RunHoloClean(&db, "Author", dcs);
+    Database hc_db = MakeSingleTableDb(injected.schema, hc.rows);
+    std::vector<size_t> after;
+    size_t after_total = 0;
+    for (const auto& dc : dcs) {
+      after.push_back(CountViolations(&hc_db, dc).violating_tuples);
+      after_total += after.back();
+    }
+
+    // Our semantics: apply independent semantics (any of the four would
+    // do — all stabilize) and verify zero residual violations.
+    StatusOr<RepairEngine> engine = RepairEngine::Create(&db, dc_program);
+    if (!engine.ok()) return 1;
+    engine->RunAndApply(SemanticsKind::kIndependent);
+    size_t ours_total = 0;
+    for (const auto& dc : dcs) {
+      ours_total += CountViolations(&db, dc).violating_tuples;
+    }
+
+    table.AddRow({std::to_string(errors),
+                  StrFormat("%zu/%zu", after[0], before[0]),
+                  StrFormat("%zu/%zu", after[1], before[1]),
+                  StrFormat("%zu/%zu", after[2], before[2]),
+                  StrFormat("%zu/%zu", after[3], before[3]),
+                  StrFormat("%zu/%zu", after_total, before_total),
+                  StrFormat("%zu/%zu", ours_total, before_total)});
+  }
+  table.Print();
+  std::printf(
+      "\npaper shape: HoloClean leaves residual violations (growing with "
+      "error count); every delta-rule semantics ends at 0 violations.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace deltarepair
+
+int main() { return deltarepair::Main(); }

@@ -1,0 +1,79 @@
+// Reproduces the Sec. 6 "Comparison with Triggers" experiment: MAS
+// programs 3, 4, 5, 8 and 20 executed as SQL triggers under PostgreSQL
+// (alphabetical) and MySQL (creation-order) firing disciplines, compared
+// with the four delta-rule semantics. Trigger names are assigned
+// reverse-alphabetically to rule order, so the two disciplines genuinely
+// diverge where the paper observed divergence (programs 3, 4, 8).
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "repair/repair_engine.h"
+#include "triggers/trigger.h"
+#include "workload/programs.h"
+
+namespace deltarepair {
+namespace {
+
+int Main() {
+  MasData mas = BenchMas();
+  PrintHeader("Triggers vs semantics: deletions (programs 3, 4, 5, 8, 20)");
+  TablePrinter sizes({"Program", "PostgreSQL", "MySQL", "End", "Stage",
+                      "Step", "Ind"});
+  PrintHeader("Runtimes (collected in the same pass)");
+  TablePrinter times({"Program", "PostgreSQL", "MySQL", "End", "Stage",
+                      "Step", "Ind"});
+
+  for (int num : {3, 4, 5, 8, 20}) {
+    Program program = MasProgram(num, mas.hubs);
+    // Reverse-alphabetical names: alphabetical firing = reverse creation.
+    std::vector<std::string> names;
+    for (size_t i = 0; i < program.size(); ++i) {
+      names.push_back(StrFormat("t%02zu_%s", program.size() - i,
+                                program.rules()[i].head.relation.c_str()));
+    }
+
+    TriggerRunResult pg, my;
+    {
+      Database db = mas.db;
+      auto engine = TriggerEngine::Create(&db, program, names);
+      if (!engine.ok()) continue;
+      pg = engine->Run(TriggerOrder::kAlphabetical);
+    }
+    {
+      Database db = mas.db;
+      auto engine = TriggerEngine::Create(&db, program, names);
+      if (!engine.ok()) continue;
+      my = engine->Run(TriggerOrder::kCreationOrder);
+    }
+
+    Database db = mas.db;
+    StatusOr<RepairEngine> engine = RepairEngine::Create(&db, program);
+    if (!engine.ok()) continue;
+    RepairResult end = engine->Run(SemanticsKind::kEnd);
+    RepairResult stage = engine->Run(SemanticsKind::kStage);
+    RepairResult step = engine->Run(SemanticsKind::kStep);
+    RepairResult ind = engine->Run(SemanticsKind::kIndependent);
+
+    std::string name = std::to_string(num);
+    sizes.AddRow({name, std::to_string(pg.size()), std::to_string(my.size()),
+                  std::to_string(end.size()), std::to_string(stage.size()),
+                  std::to_string(step.size()), std::to_string(ind.size())});
+    times.AddRow({name, Ms(pg.seconds), Ms(my.seconds),
+                  Ms(end.stats.total_seconds), Ms(stage.stats.total_seconds),
+                  Ms(step.stats.total_seconds),
+                  Ms(ind.stats.total_seconds)});
+  }
+  std::printf("\n-- deletions --\n");
+  sizes.Print();
+  std::printf("\n-- runtimes --\n");
+  times.Print();
+  std::printf(
+      "\npaper shape: trigger results depend on firing order for programs "
+      "3/4/8 (step semantics deletes fewer tuples than the bad order); for "
+      "the pure cascades 5 and 20, triggers match the semantics.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace deltarepair
+
+int main() { return deltarepair::Main(); }

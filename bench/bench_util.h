@@ -1,0 +1,47 @@
+// Shared helpers for the experiment harnesses. Every bench prints the
+// rows/series of one table or figure from the paper's Sec. 6 (see
+// DESIGN.md's per-experiment index). DR_SCALE scales the generated
+// workloads (1.0 default; ~4 approaches the paper's table sizes).
+#ifndef DELTAREPAIR_BENCH_BENCH_UTIL_H_
+#define DELTAREPAIR_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/string_util.h"
+#include "workload/mas_generator.h"
+#include "workload/tpch_generator.h"
+
+namespace deltarepair {
+
+inline double BenchScale() {
+  const char* env = std::getenv("DR_SCALE");
+  if (env == nullptr) return 1.0;
+  double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+inline MasData BenchMas() {
+  MasConfig config;  // defaults: 60 orgs / 900 authors / 1800 pubs
+  return GenerateMas(config.Scaled(BenchScale()));
+}
+
+inline TpchData BenchTpch() {
+  TpchConfig config;
+  return GenerateTpch(config.Scaled(BenchScale()));
+}
+
+inline std::string Ms(double seconds) {
+  return StrFormat("%.2fms", seconds * 1e3);
+}
+
+inline const char* Tick(bool b) { return b ? "yes" : "no"; }
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,78 @@
+// Cascade repair over a generated academic database — the scenario that
+// motivates the paper's introduction: removing an organization must
+// cascade through its authors, their authorships, their papers and the
+// citations of those papers (MAS program 20 of Table 1).
+//
+//   ./build/examples/academic_cascade
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "repair/repair_engine.h"
+#include "repair/stability.h"
+#include "workload/mas_generator.h"
+#include "workload/programs.h"
+
+using namespace deltarepair;
+
+int main() {
+  MasConfig config;
+  config.num_orgs = 25;
+  config.num_authors = 400;
+  config.num_pubs = 800;
+  MasData data = GenerateMas(config);
+
+  std::printf("generated academic database: %s tuples\n",
+              WithThousands(static_cast<int64_t>(data.db.TotalLive())).c_str());
+  for (uint32_t r = 0; r < data.db.num_relations(); ++r) {
+    std::printf("  %-14s %zu rows\n", data.db.relation(r).name().c_str(),
+                data.db.relation(r).live_count());
+  }
+  std::printf("hub organization: oid=%lld\n\n",
+              static_cast<long long>(data.hubs.hub_org_oid));
+
+  // The full cascade chain: Organization -> Author -> Writes ->
+  // Publication -> Cite.
+  Program program = MasProgram(20, data.hubs);
+  std::printf("program (MAS 20):\n%s\n", program.ToString().c_str());
+
+  StatusOr<RepairEngine> engine = RepairEngine::Create(&data.db, program);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  // On a pure cascade all four semantics agree (Table 3 rows 16-20); pick
+  // the cheapest (stage) and inspect the per-relation fallout.
+  RepairResult stage = engine->Run(SemanticsKind::kStage);
+  std::printf("cascade deletes %zu tuples in %lld rounds:\n  %s\n",
+              stage.size(), static_cast<long long>(stage.stats.iterations),
+              stage.BreakdownByRelation(data.db).c_str());
+
+  RepairResult ind = engine->Run(SemanticsKind::kIndependent);
+  std::printf(
+      "independent semantics agrees (%zu tuples) — cascades admit no "
+      "cheaper repair.\n\n",
+      ind.size());
+
+  // Apply and verify.
+  engine->RunAndApply(SemanticsKind::kStage);
+  std::printf("applied; database stable: %s; %s tuples remain\n",
+              IsStable(&data.db, engine->program()) ? "yes" : "no",
+              WithThousands(static_cast<int64_t>(data.db.TotalLive())).c_str());
+
+  // Contrast: the constraint-style program 4 on the same data — where the
+  // choice of semantics changes the repair dramatically.
+  Database fresh = GenerateMas(config).db;
+  StatusOr<RepairEngine> engine4 =
+      RepairEngine::Create(&fresh, MasProgram(4, data.hubs));
+  if (engine4.ok()) {
+    RepairResult end = engine4->Run(SemanticsKind::kEnd);
+    RepairResult step = engine4->Run(SemanticsKind::kStep);
+    std::printf(
+        "\nprogram 4 (constraint style): end deletes %zu tuples, step "
+        "deletes %zu — the paper's case for choosing semantics per "
+        "scenario.\n",
+        end.size(), step.size());
+  }
+  return 0;
+}

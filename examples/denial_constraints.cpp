@@ -1,0 +1,78 @@
+// Denial-constraint repair (Sec. 3.6 + the Sec. 6 HoloClean scenario):
+// corrupt an Author table, express DC1-DC4 as delta rules, and compare
+// minimum tuple-deletion repair (independent semantics) against the
+// coarser semantics and against HoloClean-style cell repair.
+//
+//   ./build/examples/denial_constraints
+#include <cstdio>
+
+#include "holoclean/holoclean.h"
+#include "repair/repair_engine.h"
+#include "workload/error_injector.h"
+#include "workload/programs.h"
+
+using namespace deltarepair;
+
+int main() {
+  ErrorInjectorConfig config;
+  config.num_rows = 2000;
+  config.num_errors = 150;
+  InjectedTable table = MakeInjectedAuthorTable(config);
+  Database db = table.MakeDb();
+  std::printf("Author table: %zu rows, %zu corrupted cells\n\n",
+              config.num_rows, table.errors.size());
+
+  std::vector<DenialConstraint> dcs = AuthorDenialConstraints();
+  std::printf("denial constraints:\n");
+  for (const auto& dc : dcs) {
+    DcViolations v = CountViolations(&db, dc);
+    std::printf("  %-60s  %zu violating tuples\n", dc.ToString().c_str(),
+                v.violating_tuples);
+  }
+
+  // Translate with one rule per atom so step/independent semantics may
+  // delete either side of a violating pair (Sec. 3.6).
+  Program program = DcsToProgram(dcs, DcTranslation::kRulePerAtom);
+  StatusOr<RepairEngine> engine = RepairEngine::Create(&db, program);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nrepair sizes by semantics (errors injected: %zu):\n",
+              table.errors.size());
+  for (RepairResult& result : engine->RunAll()) {
+    std::printf("  %-12s deletes %4zu tuples%s\n",
+                SemanticsName(result.semantics), result.size(),
+                result.semantics == SemanticsKind::kIndependent &&
+                        result.stats.optimal
+                    ? " (provably minimum)"
+                    : "");
+  }
+
+  // Apply the minimum repair; verify all violations are gone.
+  engine->RunAndApply(SemanticsKind::kIndependent);
+  size_t residual = 0;
+  for (const auto& dc : dcs) residual += CountViolations(&db, dc).assignments;
+  std::printf("\nafter the independent repair: %zu residual violations\n",
+              residual);
+
+  // HoloClean-style cell repair on the same input, for contrast.
+  Database db2 = table.MakeDb();
+  HoloCleanReport hc = RunHoloClean(&db2, "Author", dcs);
+  Database repaired = MakeSingleTableDb(table.schema, hc.rows);
+  size_t hc_residual = 0;
+  for (const auto& dc : dcs) {
+    hc_residual += CountViolations(&repaired, dc).assignments;
+  }
+  size_t restored = 0;
+  for (const InjectedCell& e : table.errors) {
+    if (hc.rows[e.row][e.column] == e.clean_value) ++restored;
+  }
+  std::printf(
+      "HoloClean-style baseline: repaired %zu cells (%zu restored to ground "
+      "truth), %zu residual violations — cell repair trades completeness "
+      "for keeping tuples.\n",
+      hc.repaired_cells, restored, hc_residual);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// TPC-H cross-relation repair (Table 2's programs): deleting a nation
+// cascades into its suppliers and customers (program T5), where step
+// semantics can legally delete far less than stage semantics — the
+// paper's clearest case for choosing semantics per scenario.
+//
+//   ./build/examples/tpch_repair
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "repair/repair_engine.h"
+#include "workload/programs.h"
+#include "workload/tpch_generator.h"
+
+using namespace deltarepair;
+
+int main() {
+  TpchConfig config;
+  TpchData data = GenerateTpch(config);
+  std::printf("TPC-H instance: %s tuples\n",
+              WithThousands(static_cast<int64_t>(data.db.TotalLive())).c_str());
+  std::printf("target nation for T5: nk=%lld\n\n",
+              static_cast<long long>(data.consts.nation_key));
+
+  Program t5 = TpchProgram(5, data.consts);
+  std::printf("program T5:\n%s\n", t5.ToString().c_str());
+
+  {
+    Database db = data.db;
+    StatusOr<RepairEngine> engine = RepairEngine::Create(&db, t5);
+    if (!engine.ok()) return 1;
+    RepairResult stage = engine->Run(SemanticsKind::kStage);
+    RepairResult step = engine->Run(SemanticsKind::kStep);
+    RepairResult ind = engine->Run(SemanticsKind::kIndependent);
+    std::printf("stage deletes %zu: %s\n", stage.size(),
+                stage.BreakdownByRelation(db).c_str());
+    std::printf("step  deletes %zu: %s\n", step.size(),
+                step.BreakdownByRelation(db).c_str());
+    std::printf("ind   deletes %zu: %s\n", ind.size(),
+                ind.BreakdownByRelation(db).c_str());
+    std::printf(
+        "-> stage wipes both sides of the nation; step stops after the "
+        "smaller side (Table 3 row T-5).\n\n");
+  }
+
+  // T4: lineitem deletions cascade to suppliers and (through orders)
+  // customers; independent semantics may cut orders instead.
+  Program t4 = TpchProgram(4, data.consts);
+  std::printf("program T4:\n%s\n", t4.ToString().c_str());
+  {
+    Database db = data.db;
+    StatusOr<RepairEngine> engine = RepairEngine::Create(&db, t4);
+    if (!engine.ok()) return 1;
+    RepairResult stage = engine->Run(SemanticsKind::kStage);
+    RepairResult ind = engine->Run(SemanticsKind::kIndependent);
+    std::printf("stage deletes %zu: %s\n", stage.size(),
+                stage.BreakdownByRelation(db).c_str());
+    std::printf("ind   deletes %zu: %s\n", ind.size(),
+                ind.BreakdownByRelation(db).c_str());
+    std::printf(
+        "-> independent semantics may sacrifice Orders tuples (not "
+        "derivable by any rule) to save Customers.\n");
+  }
+  return 0;
+}

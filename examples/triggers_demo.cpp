@@ -1,0 +1,72 @@
+// SQL trigger emulation demo (Sec. 6 "Comparison with Triggers"): the
+// same constraint set deletes different tuples under PostgreSQL's
+// alphabetical firing order than under MySQL's creation order — and step
+// semantics beats both orders' worst case.
+//
+//   ./build/examples/triggers_demo
+#include <cstdio>
+
+#include "repair/repair_engine.h"
+#include "tests/test_util.h"
+#include "triggers/trigger.h"
+#include "workload/mas_generator.h"
+#include "workload/programs.h"
+
+using namespace deltarepair;
+
+int main() {
+  MasConfig config;
+  config.num_orgs = 15;
+  config.num_authors = 200;
+  config.num_pubs = 400;
+  MasData data = GenerateMas(config);
+
+  // MAS program 4: two constraint rules on the same event — delete the
+  // organization, or delete its authors.
+  Program program = MasProgram(4, data.hubs);
+  std::printf("program (MAS 4):\n%s\n", program.ToString().c_str());
+
+  // Name the author-deleting trigger so it sorts first alphabetically
+  // (the paper's observed PostgreSQL behaviour for program 4).
+  std::vector<std::string> names = {"a_delete_authors", "z_delete_org"};
+
+  for (TriggerOrder order :
+       {TriggerOrder::kAlphabetical, TriggerOrder::kCreationOrder}) {
+    Database db = data.db;
+    auto engine = TriggerEngine::Create(&db, program, names);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+      return 1;
+    }
+    TriggerRunResult result = engine->Run(order);
+    std::printf("%-28s deleted %4zu tuples; first firing: %s\n",
+                TriggerOrderName(order), result.size(),
+                result.firing_trace.empty() ? "-"
+                                            : result.firing_trace[0].c_str());
+  }
+
+  // Reverse the names: now alphabetical order deletes the organization.
+  std::vector<std::string> reversed = {"z_delete_authors", "a_delete_org"};
+  {
+    Database db = data.db;
+    auto engine = TriggerEngine::Create(&db, program, reversed);
+    if (engine.ok()) {
+      TriggerRunResult result = engine->Run(TriggerOrder::kAlphabetical);
+      std::printf(
+          "%-28s deleted %4zu tuples after renaming the triggers — the "
+          "repair depends on trigger names!\n",
+          TriggerOrderName(TriggerOrder::kAlphabetical), result.size());
+    }
+  }
+
+  // Step semantics: order-free, minimal.
+  Database db = data.db;
+  StatusOr<RepairEngine> engine = RepairEngine::Create(&db, program);
+  if (!engine.ok()) return 1;
+  RepairResult step = engine->Run(SemanticsKind::kStep);
+  std::printf(
+      "\nstep semantics deletes %zu tuple(s) (%s) regardless of any "
+      "ordering — the paper's argument for well-defined repair semantics.\n",
+      step.size(), step.BreakdownByRelation(db).c_str());
+  return 0;
+}

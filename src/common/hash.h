@@ -1,0 +1,38 @@
+// Hash utilities: 64-bit mixing and combination used by values, tuples and
+// index keys. Deterministic across runs (no per-process seeding) so that
+// experiment output is reproducible.
+#ifndef DELTAREPAIR_COMMON_HASH_H_
+#define DELTAREPAIR_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace deltarepair {
+
+/// SplitMix64 finalizer: cheap, well-distributed 64-bit mixer.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines an existing hash with a new one (order-sensitive).
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return Mix64(seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
+}
+
+/// FNV-1a over bytes; adequate for dictionary keys of modest size.
+inline uint64_t HashBytes(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_COMMON_HASH_H_

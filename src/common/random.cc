@@ -1,0 +1,68 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/status.h"
+
+namespace deltarepair {
+
+Rng::Rng(uint64_t seed) {
+  // Expand the seed with SplitMix64 as recommended by the xoshiro authors.
+  uint64_t x = seed;
+  for (auto& s : s_) {
+    x += 0x9e3779b97f4a7c15ULL;
+    s = Mix64(x);
+  }
+}
+
+static inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  DR_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  DR_CHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+uint64_t Rng::NextZipf(uint64_t n, double skew) {
+  DR_CHECK(n > 0);
+  // Inverse-CDF approximation for a bounded Pareto; adequate for workload
+  // skew (we need plausible long tails, not exact Zipf moments).
+  double u = NextDouble();
+  double x = std::pow(static_cast<double>(n) + 1.0, 1.0 - skew) - 1.0;
+  double v = std::pow(u * x + 1.0, 1.0 / (1.0 - skew)) - 1.0;
+  uint64_t r = static_cast<uint64_t>(v);
+  return r >= n ? n - 1 : r;
+}
+
+}  // namespace deltarepair

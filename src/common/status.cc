@@ -1,0 +1,46 @@
+#include "common/status.h"
+
+namespace deltarepair {
+
+namespace {
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+namespace internal {
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& msg) {
+  std::fprintf(stderr, "DR_CHECK failed at %s:%d: %s %s\n", file, line, expr,
+               msg.c_str());
+  std::abort();
+}
+}  // namespace internal
+
+}  // namespace deltarepair

@@ -1,0 +1,138 @@
+// Status / StatusOr: exception-free error propagation in the style of
+// Abseil/RocksDB. Core library code returns Status for recoverable errors
+// (parse errors, schema mismatches) and uses DR_CHECK for internal
+// invariants that indicate programming bugs.
+#ifndef DELTAREPAIR_COMMON_STATUS_H_
+#define DELTAREPAIR_COMMON_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace deltarepair {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// A lightweight success-or-error result. Copyable and cheap when OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: bad rule".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error, in the spirit of absl::StatusOr. The error branch stores
+/// a Status; the value branch stores T. Access to value() on an error
+/// aborts (internal misuse).
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {}
+  StatusOr(T value) : value_(std::move(value)) {}
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfError() const {
+    if (!value_.has_value()) {
+      std::fprintf(stderr, "StatusOr::value() on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& msg);
+}  // namespace internal
+
+}  // namespace deltarepair
+
+/// Invariant check: aborts with location info when `expr` is false.
+#define DR_CHECK(expr)                                                   \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::deltarepair::internal::CheckFailed(__FILE__, __LINE__, #expr, ""); \
+    }                                                                    \
+  } while (0)
+
+#define DR_CHECK_MSG(expr, msg)                                            \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::deltarepair::internal::CheckFailed(__FILE__, __LINE__, #expr, msg); \
+    }                                                                      \
+  } while (0)
+
+/// Early-return helper for Status-returning functions.
+#define DR_RETURN_IF_ERROR(expr)              \
+  do {                                        \
+    ::deltarepair::Status _st = (expr);       \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+#endif  // DELTAREPAIR_COMMON_STATUS_H_

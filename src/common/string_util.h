@@ -1,0 +1,33 @@
+// Small string helpers shared by the parser, printers and harnesses.
+#ifndef DELTAREPAIR_COMMON_STRING_UTIL_H_
+#define DELTAREPAIR_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace deltarepair {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins items with a separator.
+std::string Join(const std::vector<std::string>& items, std::string_view sep);
+
+/// Human-readable count, e.g. 12345 -> "12,345".
+std::string WithThousands(int64_t v);
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_COMMON_STRING_UTIL_H_

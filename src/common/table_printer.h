@@ -1,0 +1,32 @@
+// Console table printer used by the bench harnesses so every reproduced
+// paper table/figure prints as an aligned, self-describing block.
+#ifndef DELTAREPAIR_COMMON_TABLE_PRINTER_H_
+#define DELTAREPAIR_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace deltarepair {
+
+/// Accumulates rows of string cells and prints them column-aligned.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds one row; the row is padded/truncated to the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table (header, separator, rows) to a string.
+  std::string Render() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,47 @@
+// Wall-clock timing used for the experiment harnesses and the phase
+// breakdown (Figure 8 of the paper).
+#ifndef DELTAREPAIR_COMMON_TIMER_H_
+#define DELTAREPAIR_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace deltarepair {
+
+/// Monotonic wall-clock stopwatch with microsecond resolution.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Reset, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Adds the scope's elapsed wall time to `*sink_seconds` on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* sink_seconds) : sink_(sink_seconds) {}
+  ~ScopedTimer() { *sink_ += timer_.ElapsedSeconds(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* sink_;
+  WallTimer timer_;
+};
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_COMMON_TIMER_H_

@@ -1,0 +1,106 @@
+#include "datalog/analysis.h"
+
+#include <unordered_set>
+
+namespace deltarepair {
+
+const char* ProgramClassName(ProgramClass c) {
+  switch (c) {
+    case ProgramClass::kConstraint:
+      return "constraint";
+    case ProgramClass::kPureCascade:
+      return "cascade";
+    case ProgramClass::kMixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+ProgramAnalysis AnalyzeProgram(const Program& program) {
+  ProgramAnalysis out;
+  const auto& rules = program.rules();
+
+  // --- Delta-dependency strata via fixpoint over rules. -------------------
+  // stratum(delta relation d) = max over rules with head d of
+  //   1 + max(stratum of delta body relations), seeds contributing 1.
+  std::unordered_map<std::string, int> stratum;
+  bool changed = true;
+  int guard = 0;
+  const int kMaxIterations = static_cast<int>(rules.size()) + 2;
+  while (changed) {
+    changed = false;
+    if (++guard > kMaxIterations) {
+      out.recursive = true;
+      break;
+    }
+    for (const auto& rule : rules) {
+      int depth = 1;
+      bool known = true;
+      for (const auto& a : rule.body) {
+        if (!a.is_delta) continue;
+        auto it = stratum.find(a.relation);
+        if (it == stratum.end()) {
+          known = false;
+          break;
+        }
+        depth = std::max(depth, it->second + 1);
+      }
+      if (!known) continue;
+      auto [it, added] = stratum.emplace(rule.head.relation, depth);
+      if (!added && depth > it->second) {
+        it->second = depth;
+        changed = true;
+      } else if (added) {
+        changed = true;
+      }
+    }
+  }
+  // Rules whose delta dependencies never resolved are part of a cycle (or
+  // depend on one) — mark recursive.
+  out.rule_stratum.resize(rules.size(), 0);
+  for (size_t i = 0; i < rules.size(); ++i) {
+    int depth = 1;
+    bool known = true;
+    for (const auto& a : rules[i].body) {
+      if (!a.is_delta) continue;
+      auto it = stratum.find(a.relation);
+      if (it == stratum.end()) {
+        known = false;
+        break;
+      }
+      depth = std::max(depth, it->second + 1);
+    }
+    if (!known) {
+      out.recursive = true;
+    } else {
+      out.rule_stratum[i] = depth;
+      out.num_layers = std::max(out.num_layers, depth);
+    }
+  }
+  out.relation_stratum = std::move(stratum);
+
+  // --- Program class (reporting taxonomy). --------------------------------
+  bool any_delta_rule = false;
+  bool any_guarded_cascade = false;  // delta atoms + extra base atoms
+  bool any_constraint_seed = false;  // seed with >= 2 base atoms
+  for (const auto& rule : rules) {
+    int base_atoms = 0;
+    for (const auto& a : rule.body) base_atoms += a.is_delta ? 0 : 1;
+    if (rule.IsSeed()) {
+      if (base_atoms >= 2) any_constraint_seed = true;
+    } else {
+      any_delta_rule = true;
+      if (base_atoms >= 2) any_guarded_cascade = true;
+    }
+  }
+  if (!any_delta_rule) {
+    out.program_class = ProgramClass::kConstraint;
+  } else if (!any_guarded_cascade && !any_constraint_seed) {
+    out.program_class = ProgramClass::kPureCascade;
+  } else {
+    out.program_class = ProgramClass::kMixed;
+  }
+  return out;
+}
+
+}  // namespace deltarepair

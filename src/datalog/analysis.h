@@ -1,0 +1,53 @@
+// Static analysis of delta programs: delta-dependency structure,
+// recursion/boundedness detection (Sec. 2 considers programs equivalent to
+// non-recursive ones), stratum depths (the "layers" of the provenance graph
+// in Sec. 5.2), and a coarse program taxonomy used to group experiment
+// output (constraint-like vs cascade vs mixed, cf. Sec. 6 "Test programs").
+#ifndef DELTAREPAIR_DATALOG_ANALYSIS_H_
+#define DELTAREPAIR_DATALOG_ANALYSIS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/ast.h"
+
+namespace deltarepair {
+
+/// Coarse shape of a program (our taxonomy; used for reporting only).
+enum class ProgramClass {
+  kConstraint,   // no rule consumes delta tuples: DC-like (programs 1-4, 11-15)
+  kPureCascade,  // seeds are single-atom selections; all other rules are
+                 // pure cascades (one base self atom + delta atoms)
+  kMixed,        // anything else (guarded cascades, constraint seeds + deltas)
+};
+
+const char* ProgramClassName(ProgramClass c);
+
+/// Result of analyzing a program.
+struct ProgramAnalysis {
+  /// True when the delta-dependency graph has a cycle (inherently
+  /// recursive programs; Algorithms 1 and 2 are only guaranteed for
+  /// non-recursive ones — Sec. 8).
+  bool recursive = false;
+
+  /// Per-rule stratum: 1 for seed rules, 1 + max(stratum of delta body
+  /// relations) otherwise. Only meaningful when !recursive.
+  std::vector<int> rule_stratum;
+
+  /// Per-delta-relation stratum (max over rules deriving it), keyed by
+  /// relation name. Only meaningful when !recursive.
+  std::unordered_map<std::string, int> relation_stratum;
+
+  /// Longest derivation chain (number of layers L in Algorithm 2).
+  int num_layers = 0;
+
+  ProgramClass program_class = ProgramClass::kMixed;
+};
+
+/// Analyzes `program` (which need not be resolved against a database).
+ProgramAnalysis AnalyzeProgram(const Program& program);
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_DATALOG_ANALYSIS_H_

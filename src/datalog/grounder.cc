@@ -1,0 +1,243 @@
+#include "datalog/grounder.h"
+
+#include <algorithm>
+
+namespace deltarepair {
+
+namespace {
+
+/// Tracks variable bindings during the depth-first join.
+struct Bindings {
+  std::vector<Value> values;
+  std::vector<uint8_t> bound;
+
+  explicit Bindings(uint32_t num_vars)
+      : values(num_vars), bound(num_vars, 0) {}
+};
+
+bool TermBound(const Term& t, const Bindings& b) {
+  return t.is_const() || b.bound[t.var];
+}
+
+const Value& TermValue(const Term& t, const Bindings& b) {
+  return t.is_const() ? t.constant : b.values[t.var];
+}
+
+}  // namespace
+
+std::vector<Grounder::PlanStep> Grounder::MakePlan(const Rule& rule,
+                                                   int pivot_atom) const {
+  const size_t n = rule.body.size();
+  std::vector<uint8_t> chosen(n, 0);
+  std::vector<uint8_t> var_bound(rule.num_vars, 0);
+  std::vector<PlanStep> plan;
+  plan.reserve(n);
+
+  auto bind_atom_vars = [&](int atom) {
+    for (const auto& t : rule.body[atom].terms) {
+      if (t.is_var()) var_bound[t.var] = 1;
+    }
+  };
+  auto bound_score = [&](int atom) {
+    int score = 0;
+    for (const auto& t : rule.body[atom].terms) {
+      if (t.is_const() || var_bound[t.var]) ++score;
+    }
+    return score;
+  };
+
+  if (pivot_atom >= 0) {
+    plan.push_back(PlanStep{pivot_atom, {}});
+    chosen[pivot_atom] = 1;
+    bind_atom_vars(pivot_atom);
+  }
+  while (plan.size() < n) {
+    int best = -1;
+    int best_score = -1;
+    size_t best_rows = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (chosen[i]) continue;
+      int score = bound_score(static_cast<int>(i));
+      size_t rows =
+          db_->relation(static_cast<uint32_t>(rule.body[i].relation_index))
+              .num_rows();
+      if (score > best_score || (score == best_score && rows < best_rows)) {
+        best = static_cast<int>(i);
+        best_score = score;
+        best_rows = rows;
+      }
+    }
+    plan.push_back(PlanStep{best, {}});
+    chosen[best] = 1;
+    bind_atom_vars(best);
+  }
+
+  // Attach each comparison to the earliest plan step at which both sides
+  // are bound. Constant-only comparisons are attached to step 0's checks
+  // (they hold or fail for the whole rule).
+  std::fill(var_bound.begin(), var_bound.end(), 0);
+  std::vector<uint8_t> cmp_done(rule.comparisons.size(), 0);
+  for (size_t s = 0; s < plan.size(); ++s) {
+    for (const auto& t : rule.body[plan[s].atom].terms) {
+      if (t.is_var()) var_bound[t.var] = 1;
+    }
+    for (size_t c = 0; c < rule.comparisons.size(); ++c) {
+      if (cmp_done[c]) continue;
+      const Comparison& cmp = rule.comparisons[c];
+      auto side_ok = [&](const Term& t) {
+        return t.is_const() || var_bound[t.var];
+      };
+      if (side_ok(cmp.lhs) && side_ok(cmp.rhs)) {
+        plan[s].cmp_checks.push_back(static_cast<int>(c));
+        cmp_done[c] = 1;
+      }
+    }
+  }
+  return plan;
+}
+
+bool Grounder::EnumerateRule(const Rule& rule, int rule_index, BaseMatch bm,
+                             DeltaMatch dm, const AssignmentCallback& cb,
+                             int pivot_atom,
+                             const std::vector<uint32_t>* pivot_rows) {
+  DR_CHECK_MSG(rule.self_atom >= 0, "rule not validated");
+  const std::vector<PlanStep> plan = MakePlan(rule, pivot_atom);
+  Bindings bindings(rule.num_vars);
+  std::vector<TupleId> atom_rows(rule.body.size());
+
+  // Comparisons between two constants never depend on bindings; check once.
+  for (const auto& cmp : rule.comparisons) {
+    if (cmp.lhs.is_const() && cmp.rhs.is_const()) {
+      if (!EvalCmp(cmp.lhs.constant, cmp.op, cmp.rhs.constant)) return true;
+    }
+  }
+
+  bool keep_going = true;
+
+  // Depth-first join over plan steps.
+  auto recurse = [&](auto&& self, size_t depth) -> void {
+    if (!keep_going) return;
+    if (depth == plan.size()) {
+      GroundAssignment ga;
+      ga.rule = &rule;
+      ga.rule_index = rule_index;
+      ga.head = atom_rows[rule.self_atom];
+      ga.body = atom_rows;
+      ++assignments_enumerated_;
+      if (!cb(ga)) keep_going = false;
+      return;
+    }
+    const PlanStep& step = plan[depth];
+    const Atom& atom = rule.body[step.atom];
+    Relation& rel =
+        db_->relation(static_cast<uint32_t>(atom.relation_index));
+
+    auto member_ok = [&](uint32_t r) {
+      if (atom.is_delta) {
+        // Hypothetical mode: any tuple of the current instance D could be
+        // deleted (∆(D) of Algorithm 1), so delta atoms range over live
+        // rows; operational mode matches actual delta membership.
+        return dm == DeltaMatch::kHypothetical ? rel.live(r) : rel.delta(r);
+      }
+      return bm == BaseMatch::kAllRows || rel.live(r);
+    };
+
+    // Build the probe mask/tuple from currently bound positions.
+    Relation::ColumnMask mask = 0;
+    Tuple probe(atom.terms.size());
+    for (size_t c = 0; c < atom.terms.size(); ++c) {
+      const Term& t = atom.terms[c];
+      if (TermBound(t, bindings)) {
+        mask |= (1ULL << c);
+        probe[c] = TermValue(t, bindings);
+      }
+    }
+
+    auto try_row = [&](uint32_t r) {
+      if (!keep_going) return;
+      if (!member_ok(r)) return;
+      const Tuple& row = rel.row(r);
+      // Verify bound positions and bind the rest; remember new bindings to
+      // undo on backtrack. Repeated variables within the atom are handled
+      // by sequential bind-then-verify.
+      std::vector<uint32_t> newly_bound;
+      bool ok = true;
+      for (size_t c = 0; c < atom.terms.size(); ++c) {
+        const Term& t = atom.terms[c];
+        if (t.is_const()) {
+          if (!(t.constant == row[c])) {
+            ok = false;
+            break;
+          }
+        } else if (bindings.bound[t.var]) {
+          if (!(bindings.values[t.var] == row[c])) {
+            ok = false;
+            break;
+          }
+        } else {
+          bindings.values[t.var] = row[c];
+          bindings.bound[t.var] = 1;
+          newly_bound.push_back(t.var);
+        }
+      }
+      if (ok) {
+        for (int c : step.cmp_checks) {
+          const Comparison& cmp = rule.comparisons[c];
+          if (!EvalCmp(TermValue(cmp.lhs, bindings), cmp.op,
+                       TermValue(cmp.rhs, bindings))) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (ok) {
+        atom_rows[step.atom] =
+            TupleId{static_cast<uint32_t>(atom.relation_index), r};
+        self(self, depth + 1);
+      }
+      for (uint32_t v : newly_bound) bindings.bound[v] = 0;
+    };
+
+    if (depth == 0 && pivot_atom >= 0) {
+      DR_CHECK(pivot_rows != nullptr);
+      for (uint32_t r : *pivot_rows) {
+        if (!keep_going) break;
+        try_row(r);
+      }
+    } else if (mask != 0) {
+      rel.EnsureIndex(mask);
+      const std::vector<uint32_t>* rows = rel.Probe(mask, probe);
+      if (rows != nullptr) {
+        for (uint32_t r : *rows) {
+          if (!keep_going) break;
+          try_row(r);
+        }
+      }
+    } else {
+      const uint32_t n = static_cast<uint32_t>(rel.num_rows());
+      for (uint32_t r = 0; r < n; ++r) {
+        if (!keep_going) break;
+        try_row(r);
+      }
+    }
+  };
+
+  recurse(recurse, 0);
+  return keep_going;
+}
+
+bool Grounder::AnyAssignment(const Program& program, BaseMatch bm,
+                             DeltaMatch dm) {
+  for (size_t i = 0; i < program.rules().size(); ++i) {
+    bool found = false;
+    EnumerateRule(program.rules()[i], static_cast<int>(i), bm, dm,
+                  [&](const GroundAssignment&) {
+                    found = true;
+                    return false;  // stop after the first witness
+                  });
+    if (found) return true;
+  }
+  return false;
+}
+
+}  // namespace deltarepair

@@ -1,0 +1,82 @@
+// The grounder enumerates satisfying assignments (the α of Sec. 2) of a
+// delta rule's body against a database state. It is the shared join engine
+// behind all four semantics, the stability check, provenance construction,
+// and the trigger emulator.
+//
+// Two orthogonal matching modes select which tuples a body atom ranges
+// over:
+//  * BaseMatch  — base atoms R_i(Y) match live rows (stage/step/stability)
+//                 or all original rows (end semantics freezes R during
+//                 derivation, Def. 3.10).
+//  * DeltaMatch — delta atoms ∆_i(Y) match currently-deleted rows
+//                 (operational semantics) or *any* original row
+//                 (hypothetical deletions, used by Algorithm 1: independent
+//                 semantics may delete tuples that are never derivable).
+#ifndef DELTAREPAIR_DATALOG_GROUNDER_H_
+#define DELTAREPAIR_DATALOG_GROUNDER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "relation/database.h"
+
+namespace deltarepair {
+
+enum class BaseMatch : uint8_t { kLive, kAllRows };
+enum class DeltaMatch : uint8_t { kCurrent, kHypothetical };
+
+/// One satisfying assignment of a rule body.
+struct GroundAssignment {
+  const Rule* rule = nullptr;
+  int rule_index = -1;
+  /// Row bound to the self atom — the tuple the rule derives (α(head)).
+  TupleId head;
+  /// Row bound to each body atom, in body order. Whether entry i denotes a
+  /// base or delta tuple follows rule->body[i].is_delta.
+  std::vector<TupleId> body;
+};
+
+/// Return false to stop enumeration early.
+using AssignmentCallback = std::function<bool(const GroundAssignment&)>;
+
+class Grounder {
+ public:
+  /// `db` must outlive the grounder. Non-const because probing builds
+  /// hash indexes lazily; logical content is never modified.
+  explicit Grounder(Database* db) : db_(db) {}
+
+  /// Enumerates every satisfying assignment of `rule`.
+  ///
+  /// When `pivot_atom` >= 0, that body atom is restricted to the rows in
+  /// `pivot_rows` (semi-naive evaluation pivots over freshly derived delta
+  /// tuples). Returns false if the callback requested an early stop.
+  bool EnumerateRule(const Rule& rule, int rule_index, BaseMatch bm,
+                     DeltaMatch dm, const AssignmentCallback& cb,
+                     int pivot_atom = -1,
+                     const std::vector<uint32_t>* pivot_rows = nullptr);
+
+  /// True if at least one satisfying assignment of any rule in `program`
+  /// exists (i.e., the database is *unstable* w.r.t. the program,
+  /// Def. 3.12 negated).
+  bool AnyAssignment(const Program& program, BaseMatch bm, DeltaMatch dm);
+
+  /// Total assignments emitted since construction (statistics).
+  uint64_t assignments_enumerated() const { return assignments_enumerated_; }
+
+ private:
+  struct PlanStep {
+    int atom = -1;                 // body atom index
+    std::vector<int> cmp_checks;   // comparisons first fully bound here
+  };
+
+  std::vector<PlanStep> MakePlan(const Rule& rule, int pivot_atom) const;
+
+  Database* db_;
+  uint64_t assignments_enumerated_ = 0;
+};
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_DATALOG_GROUNDER_H_

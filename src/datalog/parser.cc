@@ -1,0 +1,346 @@
+#include "datalog/parser.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace deltarepair {
+
+namespace {
+
+enum class TokKind {
+  kIdent,
+  kInt,
+  kString,
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kTilde,
+  kTurnstile,  // ":-"
+  kOp,         // comparison operator
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int64_t int_value = 0;
+  CmpOp op = CmpOp::kEq;
+  size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Status Tokenize(std::vector<Token>* out) {
+    size_t i = 0;
+    const size_t n = text_.size();
+    while (i < n) {
+      char c = text_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == '%' || c == '#') {
+        while (i < n && text_[i] != '\n') ++i;
+        continue;
+      }
+      size_t start = i;
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        while (i < n && (std::isalnum(static_cast<unsigned char>(text_[i])) ||
+                         text_[i] == '_')) {
+          ++i;
+        }
+        out->push_back(
+            {TokKind::kIdent, std::string(text_.substr(start, i - start)), 0,
+             CmpOp::kEq, start});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '-' && i + 1 < n &&
+           std::isdigit(static_cast<unsigned char>(text_[i + 1])))) {
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(text_[i]))) {
+          ++i;
+        }
+        Token t{TokKind::kInt, std::string(text_.substr(start, i - start)), 0,
+                CmpOp::kEq, start};
+        t.int_value = std::stoll(t.text);
+        out->push_back(std::move(t));
+        continue;
+      }
+      if (c == '\'' || c == '"') {
+        char quote = c;
+        ++i;
+        std::string s;
+        while (i < n && text_[i] != quote) {
+          s.push_back(text_[i]);
+          ++i;
+        }
+        if (i >= n) {
+          return Status::InvalidArgument(
+              StrFormat("unterminated string at offset %zu", start));
+        }
+        ++i;  // closing quote
+        out->push_back({TokKind::kString, std::move(s), 0, CmpOp::kEq, start});
+        continue;
+      }
+      switch (c) {
+        case '(':
+          out->push_back({TokKind::kLParen, "(", 0, CmpOp::kEq, start});
+          ++i;
+          continue;
+        case ')':
+          out->push_back({TokKind::kRParen, ")", 0, CmpOp::kEq, start});
+          ++i;
+          continue;
+        case ',':
+          out->push_back({TokKind::kComma, ",", 0, CmpOp::kEq, start});
+          ++i;
+          continue;
+        case '.':
+          out->push_back({TokKind::kDot, ".", 0, CmpOp::kEq, start});
+          ++i;
+          continue;
+        case '~':
+          out->push_back({TokKind::kTilde, "~", 0, CmpOp::kEq, start});
+          ++i;
+          continue;
+        case ':':
+          if (i + 1 < n && text_[i + 1] == '-') {
+            out->push_back({TokKind::kTurnstile, ":-", 0, CmpOp::kEq, start});
+            i += 2;
+            continue;
+          }
+          return Status::InvalidArgument(
+              StrFormat("stray ':' at offset %zu", start));
+        case '=':
+          out->push_back({TokKind::kOp, "=", 0, CmpOp::kEq, start});
+          ++i;
+          continue;
+        case '!':
+          if (i + 1 < n && text_[i + 1] == '=') {
+            out->push_back({TokKind::kOp, "!=", 0, CmpOp::kNe, start});
+            i += 2;
+            continue;
+          }
+          return Status::InvalidArgument(
+              StrFormat("stray '!' at offset %zu", start));
+        case '<':
+          if (i + 1 < n && text_[i + 1] == '=') {
+            out->push_back({TokKind::kOp, "<=", 0, CmpOp::kLe, start});
+            i += 2;
+          } else {
+            out->push_back({TokKind::kOp, "<", 0, CmpOp::kLt, start});
+            ++i;
+          }
+          continue;
+        case '>':
+          if (i + 1 < n && text_[i + 1] == '=') {
+            out->push_back({TokKind::kOp, ">=", 0, CmpOp::kGe, start});
+            i += 2;
+          } else {
+            out->push_back({TokKind::kOp, ">", 0, CmpOp::kGt, start});
+            ++i;
+          }
+          continue;
+        default:
+          return Status::InvalidArgument(
+              StrFormat("unexpected character '%c' at offset %zu", c, start));
+      }
+    }
+    out->push_back({TokKind::kEnd, "", 0, CmpOp::kEq, text_.size()});
+    return Status::OK();
+  }
+
+ private:
+  std::string_view text_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<Program> ParseProgramTokens() {
+    Program program;
+    while (!At(TokKind::kEnd)) {
+      StatusOr<Rule> rule = ParseOneRule();
+      if (!rule.ok()) return rule.status();
+      program.AddRule(std::move(rule).value());
+    }
+    return program;
+  }
+
+  StatusOr<ParsedBody> ParseBodyOnly() {
+    ParsedBody body;
+    vars_.clear();
+    for (;;) {
+      if (At(TokKind::kTilde) ||
+          (At(TokKind::kIdent) && Peek(1).kind == TokKind::kLParen)) {
+        StatusOr<Atom> atom = ParseAtom();
+        if (!atom.ok()) return atom.status();
+        body.atoms.push_back(std::move(atom).value());
+      } else {
+        StatusOr<Comparison> cmp = ParseComparison();
+        if (!cmp.ok()) return cmp.status();
+        body.comparisons.push_back(std::move(cmp).value());
+      }
+      if (Consume(TokKind::kComma)) continue;
+      break;
+    }
+    Consume(TokKind::kDot);
+    if (!At(TokKind::kEnd)) {
+      return Status::InvalidArgument("trailing tokens after body");
+    }
+    body.var_names.resize(vars_.size());
+    for (const auto& [name, id] : vars_) body.var_names[id] = name;
+    return body;
+  }
+
+  StatusOr<Rule> ParseOneRule() {
+    Rule rule;
+    vars_.clear();
+    StatusOr<Atom> head = ParseAtom();
+    if (!head.ok()) return head.status();
+    rule.head = std::move(head).value();
+    if (!rule.head.is_delta) {
+      return Status::InvalidArgument("rule head must be a ~delta atom");
+    }
+    if (!Consume(TokKind::kTurnstile)) {
+      return Status::InvalidArgument("expected ':-' after rule head");
+    }
+    for (;;) {
+      // Lookahead: atom (possibly ~-prefixed) vs comparison.
+      if (At(TokKind::kTilde) ||
+          (At(TokKind::kIdent) && Peek(1).kind == TokKind::kLParen)) {
+        StatusOr<Atom> atom = ParseAtom();
+        if (!atom.ok()) return atom.status();
+        rule.body.push_back(std::move(atom).value());
+      } else {
+        StatusOr<Comparison> cmp = ParseComparison();
+        if (!cmp.ok()) return cmp.status();
+        rule.comparisons.push_back(std::move(cmp).value());
+      }
+      if (Consume(TokKind::kComma)) continue;
+      break;
+    }
+    Consume(TokKind::kDot);  // optional terminator
+    rule.var_names.resize(vars_.size());
+    for (const auto& [name, id] : vars_) rule.var_names[id] = name;
+    Status st = ValidateRule(&rule);
+    if (!st.ok()) return st;
+    return rule;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool At(TokKind k) const { return Peek().kind == k; }
+  bool Consume(TokKind k) {
+    if (!At(k)) return false;
+    ++pos_;
+    return true;
+  }
+
+  StatusOr<Atom> ParseAtom() {
+    Atom atom;
+    atom.is_delta = Consume(TokKind::kTilde);
+    if (!At(TokKind::kIdent)) {
+      return Status::InvalidArgument(
+          StrFormat("expected relation name at offset %zu", Peek().pos));
+    }
+    atom.relation = Peek().text;
+    ++pos_;
+    if (!Consume(TokKind::kLParen)) {
+      return Status::InvalidArgument("expected '(' after relation name " +
+                                     atom.relation);
+    }
+    if (!Consume(TokKind::kRParen)) {
+      for (;;) {
+        StatusOr<Term> term = ParseTerm();
+        if (!term.ok()) return term.status();
+        atom.terms.push_back(std::move(term).value());
+        if (Consume(TokKind::kComma)) continue;
+        if (Consume(TokKind::kRParen)) break;
+        return Status::InvalidArgument("expected ',' or ')' in atom " +
+                                       atom.relation);
+      }
+    }
+    return atom;
+  }
+
+  StatusOr<Term> ParseTerm() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokKind::kIdent: {
+        ++pos_;
+        auto [it, added] =
+            vars_.emplace(t.text, static_cast<uint32_t>(vars_.size()));
+        (void)added;
+        return Term::MakeVar(it->second);
+      }
+      case TokKind::kInt:
+        ++pos_;
+        return Term::MakeConst(Value(t.int_value));
+      case TokKind::kString:
+        ++pos_;
+        return Term::MakeConst(Value(t.text));
+      default:
+        return Status::InvalidArgument(
+            StrFormat("expected term at offset %zu", t.pos));
+    }
+  }
+
+  StatusOr<Comparison> ParseComparison() {
+    Comparison cmp;
+    StatusOr<Term> lhs = ParseTerm();
+    if (!lhs.ok()) return lhs.status();
+    cmp.lhs = std::move(lhs).value();
+    if (!At(TokKind::kOp)) {
+      return Status::InvalidArgument(
+          StrFormat("expected comparison operator at offset %zu", Peek().pos));
+    }
+    cmp.op = Peek().op;
+    ++pos_;
+    StatusOr<Term> rhs = ParseTerm();
+    if (!rhs.ok()) return rhs.status();
+    cmp.rhs = std::move(rhs).value();
+    return cmp;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::unordered_map<std::string, uint32_t> vars_;
+};
+
+}  // namespace
+
+StatusOr<Program> ParseProgram(std::string_view text) {
+  std::vector<Token> tokens;
+  Status st = Lexer(text).Tokenize(&tokens);
+  if (!st.ok()) return st;
+  return Parser(std::move(tokens)).ParseProgramTokens();
+}
+
+StatusOr<Rule> ParseRule(std::string_view text) {
+  std::vector<Token> tokens;
+  Status st = Lexer(text).Tokenize(&tokens);
+  if (!st.ok()) return st;
+  Parser parser(std::move(tokens));
+  return parser.ParseOneRule();
+}
+
+StatusOr<ParsedBody> ParseBody(std::string_view text) {
+  std::vector<Token> tokens;
+  Status st = Lexer(text).Tokenize(&tokens);
+  if (!st.ok()) return st;
+  Parser parser(std::move(tokens));
+  return parser.ParseBodyOnly();
+}
+
+}  // namespace deltarepair

@@ -1,0 +1,40 @@
+// Text syntax for delta programs. A delta atom is written with a leading
+// '~' (the paper's ∆):
+//
+//     ~Author(a, n) :- Author(a, n), AuthGrant(a, g), ~Grant(g, gn).
+//     ~Pub(p, t)    :- Pub(p, t), Writes(a, p), ~Author(a, n), p < 7.
+//
+// Bare identifiers in argument positions are variables; integers and
+// quoted strings are constants. Comparisons use = != < <= > >=. Rules end
+// with '.', '%' and '#' start comments.
+#ifndef DELTAREPAIR_DATALOG_PARSER_H_
+#define DELTAREPAIR_DATALOG_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+
+namespace deltarepair {
+
+/// Parses a whole program. Rules are validated structurally (Def. 3.1) but
+/// not resolved against a database; call ResolveProgram before evaluation.
+StatusOr<Program> ParseProgram(std::string_view text);
+
+/// Parses a single rule.
+StatusOr<Rule> ParseRule(std::string_view text);
+
+/// A parsed rule body without a head — used for denial constraints
+/// (Sec. 3.6), which are pure conditions.
+struct ParsedBody {
+  std::vector<Atom> atoms;
+  std::vector<Comparison> comparisons;
+  std::vector<std::string> var_names;  // by var id
+};
+
+/// Parses "Atom(..), Atom(..), x < y, ..." (no head, no ':-').
+StatusOr<ParsedBody> ParseBody(std::string_view text);
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_DATALOG_PARSER_H_

@@ -1,0 +1,52 @@
+#include "provenance/bool_formula.h"
+
+namespace deltarepair {
+
+uint32_t DeletionCnfBuilder::VarOf(TupleId t) {
+  auto [it, added] =
+      var_of_.emplace(t.Pack(), static_cast<uint32_t>(tuple_of_.size()));
+  if (added) {
+    tuple_of_.push_back(t);
+    cnf_.Touch(it->second);
+  }
+  return it->second;
+}
+
+int64_t DeletionCnfBuilder::FindVar(TupleId t) const {
+  auto it = var_of_.find(t.Pack());
+  return it == var_of_.end() ? -1 : static_cast<int64_t>(it->second);
+}
+
+void DeletionCnfBuilder::AddAssignment(const GroundAssignment& ga) {
+  std::vector<Lit> lits;
+  lits.reserve(ga.body.size());
+  for (size_t i = 0; i < ga.body.size(); ++i) {
+    uint32_t v = VarOf(ga.body[i]);
+    lits.push_back(ga.rule->body[i].is_delta ? NegLit(v) : PosLit(v));
+  }
+  cnf_.AddClause(std::move(lits));  // drops tautologies internally
+}
+
+std::string DeletionCnfBuilder::Render(const Database& db,
+                                       size_t max_clauses) const {
+  std::string out;
+  size_t shown = 0;
+  for (const auto& clause : cnf_.clauses()) {
+    if (shown == max_clauses) {
+      out += " ∧ …";
+      break;
+    }
+    if (shown) out += " ∧ ";
+    out += "(";
+    for (size_t i = 0; i < clause.size(); ++i) {
+      if (i) out += " ∨ ";
+      if (!LitSign(clause[i])) out += "¬";
+      out += db.TupleToStr(tuple_of_[LitVar(clause[i])]);
+    }
+    out += ")";
+    ++shown;
+  }
+  return out;
+}
+
+}  // namespace deltarepair

@@ -1,0 +1,64 @@
+// Boolean provenance for Algorithm 1 (Sec. 5.1).
+//
+// The provenance of each possible delta tuple is a DNF formula: one
+// conjunct per assignment, where a base tuple t appears as the literal x_t
+// ("t is present") and a delta tuple ∆(s) as ¬x_s ("s was deleted"). The
+// disjunction F over all delta tuples is negated into a CNF ¬F whose
+// satisfying assignments are exactly the stabilizing sets; flipping
+// polarity (v_t := ¬x_t = "t is deleted") yields a Min-Ones instance whose
+// optimum is Ind(P, D).
+//
+// DeletionCnfBuilder constructs ¬F directly in deletion-variable polarity:
+// each assignment α with base tuples {t1..tk} and delta tuples {s1..sj}
+// contributes the clause (v_t1 ∨ … ∨ v_tk ∨ ¬v_s1 ∨ … ∨ ¬v_sj).
+// Assignments using the same tuple as both base and delta are vacuous
+// (tautological clause) and dropped.
+#ifndef DELTAREPAIR_PROVENANCE_BOOL_FORMULA_H_
+#define DELTAREPAIR_PROVENANCE_BOOL_FORMULA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/grounder.h"
+#include "sat/cnf.h"
+
+namespace deltarepair {
+
+class DeletionCnfBuilder {
+ public:
+  DeletionCnfBuilder() = default;
+
+  /// Adds the clause of one (hypothetical) assignment.
+  void AddAssignment(const GroundAssignment& ga);
+
+  /// The accumulated CNF ¬F (deletion polarity).
+  const Cnf& cnf() const { return cnf_; }
+  Cnf& mutable_cnf() { return cnf_; }
+
+  /// Number of deletion variables (touched tuples).
+  uint32_t num_vars() const { return static_cast<uint32_t>(tuple_of_.size()); }
+
+  /// The tuple represented by variable v.
+  TupleId TupleOfVar(uint32_t v) const { return tuple_of_[v]; }
+
+  /// Variable of tuple `t`, creating it if new.
+  uint32_t VarOf(TupleId t);
+
+  /// Variable of tuple `t`, or -1 if the tuple never appears.
+  int64_t FindVar(TupleId t) const;
+
+  /// Renders the negated formula for small instances, mirroring the
+  /// paper's Example 5.1, e.g. "(¬g2) ∧ (¬a2 ∨ ¬ag2 ∨ g2) ∧ …" — here in
+  /// deletion polarity "(g2) ∧ (a2 ∨ ag2 ∨ ¬g2) ∧ …".
+  std::string Render(const Database& db, size_t max_clauses = 64) const;
+
+ private:
+  Cnf cnf_;
+  std::unordered_map<uint64_t, uint32_t> var_of_;  // packed TupleId -> var
+  std::vector<TupleId> tuple_of_;
+};
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_PROVENANCE_BOOL_FORMULA_H_

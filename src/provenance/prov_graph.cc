@@ -1,0 +1,105 @@
+#include "provenance/prov_graph.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace deltarepair {
+
+namespace {
+uint64_t AssignmentKey(const GroundAssignment& ga) {
+  uint64_t h = Mix64(static_cast<uint64_t>(ga.rule_index) + 0x5151);
+  for (const TupleId& t : ga.body) h = HashCombine(h, t.Pack());
+  return h;
+}
+}  // namespace
+
+int64_t ProvenanceGraph::AddAssignment(const GroundAssignment& ga, int layer) {
+  uint64_t key = AssignmentKey(ga);
+  if (!assignment_keys_.insert(key).second) {
+    // Duplicate derivation found in a later round: the layer of the head
+    // stays the earliest round (min), which AddAssignment callers ensure
+    // by evaluating rounds in order.
+    return -1;
+  }
+  uint32_t id = static_cast<uint32_t>(assignments_.size());
+  ProvAssignment pa;
+  pa.rule = ga.rule;
+  pa.rule_index = ga.rule_index;
+  pa.head = ga.head;
+  pa.body = ga.body;
+  assignments_.push_back(std::move(pa));
+
+  DeltaNode& node = delta_nodes_[ga.head.Pack()];
+  if (node.derivations.empty()) {
+    node.layer = layer;
+    num_layers_ = std::max(num_layers_, layer);
+  }
+  node.derivations.push_back(id);
+
+  const auto& atoms = ga.rule->body;
+  for (size_t i = 0; i < ga.body.size(); ++i) {
+    if (atoms[i].is_delta) {
+      delta_uses_[ga.body[i].Pack()].push_back(id);
+    } else {
+      base_uses_[ga.body[i].Pack()].push_back(id);
+    }
+  }
+  return id;
+}
+
+const DeltaNode* ProvenanceGraph::FindDeltaNode(TupleId t) const {
+  auto it = delta_nodes_.find(t.Pack());
+  return it == delta_nodes_.end() ? nullptr : &it->second;
+}
+
+const std::vector<uint32_t>* ProvenanceGraph::BaseUses(TupleId t) const {
+  auto it = base_uses_.find(t.Pack());
+  return it == base_uses_.end() ? nullptr : &it->second;
+}
+
+const std::vector<uint32_t>* ProvenanceGraph::DeltaUses(TupleId t) const {
+  auto it = delta_uses_.find(t.Pack());
+  return it == delta_uses_.end() ? nullptr : &it->second;
+}
+
+int64_t ProvenanceGraph::Benefit(TupleId t) const {
+  const auto* base = BaseUses(t);
+  const auto* delta = DeltaUses(t);
+  int64_t b = base != nullptr ? static_cast<int64_t>(base->size()) : 0;
+  int64_t d = delta != nullptr ? static_cast<int64_t>(delta->size()) : 0;
+  return b - d;
+}
+
+std::string ProvenanceGraph::ToString(const Database& db) const {
+  std::string out;
+  // Group delta nodes by layer.
+  std::vector<std::pair<int, uint64_t>> by_layer;
+  by_layer.reserve(delta_nodes_.size());
+  for (const auto& [packed, node] : delta_nodes_) {
+    by_layer.emplace_back(node.layer, packed);
+  }
+  std::sort(by_layer.begin(), by_layer.end());
+  int current_layer = -1;
+  for (const auto& [layer, packed] : by_layer) {
+    if (layer != current_layer) {
+      out += StrFormat("layer %d:\n", layer);
+      current_layer = layer;
+    }
+    TupleId head = TupleId::Unpack(packed);
+    out += "  ~" + db.TupleToStr(head) + "  derived by:\n";
+    for (uint32_t id : delta_nodes_.at(packed).derivations) {
+      const ProvAssignment& pa = assignments_[id];
+      out += StrFormat("    rule %d: ", pa.rule_index);
+      for (size_t i = 0; i < pa.body.size(); ++i) {
+        if (i) out += ", ";
+        if (pa.rule->body[i].is_delta) out += "~";
+        out += db.TupleToStr(pa.body[i]);
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace deltarepair

@@ -1,0 +1,80 @@
+// The provenance graph of Sec. 5.2 (Figure 5): nodes are base tuples and
+// derived delta tuples; each recorded assignment is a hyperedge from its
+// participating tuples to the derived delta tuple. Delta nodes carry the
+// layer (derivation round) at which they were first derived; base tuples
+// carry the benefit b_t = (#assignments t participates in as a base tuple)
+// − (#assignments ∆(t) participates in as a delta tuple), the greedy
+// ordering key of Algorithm 2.
+#ifndef DELTAREPAIR_PROVENANCE_PROV_GRAPH_H_
+#define DELTAREPAIR_PROVENANCE_PROV_GRAPH_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "datalog/grounder.h"
+
+namespace deltarepair {
+
+/// One recorded derivation (hyperedge).
+struct ProvAssignment {
+  const Rule* rule = nullptr;
+  int rule_index = -1;
+  TupleId head;                 // the derived delta tuple ∆(head)
+  std::vector<TupleId> body;    // per body atom (base or delta per rule)
+};
+
+/// A derived delta node.
+struct DeltaNode {
+  int layer = 0;                      // derivation round (1-based)
+  std::vector<uint32_t> derivations;  // assignment ids deriving this node
+};
+
+class ProvenanceGraph {
+ public:
+  ProvenanceGraph() = default;
+
+  /// Records an assignment unless an identical one (same rule, same body
+  /// rows) was already recorded. `layer` is the derivation round of the
+  /// head (kept as min over duplicates). Returns the assignment id or -1
+  /// for duplicates.
+  int64_t AddAssignment(const GroundAssignment& ga, int layer);
+
+  size_t num_assignments() const { return assignments_.size(); }
+  const ProvAssignment& assignment(uint32_t id) const {
+    return assignments_[id];
+  }
+
+  /// Delta nodes keyed by packed TupleId.
+  const std::unordered_map<uint64_t, DeltaNode>& delta_nodes() const {
+    return delta_nodes_;
+  }
+  const DeltaNode* FindDeltaNode(TupleId t) const;
+
+  /// Assignment ids in which tuple `t` participates as a base tuple.
+  const std::vector<uint32_t>* BaseUses(TupleId t) const;
+  /// Assignment ids in which ∆(t) participates as a body delta tuple.
+  const std::vector<uint32_t>* DeltaUses(TupleId t) const;
+
+  /// Benefit b_t of Algorithm 2.
+  int64_t Benefit(TupleId t) const;
+
+  /// Highest layer among delta nodes (L in Algorithm 2).
+  int num_layers() const { return num_layers_; }
+
+  /// Debug rendering in the spirit of Figure 5 (small graphs).
+  std::string ToString(const Database& db) const;
+
+ private:
+  std::vector<ProvAssignment> assignments_;
+  std::unordered_set<uint64_t> assignment_keys_;
+  std::unordered_map<uint64_t, DeltaNode> delta_nodes_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> base_uses_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> delta_uses_;
+  int num_layers_ = 0;
+};
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_PROVENANCE_PROV_GRAPH_H_

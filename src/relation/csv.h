@@ -1,0 +1,28 @@
+// Minimal typed CSV import/export for the relational engine, used by the
+// drepair CLI. Format: the first line is the schema ("aid:int,name:str"),
+// each following line one tuple. Values containing commas are not
+// supported (this is a data-exchange convenience, not a CSV library).
+#ifndef DELTAREPAIR_RELATION_CSV_H_
+#define DELTAREPAIR_RELATION_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "relation/database.h"
+
+namespace deltarepair {
+
+/// Parses CSV text into a relation named `relation_name` added to `db`.
+Status LoadCsvIntoDatabase(Database* db, const std::string& relation_name,
+                           const std::string& csv_text);
+
+/// Reads `path` into `db`; the relation is named after the file's
+/// basename without extension.
+Status LoadCsvFile(Database* db, const std::string& path);
+
+/// Renders the live tuples of `relation` back to CSV (schema line first).
+std::string RelationToCsv(const Relation& relation);
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_RELATION_CSV_H_

@@ -1,0 +1,112 @@
+#include "relation/database.h"
+
+#include "common/status.h"
+
+namespace deltarepair {
+
+uint32_t Database::AddRelation(RelationSchema schema) {
+  DR_CHECK_MSG(!by_name_.count(schema.name()), "duplicate relation name");
+  uint32_t idx = static_cast<uint32_t>(relations_.size());
+  by_name_[schema.name()] = idx;
+  relations_.emplace_back(std::move(schema));
+  return idx;
+}
+
+int Database::RelationIndex(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? -1 : static_cast<int>(it->second);
+}
+
+Relation* Database::FindRelation(const std::string& name) {
+  int i = RelationIndex(name);
+  return i < 0 ? nullptr : &relations_[i];
+}
+
+const Relation* Database::FindRelation(const std::string& name) const {
+  int i = RelationIndex(name);
+  return i < 0 ? nullptr : &relations_[i];
+}
+
+TupleId Database::Insert(uint32_t rel, Tuple t) {
+  DR_CHECK(rel < relations_.size());
+  InsertResult r = relations_[rel].Insert(std::move(t));
+  return TupleId{rel, r.row};
+}
+
+TupleId Database::Insert(const std::string& rel, Tuple t) {
+  int i = RelationIndex(rel);
+  DR_CHECK_MSG(i >= 0, "unknown relation: " + rel);
+  return Insert(static_cast<uint32_t>(i), std::move(t));
+}
+
+size_t Database::TotalLive() const {
+  size_t n = 0;
+  for (const auto& r : relations_) n += r.live_count();
+  return n;
+}
+
+size_t Database::TotalRows() const {
+  size_t n = 0;
+  for (const auto& r : relations_) n += r.num_rows();
+  return n;
+}
+
+size_t Database::TotalDelta() const {
+  size_t n = 0;
+  for (const auto& r : relations_) n += r.delta_count();
+  return n;
+}
+
+std::vector<TupleId> Database::LiveTupleIds() const {
+  std::vector<TupleId> out;
+  out.reserve(TotalLive());
+  for (uint32_t i = 0; i < relations_.size(); ++i) {
+    for (uint32_t r = 0; r < relations_[i].num_rows(); ++r) {
+      if (relations_[i].live(r)) out.push_back(TupleId{i, r});
+    }
+  }
+  return out;
+}
+
+std::vector<TupleId> Database::DeltaTupleIds() const {
+  std::vector<TupleId> out;
+  for (uint32_t i = 0; i < relations_.size(); ++i) {
+    for (uint32_t r = 0; r < relations_[i].num_rows(); ++r) {
+      if (relations_[i].delta(r)) out.push_back(TupleId{i, r});
+    }
+  }
+  return out;
+}
+
+void Database::ResetState() {
+  for (auto& r : relations_) r.ResetState();
+}
+
+Database::State Database::SaveState() const {
+  State s;
+  s.reserve(relations_.size());
+  for (const auto& r : relations_) s.push_back(r.SaveState());
+  return s;
+}
+
+void Database::RestoreState(const State& s) {
+  DR_CHECK(s.size() == relations_.size());
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    relations_[i].RestoreState(s[i]);
+  }
+}
+
+std::string Database::TupleToStr(TupleId id) const {
+  return relations_[id.relation].name() + TupleToString(tuple(id));
+}
+
+std::string Database::ToString() const {
+  std::string out;
+  for (const auto& r : relations_) {
+    out += r.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace deltarepair

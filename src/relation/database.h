@@ -1,0 +1,81 @@
+// Database: a set of relations plus their delta relations (Sec. 3.1).
+// The database instance D of the paper is the set of live tuples; ∆(S) is
+// tracked through per-row delta flags. Copy/Save/Restore support running
+// several repair semantics against the same instance.
+#ifndef DELTAREPAIR_RELATION_DATABASE_H_
+#define DELTAREPAIR_RELATION_DATABASE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relation/relation.h"
+
+namespace deltarepair {
+
+class Database {
+ public:
+  Database() = default;
+
+  /// Registers a relation; returns its index. Names must be unique.
+  uint32_t AddRelation(RelationSchema schema);
+
+  /// Index of the relation named `name`, or -1.
+  int RelationIndex(const std::string& name) const;
+
+  size_t num_relations() const { return relations_.size(); }
+  Relation& relation(uint32_t i) { return relations_[i]; }
+  const Relation& relation(uint32_t i) const { return relations_[i]; }
+
+  Relation* FindRelation(const std::string& name);
+  const Relation* FindRelation(const std::string& name) const;
+
+  /// Inserts a live tuple into relation `rel`.
+  TupleId Insert(uint32_t rel, Tuple t);
+  /// Inserts by relation name (must exist).
+  TupleId Insert(const std::string& rel, Tuple t);
+
+  const Tuple& tuple(TupleId id) const {
+    return relations_[id.relation].row(id.row);
+  }
+  bool live(TupleId id) const { return relations_[id.relation].live(id.row); }
+  bool delta(TupleId id) const {
+    return relations_[id.relation].delta(id.row);
+  }
+  void MarkDeleted(TupleId id) { relations_[id.relation].MarkDeleted(id.row); }
+  void SetDelta(TupleId id) { relations_[id.relation].SetDelta(id.row); }
+
+  /// Total live tuples across relations (the size of D).
+  size_t TotalLive() const;
+  /// Total row slots across relations.
+  size_t TotalRows() const;
+  /// Total delta tuples across relations.
+  size_t TotalDelta() const;
+
+  /// All live tuple ids (deterministic order: relation-major).
+  std::vector<TupleId> LiveTupleIds() const;
+  /// All tuple ids currently in delta relations.
+  std::vector<TupleId> DeltaTupleIds() const;
+
+  /// Restores every relation to its load-time state.
+  void ResetState();
+
+  /// Whole-database (live, delta) snapshot.
+  using State = std::vector<Relation::State>;
+  State SaveState() const;
+  void RestoreState(const State& s);
+
+  /// Renders tuple `id` as "Rel(v1, v2)".
+  std::string TupleToStr(TupleId id) const;
+
+  /// Debug rendering (small databases).
+  std::string ToString() const;
+
+ private:
+  std::vector<Relation> relations_;
+  std::unordered_map<std::string, uint32_t> by_name_;
+};
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_RELATION_DATABASE_H_

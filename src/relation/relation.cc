@@ -1,0 +1,128 @@
+#include "relation/relation.h"
+
+#include "common/status.h"
+
+namespace deltarepair {
+
+InsertResult Relation::Insert(Tuple t) {
+  DR_CHECK_MSG(t.size() == schema_.arity(), "arity mismatch on insert");
+  uint64_t h = HashTuple(t);
+  auto it = dedupe_.find(h);
+  if (it != dedupe_.end()) {
+    for (uint32_t r : it->second) {
+      if (rows_[r] == t) return InsertResult{r, false};
+    }
+  }
+  uint32_t r = static_cast<uint32_t>(rows_.size());
+  // Maintain any existing indexes incrementally.
+  for (auto& [mask, index] : indexes_) {
+    index[KeyHash(mask, t)].push_back(r);
+  }
+  rows_.push_back(std::move(t));
+  live_.push_back(1);
+  delta_.push_back(0);
+  ++live_count_;
+  dedupe_[h].push_back(r);
+  return InsertResult{r, true};
+}
+
+int64_t Relation::FindRow(const Tuple& t) const {
+  auto it = dedupe_.find(HashTuple(t));
+  if (it == dedupe_.end()) return -1;
+  for (uint32_t r : it->second) {
+    if (rows_[r] == t) return r;
+  }
+  return -1;
+}
+
+void Relation::MarkDeleted(uint32_t r) {
+  DR_CHECK(r < rows_.size());
+  if (live_[r]) {
+    live_[r] = 0;
+    --live_count_;
+  }
+  if (!delta_[r]) {
+    delta_[r] = 1;
+    ++delta_count_;
+  }
+}
+
+void Relation::SetDelta(uint32_t r) {
+  DR_CHECK(r < rows_.size());
+  if (!delta_[r]) {
+    delta_[r] = 1;
+    ++delta_count_;
+  }
+}
+
+void Relation::UnmarkDeleted(uint32_t r) {
+  DR_CHECK(r < rows_.size());
+  if (!live_[r]) {
+    live_[r] = 1;
+    ++live_count_;
+  }
+  if (delta_[r]) {
+    delta_[r] = 0;
+    --delta_count_;
+  }
+}
+
+void Relation::ResetState() {
+  std::fill(live_.begin(), live_.end(), 1);
+  std::fill(delta_.begin(), delta_.end(), 0);
+  live_count_ = rows_.size();
+  delta_count_ = 0;
+}
+
+uint64_t Relation::KeyHash(ColumnMask mask, const Tuple& t) const {
+  uint64_t h = 0x6b657948ULL ^ Mix64(mask);
+  for (size_t c = 0; c < t.size(); ++c) {
+    if (mask & (1ULL << c)) h = HashCombine(h, t[c].Hash());
+  }
+  return h;
+}
+
+void Relation::EnsureIndex(ColumnMask mask) {
+  if (indexes_.count(mask)) return;
+  auto& index = indexes_[mask];
+  index.reserve(rows_.size());
+  for (uint32_t r = 0; r < rows_.size(); ++r) {
+    index[KeyHash(mask, rows_[r])].push_back(r);
+  }
+}
+
+const std::vector<uint32_t>* Relation::Probe(ColumnMask mask,
+                                             const Tuple& full_binding) const {
+  auto iit = indexes_.find(mask);
+  DR_CHECK_MSG(iit != indexes_.end(), "Probe before EnsureIndex");
+  auto it = iit->second.find(KeyHash(mask, full_binding));
+  if (it == iit->second.end()) return nullptr;
+  return &it->second;
+}
+
+Relation::State Relation::SaveState() const {
+  return State{live_, delta_, live_count_, delta_count_};
+}
+
+void Relation::RestoreState(const State& s) {
+  DR_CHECK(s.live.size() == rows_.size());
+  live_ = s.live;
+  delta_ = s.delta;
+  live_count_ = s.live_count;
+  delta_count_ = s.delta_count;
+}
+
+std::string Relation::ToString() const {
+  std::string out = schema_.ToString() + " {";
+  bool first = true;
+  for (uint32_t r = 0; r < rows_.size(); ++r) {
+    if (!live_[r]) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += TupleToString(rows_[r]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace deltarepair

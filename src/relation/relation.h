@@ -1,0 +1,108 @@
+// Relation: an append-only row store with set semantics plus two membership
+// bitmaps, `live` (tuple currently in R_i) and `delta` (tuple currently in
+// the delta relation ∆_i of Sec. 3.1). Rows are never physically removed,
+// which keeps TupleIds and hash indexes stable while repair semantics flip
+// membership. Lazily-built hash indexes over arbitrary column subsets
+// accelerate rule-body joins.
+#ifndef DELTAREPAIR_RELATION_RELATION_H_
+#define DELTAREPAIR_RELATION_RELATION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "relation/schema.h"
+#include "relation/tuple.h"
+
+namespace deltarepair {
+
+/// Result of an insert: the row slot and whether it was newly added.
+struct InsertResult {
+  uint32_t row = 0;
+  bool inserted = false;
+};
+
+class Relation {
+ public:
+  explicit Relation(RelationSchema schema) : schema_(std::move(schema)) {}
+
+  const RelationSchema& schema() const { return schema_; }
+  const std::string& name() const { return schema_.name(); }
+  size_t arity() const { return schema_.arity(); }
+
+  /// Number of row slots ever created (live + deleted).
+  size_t num_rows() const { return rows_.size(); }
+  /// Number of currently-live tuples.
+  size_t live_count() const { return live_count_; }
+  /// Number of tuples currently in the delta relation.
+  size_t delta_count() const { return delta_count_; }
+
+  const Tuple& row(uint32_t r) const { return rows_[r]; }
+  bool live(uint32_t r) const { return live_[r] != 0; }
+  bool delta(uint32_t r) const { return delta_[r] != 0; }
+
+  /// Set-semantics insert of a live tuple. Arity must match the schema.
+  InsertResult Insert(Tuple t);
+
+  /// Row slot holding exactly `t`, or -1 if absent.
+  int64_t FindRow(const Tuple& t) const;
+
+  /// Removes the tuple from R_i and records it in ∆_i (delete + log).
+  void MarkDeleted(uint32_t r);
+
+  /// Records the tuple in ∆_i without removing it from R_i (used by end
+  /// semantics during derivation, where base relations stay frozen).
+  void SetDelta(uint32_t r);
+
+  /// Reverts a MarkDeleted: the tuple is live again and leaves ∆_i (used
+  /// by the exact reference solvers to undo trial deletions).
+  void UnmarkDeleted(uint32_t r);
+
+  /// Restores the load-time state: everything live, deltas empty.
+  void ResetState();
+
+  /// Bitmask with bit c set for each indexed column c.
+  using ColumnMask = uint64_t;
+
+  /// Ensures a hash index over the columns in `mask` exists (built over all
+  /// row slots; callers filter by live/delta at probe time).
+  void EnsureIndex(ColumnMask mask);
+
+  /// Rows whose `mask` columns hash-match `key` (collisions possible; the
+  /// caller must verify values). Returns nullptr when no row matches.
+  const std::vector<uint32_t>* Probe(ColumnMask mask,
+                                     const Tuple& full_binding) const;
+
+  /// Copy of the (live, delta) bitmaps, for snapshot/rollback.
+  struct State {
+    std::vector<uint8_t> live;
+    std::vector<uint8_t> delta;
+    size_t live_count;
+    size_t delta_count;
+  };
+  State SaveState() const;
+  void RestoreState(const State& s);
+
+  /// Debug rendering of live tuples (small relations only).
+  std::string ToString() const;
+
+ private:
+  uint64_t KeyHash(ColumnMask mask, const Tuple& t) const;
+
+  RelationSchema schema_;
+  std::vector<Tuple> rows_;
+  std::vector<uint8_t> live_;
+  std::vector<uint8_t> delta_;
+  size_t live_count_ = 0;
+  size_t delta_count_ = 0;
+  // Full-tuple hash -> row slots with that hash (for set-semantics insert).
+  std::unordered_map<uint64_t, std::vector<uint32_t>> dedupe_;
+  // Column-mask -> (key hash -> row slots).
+  std::unordered_map<ColumnMask,
+                     std::unordered_map<uint64_t, std::vector<uint32_t>>>
+      indexes_;
+};
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_RELATION_RELATION_H_

@@ -1,0 +1,46 @@
+#include "relation/schema.h"
+
+namespace deltarepair {
+
+int RelationSchema::AttributeIndex(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string RelationSchema::ToString() const {
+  std::string out = name_ + "(";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i) out += ", ";
+    out += attributes_[i].name;
+    out += attributes_[i].type == ValueType::kInt ? ":int" : ":str";
+  }
+  out += ")";
+  return out;
+}
+
+RelationSchema MakeIntSchema(std::string relation,
+                             std::vector<std::string> attr_names) {
+  std::vector<Attribute> attrs;
+  attrs.reserve(attr_names.size());
+  for (auto& n : attr_names) {
+    attrs.push_back(Attribute{std::move(n), ValueType::kInt});
+  }
+  return RelationSchema(std::move(relation), std::move(attrs));
+}
+
+RelationSchema MakeSchema(std::string relation,
+                          std::vector<std::string> attr_names,
+                          std::string_view type_codes) {
+  DR_CHECK(attr_names.size() == type_codes.size());
+  std::vector<Attribute> attrs;
+  attrs.reserve(attr_names.size());
+  for (size_t i = 0; i < attr_names.size(); ++i) {
+    ValueType t = type_codes[i] == 's' ? ValueType::kString : ValueType::kInt;
+    attrs.push_back(Attribute{std::move(attr_names[i]), t});
+  }
+  return RelationSchema(std::move(relation), std::move(attrs));
+}
+
+}  // namespace deltarepair

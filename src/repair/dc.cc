@@ -1,0 +1,94 @@
+#include "repair/dc.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "datalog/grounder.h"
+
+namespace deltarepair {
+
+std::string DenialConstraint::ToString() const {
+  // Render as a rule body behind a "deny :-" marker.
+  Rule fake;
+  fake.body = atoms;
+  fake.comparisons = comparisons;
+  fake.var_names = var_names;
+  std::string rendered = fake.ToString();  // "(head) :- body." — no head set
+  // fake.head has an empty relation; strip everything up to ":- ".
+  size_t pos = rendered.find(":- ");
+  std::string body =
+      pos == std::string::npos ? rendered : rendered.substr(pos + 3);
+  return name + ": deny " + body;
+}
+
+StatusOr<DenialConstraint> ParseDenialConstraint(std::string name,
+                                                 std::string_view body) {
+  StatusOr<ParsedBody> parsed = ParseBody(body);
+  if (!parsed.ok()) return parsed.status();
+  DenialConstraint dc;
+  dc.name = std::move(name);
+  dc.atoms = std::move(parsed->atoms);
+  dc.comparisons = std::move(parsed->comparisons);
+  dc.var_names = std::move(parsed->var_names);
+  for (const Atom& a : dc.atoms) {
+    if (a.is_delta) {
+      return Status::InvalidArgument(
+          "denial constraints may not contain delta atoms");
+    }
+  }
+  if (dc.atoms.empty()) {
+    return Status::InvalidArgument("denial constraint needs atoms");
+  }
+  return dc;
+}
+
+Program DcsToProgram(const std::vector<DenialConstraint>& dcs,
+                     DcTranslation mode) {
+  Program program("dcs");
+  for (const DenialConstraint& dc : dcs) {
+    size_t head_count = mode == DcTranslation::kRulePerAtom ? dc.atoms.size()
+                                                            : size_t{1};
+    for (size_t h = 0; h < head_count; ++h) {
+      Rule rule;
+      rule.head = dc.atoms[h];
+      rule.head.is_delta = true;
+      rule.body = dc.atoms;
+      rule.comparisons = dc.comparisons;
+      rule.var_names = dc.var_names;
+      DR_CHECK(ValidateRule(&rule).ok());
+      program.AddRule(std::move(rule));
+    }
+  }
+  return program;
+}
+
+DcViolations CountViolations(Database* db, const DenialConstraint& dc) {
+  // Wrap the DC as a single rule and enumerate its assignments.
+  Rule rule;
+  rule.head = dc.atoms[0];
+  rule.head.is_delta = true;
+  rule.body = dc.atoms;
+  rule.comparisons = dc.comparisons;
+  rule.var_names = dc.var_names;
+  DR_CHECK(ValidateRule(&rule).ok());
+  Program probe("dc-probe");
+  probe.AddRule(std::move(rule));
+  DR_CHECK(ResolveProgram(&probe, *db).ok());
+
+  DcViolations out;
+  std::unordered_set<uint64_t> tuples;
+  Grounder grounder(db);
+  grounder.EnumerateRule(probe.rules()[0], 0, BaseMatch::kLive,
+                         DeltaMatch::kCurrent,
+                         [&](const GroundAssignment& ga) {
+                           ++out.assignments;
+                           for (const TupleId& t : ga.body) {
+                             tuples.insert(t.Pack());
+                           }
+                           return true;
+                         });
+  out.violating_tuples = tuples.size();
+  return out;
+}
+
+}  // namespace deltarepair

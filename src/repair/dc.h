@@ -1,0 +1,53 @@
+// Denial constraints and their translation into delta rules (Sec. 3.6).
+//
+// A DC ∀x̄ ¬(R1(x̄1) ∧ … ∧ Rm(x̄m) ∧ φ) is violated by any assignment of
+// its atoms. Translated to delta rules:
+//  * kFirstAtomHead — a single rule whose head deletes the first atom's
+//    tuple ("for independent semantics, the head can be any delta atom").
+//  * kRulePerAtom   — m rules, one per atom as head, letting step
+//    semantics delete *any one* tuple of each violating set.
+#ifndef DELTAREPAIR_REPAIR_DC_H_
+#define DELTAREPAIR_REPAIR_DC_H_
+
+#include <string>
+#include <vector>
+
+#include "datalog/parser.h"
+#include "repair/semantics.h"
+
+namespace deltarepair {
+
+/// A denial constraint: a conjunction of atoms + comparisons that must
+/// never be satisfiable.
+struct DenialConstraint {
+  std::string name;
+  std::vector<Atom> atoms;
+  std::vector<Comparison> comparisons;
+  std::vector<std::string> var_names;
+
+  std::string ToString() const;
+};
+
+/// Parses the condition part, e.g.
+///   "Author(a1,n1,o1,on1), Author(a2,n2,o2,on2), a1 = a2, o1 != o2".
+StatusOr<DenialConstraint> ParseDenialConstraint(std::string name,
+                                                 std::string_view body);
+
+enum class DcTranslation { kFirstAtomHead, kRulePerAtom };
+
+/// Translates DCs into a delta program (unresolved; call ResolveProgram).
+Program DcsToProgram(const std::vector<DenialConstraint>& dcs,
+                     DcTranslation mode);
+
+/// Violation statistics of one DC on the current live database.
+struct DcViolations {
+  size_t assignments = 0;        // satisfying assignments (ordered)
+  size_t violating_tuples = 0;   // distinct tuples participating
+};
+
+/// Counts violations of `dc` against the live state of `db`.
+DcViolations CountViolations(Database* db, const DenialConstraint& dc);
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_REPAIR_DC_H_

@@ -1,0 +1,31 @@
+#include "repair/end_semantics.h"
+
+#include <unordered_set>
+
+#include "common/timer.h"
+#include "repair/fixpoint.h"
+
+namespace deltarepair {
+
+RepairResult RunEndSemantics(Database* db, const Program& program,
+                             ProvenanceGraph* prov) {
+  WallTimer total;
+  RepairResult result;
+  result.semantics = SemanticsKind::kEnd;
+  {
+    ScopedTimer t(&result.stats.eval_seconds);
+    RunSemiNaiveFixpoint(db, program, /*delete_between_rounds=*/false, prov,
+                         &result.stats);
+  }
+  // Fixpoint reached: apply all derived deletions at once (R_i^T = R_i^0 \
+  // ∆_i^T).
+  for (const TupleId& t : db->DeltaTupleIds()) {
+    db->MarkDeleted(t);
+    result.deleted.push_back(t);
+  }
+  CanonicalizeResult(&result);
+  result.stats.total_seconds = total.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace deltarepair

@@ -1,0 +1,23 @@
+// End semantics (Def. 3.10) and the shared semi-naive fixpoint it has in
+// common with stage semantics: delta relations are treated as intensional
+// relations, all derivable delta tuples are computed, and the base
+// relations are updated only once, at the fixpoint.
+#ifndef DELTAREPAIR_REPAIR_END_SEMANTICS_H_
+#define DELTAREPAIR_REPAIR_END_SEMANTICS_H_
+
+#include "provenance/prov_graph.h"
+#include "repair/semantics.h"
+
+namespace deltarepair {
+
+/// Runs end semantics, applying the resulting deletions to `db`.
+///
+/// When `prov` is non-null, every derivation found during evaluation is
+/// recorded (this is the provenance-graph input of Algorithm 2); the layer
+/// of a delta tuple is the semi-naive round in which it was first derived.
+RepairResult RunEndSemantics(Database* db, const Program& program,
+                             ProvenanceGraph* prov = nullptr);
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_REPAIR_END_SEMANTICS_H_

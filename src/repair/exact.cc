@@ -1,0 +1,173 @@
+#include "repair/exact.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/timer.h"
+#include "repair/stability.h"
+
+namespace deltarepair {
+
+namespace {
+
+/// Enumerates k-subsets of [0, n) in lexicographic order, invoking `fn`
+/// with index vectors; `fn` returns true to stop.
+bool ForEachSubset(size_t n, size_t k, uint64_t* budget,
+                   const std::function<bool(const std::vector<size_t>&)>& fn) {
+  std::vector<size_t> idx(k);
+  for (size_t i = 0; i < k; ++i) idx[i] = i;
+  if (k > n) return false;
+  for (;;) {
+    if ((*budget)-- == 0) return false;
+    if (fn(idx)) return true;
+    // Advance to the next combination.
+    size_t i = k;
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + n - k) {
+        ++idx[i];
+        for (size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return false;
+    }
+    if (k == 0) return false;
+  }
+}
+
+}  // namespace
+
+std::optional<RepairResult> ExactIndependent(Database* db,
+                                             const Program& program,
+                                             const ExactOptions& options) {
+  WallTimer total;
+  RepairResult result;
+  result.semantics = SemanticsKind::kIndependent;
+  std::vector<TupleId> universe = db->LiveTupleIds();
+  uint64_t budget = options.max_states;
+
+  for (size_t k = 0; k <= universe.size(); ++k) {
+    std::vector<TupleId> found;
+    bool stopped = ForEachSubset(
+        universe.size(), k, &budget, [&](const std::vector<size_t>& idx) {
+          std::vector<TupleId> candidate;
+          candidate.reserve(idx.size());
+          for (size_t i : idx) candidate.push_back(universe[i]);
+          if (IsStabilizingSet(db, program, candidate)) {
+            found = std::move(candidate);
+            return true;
+          }
+          return false;
+        });
+    if (stopped) {
+      result.deleted = std::move(found);
+      CanonicalizeResult(&result);
+      result.stats.total_seconds = total.ElapsedSeconds();
+      return result;
+    }
+    if (budget == 0) return std::nullopt;
+  }
+  return std::nullopt;  // unreachable: D itself always stabilizes
+}
+
+namespace {
+
+/// Memoized DFS over deletion states for exact step semantics.
+class StepSearch {
+ public:
+  StepSearch(Database* db, const Program& program, uint64_t budget)
+      : db_(db), program_(program), budget_(budget), grounder_(db) {}
+
+  bool Run() {
+    std::vector<TupleId> deleted;
+    Dfs(&deleted);
+    return !out_of_budget_;
+  }
+
+  const std::vector<TupleId>& best() const { return best_; }
+  bool found() const { return found_; }
+
+ private:
+  uint64_t StateKey() const {
+    // Hash of the current deleted set (order-insensitive).
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    uint64_t sum = 0;
+    uint64_t xorv = 0;
+    for (uint64_t packed : current_deleted_) {
+      uint64_t m = Mix64(packed);
+      sum += m;
+      xorv ^= m;
+    }
+    return HashCombine(HashCombine(h, sum), xorv);
+  }
+
+  void Dfs(std::vector<TupleId>* deleted) {
+    if (out_of_budget_) return;
+    if (budget_-- == 0) {
+      out_of_budget_ = true;
+      return;
+    }
+    if (found_ && deleted->size() >= best_.size()) return;  // cannot improve
+    if (!visited_.insert(StateKey()).second) return;
+
+    // Enumerate the set of delta tuples derivable by one activation.
+    std::unordered_set<uint64_t> heads;
+    for (size_t i = 0; i < program_.rules().size(); ++i) {
+      grounder_.EnumerateRule(program_.rules()[i], static_cast<int>(i),
+                              BaseMatch::kLive, DeltaMatch::kCurrent,
+                              [&](const GroundAssignment& ga) {
+                                heads.insert(ga.head.Pack());
+                                return true;
+                              });
+    }
+    if (heads.empty()) {
+      // Fixpoint: D^t = D^{t+1} — a maximal activation sequence.
+      if (!found_ || deleted->size() < best_.size()) {
+        best_ = *deleted;
+        found_ = true;
+      }
+      return;
+    }
+    for (uint64_t packed : heads) {
+      TupleId t = TupleId::Unpack(packed);
+      db_->MarkDeleted(t);
+      deleted->push_back(t);
+      current_deleted_.insert(packed);
+      Dfs(deleted);
+      current_deleted_.erase(packed);
+      deleted->pop_back();
+      db_->relation(t.relation).UnmarkDeleted(t.row);
+      if (out_of_budget_) return;
+    }
+  }
+
+  Database* db_;
+  const Program& program_;
+  uint64_t budget_;
+  Grounder grounder_;
+  std::unordered_set<uint64_t> visited_;
+  std::unordered_set<uint64_t> current_deleted_;
+  std::vector<TupleId> best_;
+  bool found_ = false;
+  bool out_of_budget_ = false;
+};
+
+}  // namespace
+
+std::optional<RepairResult> ExactStep(Database* db, const Program& program,
+                                      const ExactOptions& options) {
+  WallTimer total;
+  Database::State snapshot = db->SaveState();
+  StepSearch search(db, program, options.max_states);
+  bool complete = search.Run();
+  db->RestoreState(snapshot);
+  if (!complete || !search.found()) return std::nullopt;
+  RepairResult result;
+  result.semantics = SemanticsKind::kStep;
+  result.deleted = search.best();
+  CanonicalizeResult(&result);
+  result.stats.total_seconds = total.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace deltarepair

@@ -1,0 +1,36 @@
+// Exact (exponential) reference solvers for the two NP-hard semantics,
+// used by the test suite to certify the heuristic algorithms on small
+// instances and by the ablation benches.
+//
+//  * ExactIndependent — smallest stabilizing set by subset enumeration in
+//    increasing cardinality (Def. 3.3 verbatim).
+//  * ExactStep — minimum over all maximal activation sequences by
+//    memoized depth-first search over deletion states (Def. 3.5 verbatim).
+#ifndef DELTAREPAIR_REPAIR_EXACT_H_
+#define DELTAREPAIR_REPAIR_EXACT_H_
+
+#include <optional>
+
+#include "repair/semantics.h"
+
+namespace deltarepair {
+
+struct ExactOptions {
+  /// Hard cap on explored candidates/states; returns nullopt when hit.
+  uint64_t max_states = 20'000'000;
+};
+
+/// Exact Ind(P, D). The database is left unmodified. Returns nullopt when
+/// the budget is exhausted.
+std::optional<RepairResult> ExactIndependent(Database* db,
+                                             const Program& program,
+                                             const ExactOptions& options = {});
+
+/// Exact Step(P, D). The database is left unmodified. Returns nullopt when
+/// the budget is exhausted.
+std::optional<RepairResult> ExactStep(Database* db, const Program& program,
+                                      const ExactOptions& options = {});
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_REPAIR_EXACT_H_

@@ -1,0 +1,75 @@
+#include "repair/explain.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace deltarepair {
+
+namespace {
+
+/// Depth-first construction; emits steps in dependency order.
+bool Explain(const ProvenanceGraph& graph, TupleId t,
+             std::unordered_set<uint64_t>* visited, Explanation* out) {
+  if (!visited->insert(t.Pack()).second) return true;  // already explained
+  const DeltaNode* node = graph.FindDeltaNode(t);
+  if (node == nullptr || node->derivations.empty()) return false;
+  // The first recorded derivation is the earliest (lowest layer): a
+  // minimal-depth proof under semi-naive evaluation.
+  const ProvAssignment& pa = graph.assignment(node->derivations.front());
+  ExplanationStep step;
+  step.rule_index = pa.rule_index;
+  step.derived = t;
+  for (size_t i = 0; i < pa.body.size(); ++i) {
+    if (pa.rule->body[i].is_delta) {
+      step.deltas.push_back(pa.body[i]);
+    } else {
+      step.bases.push_back(pa.body[i]);
+    }
+  }
+  // Explain supporting deletions first (dependency order).
+  for (const TupleId& d : step.deltas) {
+    if (!Explain(graph, d, visited, out)) return false;
+  }
+  out->steps.push_back(std::move(step));
+  return true;
+}
+
+}  // namespace
+
+std::optional<Explanation> ExplainDeletion(const ProvenanceGraph& graph,
+                                           TupleId t) {
+  Explanation out;
+  std::unordered_set<uint64_t> visited;
+  if (!Explain(graph, t, &visited, &out)) return std::nullopt;
+  return out;
+}
+
+std::string RenderExplanation(const Database& db,
+                              const Explanation& explanation) {
+  std::string out;
+  for (const ExplanationStep& step : explanation.steps) {
+    out += StrFormat("%s deleted by rule %d",
+                     db.TupleToStr(step.derived).c_str(), step.rule_index);
+    if (!step.bases.empty()) {
+      out += " using [";
+      for (size_t i = 0; i < step.bases.size(); ++i) {
+        if (i) out += ", ";
+        out += db.TupleToStr(step.bases[i]);
+      }
+      out += "]";
+    }
+    if (!step.deltas.empty()) {
+      out += " and deletions [";
+      for (size_t i = 0; i < step.deltas.size(); ++i) {
+        if (i) out += ", ";
+        out += "~" + db.TupleToStr(step.deltas[i]);
+      }
+      out += "]";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace deltarepair

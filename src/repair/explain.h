@@ -1,0 +1,47 @@
+// Deletion explanations: why did a repair delete tuple t?
+//
+// The provenance graph recorded during end-semantics evaluation contains
+// every derivation; an explanation is a derivation tree for ∆(t) — the
+// rule applications and supporting tuples that forced the deletion,
+// unwound back to the seed rules. This is the user-facing counterpart of
+// the provenance machinery the paper's algorithms are built on [17, 18].
+#ifndef DELTAREPAIR_REPAIR_EXPLAIN_H_
+#define DELTAREPAIR_REPAIR_EXPLAIN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "provenance/prov_graph.h"
+
+namespace deltarepair {
+
+/// One rule application in an explanation.
+struct ExplanationStep {
+  int rule_index = -1;
+  TupleId derived;               // the tuple whose deletion this justifies
+  std::vector<TupleId> bases;    // supporting live tuples
+  std::vector<TupleId> deltas;   // supporting deletions (explained earlier)
+};
+
+/// A derivation chain in dependency order: every delta a step consumes is
+/// derived by an earlier step.
+struct Explanation {
+  std::vector<ExplanationStep> steps;
+};
+
+/// Explains the deletion of `t` using the earliest recorded derivation at
+/// each level (the semi-naive first-derivation, i.e. a minimal-depth
+/// proof). Returns nullopt if ∆(t) was never derived.
+std::optional<Explanation> ExplainDeletion(const ProvenanceGraph& graph,
+                                           TupleId t);
+
+/// Human-readable rendering, one step per line:
+///   Cite(7, 6) deleted by rule 4 using [Cite(7,6), Writes(5,7),
+///   Writes(4,6)] and deletions [~Pub(6,'x')]
+std::string RenderExplanation(const Database& db,
+                              const Explanation& explanation);
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_REPAIR_EXPLAIN_H_

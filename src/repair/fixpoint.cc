@@ -1,0 +1,72 @@
+#include "repair/fixpoint.h"
+
+#include <unordered_set>
+
+namespace deltarepair {
+
+void RunSemiNaiveFixpoint(Database* db, const Program& program,
+                          bool delete_between_rounds, ProvenanceGraph* prov,
+                          RepairStats* stats) {
+  Grounder grounder(db);
+  const auto& rules = program.rules();
+
+  // Heads derived this round but not yet applied (snapshot evaluation:
+  // rounds never observe same-round derivations).
+  std::vector<TupleId> pending;
+  std::unordered_set<uint64_t> pending_set;
+  int round = 1;
+
+  auto handle = [&](const GroundAssignment& ga) {
+    if (prov != nullptr) prov->AddAssignment(ga, round);
+    if (!db->delta(ga.head) && !pending_set.count(ga.head.Pack())) {
+      pending_set.insert(ga.head.Pack());
+      pending.push_back(ga.head);
+    }
+    return true;
+  };
+
+  // Round 1: seed rules only — delta-consuming rules cannot fire yet.
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (rules[i].NumDeltaBodyAtoms() > 0) continue;
+    grounder.EnumerateRule(rules[i], static_cast<int>(i), BaseMatch::kLive,
+                           DeltaMatch::kCurrent, handle);
+  }
+
+  // Recent deltas (added in the previous round), per relation, for pivots.
+  std::vector<std::vector<uint32_t>> recent(db->num_relations());
+  while (!pending.empty()) {
+    for (auto& v : recent) v.clear();
+    for (const TupleId& t : pending) {
+      if (delete_between_rounds) {
+        db->MarkDeleted(t);  // stage: D^t = D^{t-1} \ ∆^t
+      } else {
+        db->SetDelta(t);  // end: base stays frozen
+      }
+      recent[t.relation].push_back(t.row);
+    }
+    pending.clear();
+    pending_set.clear();
+    ++round;
+
+    for (size_t i = 0; i < rules.size(); ++i) {
+      const Rule& rule = rules[i];
+      if (rule.NumDeltaBodyAtoms() == 0) continue;
+      // Pivot over each delta body atom whose relation gained deltas; any
+      // new assignment must use at least one newly derived delta tuple
+      // (base relations only shrink, delta relations only grow).
+      for (size_t a = 0; a < rule.body.size(); ++a) {
+        if (!rule.body[a].is_delta) continue;
+        const auto& rows =
+            recent[static_cast<uint32_t>(rule.body[a].relation_index)];
+        if (rows.empty()) continue;
+        grounder.EnumerateRule(rule, static_cast<int>(i), BaseMatch::kLive,
+                               DeltaMatch::kCurrent, handle,
+                               static_cast<int>(a), &rows);
+      }
+    }
+  }
+  stats->iterations = static_cast<uint64_t>(round);
+  stats->assignments += grounder.assignments_enumerated();
+}
+
+}  // namespace deltarepair

@@ -1,0 +1,33 @@
+// Shared semi-naive fixpoint used by end and stage semantics.
+//
+// Evaluation proceeds in rounds against a snapshot of the delta relations
+// at the start of the round (so recorded provenance layers are exact
+// derivation depths). Round 1 evaluates seed rules (no delta body atoms);
+// later rounds pivot every delta-consuming rule over the delta tuples
+// added in the previous round — the semi-naive evaluation the paper
+// borrows from datalog [4].
+//
+// The one switch between the two PTIME semantics:
+//  * end   (Def. 3.10): derived tuples only join the delta relations; base
+//          relations stay frozen until the fixpoint.
+//  * stage (Def. 3.7):  at the end of each round, derived tuples are also
+//          removed from their base relations, so later rounds evaluate
+//          against the shrunken database D^t.
+#ifndef DELTAREPAIR_REPAIR_FIXPOINT_H_
+#define DELTAREPAIR_REPAIR_FIXPOINT_H_
+
+#include "provenance/prov_graph.h"
+#include "repair/semantics.h"
+
+namespace deltarepair {
+
+/// Runs the fixpoint; on return the delta relations hold every derived
+/// tuple (and, in stage mode, the base relations are already updated).
+/// Fills stats->iterations and stats->assignments.
+void RunSemiNaiveFixpoint(Database* db, const Program& program,
+                          bool delete_between_rounds, ProvenanceGraph* prov,
+                          RepairStats* stats);
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_REPAIR_FIXPOINT_H_

@@ -1,0 +1,83 @@
+#include "repair/independent_semantics.h"
+
+#include "common/timer.h"
+#include "provenance/bool_formula.h"
+
+namespace deltarepair {
+
+namespace {
+
+/// One stored hypothetical assignment: body tuples plus per-position
+/// delta polarity (kept flat so the Eval and Process Prov phases of
+/// Figure 8 are separately measurable, as in the paper's prototype).
+struct StoredAssignment {
+  const Rule* rule;
+  std::vector<TupleId> body;
+};
+
+}  // namespace
+
+RepairResult RunIndependentSemantics(Database* db, const Program& program,
+                                     const IndependentOptions& options) {
+  WallTimer total;
+  RepairResult result;
+  result.semantics = SemanticsKind::kIndependent;
+
+  // Phase 1 (Eval): enumerate all possible assignments, with delta atoms
+  // ranging over hypothetical deletions of any live tuple (line 1 of
+  // Algorithm 1), and store them as raw provenance.
+  std::vector<StoredAssignment> stored;
+  {
+    ScopedTimer t(&result.stats.eval_seconds);
+    Grounder grounder(db);
+    for (size_t i = 0; i < program.rules().size(); ++i) {
+      grounder.EnumerateRule(program.rules()[i], static_cast<int>(i),
+                             BaseMatch::kLive, DeltaMatch::kHypothetical,
+                             [&](const GroundAssignment& ga) {
+                               stored.push_back(
+                                   StoredAssignment{ga.rule, ga.body});
+                               return true;
+                             });
+    }
+    result.stats.assignments = grounder.assignments_enumerated();
+  }
+
+  // Phase 2 (Process Prov): convert the stored provenance into the negated
+  // CNF over deletion variables (lines 2-4).
+  DeletionCnfBuilder builder;
+  {
+    ScopedTimer t(&result.stats.process_prov_seconds);
+    GroundAssignment ga;
+    for (const StoredAssignment& sa : stored) {
+      ga.rule = sa.rule;
+      ga.body = sa.body;
+      builder.AddAssignment(ga);
+    }
+    builder.mutable_cnf().DedupeClauses();
+  }
+  result.stats.cnf_vars = builder.num_vars();
+  result.stats.cnf_clauses = builder.cnf().num_clauses();
+
+  // Phase 3 (Solve): Min-Ones SAT (line 5).
+  MinOnesResult solved;
+  {
+    ScopedTimer t(&result.stats.solve_seconds);
+    solved = MinOnesSat(builder.cnf(), options.min_ones);
+  }
+  // The formula always has the all-true model (every clause has a positive
+  // literal because every rule body contains its self atom), so
+  // unsatisfiability would indicate an encoding bug.
+  DR_CHECK_MSG(solved.satisfiable, "negated provenance must be satisfiable");
+  result.stats.optimal = solved.optimal;
+
+  // Line 6: output the tuples whose deletion variable is true.
+  for (uint32_t v = 0; v < builder.num_vars(); ++v) {
+    if (solved.model[v]) result.deleted.push_back(builder.TupleOfVar(v));
+  }
+  for (const TupleId& t : result.deleted) db->MarkDeleted(t);
+  CanonicalizeResult(&result);
+  result.stats.total_seconds = total.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace deltarepair

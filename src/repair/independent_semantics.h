@@ -1,0 +1,27 @@
+// Independent semantics (Def. 3.3): the minimum-size stabilizing set —
+// the smallest S ⊆ D such that (D \ S) ∪ ∆(S) satisfies no rule. NP-hard
+// (Prop. 4.2). This is the paper's Algorithm 1: ground every rule with
+// *hypothetical* deltas (any tuple of D may be deleted, derivable or not),
+// store the provenance as a Boolean formula, negate it into CNF, and find
+// a minimum-ones satisfying assignment.
+#ifndef DELTAREPAIR_REPAIR_INDEPENDENT_SEMANTICS_H_
+#define DELTAREPAIR_REPAIR_INDEPENDENT_SEMANTICS_H_
+
+#include "repair/semantics.h"
+#include "sat/min_ones.h"
+
+namespace deltarepair {
+
+struct IndependentOptions {
+  MinOnesOptions min_ones;
+};
+
+/// Runs Algorithm 1, applying the resulting deletions to `db`. The result
+/// is provably minimum when stats.optimal is true (solver budget not
+/// exhausted); otherwise it is still a stabilizing set.
+RepairResult RunIndependentSemantics(Database* db, const Program& program,
+                                     const IndependentOptions& options = {});
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_REPAIR_INDEPENDENT_SEMANTICS_H_

@@ -1,0 +1,56 @@
+#include "repair/repair_engine.h"
+
+#include "repair/end_semantics.h"
+#include "repair/stability.h"
+#include "repair/stage_semantics.h"
+#include "repair/step_semantics.h"
+
+namespace deltarepair {
+
+StatusOr<RepairEngine> RepairEngine::Create(Database* db, Program program) {
+  Status st = ResolveProgram(&program, *db);
+  if (!st.ok()) return st;
+  return RepairEngine(db, std::move(program));
+}
+
+RepairResult RepairEngine::Dispatch(SemanticsKind kind) {
+  switch (kind) {
+    case SemanticsKind::kEnd:
+      return RunEndSemantics(db_, program_);
+    case SemanticsKind::kStage:
+      return RunStageSemantics(db_, program_);
+    case SemanticsKind::kStep:
+      return RunStepSemantics(db_, program_);
+    case SemanticsKind::kIndependent:
+      return RunIndependentSemantics(db_, program_, independent_options_);
+  }
+  DR_CHECK_MSG(false, "unknown semantics");
+  return RepairResult{};
+}
+
+RepairResult RepairEngine::Run(SemanticsKind kind) {
+  Database::State snapshot = db_->SaveState();
+  RepairResult result = Dispatch(kind);
+  db_->RestoreState(snapshot);
+  return result;
+}
+
+RepairResult RepairEngine::RunAndApply(SemanticsKind kind) {
+  return Dispatch(kind);
+}
+
+std::vector<RepairResult> RepairEngine::RunAll() {
+  std::vector<RepairResult> out;
+  for (SemanticsKind kind :
+       {SemanticsKind::kEnd, SemanticsKind::kStage, SemanticsKind::kStep,
+        SemanticsKind::kIndependent}) {
+    out.push_back(Run(kind));
+  }
+  return out;
+}
+
+bool RepairEngine::Verify(const RepairResult& result) {
+  return IsStabilizingSet(db_, program_, result.deleted);
+}
+
+}  // namespace deltarepair

@@ -1,0 +1,53 @@
+// RepairEngine: the library facade. Resolves a delta program against a
+// database and runs any of the four semantics, optionally applying the
+// repair. This is the entry point examples and benches use.
+#ifndef DELTAREPAIR_REPAIR_REPAIR_ENGINE_H_
+#define DELTAREPAIR_REPAIR_REPAIR_ENGINE_H_
+
+#include <vector>
+
+#include "repair/independent_semantics.h"
+#include "repair/semantics.h"
+
+namespace deltarepair {
+
+class RepairEngine {
+ public:
+  RepairEngine() = default;
+
+  /// Resolves `program` against `db`. `db` must outlive the engine.
+  static StatusOr<RepairEngine> Create(Database* db, Program program);
+
+  /// Runs one semantics against the database's current state; the state is
+  /// restored afterwards (the result describes what *would* be deleted).
+  RepairResult Run(SemanticsKind kind);
+
+  /// Runs one semantics and leaves the database repaired.
+  RepairResult RunAndApply(SemanticsKind kind);
+
+  /// Runs all four semantics against the same initial state (restoring in
+  /// between), in the order end, stage, step, independent.
+  std::vector<RepairResult> RunAll();
+
+  /// Verifies that `result.deleted` is a stabilizing set (Def. 3.14).
+  bool Verify(const RepairResult& result);
+
+  const Program& program() const { return program_; }
+  Database* db() { return db_; }
+
+  IndependentOptions& independent_options() { return independent_options_; }
+
+ private:
+  RepairEngine(Database* db, Program program)
+      : db_(db), program_(std::move(program)) {}
+
+  RepairResult Dispatch(SemanticsKind kind);
+
+  Database* db_ = nullptr;
+  Program program_;
+  IndependentOptions independent_options_;
+};
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_REPAIR_REPAIR_ENGINE_H_

@@ -1,0 +1,57 @@
+#include "repair/semantics.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace deltarepair {
+
+const char* SemanticsName(SemanticsKind k) {
+  switch (k) {
+    case SemanticsKind::kEnd:
+      return "end";
+    case SemanticsKind::kStage:
+      return "stage";
+    case SemanticsKind::kStep:
+      return "step";
+    case SemanticsKind::kIndependent:
+      return "independent";
+  }
+  return "?";
+}
+
+bool RepairResult::Contains(TupleId t) const {
+  return std::binary_search(deleted.begin(), deleted.end(), t);
+}
+
+bool RepairResult::SubsetOf(const RepairResult& other) const {
+  return std::includes(other.deleted.begin(), other.deleted.end(),
+                       deleted.begin(), deleted.end());
+}
+
+bool RepairResult::SameSet(const RepairResult& other) const {
+  return deleted == other.deleted;
+}
+
+std::string RepairResult::BreakdownByRelation(const Database& db) const {
+  std::map<uint32_t, size_t> counts;
+  for (const TupleId& t : deleted) ++counts[t.relation];
+  std::string out;
+  for (const auto& [rel, n] : counts) {
+    if (!out.empty()) out += " ";
+    out += db.relation(rel).name();
+    out += ":";
+    out += std::to_string(n);
+  }
+  return out;
+}
+
+void CanonicalizeResult(RepairResult* result) {
+  std::sort(result->deleted.begin(), result->deleted.end());
+  result->deleted.erase(
+      std::unique(result->deleted.begin(), result->deleted.end()),
+      result->deleted.end());
+}
+
+}  // namespace deltarepair

@@ -1,0 +1,71 @@
+// Deletion propagation with delta programs (the Sec. 7 extension).
+//
+// The classic *source side-effect* problem [9, 12, 13]: given a monotone
+// view Q over D and a view tuple t ∈ Q(D), find the minimum set of source
+// tuples whose deletion removes t from the view. The paper observes the
+// problem composes with delta programs: the deletion set must ALSO leave
+// the database stable w.r.t. the repair rules — deleting a source tuple
+// may trigger cascades that cost extra deletions.
+//
+// Both requirements are clauses over deletion variables:
+//   * per derivation of t: at least one supporting source tuple deleted;
+//   * per (hypothetical) rule assignment: the Algorithm-1 stability clause.
+// A Min-Ones solve yields the minimum combined side effect.
+#ifndef DELTAREPAIR_REPAIR_SIDE_EFFECT_H_
+#define DELTAREPAIR_REPAIR_SIDE_EFFECT_H_
+
+#include <string>
+#include <vector>
+
+#include "datalog/parser.h"
+#include "repair/semantics.h"
+#include "sat/min_ones.h"
+
+namespace deltarepair {
+
+/// A conjunctive view: head variables + body (non-delta atoms and
+/// comparisons).
+struct ViewQuery {
+  std::vector<uint32_t> head_vars;  // distinguished variables, in order
+  std::vector<Atom> atoms;
+  std::vector<Comparison> comparisons;
+  std::vector<std::string> var_names;
+
+  std::string ToString() const;
+};
+
+/// Parses "x, y <- A(x, z), B(z, y), z < 7" (head variables, then the
+/// body after "<-").
+StatusOr<ViewQuery> ParseViewQuery(std::string_view text);
+
+/// Evaluates the view against the live database: the distinct tuples of
+/// head-variable bindings.
+std::vector<Tuple> EvaluateView(Database* db, const ViewQuery& query);
+
+/// Resolves the view's atoms against `db` (must be called before
+/// EvaluateView / MinimalSourceSideEffect if built manually; ParseViewQuery
+/// output is unresolved).
+Status ResolveViewQuery(ViewQuery* query, const Database& db);
+
+struct SideEffectResult {
+  /// Minimum deletion set: removes `target` from the view and leaves the
+  /// database stable w.r.t. the delta program.
+  std::vector<TupleId> deleted;
+  /// True when the solver proved minimality.
+  bool optimal = false;
+  /// Number of view derivations that had to be broken.
+  size_t derivations = 0;
+  RepairStats stats;
+};
+
+/// Solves the combined problem. `delta_program` must be resolved against
+/// `db` (e.g. via RepairEngine::Create or ResolveProgram); pass an empty
+/// program for the classic (repair-free) side-effect problem. The
+/// database is not modified.
+StatusOr<SideEffectResult> MinimalSourceSideEffect(
+    Database* db, const ViewQuery& query, const Tuple& target,
+    const Program& delta_program, const MinOnesOptions& options = {});
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_REPAIR_SIDE_EFFECT_H_

@@ -1,0 +1,20 @@
+#include "repair/stability.h"
+
+namespace deltarepair {
+
+bool IsStable(Database* db, const Program& program) {
+  Grounder grounder(db);
+  return !grounder.AnyAssignment(program, BaseMatch::kLive,
+                                 DeltaMatch::kCurrent);
+}
+
+bool IsStabilizingSet(Database* db, const Program& program,
+                      const std::vector<TupleId>& set) {
+  Database::State snapshot = db->SaveState();
+  for (const TupleId& t : set) db->MarkDeleted(t);
+  bool stable = IsStable(db, program);
+  db->RestoreState(snapshot);
+  return stable;
+}
+
+}  // namespace deltarepair

@@ -1,0 +1,26 @@
+// Stability and stabilizing-set checks (Defs. 3.12 / 3.14): a database is
+// stable w.r.t. a delta program when no rule has a satisfying assignment;
+// S is a stabilizing set when (D \ S) ∪ ∆(S) is stable.
+#ifndef DELTAREPAIR_REPAIR_STABILITY_H_
+#define DELTAREPAIR_REPAIR_STABILITY_H_
+
+#include <vector>
+
+#include "datalog/grounder.h"
+#include "relation/database.h"
+
+namespace deltarepair {
+
+/// True when the database's *current* state (live relations + delta
+/// relations) satisfies no rule of `program` (Def. 3.12).
+bool IsStable(Database* db, const Program& program);
+
+/// True when deleting `set` from the database's current live state (and
+/// recording the deletions in the delta relations) yields a stable
+/// database (Def. 3.14). The database state is restored before returning.
+bool IsStabilizingSet(Database* db, const Program& program,
+                      const std::vector<TupleId>& set);
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_REPAIR_STABILITY_H_

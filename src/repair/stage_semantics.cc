@@ -1,0 +1,23 @@
+#include "repair/stage_semantics.h"
+
+#include "common/timer.h"
+#include "repair/fixpoint.h"
+
+namespace deltarepair {
+
+RepairResult RunStageSemantics(Database* db, const Program& program) {
+  WallTimer total;
+  RepairResult result;
+  result.semantics = SemanticsKind::kStage;
+  {
+    ScopedTimer t(&result.stats.eval_seconds);
+    RunSemiNaiveFixpoint(db, program, /*delete_between_rounds=*/true,
+                         /*prov=*/nullptr, &result.stats);
+  }
+  result.deleted = db->DeltaTupleIds();
+  CanonicalizeResult(&result);
+  result.stats.total_seconds = total.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace deltarepair

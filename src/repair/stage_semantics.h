@@ -1,0 +1,17 @@
+// Stage semantics (Def. 3.7): deterministic rounds; each round derives all
+// delta tuples satisfiable against the previous round's database, then
+// applies the deletions before the next round. Converges to a unique
+// fixpoint (Prop. 3.9).
+#ifndef DELTAREPAIR_REPAIR_STAGE_SEMANTICS_H_
+#define DELTAREPAIR_REPAIR_STAGE_SEMANTICS_H_
+
+#include "repair/semantics.h"
+
+namespace deltarepair {
+
+/// Runs stage semantics, applying the resulting deletions to `db`.
+RepairResult RunStageSemantics(Database* db, const Program& program);
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_REPAIR_STAGE_SEMANTICS_H_

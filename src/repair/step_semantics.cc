@@ -1,0 +1,147 @@
+#include "repair/step_semantics.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/timer.h"
+#include "repair/end_semantics.h"
+
+namespace deltarepair {
+
+namespace {
+
+/// Greedy traversal state over the provenance graph (Algorithm 2 lines
+/// 4-9). A delta node dies ("is pruned") when every assignment deriving it
+/// is dead; an assignment dies when it uses a chosen tuple as a non-self
+/// base tuple, or a pruned delta tuple. Chosen tuples' own delta nodes are
+/// never pruned — they are exactly what remains at the end.
+class GreedyTraversal {
+ public:
+  GreedyTraversal(const ProvenanceGraph& graph, StepOrdering ordering)
+      : graph_(graph), ordering_(ordering) {
+    for (const auto& [packed, node] : graph.delta_nodes()) {
+      live_derivations_[packed] = node.derivations.size();
+    }
+    assignment_dead_.assign(graph.num_assignments(), 0);
+  }
+
+  std::vector<TupleId> Run() {
+    const int layers = graph_.num_layers();
+    // Per layer: max-heap of (benefit, packed id) with lazy invalidation.
+    using Entry = std::pair<int64_t, uint64_t>;
+    auto cmp = [](const Entry& a, const Entry& b) {
+      if (a.first != b.first) return a.first < b.first;  // max benefit first
+      return a.second > b.second;  // then smallest id (determinism)
+    };
+    std::vector<std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)>>
+        heaps(static_cast<size_t>(layers) + 1,
+              std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)>(
+                  cmp));
+    for (const auto& [packed, node] : graph_.delta_nodes()) {
+      TupleId t = TupleId::Unpack(packed);
+      // Ablation: arbitrary ordering ranks everything equally (the heap
+      // then degenerates to smallest-id order).
+      int64_t key = ordering_ == StepOrdering::kMaxBenefit
+                        ? graph_.Benefit(t)
+                        : 0;
+      heaps[static_cast<size_t>(node.layer)].emplace(key, packed);
+    }
+    for (int layer = 1; layer <= layers; ++layer) {
+      auto& heap = heaps[static_cast<size_t>(layer)];
+      while (!heap.empty()) {
+        auto [benefit, packed] = heap.top();
+        heap.pop();
+        if (pruned_.count(packed) || in_s_.count(packed)) continue;
+        Choose(TupleId::Unpack(packed));
+      }
+    }
+    std::vector<TupleId> out;
+    out.reserve(in_s_.size());
+    for (uint64_t packed : in_s_) out.push_back(TupleId::Unpack(packed));
+    return out;
+  }
+
+ private:
+  void Choose(TupleId t) {
+    in_s_.insert(t.Pack());
+    // Assignments using t as a base tuple die — except those deriving
+    // ∆(t) itself (the "t' != tk" exception of line 9).
+    const auto* uses = graph_.BaseUses(t);
+    if (uses == nullptr) return;
+    for (uint32_t id : *uses) {
+      if (graph_.assignment(id).head == t) continue;
+      KillAssignment(id);
+    }
+  }
+
+  void KillAssignment(uint32_t id) {
+    if (assignment_dead_[id]) return;
+    assignment_dead_[id] = 1;
+    uint64_t head = graph_.assignment(id).head.Pack();
+    if (in_s_.count(head)) return;  // chosen nodes are never pruned
+    auto it = live_derivations_.find(head);
+    if (it == live_derivations_.end()) return;
+    if (--it->second == 0) PruneNode(head);
+  }
+
+  void PruneNode(uint64_t packed) {
+    if (!pruned_.insert(packed).second) return;
+    // ∆(t') is no longer derivable: assignments consuming it die too.
+    const auto* uses = graph_.DeltaUses(TupleId::Unpack(packed));
+    if (uses == nullptr) return;
+    for (uint32_t id : *uses) KillAssignment(id);
+  }
+
+  const ProvenanceGraph& graph_;
+  StepOrdering ordering_;
+  std::unordered_map<uint64_t, size_t> live_derivations_;
+  std::vector<uint8_t> assignment_dead_;
+  std::unordered_set<uint64_t> in_s_;
+  std::unordered_set<uint64_t> pruned_;
+};
+
+}  // namespace
+
+RepairResult RunStepSemantics(Database* db, const Program& program,
+                              const StepOptions& options) {
+  WallTimer total;
+  RepairResult result;
+  result.semantics = SemanticsKind::kStep;
+
+  // Phase 1 (Eval): end-semantics evaluation with provenance recording.
+  Database::State snapshot = db->SaveState();
+  ProvenanceGraph graph;
+  {
+    ScopedTimer t(&result.stats.eval_seconds);
+    RepairResult end_result = RunEndSemantics(db, program, &graph);
+    result.stats.assignments = end_result.stats.assignments;
+    result.stats.iterations = end_result.stats.iterations;
+  }
+  db->RestoreState(snapshot);
+
+  // Phase 2 (Process Prov): traversal state construction.
+  result.stats.graph_nodes = graph.delta_nodes().size();
+  result.stats.graph_layers = static_cast<uint64_t>(graph.num_layers());
+  GreedyTraversal* traversal = nullptr;
+  {
+    ScopedTimer t(&result.stats.process_prov_seconds);
+    traversal = new GreedyTraversal(graph, options.ordering);
+  }
+
+  // Phase 3 (Traverse): greedy max-benefit selection per layer.
+  {
+    ScopedTimer t(&result.stats.traverse_seconds);
+    result.deleted = traversal->Run();
+  }
+  delete traversal;
+
+  for (const TupleId& t : result.deleted) db->MarkDeleted(t);
+  CanonicalizeResult(&result);
+  result.stats.optimal = false;  // greedy heuristic: minimal, not certified
+  result.stats.total_seconds = total.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace deltarepair

@@ -1,0 +1,31 @@
+// Step semantics (Def. 3.5): one non-deterministic rule activation at a
+// time with immediate database update; the result is a minimum-size
+// reachable deletion set. Finding it is NP-hard (Prop. 4.2); this is the
+// paper's Algorithm 2 — a greedy traversal of the layered provenance graph
+// choosing, per layer, the tuple of maximum benefit, then pruning delta
+// tuples that are no longer derivable.
+#ifndef DELTAREPAIR_REPAIR_STEP_SEMANTICS_H_
+#define DELTAREPAIR_REPAIR_STEP_SEMANTICS_H_
+
+#include "repair/semantics.h"
+
+namespace deltarepair {
+
+/// Greedy ordering used within each layer (ablation knob; the paper's
+/// Algorithm 2 uses max benefit).
+enum class StepOrdering {
+  kMaxBenefit,  // argmax b_t per pick (Algorithm 2 line 7)
+  kArbitrary,   // first alive node (ablation baseline)
+};
+
+struct StepOptions {
+  StepOrdering ordering = StepOrdering::kMaxBenefit;
+};
+
+/// Runs Algorithm 2, applying the resulting deletions to `db`.
+RepairResult RunStepSemantics(Database* db, const Program& program,
+                              const StepOptions& options = {});
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_REPAIR_STEP_SEMANTICS_H_

@@ -1,0 +1,71 @@
+#include "sat/cnf.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/status.h"
+
+namespace deltarepair {
+
+bool Cnf::AddClause(std::vector<Lit> lits) {
+  std::sort(lits.begin(), lits.end(),
+            [](Lit a, Lit b) {
+              return LitVar(a) != LitVar(b) ? LitVar(a) < LitVar(b) : a < b;
+            });
+  std::vector<Lit> clean;
+  clean.reserve(lits.size());
+  for (Lit l : lits) {
+    DR_CHECK(l != 0);
+    Touch(LitVar(l));
+    if (!clean.empty() && clean.back() == l) continue;  // duplicate literal
+    if (!clean.empty() && LitVar(clean.back()) == LitVar(l)) {
+      return false;  // x and ¬x together: tautology, drop the clause
+    }
+    clean.push_back(l);
+  }
+  clauses_.push_back(std::move(clean));
+  return true;
+}
+
+void Cnf::DedupeClauses() {
+  std::set<std::vector<Lit>> seen;
+  std::vector<std::vector<Lit>> unique;
+  unique.reserve(clauses_.size());
+  for (auto& c : clauses_) {
+    std::vector<Lit> key = c;
+    std::sort(key.begin(), key.end());
+    if (seen.insert(key).second) unique.push_back(std::move(c));
+  }
+  clauses_ = std::move(unique);
+}
+
+bool Cnf::IsSatisfiedBy(const std::vector<bool>& model) const {
+  for (const auto& clause : clauses_) {
+    bool sat = false;
+    for (Lit l : clause) {
+      uint32_t v = LitVar(l);
+      bool val = v < model.size() ? model[v] : false;
+      if (val == LitSign(l)) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+std::string Cnf::ToString() const {
+  std::string out = "p cnf " + std::to_string(num_vars_) + " " +
+                    std::to_string(clauses_.size()) + "\n";
+  for (const auto& clause : clauses_) {
+    for (Lit l : clause) {
+      out += std::to_string(l);
+      out += ' ';
+    }
+    out += "0\n";
+  }
+  return out;
+}
+
+}  // namespace deltarepair

@@ -1,0 +1,281 @@
+#include "sat/min_ones.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/status.h"
+#include "common/timer.h"
+#include "sat/solver.h"
+
+namespace deltarepair {
+
+namespace {
+
+/// Union-find over variables for component decomposition.
+class UnionFind {
+ public:
+  explicit UnionFind(uint32_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(uint32_t a, uint32_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<uint32_t> parent_;
+};
+
+/// Exact B&B min-ones over one (sub-)instance.
+class ComponentSolver {
+ public:
+  ComponentSolver(const Cnf& cnf, uint64_t assignment_budget,
+                  const WallTimer* timer, double deadline_seconds)
+      : engine_(cnf),
+        budget_(assignment_budget),
+        timer_(timer),
+        deadline_(deadline_seconds) {}
+
+  /// Returns false only when the component is unsatisfiable. Sets
+  /// `exhausted` when the budget ran out before proving optimality.
+  bool Solve() {
+    if (engine_.HasConflict()) return false;
+    Dfs(0);
+    return found_;
+  }
+
+  bool exhausted() const { return exhausted_; }
+  uint32_t best_cost() const { return best_cost_; }
+  const std::vector<bool>& best_model() const { return best_model_; }
+  uint64_t engine_assignments() const { return engine_.num_assignments(); }
+
+ private:
+  void RecordSolution(uint32_t cost) {
+    best_cost_ = cost;
+    found_ = true;
+    best_model_.assign(engine_.num_vars(), false);
+    for (uint32_t v = 0; v < engine_.num_vars(); ++v) {
+      best_model_[v] = engine_.value(v) == 1;  // unassigned -> false
+    }
+  }
+
+  void Dfs(int depth) {
+    if (exhausted_) return;
+    // Anytime cutoffs: work budget every node, wall clock every 256 nodes.
+    if (engine_.num_assignments() > budget_ ||
+        (++nodes_ % 256 == 0 && timer_->ElapsedSeconds() > deadline_)) {
+      exhausted_ = true;
+      return;
+    }
+    size_t mark = engine_.TrailSize();
+    if (!engine_.Propagate()) {
+      engine_.BacktrackTo(mark);
+      return;
+    }
+    uint32_t cost = engine_.num_true();
+    if (found_ && cost >= best_cost_) {
+      engine_.BacktrackTo(mark);
+      return;
+    }
+    // Cost clauses: unsatisfied, with every free literal positive. Each
+    // forces at least one additional true assignment.
+    cost_clauses_.clear();
+    const auto& clauses = engine_.clauses();
+    for (size_t c = 0; c < clauses.size(); ++c) {
+      if (engine_.ClauseSatisfied(c)) continue;
+      bool all_positive = true;
+      for (Lit l : clauses[c]) {
+        if (!LitSign(l) && engine_.value(LitVar(l)) == -1) {
+          all_positive = false;
+          break;
+        }
+      }
+      if (all_positive) cost_clauses_.push_back(static_cast<uint32_t>(c));
+    }
+    if (cost_clauses_.empty()) {
+      // Every unsatisfied clause has a free negative literal; setting all
+      // remaining variables false satisfies them at zero extra cost.
+      RecordSolution(cost);
+      engine_.BacktrackTo(mark);
+      return;
+    }
+    // Lower bound: variable-disjoint cost clauses each force one true.
+    uint32_t lb = 0;
+    lb_used_.assign(engine_.num_vars(), 0);
+    for (uint32_t c : cost_clauses_) {
+      bool disjoint = true;
+      for (Lit l : clauses[c]) {
+        if (engine_.value(LitVar(l)) == -1 && lb_used_[LitVar(l)]) {
+          disjoint = false;
+          break;
+        }
+      }
+      if (!disjoint) continue;
+      ++lb;
+      for (Lit l : clauses[c]) {
+        if (engine_.value(LitVar(l)) == -1) lb_used_[LitVar(l)] = 1;
+      }
+    }
+    if (found_ && cost + lb >= best_cost_) {
+      engine_.BacktrackTo(mark);
+      return;
+    }
+    // Branch on the variable covering the most cost clauses (set-cover
+    // greedy first; its complement second).
+    uint32_t branch_var = UINT32_MAX;
+    size_t branch_score = 0;
+    for (uint32_t c : cost_clauses_) {
+      for (Lit l : clauses[c]) {
+        uint32_t v = LitVar(l);
+        if (engine_.value(v) != -1) continue;
+        size_t score = 0;
+        for (uint32_t pc : engine_.PosOcc(v)) {
+          if (!engine_.ClauseSatisfied(pc)) ++score;
+        }
+        if (score > branch_score) {
+          branch_score = score;
+          branch_var = v;
+        }
+      }
+    }
+    DR_CHECK(branch_var != UINT32_MAX);
+    for (bool val : {true, false}) {
+      size_t branch_mark = engine_.TrailSize();
+      if (engine_.Assign(branch_var, val)) {
+        Dfs(depth + 1);
+      }
+      engine_.BacktrackTo(branch_mark);
+      if (exhausted_) break;
+    }
+    engine_.BacktrackTo(mark);
+  }
+
+  ClauseEngine engine_;
+  uint64_t budget_;
+  const WallTimer* timer_;
+  double deadline_;
+  uint64_t nodes_ = 0;
+  bool found_ = false;
+  bool exhausted_ = false;
+  uint32_t best_cost_ = UINT32_MAX;
+  std::vector<bool> best_model_;
+  std::vector<uint32_t> cost_clauses_;
+  std::vector<uint8_t> lb_used_;
+};
+
+}  // namespace
+
+MinOnesResult MinOnesSat(const Cnf& cnf, const MinOnesOptions& options) {
+  MinOnesResult result;
+  result.optimal = true;
+  WallTimer timer;
+
+  Cnf work = cnf;
+  work.DedupeClauses();
+
+  // Component decomposition over shared variables (or one component when
+  // the ablation knob disables it).
+  UnionFind uf(work.num_vars());
+  for (const auto& clause : work.clauses()) {
+    for (size_t i = 1; i < clause.size(); ++i) {
+      uf.Union(LitVar(clause[0]), LitVar(clause[i]));
+    }
+  }
+  if (!options.decompose_components && work.num_vars() > 0) {
+    for (uint32_t v = 1; v < work.num_vars(); ++v) uf.Union(0, v);
+  }
+  // Group clauses by component root.
+  std::vector<std::vector<const std::vector<Lit>*>> comp_clauses;
+  std::vector<int> root_to_comp(work.num_vars(), -1);
+  for (const auto& clause : work.clauses()) {
+    if (clause.empty()) {
+      result.satisfiable = false;
+      result.optimal = true;
+      return result;
+    }
+    uint32_t root = uf.Find(LitVar(clause[0]));
+    if (root_to_comp[root] < 0) {
+      root_to_comp[root] = static_cast<int>(comp_clauses.size());
+      comp_clauses.emplace_back();
+    }
+    comp_clauses[root_to_comp[root]].push_back(&clause);
+  }
+  result.num_components = static_cast<uint32_t>(comp_clauses.size());
+
+  std::vector<bool> model(work.num_vars(), false);  // vars in no clause: false
+  uint64_t budget_left = options.max_assignments;
+
+  for (const auto& comp : comp_clauses) {
+    // Remap variables into a dense sub-instance.
+    std::vector<uint32_t> local_of(work.num_vars(), UINT32_MAX);
+    std::vector<uint32_t> global_of;
+    Cnf sub;
+    for (const auto* clause : comp) {
+      std::vector<Lit> lits;
+      lits.reserve(clause->size());
+      for (Lit l : *clause) {
+        uint32_t g = LitVar(l);
+        if (local_of[g] == UINT32_MAX) {
+          local_of[g] = static_cast<uint32_t>(global_of.size());
+          global_of.push_back(g);
+        }
+        lits.push_back(LitSign(l) ? PosLit(local_of[g]) : NegLit(local_of[g]));
+      }
+      sub.AddClause(std::move(lits));
+    }
+    // Deadline: global limit, but guarantee every component a minimum
+    // slice so a hard early component cannot starve the rest.
+    double slice_deadline =
+        timer.ElapsedSeconds() +
+        std::max(0.05, options.time_limit_seconds - timer.ElapsedSeconds());
+    ComponentSolver solver(sub, budget_left, &timer, slice_deadline);
+    bool sat = solver.Solve();
+    result.engine_assignments += solver.engine_assignments();
+    budget_left = budget_left > solver.engine_assignments()
+                      ? budget_left - solver.engine_assignments()
+                      : 0;
+    if (solver.exhausted()) result.optimal = false;
+    if (!sat) {
+      if (!solver.exhausted()) {
+        result.satisfiable = false;  // proven unsatisfiable
+        return result;
+      }
+      // Budget ran out before the first incumbent. The repair encodings
+      // always admit the all-true model (every clause keeps its self-atom
+      // positive literal) — use it when it applies, else fall back to
+      // plain DPLL for *a* model (anytime contract: any satisfying
+      // assignment is still a stabilizing set).
+      std::vector<bool> all_true(sub.num_vars(), true);
+      if (sub.IsSatisfiedBy(all_true)) {
+        for (uint32_t g : global_of) model[g] = true;
+        continue;
+      }
+      SatResult fallback = SolveSat(sub);
+      if (!fallback.satisfiable) {
+        result.satisfiable = false;
+        return result;
+      }
+      for (uint32_t lv = 0; lv < global_of.size(); ++lv) {
+        model[global_of[lv]] = fallback.model[lv];
+      }
+      continue;
+    }
+    const auto& sub_model = solver.best_model();
+    for (uint32_t lv = 0; lv < global_of.size(); ++lv) {
+      model[global_of[lv]] = sub_model[lv];
+    }
+  }
+
+  result.satisfiable = true;
+  result.model = std::move(model);
+  result.num_true = 0;
+  for (bool b : result.model) result.num_true += b ? 1 : 0;
+  DR_CHECK(cnf.IsSatisfiedBy(result.model));
+  return result;
+}
+
+}  // namespace deltarepair

@@ -1,0 +1,166 @@
+#include "sat/solver.h"
+
+#include "common/status.h"
+
+namespace deltarepair {
+
+ClauseEngine::ClauseEngine(const Cnf& cnf)
+    : clauses_(cnf.clauses()),
+      assign_(cnf.num_vars(), -1),
+      sat_count_(clauses_.size(), 0),
+      free_count_(clauses_.size(), 0),
+      pos_occ_(cnf.num_vars()),
+      neg_occ_(cnf.num_vars()) {
+  for (size_t c = 0; c < clauses_.size(); ++c) {
+    free_count_[c] = static_cast<uint32_t>(clauses_[c].size());
+    for (Lit l : clauses_[c]) {
+      if (LitSign(l)) {
+        pos_occ_[LitVar(l)].push_back(static_cast<uint32_t>(c));
+      } else {
+        neg_occ_[LitVar(l)].push_back(static_cast<uint32_t>(c));
+      }
+    }
+    if (clauses_[c].empty()) ++conflict_count_;
+    if (clauses_[c].size() == 1) {
+      pending_units_.push_back(static_cast<uint32_t>(c));
+    }
+  }
+}
+
+bool ClauseEngine::Assign(uint32_t var, bool val) {
+  DR_CHECK(assign_[var] == -1);
+  assign_[var] = val ? 1 : 0;
+  trail_.push_back(var);
+  ++num_assignments_;
+  if (val) ++num_true_;
+  const auto& sat_side = val ? pos_occ_[var] : neg_occ_[var];
+  const auto& unsat_side = val ? neg_occ_[var] : pos_occ_[var];
+  for (uint32_t c : sat_side) {
+    if (sat_count_[c] == 0) ++satisfied_count_;
+    ++sat_count_[c];
+    --free_count_[c];
+  }
+  for (uint32_t c : unsat_side) {
+    --free_count_[c];
+    if (sat_count_[c] == 0) {
+      if (free_count_[c] == 0) {
+        ++conflict_count_;
+      } else if (free_count_[c] == 1) {
+        pending_units_.push_back(c);
+      }
+    }
+  }
+  return conflict_count_ == 0;
+}
+
+bool ClauseEngine::Propagate() {
+  // Invariant: callers only Propagate from states reachable by Assigns on
+  // top of a propagation fixpoint, so `pending_units_` covers every unit
+  // clause. The queue is drained with validity re-checks (entries go stale
+  // when a later assignment satisfies the clause).
+  if (conflict_count_ > 0) {
+    pending_units_.clear();
+    return false;
+  }
+  while (!pending_units_.empty()) {
+    uint32_t c = pending_units_.back();
+    pending_units_.pop_back();
+    if (sat_count_[c] > 0 || free_count_[c] != 1) continue;  // stale
+    for (Lit l : clauses_[c]) {
+      uint32_t v = LitVar(l);
+      if (assign_[v] != -1) continue;
+      if (!Assign(v, LitSign(l))) {
+        pending_units_.clear();
+        return false;
+      }
+      break;
+    }
+  }
+  return true;
+}
+
+void ClauseEngine::BacktrackTo(size_t mark) {
+  while (trail_.size() > mark) {
+    uint32_t var = trail_.back();
+    trail_.pop_back();
+    bool val = assign_[var] == 1;
+    if (val) --num_true_;
+    const auto& sat_side = val ? pos_occ_[var] : neg_occ_[var];
+    const auto& unsat_side = val ? neg_occ_[var] : pos_occ_[var];
+    for (uint32_t c : sat_side) {
+      --sat_count_[c];
+      if (sat_count_[c] == 0) --satisfied_count_;
+      ++free_count_[c];
+    }
+    for (uint32_t c : unsat_side) {
+      if (sat_count_[c] == 0 && free_count_[c] == 0) --conflict_count_;
+      ++free_count_[c];
+    }
+    assign_[var] = -1;
+  }
+  // Callers backtrack to propagation fixpoints, where nothing is pending.
+  pending_units_.clear();
+}
+
+namespace {
+
+/// Recursive DPLL over the engine. Returns true when a model is found.
+bool Dpll(ClauseEngine* engine, uint64_t* decisions) {
+  size_t mark = engine->TrailSize();
+  if (!engine->Propagate()) {
+    engine->BacktrackTo(mark);
+    return false;
+  }
+  if (engine->AllSatisfied()) return true;
+  // Branch on the unassigned variable with the most occurrences in
+  // unsatisfied clauses.
+  uint32_t best_var = UINT32_MAX;
+  size_t best_score = 0;
+  for (uint32_t v = 0; v < engine->num_vars(); ++v) {
+    if (engine->value(v) != -1) continue;
+    size_t score = 1;  // every unassigned var is a candidate
+    for (uint32_t c : engine->PosOcc(v)) {
+      if (!engine->ClauseSatisfied(c)) ++score;
+    }
+    for (uint32_t c : engine->NegOcc(v)) {
+      if (!engine->ClauseSatisfied(c)) ++score;
+    }
+    if (score > best_score) {
+      best_score = score;
+      best_var = v;
+    }
+  }
+  if (best_var == UINT32_MAX) {
+    bool ok = engine->AllSatisfied();
+    if (!ok) engine->BacktrackTo(mark);
+    return ok;
+  }
+  ++*decisions;
+  for (bool val : {true, false}) {
+    size_t branch_mark = engine->TrailSize();
+    if (engine->Assign(best_var, val) && Dpll(engine, decisions)) {
+      return true;
+    }
+    engine->BacktrackTo(branch_mark);
+  }
+  engine->BacktrackTo(mark);
+  return false;
+}
+
+}  // namespace
+
+SatResult SolveSat(const Cnf& cnf) {
+  ClauseEngine engine(cnf);
+  SatResult result;
+  if (engine.HasConflict()) return result;  // empty clause present
+  result.satisfiable = Dpll(&engine, &result.decisions);
+  if (result.satisfiable) {
+    result.model.resize(cnf.num_vars());
+    for (uint32_t v = 0; v < cnf.num_vars(); ++v) {
+      result.model[v] = engine.value(v) == 1;  // unassigned -> false
+    }
+  }
+  return result;
+}
+
+}  // namespace deltarepair

@@ -1,0 +1,108 @@
+// A DPLL engine with counter-based clause state, unit propagation and a
+// chronological trail. `ClauseEngine` is the shared machinery; `SatSolver`
+// answers plain satisfiability; the Min-Ones optimizer (min_ones.h) layers
+// branch-and-bound on top of the same engine.
+#ifndef DELTAREPAIR_SAT_SOLVER_H_
+#define DELTAREPAIR_SAT_SOLVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/cnf.h"
+
+namespace deltarepair {
+
+/// Incremental assignment engine over a fixed clause set.
+///
+/// Tracks, per clause, the number of satisfying literals and the number of
+/// unassigned literals, giving O(occurrences) assign/undo and constant-time
+/// unit/conflict detection.
+class ClauseEngine {
+ public:
+  explicit ClauseEngine(const Cnf& cnf);
+
+  uint32_t num_vars() const { return static_cast<uint32_t>(assign_.size()); }
+  size_t num_clauses() const { return clauses_.size(); }
+
+  /// -1 unassigned, 0 false, 1 true.
+  int8_t value(uint32_t var) const { return assign_[var]; }
+
+  /// Number of variables currently assigned true (O(1); the min-ones
+  /// objective).
+  uint32_t num_true() const { return num_true_; }
+
+  /// Assigns var := val and updates clause counters. Returns false on an
+  /// immediate conflict (some clause became empty). The assignment is
+  /// recorded on the trail either way.
+  bool Assign(uint32_t var, bool val);
+
+  /// Unit-propagates to fixpoint. Returns false on conflict. All forced
+  /// assignments go on the trail.
+  bool Propagate();
+
+  /// Current trail length (for SetCheckpoint/Backtrack pairs).
+  size_t TrailSize() const { return trail_.size(); }
+
+  /// Undoes all assignments made after the trail had length `mark`.
+  void BacktrackTo(size_t mark);
+
+  /// Some clause has all literals false.
+  bool HasConflict() const { return conflict_count_ > 0; }
+
+  /// Clause indices not yet satisfied and with no unassigned literal left —
+  /// empty iff no conflict.
+  /// Number of clauses currently satisfied.
+  size_t satisfied_count() const { return satisfied_count_; }
+
+  /// True if every clause is satisfied under the current (partial)
+  /// assignment.
+  bool AllSatisfied() const { return satisfied_count_ == clauses_.size(); }
+
+  const std::vector<std::vector<Lit>>& clauses() const { return clauses_; }
+
+  /// True if clause `c` is satisfied by the current assignment.
+  bool ClauseSatisfied(size_t c) const { return sat_count_[c] > 0; }
+  /// Unassigned-literal count of clause `c`.
+  uint32_t ClauseFree(size_t c) const { return free_count_[c]; }
+
+  /// Occurrence lists: clauses containing +var / -var.
+  const std::vector<uint32_t>& PosOcc(uint32_t var) const {
+    return pos_occ_[var];
+  }
+  const std::vector<uint32_t>& NegOcc(uint32_t var) const {
+    return neg_occ_[var];
+  }
+
+  /// Number of decisions+propagations performed (work measure for budgets).
+  uint64_t num_assignments() const { return num_assignments_; }
+
+ private:
+  std::vector<std::vector<Lit>> clauses_;
+  std::vector<int8_t> assign_;
+  std::vector<uint32_t> sat_count_;   // per clause: satisfied literals
+  std::vector<uint32_t> free_count_;  // per clause: unassigned literals
+  std::vector<std::vector<uint32_t>> pos_occ_;
+  std::vector<std::vector<uint32_t>> neg_occ_;
+  std::vector<uint32_t> trail_;  // assigned vars in order
+  std::vector<uint32_t> pending_units_;  // clause indices to re-check
+  size_t satisfied_count_ = 0;   // clauses with sat_count_ > 0
+  size_t conflict_count_ = 0;    // clauses with sat==0 && free==0
+  uint32_t num_true_ = 0;        // variables assigned true
+  uint64_t num_assignments_ = 0;
+};
+
+/// Result of a plain satisfiability call.
+struct SatResult {
+  bool satisfiable = false;
+  /// Model indexed by variable (valid when satisfiable).
+  std::vector<bool> model;
+  uint64_t decisions = 0;
+};
+
+/// Plain DPLL satisfiability with unit propagation and a
+/// most-occurrences branching heuristic.
+SatResult SolveSat(const Cnf& cnf);
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_SAT_SOLVER_H_

@@ -1,0 +1,151 @@
+#include "triggers/trigger.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "datalog/grounder.h"
+
+namespace deltarepair {
+
+const char* TriggerOrderName(TriggerOrder order) {
+  return order == TriggerOrder::kAlphabetical ? "postgresql(alphabetical)"
+                                              : "mysql(creation-order)";
+}
+
+StatusOr<TriggerEngine> TriggerEngine::Create(Database* db, Program program,
+                                              std::vector<std::string> names) {
+  Status st = ResolveProgram(&program, *db);
+  if (!st.ok()) return st;
+  std::vector<TriggerDef> defs;
+  for (size_t i = 0; i < program.rules().size(); ++i) {
+    const Rule& rule = program.rules()[i];
+    int num_delta = rule.NumDeltaBodyAtoms();
+    if (num_delta > 1) {
+      return Status::InvalidArgument(StrFormat(
+          "rule %zu has %d delta atoms; SQL triggers react to a single "
+          "delete event",
+          i, num_delta));
+    }
+    TriggerDef def;
+    def.rule_index = static_cast<int>(i);
+    def.name = names.size() > i
+                   ? names[i]
+                   : StrFormat("t%02zu_%s", i, rule.head.relation.c_str());
+    if (num_delta == 1) {
+      for (size_t a = 0; a < rule.body.size(); ++a) {
+        if (rule.body[a].is_delta) def.delta_atom = static_cast<int>(a);
+      }
+    }
+    defs.push_back(std::move(def));
+  }
+  return TriggerEngine(db, std::move(program), std::move(defs));
+}
+
+TriggerRunResult TriggerEngine::Run(TriggerOrder order) {
+  WallTimer timer;
+  TriggerRunResult result;
+  Grounder grounder(db_);
+
+  // Policy ordering over trigger definitions.
+  std::vector<size_t> policy(defs_.size());
+  for (size_t i = 0; i < policy.size(); ++i) policy[i] = i;
+  if (order == TriggerOrder::kAlphabetical) {
+    std::stable_sort(policy.begin(), policy.end(), [&](size_t a, size_t b) {
+      return defs_[a].name < defs_[b].name;
+    });
+  }  // creation order: already in definition order
+
+  std::deque<TupleId> event_queue;  // deleted rows awaiting trigger firing
+  std::unordered_set<std::string> fired_names;
+
+  auto delete_tuple = [&](TupleId t) {
+    if (!db_->live(t)) return;
+    db_->MarkDeleted(t);
+    result.deleted.push_back(t);
+    event_queue.push_back(t);
+  };
+
+  // Seed statements: rules without delta atoms are the user's DELETEs,
+  // issued in policy order. Row-by-row: each matched head is deleted
+  // immediately (affecting later matches), as interactive DELETEs would.
+  for (size_t p : policy) {
+    const TriggerDef& def = defs_[p];
+    if (def.delta_atom >= 0) continue;
+    const Rule& rule = program_.rules()[def.rule_index];
+    bool fired = false;
+    // Matching is to-fixpoint for this statement: deleting rows can remove
+    // later matches, so re-enumerate until no match survives.
+    for (;;) {
+      std::vector<TupleId> heads;
+      grounder.EnumerateRule(rule, def.rule_index, BaseMatch::kLive,
+                             DeltaMatch::kCurrent,
+                             [&](const GroundAssignment& ga) {
+                               heads.push_back(ga.head);
+                               return true;
+                             });
+      bool any = false;
+      for (TupleId h : heads) {
+        if (db_->live(h)) {
+          delete_tuple(h);
+          any = true;
+          fired = true;
+        }
+      }
+      if (!any) break;
+    }
+    if (fired && fired_names.insert(def.name).second) {
+      result.firing_trace.push_back(def.name);
+    }
+    if (fired) ++result.firings;
+  }
+
+  // Cascade: for each deleted row, fire AFTER DELETE triggers in policy
+  // order. A trigger on relation R reacts to deletions of R-rows; the rule
+  // body's delta atom is pinned to the deleted row.
+  while (!event_queue.empty()) {
+    TupleId deleted_row = event_queue.front();
+    event_queue.pop_front();
+    ++result.events_processed;
+    for (size_t p : policy) {
+      const TriggerDef& def = defs_[p];
+      if (def.delta_atom < 0) continue;
+      const Rule& rule = program_.rules()[def.rule_index];
+      const Atom& listen = rule.body[def.delta_atom];
+      if (listen.relation_index !=
+          static_cast<int>(deleted_row.relation)) {
+        continue;
+      }
+      std::vector<uint32_t> pivot_rows = {deleted_row.row};
+      std::vector<TupleId> heads;
+      grounder.EnumerateRule(rule, def.rule_index, BaseMatch::kLive,
+                             DeltaMatch::kCurrent,
+                             [&](const GroundAssignment& ga) {
+                               heads.push_back(ga.head);
+                               return true;
+                             },
+                             def.delta_atom, &pivot_rows);
+      bool fired = false;
+      for (TupleId h : heads) {
+        if (db_->live(h)) {
+          delete_tuple(h);
+          fired = true;
+        }
+      }
+      if (fired) {
+        ++result.firings;
+        if (fired_names.insert(def.name).second) {
+          result.firing_trace.push_back(def.name);
+        }
+      }
+    }
+  }
+
+  std::sort(result.deleted.begin(), result.deleted.end());
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace deltarepair

@@ -1,0 +1,91 @@
+#include "workload/error_injector.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace deltarepair {
+
+Database InjectedTable::MakeDb() const {
+  Database db;
+  uint32_t rel = db.AddRelation(schema);
+  for (const Tuple& t : rows) db.Insert(rel, t);
+  return db;
+}
+
+InjectedTable MakeInjectedAuthorTable(const ErrorInjectorConfig& base) {
+  ErrorInjectorConfig config = base;
+  if (config.num_orgs == 0) {
+    config.num_orgs = std::max<size_t>(2, config.num_rows / 5);
+  }
+  Rng rng(config.seed);
+  InjectedTable out;
+  out.schema = MakeSchema("Author", {"aid", "name", "oid", "organization"},
+                          "isis");
+  out.rows.reserve(config.num_rows);
+  for (size_t i = 0; i < config.num_rows; ++i) {
+    int64_t aid = static_cast<int64_t>(i + 1);
+    int64_t oid = static_cast<int64_t>(i % config.num_orgs + 1);
+    out.rows.push_back({Value(aid),
+                        Value(StrFormat("name%zu", i % config.name_pool)),
+                        Value(oid), Value(StrFormat("org%lld",
+                                                    static_cast<long long>(
+                                                        oid)))});
+  }
+  out.clean_rows = out.rows;
+
+  DR_CHECK(config.num_errors <= config.num_rows);
+  // Corrupt one cell in each of num_errors distinct rows.
+  std::unordered_set<size_t> used;
+  while (out.errors.size() < config.num_errors) {
+    size_t r = static_cast<size_t>(rng.NextBounded(config.num_rows));
+    if (!used.insert(r).second) continue;
+    InjectedCell cell;
+    cell.row = r;
+    switch (rng.NextBounded(3)) {
+      case 0: {
+        // Duplicate another row's aid: violates DC1/DC2/DC3 (same aid,
+        // different oid/name/organization).
+        cell.column = kAuthorAid;
+        size_t other = static_cast<size_t>(rng.NextBounded(config.num_rows));
+        if (other == r) other = (other + 1) % config.num_rows;
+        cell.clean_value = out.rows[r][kAuthorAid];
+        out.rows[r][kAuthorAid] = out.clean_rows[other][kAuthorAid];
+        break;
+      }
+      case 1: {
+        // Wrong organization name: violates DC4 against same-oid rows.
+        cell.column = kAuthorOrgName;
+        cell.clean_value = out.rows[r][kAuthorOrgName];
+        int64_t wrong_oid = static_cast<int64_t>(
+            rng.NextBounded(config.num_orgs) + 1);
+        if (Value(StrFormat("org%lld", static_cast<long long>(wrong_oid))) ==
+            cell.clean_value) {
+          wrong_oid = wrong_oid % static_cast<int64_t>(config.num_orgs) + 1;
+        }
+        out.rows[r][kAuthorOrgName] =
+            Value(StrFormat("org%lld", static_cast<long long>(wrong_oid)));
+        break;
+      }
+      default: {
+        // Wrong oid: the organization name no longer matches the oid group
+        // (DC4 violation against the new group).
+        cell.column = kAuthorOid;
+        cell.clean_value = out.rows[r][kAuthorOid];
+        int64_t wrong_oid = static_cast<int64_t>(
+            rng.NextBounded(config.num_orgs) + 1);
+        if (wrong_oid == cell.clean_value.AsInt()) {
+          wrong_oid = wrong_oid % static_cast<int64_t>(config.num_orgs) + 1;
+        }
+        out.rows[r][kAuthorOid] = Value(wrong_oid);
+        break;
+      }
+    }
+    out.errors.push_back(std::move(cell));
+  }
+  return out;
+}
+
+}  // namespace deltarepair

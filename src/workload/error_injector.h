@@ -1,0 +1,51 @@
+// Cell-error injection for the HoloClean comparison (Tables 4 & 5,
+// Figure 10). Builds a clean Author(aid, name, oid, organization) table —
+// aid unique, oid → organization functional — then corrupts one cell in
+// each of `num_errors` distinct rows, tracking ground truth.
+#ifndef DELTAREPAIR_WORKLOAD_ERROR_INJECTOR_H_
+#define DELTAREPAIR_WORKLOAD_ERROR_INJECTOR_H_
+
+#include <vector>
+
+#include "relation/database.h"
+
+namespace deltarepair {
+
+struct ErrorInjectorConfig {
+  uint64_t seed = 1234;
+  size_t num_rows = 5000;
+  size_t num_errors = 100;
+  /// Organizations (oid groups). 0 = auto (num_rows / 5), keeping DC4
+  /// violation sets small, matching the per-error violation counts of the
+  /// paper's Table 5.
+  size_t num_orgs = 0;
+  size_t name_pool = 800;
+};
+
+struct InjectedCell {
+  size_t row = 0;
+  size_t column = 0;
+  Value clean_value;
+};
+
+struct InjectedTable {
+  RelationSchema schema;          // Author(aid, name, oid, organization)
+  std::vector<Tuple> rows;        // corrupted table
+  std::vector<Tuple> clean_rows;  // ground truth
+  std::vector<InjectedCell> errors;
+
+  /// A fresh database holding the corrupted table.
+  Database MakeDb() const;
+};
+
+/// Column indices of the injected Author table.
+inline constexpr size_t kAuthorAid = 0;
+inline constexpr size_t kAuthorName = 1;
+inline constexpr size_t kAuthorOid = 2;
+inline constexpr size_t kAuthorOrgName = 3;
+
+InjectedTable MakeInjectedAuthorTable(const ErrorInjectorConfig& config);
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_WORKLOAD_ERROR_INJECTOR_H_

@@ -1,0 +1,120 @@
+#include "workload/mas_generator.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace deltarepair {
+
+MasConfig MasConfig::Scaled(double factor) const {
+  MasConfig out = *this;
+  auto scale = [factor](size_t v) {
+    return static_cast<size_t>(std::max(1.0, static_cast<double>(v) * factor));
+  };
+  out.num_orgs = scale(num_orgs);
+  out.num_authors = scale(num_authors);
+  out.num_pubs = scale(num_pubs);
+  out.name_pool = scale(name_pool);
+  return out;
+}
+
+MasData GenerateMas(const MasConfig& config) {
+  Rng rng(config.seed);
+  MasData out;
+  Database& db = out.db;
+  uint32_t org = db.AddRelation(
+      MakeSchema(kMasOrganization, {"oid", "name"}, "is"));
+  uint32_t author = db.AddRelation(
+      MakeSchema(kMasAuthor, {"aid", "name", "oid"}, "isi"));
+  uint32_t writes = db.AddRelation(
+      MakeSchema(kMasWrites, {"aid", "pid"}, "ii"));
+  uint32_t pub = db.AddRelation(
+      MakeSchema(kMasPublication, {"pid", "title"}, "is"));
+  uint32_t cite = db.AddRelation(
+      MakeSchema(kMasCite, {"citing", "cited"}, "ii"));
+
+  for (size_t i = 1; i <= config.num_orgs; ++i) {
+    db.Insert(org, {Value(static_cast<int64_t>(i)),
+                    Value(StrFormat("org%zu", i))});
+  }
+
+  std::vector<size_t> name_count(config.name_pool, 0);
+  std::unordered_map<int64_t, size_t> org_count;
+  for (size_t i = 1; i <= config.num_authors; ++i) {
+    size_t name_id = static_cast<size_t>(
+        rng.NextZipf(config.name_pool, config.org_skew));
+    int64_t oid = static_cast<int64_t>(
+        rng.NextZipf(config.num_orgs, config.org_skew) + 1);
+    ++name_count[name_id];
+    ++org_count[oid];
+    db.Insert(author, {Value(static_cast<int64_t>(i)),
+                       Value(StrFormat("name%zu", name_id)), Value(oid)});
+  }
+
+  std::unordered_map<int64_t, size_t> writes_count;
+  std::unordered_map<int64_t, size_t> cited_count;
+  std::unordered_set<uint64_t> seen_edges;
+  for (size_t p = 1; p <= config.num_pubs; ++p) {
+    db.Insert(pub, {Value(static_cast<int64_t>(p)),
+                    Value(StrFormat("title%zu", p))});
+    int num_writers =
+        1 + static_cast<int>(rng.NextBounded(
+                static_cast<uint64_t>(config.max_writes_per_pub)));
+    for (int w = 0; w < num_writers; ++w) {
+      int64_t aid = static_cast<int64_t>(
+          rng.NextZipf(config.num_authors, 0.5) + 1);
+      uint64_t key = (static_cast<uint64_t>(aid) << 32) | p;
+      if (!seen_edges.insert(key).second) continue;
+      db.Insert(writes, {Value(aid), Value(static_cast<int64_t>(p))});
+      ++writes_count[aid];
+    }
+    int num_cites = static_cast<int>(rng.NextBounded(
+        static_cast<uint64_t>(config.max_cites_per_pub) + 1));
+    for (int c = 0; c < num_cites; ++c) {
+      int64_t cited = static_cast<int64_t>(
+          rng.NextZipf(config.num_pubs, config.cite_skew) + 1);
+      if (cited == static_cast<int64_t>(p)) continue;
+      InsertResult r = db.relation(cite).Insert(
+          {Value(static_cast<int64_t>(p)), Value(cited)});
+      if (r.inserted) ++cited_count[cited];
+    }
+  }
+
+  // Pick the hubs that parameterize the paper's programs.
+  MasHubs& hubs = out.hubs;
+  size_t best = 0;
+  for (const auto& [aid, cnt] : writes_count) {
+    if (cnt > best || (cnt == best && aid < hubs.hub_author_aid)) {
+      best = cnt;
+      hubs.hub_author_aid = aid;
+    }
+  }
+  size_t best_name = 0;
+  for (size_t i = 0; i < name_count.size(); ++i) {
+    if (name_count[i] > best_name) {
+      best_name = name_count[i];
+      hubs.common_name = StrFormat("name%zu", i);
+    }
+  }
+  size_t best_org = 0;
+  for (const auto& [oid, cnt] : org_count) {
+    if (cnt > best_org || (cnt == best_org && oid < hubs.hub_org_oid)) {
+      best_org = cnt;
+      hubs.hub_org_oid = oid;
+    }
+  }
+  size_t best_cited = 0;
+  for (const auto& [pid, cnt] : cited_count) {
+    if (cnt > best_cited || (cnt == best_cited && pid < hubs.hub_pub_pid)) {
+      best_cited = cnt;
+      hubs.hub_pub_pid = pid;
+    }
+  }
+  hubs.mid_pid = static_cast<int64_t>(config.num_pubs / 2);
+  return out;
+}
+
+}  // namespace deltarepair

@@ -1,0 +1,58 @@
+// Synthetic academic database in the shape of the paper's MAS fragment
+// [35]: Organization, Author, Writes, Publication, Cite — with foreign-key
+// structure and skewed fan-outs, deterministic under a seed. The paper's
+// snapshot is proprietary; absolute sizes differ, the cascade/constraint
+// structure the programs exercise does not (see DESIGN.md substitutions).
+#ifndef DELTAREPAIR_WORKLOAD_MAS_GENERATOR_H_
+#define DELTAREPAIR_WORKLOAD_MAS_GENERATOR_H_
+
+#include <string>
+
+#include "relation/database.h"
+
+namespace deltarepair {
+
+struct MasConfig {
+  uint64_t seed = 42;
+  size_t num_orgs = 60;
+  size_t num_authors = 900;
+  size_t num_pubs = 1800;
+  /// Distinct author-name pool; names repeat so name-selection rules
+  /// (programs 1, 5, 6, 9) match several authors.
+  size_t name_pool = 150;
+  int max_writes_per_pub = 3;
+  int max_cites_per_pub = 4;
+  double org_skew = 0.8;   // authors cluster into few big organizations
+  double cite_skew = 0.8;  // citations cluster onto few hub papers
+
+  /// Multiplies all table sizes (DR_SCALE in the benches).
+  MasConfig Scaled(double factor) const;
+};
+
+/// Constants the paper's programs plug into selections — chosen from the
+/// generated data so every program has non-trivial work to do.
+struct MasHubs {
+  int64_t hub_author_aid = 0;     // author with the most papers
+  std::string common_name;        // most frequent author name
+  int64_t hub_org_oid = 0;        // organization with the most authors
+  int64_t hub_pub_pid = 0;        // most-cited publication
+  int64_t mid_pid = 0;            // median pid (for pid < C selections)
+};
+
+struct MasData {
+  Database db;
+  MasHubs hubs;
+};
+
+/// Relation names used by the generator and the program library.
+inline constexpr const char* kMasOrganization = "Organization";
+inline constexpr const char* kMasAuthor = "Author";
+inline constexpr const char* kMasWrites = "Writes";
+inline constexpr const char* kMasPublication = "Publication";
+inline constexpr const char* kMasCite = "Cite";
+
+MasData GenerateMas(const MasConfig& config);
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_WORKLOAD_MAS_GENERATOR_H_

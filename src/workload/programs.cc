@@ -1,0 +1,275 @@
+#include "workload/programs.h"
+
+#include "common/string_util.h"
+#include "datalog/parser.h"
+
+namespace deltarepair {
+
+namespace {
+
+Program MustParse(std::string name, const std::string& text) {
+  StatusOr<Program> program = ParseProgram(text);
+  DR_CHECK_MSG(program.ok(), "bad program " + name + ": " +
+                                 program.status().ToString() + "\n" + text);
+  program->set_name(std::move(name));
+  return std::move(program).value();
+}
+
+}  // namespace
+
+Program MasProgram(int num, const MasHubs& hubs) {
+  const long long aid = hubs.hub_author_aid;
+  const long long oid = hubs.hub_org_oid;
+  const long long pid = hubs.hub_pub_pid;
+  const long long mid = hubs.mid_pid;
+  const std::string& name = hubs.common_name;
+  std::string text;
+  switch (num) {
+    case 1:
+      text = StrFormat(
+          "~Author(a, n, o) :- Author(a, n, o), n = '%s'.\n"
+          "~Writes(a, p) :- Writes(a, p), a = %lld.\n",
+          name.c_str(), aid);
+      break;
+    case 2:
+      text = StrFormat(
+          "~Writes(a, p) :- Writes(a, p), Author(a, n, o), a = %lld.\n", aid);
+      break;
+    case 3:
+      text = StrFormat(
+          "~Author(a, n, o) :- Writes(a, p), Author(a, n, o), a = %lld.\n"
+          "~Writes(a, p) :- Writes(a, p), Author(a, n, o), a = %lld.\n",
+          aid, aid);
+      break;
+    case 4:
+      text = StrFormat(
+          "~Author(a, n, o) :- Organization(o, n2), Author(a, n, o), "
+          "o = %lld.\n"
+          "~Organization(o, n2) :- Organization(o, n2), Author(a, n, o), "
+          "o = %lld.\n",
+          oid, oid);
+      break;
+    case 5:
+      text = StrFormat(
+          "~Author(a, n, o) :- Author(a, n, o), n = '%s'.\n"
+          "~Writes(a, p) :- Writes(a, p), ~Author(a, n, o).\n",
+          name.c_str());
+      break;
+    case 6:
+      text = StrFormat(
+          "~Author(a, n, o) :- Author(a, n, o), n = '%s'.\n"
+          "~Writes(a, p) :- Writes(a, p), ~Author(a, n, o).\n"
+          "~Publication(p, t) :- Publication(p, t), ~Writes(a, p), "
+          "Author(a, n, o).\n",
+          name.c_str());
+      break;
+    case 7:
+      text = StrFormat(
+          "~Publication(p, t) :- Publication(p, t), p = %lld.\n"
+          "~Cite(p, d) :- Cite(p, d), ~Publication(p, t).\n"
+          "~Cite(g, p) :- Cite(g, p), ~Publication(p, t).\n",
+          pid);
+      break;
+    case 8:
+      text = StrFormat(
+          "~Author(a, n, o) :- Writes(a, p), Author(a, n, o), a = %lld.\n"
+          "~Writes(a, p) :- Writes(a, p), Author(a, n, o), a = %lld.\n"
+          "~Publication(p, t) :- Publication(p, t), ~Writes(a, p), "
+          "Author(a, n, o).\n"
+          "~Publication(p, t) :- Publication(p, t), Writes(a, p), "
+          "~Author(a, n, o).\n",
+          aid, aid);
+      break;
+    case 9:
+      text = StrFormat(
+          "~Author(a, n, o) :- Author(a, n, o), n = '%s'.\n"
+          "~Writes(a, p) :- Writes(a, p), ~Author(a, n, o).\n"
+          "~Publication(p, t) :- Publication(p, t), ~Writes(a, p).\n"
+          "~Cite(p, d) :- Cite(p, d), ~Publication(p, t), p < %lld.\n",
+          name.c_str(), mid);
+      break;
+    case 10:
+      text = StrFormat(
+          "~Organization(o, n2) :- Organization(o, n2), o = %lld.\n"
+          "~Author(a, n, o) :- Author(a, n, o), ~Organization(o, n2).\n"
+          "~Writes(a, p) :- Writes(a, p), ~Author(a, n, o).\n"
+          "~Publication(p, t) :- Publication(p, t), ~Writes(a, p).\n",
+          oid);
+      break;
+    case 11:
+      text = "~Cite(c1, c2) :- Cite(c1, c2).\n";
+      break;
+    case 12:
+      text =
+          "~Cite(c1, c2) :- Cite(c1, c2), Publication(c1, t).\n";
+      break;
+    case 13:
+      text =
+          "~Cite(c1, c2) :- Cite(c1, c2), Publication(c1, t), "
+          "Writes(a, c1).\n";
+      break;
+    case 14:
+      text =
+          "~Cite(c1, c2) :- Cite(c1, c2), Publication(c1, t), "
+          "Writes(a, c1), Author(a, n, o).\n";
+      break;
+    case 15:
+      text =
+          "~Cite(c1, c2) :- Cite(c1, c2), Publication(c1, t), "
+          "Writes(a, c1), Author(a, n, o), Organization(o, n2).\n";
+      break;
+    case 16:
+    case 17:
+    case 18:
+    case 19:
+    case 20: {
+      text = StrFormat(
+          "~Organization(o, n2) :- Organization(o, n2), o = %lld.\n", oid);
+      if (num >= 17) {
+        text +=
+            "~Author(a, n, o) :- Author(a, n, o), ~Organization(o, n2).\n";
+      }
+      if (num >= 18) {
+        text += "~Writes(a, p) :- Writes(a, p), ~Author(a, n, o).\n";
+      }
+      if (num >= 19) {
+        text +=
+            "~Publication(p, t) :- Publication(p, t), ~Writes(a, p).\n";
+      }
+      if (num >= 20) {
+        text += "~Cite(g, p) :- Cite(g, p), ~Publication(p, t).\n";
+      }
+      break;
+    }
+    default:
+      DR_CHECK_MSG(false, StrFormat("unknown MAS program %d", num));
+  }
+  return MustParse(StrFormat("mas-%d", num), text);
+}
+
+std::vector<int> AllMasPrograms() {
+  std::vector<int> out;
+  for (int i = 1; i <= 20; ++i) out.push_back(i);
+  return out;
+}
+
+Program TpchProgram(int num, const TpchConsts& consts) {
+  const long long scut = consts.supplier_cut;
+  const long long ocut = consts.order_cut;
+  const long long nk = consts.nation_key;
+  std::string text;
+  switch (num) {
+    case 1:
+      text = StrFormat(
+          "~PartSupp(s, p) :- PartSupp(s, p), Supplier(s, n, k), "
+          "s < %lld.\n"
+          "~Lineitem(o, s, p) :- Lineitem(o, s, p), ~PartSupp(s, p2).\n",
+          scut);
+      break;
+    case 2:
+      text = StrFormat(
+          "~PartSupp(s, p) :- PartSupp(s, p), s < %lld.\n"
+          "~Lineitem(o, s, p) :- Lineitem(o, s, p), ~PartSupp(s, p2).\n",
+          scut);
+      break;
+    case 3:
+      text = StrFormat(
+          "~PartSupp(s, p) :- PartSupp(s, p), Supplier(s, n, k), "
+          "Part(p, pn), s < %lld.\n"
+          "~Lineitem(o, s, p) :- Lineitem(o, s, p), ~PartSupp(s, p2).\n",
+          scut);
+      break;
+    case 4:
+      text = StrFormat(
+          "~Lineitem(o, s, p) :- Lineitem(o, s, p), o < %lld.\n"
+          "~Supplier(s, n, k) :- Supplier(s, n, k), ~Lineitem(o, s, p).\n"
+          "~Customer(c, n, k) :- Customer(c, n, k), Orders(o, c), "
+          "~Lineitem(o, s, p).\n",
+          ocut);
+      break;
+    case 5:
+      text = StrFormat(
+          "~Nation(k, n, r) :- Nation(k, n, r), k = %lld.\n"
+          "~Supplier(s, sn, k) :- Supplier(s, sn, k), ~Nation(k, n2, r), "
+          "Customer(c, cn, k).\n"
+          "~Customer(c, cn, k) :- Customer(c, cn, k), ~Nation(k, n2, r), "
+          "Supplier(s, sn, k).\n",
+          nk);
+      break;
+    case 6:
+      text = StrFormat(
+          "~Orders(o, c) :- Orders(o, c), Customer(c, n, k), o < %lld.\n"
+          "~PartSupp(s, p) :- PartSupp(s, p), Supplier(s, n, k), "
+          "s < %lld.\n"
+          "~Lineitem(o, s, p) :- Lineitem(o, s, p), ~Orders(o, c).\n"
+          "~Lineitem(o, s, p) :- Lineitem(o, s, p), ~PartSupp(s, p2).\n",
+          ocut, scut);
+      break;
+    default:
+      DR_CHECK_MSG(false, StrFormat("unknown TPC-H program %d", num));
+  }
+  return MustParse(StrFormat("tpch-%d", num), text);
+}
+
+std::vector<int> AllTpchPrograms() { return {1, 2, 3, 4, 5, 6}; }
+
+RunningExample MakeRunningExample() {
+  RunningExample ex;
+  Database& db = ex.db;
+  uint32_t grant = db.AddRelation(MakeSchema("Grant", {"gid", "name"}, "is"));
+  uint32_t authgrant =
+      db.AddRelation(MakeSchema("AuthGrant", {"aid", "gid"}, "ii"));
+  uint32_t author = db.AddRelation(MakeSchema("Author", {"aid", "name"}, "is"));
+  uint32_t cite =
+      db.AddRelation(MakeSchema("Cite", {"citing", "cited"}, "ii"));
+  uint32_t writes = db.AddRelation(MakeSchema("Writes", {"aid", "pid"}, "ii"));
+  uint32_t pub = db.AddRelation(MakeSchema("Pub", {"pid", "title"}, "is"));
+
+  ex.g1 = db.Insert(grant, {Value(int64_t{1}), Value("NSF")});
+  ex.g2 = db.Insert(grant, {Value(int64_t{2}), Value("ERC")});
+  ex.ag1 = db.Insert(authgrant, {Value(int64_t{2}), Value(int64_t{1})});
+  ex.ag2 = db.Insert(authgrant, {Value(int64_t{4}), Value(int64_t{2})});
+  ex.ag3 = db.Insert(authgrant, {Value(int64_t{5}), Value(int64_t{2})});
+  ex.a1 = db.Insert(author, {Value(int64_t{2}), Value("Maggie")});
+  ex.a2 = db.Insert(author, {Value(int64_t{4}), Value("Marge")});
+  ex.a3 = db.Insert(author, {Value(int64_t{5}), Value("Homer")});
+  ex.c = db.Insert(cite, {Value(int64_t{7}), Value(int64_t{6})});
+  ex.w1 = db.Insert(writes, {Value(int64_t{4}), Value(int64_t{6})});
+  ex.w2 = db.Insert(writes, {Value(int64_t{5}), Value(int64_t{7})});
+  ex.p1 = db.Insert(pub, {Value(int64_t{6}), Value("x")});
+  ex.p2 = db.Insert(pub, {Value(int64_t{7}), Value("y")});
+
+  ex.program = MustParse(
+      "figure-2",
+      "~Grant(g, n) :- Grant(g, n), n = 'ERC'.\n"
+      "~Author(a, n) :- Author(a, n), AuthGrant(a, g), ~Grant(g, gn).\n"
+      "~Pub(p, t) :- Pub(p, t), Writes(a, p), ~Author(a, n).\n"
+      "~Writes(a, p) :- Pub(p, t), Writes(a, p), ~Author(a, n).\n"
+      "~Cite(c, p) :- Cite(c, p), ~Pub(p, t), Writes(a1, c), "
+      "Writes(a2, p).\n");
+  return ex;
+}
+
+std::vector<DenialConstraint> AuthorDenialConstraints() {
+  auto make = [](const char* name, const char* body) {
+    StatusOr<DenialConstraint> dc = ParseDenialConstraint(name, body);
+    DR_CHECK_MSG(dc.ok(), dc.status().ToString());
+    return std::move(dc).value();
+  };
+  return {
+      // Same aid, different oid.
+      make("DC1",
+           "Author(a, n1, o1, g1), Author(a, n2, o2, g2), o1 != o2"),
+      // Same aid, different name.
+      make("DC2",
+           "Author(a, n1, o1, g1), Author(a, n2, o2, g2), n1 != n2"),
+      // Same aid, different organization name.
+      make("DC3",
+           "Author(a, n1, o1, g1), Author(a, n2, o2, g2), g1 != g2"),
+      // Same oid, different organization name.
+      make("DC4",
+           "Author(a1, n1, o, g1), Author(a2, n2, o, g2), g1 != g2"),
+  };
+}
+
+}  // namespace deltarepair

@@ -1,0 +1,52 @@
+// The paper's experiment programs, normalized to our schemas:
+//  * MAS programs 1-20 of Table 1 (parameterized by the generated hubs);
+//  * TPC-H programs T1-T6 of Table 2;
+//  * the Figure 1 / Figure 2 running example with named tuple handles;
+//  * the four denial constraints DC1-DC4 of the HoloClean comparison.
+//
+// Normalization notes (loose notation in the paper's tables):
+//  * attribute order follows our generator schemas;
+//  * program 4's head "∆A(aid, pid)" is read as ∆A(aid, n, oid);
+//  * programs 16-20 are read as a cascade chain growing one rule per
+//    program (Org → Author → Writes → Publication → Cite);
+//  * TPC-H bodies like "∆LI(sk, X)" are pinned to Lineitem(ok, sk, pk).
+#ifndef DELTAREPAIR_WORKLOAD_PROGRAMS_H_
+#define DELTAREPAIR_WORKLOAD_PROGRAMS_H_
+
+#include <vector>
+
+#include "datalog/ast.h"
+#include "repair/dc.h"
+#include "workload/mas_generator.h"
+#include "workload/tpch_generator.h"
+
+namespace deltarepair {
+
+/// MAS program `num` in 1..20 (Table 1), with constants from `hubs`.
+Program MasProgram(int num, const MasHubs& hubs);
+
+/// All MAS program numbers.
+std::vector<int> AllMasPrograms();
+
+/// TPC-H program `num` in 1..6 (Table 2), with constants from `consts`.
+Program TpchProgram(int num, const TpchConsts& consts);
+
+/// All TPC-H program numbers.
+std::vector<int> AllTpchPrograms();
+
+/// The running example of Figures 1-2, with the paper's tuple names.
+struct RunningExample {
+  Database db;
+  Program program;
+  TupleId g1, g2, ag1, ag2, ag3, a1, a2, a3, c, w1, w2, p1, p2;
+};
+
+RunningExample MakeRunningExample();
+
+/// DC1-DC4 over Author(aid, name, oid, organization) (Sec. 6), written in
+/// join form (shared variable instead of an explicit equality).
+std::vector<DenialConstraint> AuthorDenialConstraints();
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_WORKLOAD_PROGRAMS_H_

@@ -1,0 +1,127 @@
+#include "workload/tpch_generator.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace deltarepair {
+
+TpchConfig TpchConfig::Scaled(double factor) const {
+  TpchConfig out = *this;
+  auto scale = [factor](size_t v) {
+    return static_cast<size_t>(std::max(1.0, static_cast<double>(v) * factor));
+  };
+  out.num_suppliers = scale(num_suppliers);
+  out.num_customers = scale(num_customers);
+  out.num_parts = scale(num_parts);
+  out.num_orders = scale(num_orders);
+  return out;
+}
+
+TpchData GenerateTpch(const TpchConfig& config) {
+  Rng rng(config.seed);
+  TpchData out;
+  Database& db = out.db;
+  uint32_t region =
+      db.AddRelation(MakeSchema(kTpchRegion, {"rk", "name"}, "is"));
+  uint32_t nation =
+      db.AddRelation(MakeSchema(kTpchNation, {"nk", "name", "rk"}, "isi"));
+  uint32_t supplier =
+      db.AddRelation(MakeSchema(kTpchSupplier, {"sk", "name", "nk"}, "isi"));
+  uint32_t customer =
+      db.AddRelation(MakeSchema(kTpchCustomer, {"ck", "name", "nk"}, "isi"));
+  uint32_t part = db.AddRelation(MakeSchema(kTpchPart, {"pk", "name"}, "is"));
+  uint32_t partsupp =
+      db.AddRelation(MakeSchema(kTpchPartSupp, {"sk", "pk"}, "ii"));
+  uint32_t orders = db.AddRelation(MakeSchema(kTpchOrders, {"ok", "ck"}, "ii"));
+  uint32_t lineitem =
+      db.AddRelation(MakeSchema(kTpchLineitem, {"ok", "sk", "pk"}, "iii"));
+
+  for (size_t i = 1; i <= config.num_regions; ++i) {
+    db.Insert(region, {Value(static_cast<int64_t>(i)),
+                       Value(StrFormat("region%zu", i))});
+  }
+  for (size_t i = 1; i <= config.num_nations; ++i) {
+    db.Insert(nation,
+              {Value(static_cast<int64_t>(i)), Value(StrFormat("nation%zu", i)),
+               Value(static_cast<int64_t>(i % config.num_regions + 1))});
+  }
+  std::unordered_map<int64_t, size_t> suppliers_per_nation;
+  std::unordered_map<int64_t, size_t> customers_per_nation;
+  for (size_t i = 1; i <= config.num_suppliers; ++i) {
+    int64_t nk =
+        static_cast<int64_t>(rng.NextBounded(config.num_nations) + 1);
+    ++suppliers_per_nation[nk];
+    db.Insert(supplier, {Value(static_cast<int64_t>(i)),
+                         Value(StrFormat("supplier%zu", i)), Value(nk)});
+  }
+  for (size_t i = 1; i <= config.num_customers; ++i) {
+    int64_t nk =
+        static_cast<int64_t>(rng.NextBounded(config.num_nations) + 1);
+    ++customers_per_nation[nk];
+    db.Insert(customer, {Value(static_cast<int64_t>(i)),
+                         Value(StrFormat("customer%zu", i)), Value(nk)});
+  }
+  for (size_t i = 1; i <= config.num_parts; ++i) {
+    db.Insert(part, {Value(static_cast<int64_t>(i)),
+                     Value(StrFormat("part%zu", i))});
+  }
+  std::unordered_set<uint64_t> ps_seen;
+  std::vector<std::vector<int64_t>> suppliers_of_part(config.num_parts + 1);
+  for (size_t p = 1; p <= config.num_parts; ++p) {
+    for (int s = 0; s < config.partsupp_per_part; ++s) {
+      int64_t sk =
+          static_cast<int64_t>(rng.NextBounded(config.num_suppliers) + 1);
+      uint64_t key = (static_cast<uint64_t>(sk) << 32) | p;
+      if (!ps_seen.insert(key).second) continue;
+      db.Insert(partsupp, {Value(sk), Value(static_cast<int64_t>(p))});
+      suppliers_of_part[p].push_back(sk);
+    }
+  }
+  for (size_t o = 1; o <= config.num_orders; ++o) {
+    int64_t ck =
+        static_cast<int64_t>(rng.NextBounded(config.num_customers) + 1);
+    db.Insert(orders, {Value(static_cast<int64_t>(o)), Value(ck)});
+    int items = 1 + static_cast<int>(rng.NextBounded(
+                        static_cast<uint64_t>(config.max_lineitems_per_order)));
+    for (int li = 0; li < items; ++li) {
+      int64_t pk =
+          static_cast<int64_t>(rng.NextBounded(config.num_parts) + 1);
+      // Lineitems reference a supplier that actually supplies the part
+      // when one exists (dbgen-like referential structure).
+      const auto& sups = suppliers_of_part[static_cast<size_t>(pk)];
+      int64_t sk = sups.empty()
+                       ? static_cast<int64_t>(
+                             rng.NextBounded(config.num_suppliers) + 1)
+                       : sups[rng.NextBounded(sups.size())];
+      db.relation(lineitem).Insert(
+          {Value(static_cast<int64_t>(o)), Value(sk), Value(pk)});
+    }
+  }
+
+  out.consts.supplier_cut =
+      std::max<int64_t>(2, static_cast<int64_t>(config.num_suppliers / 10));
+  out.consts.order_cut =
+      std::max<int64_t>(2, static_cast<int64_t>(config.num_orders / 20));
+  // T5 wants a nation where step semantics can delete the smaller side:
+  // pick the nation with suppliers < customers maximizing the gap.
+  int64_t best_gap = INT64_MIN;
+  out.consts.nation_key = 1;
+  for (size_t nk = 1; nk <= config.num_nations; ++nk) {
+    int64_t s =
+        static_cast<int64_t>(suppliers_per_nation[static_cast<int64_t>(nk)]);
+    int64_t c =
+        static_cast<int64_t>(customers_per_nation[static_cast<int64_t>(nk)]);
+    if (s == 0 || c == 0 || s >= c) continue;
+    if (c - s > best_gap) {
+      best_gap = c - s;
+      out.consts.nation_key = static_cast<int64_t>(nk);
+    }
+  }
+  return out;
+}
+
+}  // namespace deltarepair

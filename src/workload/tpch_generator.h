@@ -1,0 +1,50 @@
+// Simplified TPC-H-shaped generator [50]: the eight tables with the join
+// keys the paper's programs T1-T6 use (other columns elided), deterministic
+// under a seed. Replaces dbgen (see DESIGN.md substitutions).
+#ifndef DELTAREPAIR_WORKLOAD_TPCH_GENERATOR_H_
+#define DELTAREPAIR_WORKLOAD_TPCH_GENERATOR_H_
+
+#include "relation/database.h"
+
+namespace deltarepair {
+
+struct TpchConfig {
+  uint64_t seed = 7;
+  size_t num_regions = 5;
+  size_t num_nations = 25;
+  size_t num_suppliers = 120;
+  size_t num_customers = 450;
+  size_t num_parts = 500;
+  int partsupp_per_part = 3;
+  size_t num_orders = 900;
+  int max_lineitems_per_order = 5;
+
+  TpchConfig Scaled(double factor) const;
+};
+
+/// Constants the TPC-H programs plug into selections.
+struct TpchConsts {
+  int64_t supplier_cut = 0;  // sk < supplier_cut selections (~10%)
+  int64_t order_cut = 0;     // ok < order_cut selections (~5%)
+  int64_t nation_key = 0;    // nation with suppliers < customers (T5)
+};
+
+struct TpchData {
+  Database db;
+  TpchConsts consts;
+};
+
+inline constexpr const char* kTpchRegion = "Region";
+inline constexpr const char* kTpchNation = "Nation";
+inline constexpr const char* kTpchSupplier = "Supplier";
+inline constexpr const char* kTpchCustomer = "Customer";
+inline constexpr const char* kTpchPart = "Part";
+inline constexpr const char* kTpchPartSupp = "PartSupp";
+inline constexpr const char* kTpchOrders = "Orders";
+inline constexpr const char* kTpchLineitem = "Lineitem";
+
+TpchData GenerateTpch(const TpchConfig& config);
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_WORKLOAD_TPCH_GENERATOR_H_

@@ -1,0 +1,86 @@
+// Program-analysis tests: strata/layers, recursion detection, taxonomy.
+#include <gtest/gtest.h>
+
+#include "datalog/analysis.h"
+#include "tests/test_util.h"
+
+namespace deltarepair {
+namespace {
+
+TEST(AnalysisTest, SeedOnlyProgramIsConstraintClass) {
+  Program p = MustParseProgram(
+      "~A(x) :- A(x), B(x, y).\n"
+      "~B(x, y) :- A(x), B(x, y).\n");
+  ProgramAnalysis a = AnalyzeProgram(p);
+  EXPECT_FALSE(a.recursive);
+  EXPECT_EQ(a.num_layers, 1);
+  EXPECT_EQ(a.program_class, ProgramClass::kConstraint);
+  EXPECT_EQ(a.rule_stratum, (std::vector<int>{1, 1}));
+}
+
+TEST(AnalysisTest, CascadeChainLayers) {
+  Program p = MustParseProgram(
+      "~O(o) :- O(o), o = 1.\n"
+      "~A(a, o) :- A(a, o), ~O(o).\n"
+      "~W(a, p) :- W(a, p), ~A(a, o).\n"
+      "~P(p) :- P(p), ~W(a, p).\n");
+  ProgramAnalysis a = AnalyzeProgram(p);
+  EXPECT_FALSE(a.recursive);
+  EXPECT_EQ(a.num_layers, 4);
+  EXPECT_EQ(a.rule_stratum, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(a.program_class, ProgramClass::kPureCascade);
+  EXPECT_EQ(a.relation_stratum.at("P"), 4);
+}
+
+TEST(AnalysisTest, GuardedCascadeIsMixed) {
+  Program p = MustParseProgram(
+      "~A(x) :- A(x), x = 1.\n"
+      "~P(p) :- P(p), W(a, p), ~A(a).\n");
+  ProgramAnalysis a = AnalyzeProgram(p);
+  EXPECT_EQ(a.program_class, ProgramClass::kMixed);
+}
+
+TEST(AnalysisTest, ConstraintSeedPlusCascadeIsMixed) {
+  Program p = MustParseProgram(
+      "~PS(s, p) :- PS(s, p), S(s), s < 5.\n"
+      "~LI(o, s, p) :- LI(o, s, p), ~PS(s, p2).\n");
+  ProgramAnalysis a = AnalyzeProgram(p);
+  EXPECT_EQ(a.program_class, ProgramClass::kMixed);
+}
+
+TEST(AnalysisTest, RecursionDetected) {
+  // ∆A depends on ∆B and vice versa.
+  Program p = MustParseProgram(
+      "~A(x) :- A(x), ~B(x).\n"
+      "~B(x) :- B(x), ~A(x).\n");
+  ProgramAnalysis a = AnalyzeProgram(p);
+  EXPECT_TRUE(a.recursive);
+}
+
+TEST(AnalysisTest, SelfRecursionDetected) {
+  Program p = MustParseProgram("~E(x, y) :- E(x, y), ~E(y, z).\n");
+  ProgramAnalysis a = AnalyzeProgram(p);
+  EXPECT_TRUE(a.recursive);
+}
+
+TEST(AnalysisTest, DiamondDependencyTakesLongestPath) {
+  Program p = MustParseProgram(
+      "~A(x) :- A(x).\n"
+      "~B(x) :- B(x), ~A(x).\n"
+      "~C(x) :- C(x), ~A(x).\n"
+      "~D(x) :- D(x), ~B(x), ~C(x).\n"
+      "~D(x) :- D(x), ~A(x).\n");
+  ProgramAnalysis a = AnalyzeProgram(p);
+  EXPECT_FALSE(a.recursive);
+  EXPECT_EQ(a.relation_stratum.at("D"), 3);
+  EXPECT_EQ(a.num_layers, 3);
+}
+
+TEST(AnalysisTest, ClassNames) {
+  EXPECT_STREQ(ProgramClassName(ProgramClass::kConstraint), "constraint");
+  EXPECT_STREQ(ProgramClassName(ProgramClass::kPureCascade), "cascade");
+  EXPECT_STREQ(ProgramClassName(ProgramClass::kMixed), "mixed");
+}
+
+}  // namespace
+}  // namespace deltarepair

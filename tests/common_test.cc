@@ -1,0 +1,163 @@
+// Unit tests for the common substrate: Status/StatusOr, string helpers,
+// deterministic RNG, hashing, table printer, timers.
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+
+namespace deltarepair {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  Status bad = Status::InvalidArgument("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.ToString(), "InvalidArgument: nope");
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(StatusOrTest, ValueAndError) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  StatusOr<int> e = Status::NotFound("gone");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyUsage) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> taken = std::move(v).value();
+  EXPECT_EQ(*taken, 7);
+}
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\t\n x y \r"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("abcdef", "abc"));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+}
+
+TEST(StringUtilTest, StrFormatAndJoin) {
+  EXPECT_EQ(StrFormat("x=%d y=%s", 3, "z"), "x=3 y=z");
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, WithThousands) {
+  EXPECT_EQ(WithThousands(0), "0");
+  EXPECT_EQ(WithThousands(999), "999");
+  EXPECT_EQ(WithThousands(1000), "1,000");
+  EXPECT_EQ(WithThousands(1234567), "1,234,567");
+  EXPECT_EQ(WithThousands(-9876), "-9,876");
+}
+
+TEST(RngTest, DeterministicUnderSeed) {
+  Rng a(123), b(123), c(124);
+  bool all_equal = true;
+  bool any_diff_seed = false;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next();
+    if (va != b.Next()) all_equal = false;
+    if (va != c.Next()) any_diff_seed = true;
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_seed);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(13), 13u);
+    int64_t v = rng.NextInRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ZipfIsSkewedTowardSmallRanks) {
+  Rng rng(9);
+  size_t low = 0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    uint64_t v = rng.NextZipf(1000, 0.9);
+    EXPECT_LT(v, 1000u);
+    if (v < 100) ++low;
+  }
+  // The low decile should absorb well over its uniform share (10%).
+  EXPECT_GT(low, static_cast<size_t>(kDraws) / 4);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(11);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(HashTest, MixAndCombine) {
+  EXPECT_NE(Mix64(1), Mix64(2));
+  EXPECT_NE(HashCombine(Mix64(1), 2), HashCombine(Mix64(2), 1));
+  EXPECT_EQ(HashBytes("abc"), HashBytes("abc"));
+  EXPECT_NE(HashBytes("abc"), HashBytes("abd"));
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter tp({"name", "n"});
+  tp.AddRow({"alpha", "1"});
+  tp.AddRow({"b", "22"});
+  std::string out = tp.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // All lines equal width for the first column block.
+  EXPECT_NE(out.find("b      22"), std::string::npos)
+      << "got:\n"
+      << out;
+}
+
+TEST(TablePrinterTest, PadsShortRows) {
+  TablePrinter tp({"a", "b", "c"});
+  tp.AddRow({"1"});
+  std::string out = tp.Render();
+  EXPECT_NE(out.find('1'), std::string::npos);
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  WallTimer t;
+  double x = 0;
+  for (int i = 0; i < 100000; ++i) x += i * 0.5;
+  EXPECT_GT(x, 0);
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+  double sink = 0;
+  { ScopedTimer st(&sink); }
+  EXPECT_GE(sink, 0.0);
+}
+
+}  // namespace
+}  // namespace deltarepair

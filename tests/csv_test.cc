@@ -1,0 +1,96 @@
+// CSV import/export tests (the drepair CLI's data format).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "relation/csv.h"
+
+namespace deltarepair {
+namespace {
+
+TEST(CsvTest, LoadTypedTable) {
+  Database db;
+  Status st = LoadCsvIntoDatabase(&db, "Author",
+                                  "aid:int,name:str,oid:int\n"
+                                  "1,alice,10\n"
+                                  "2,bob,11\n");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  const Relation* rel = db.FindRelation("Author");
+  ASSERT_NE(rel, nullptr);
+  EXPECT_EQ(rel->live_count(), 2u);
+  EXPECT_EQ(rel->row(0)[0], Value(int64_t{1}));
+  EXPECT_EQ(rel->row(0)[1], Value("alice"));
+  EXPECT_EQ(rel->schema().attribute(2).type, ValueType::kInt);
+}
+
+TEST(CsvTest, DefaultsToStringType) {
+  Database db;
+  Status st = LoadCsvIntoDatabase(&db, "T", "a,b:int\nx,1\n");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(db.FindRelation("T")->row(0)[0], Value("x"));
+}
+
+TEST(CsvTest, SkipsBlankLinesAndTrimsCells) {
+  Database db;
+  Status st = LoadCsvIntoDatabase(&db, "T",
+                                  "a:int , b:str\n"
+                                  " 1 , x \n"
+                                  "\n"
+                                  "2,y\n\n");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(db.FindRelation("T")->live_count(), 2u);
+  EXPECT_EQ(db.FindRelation("T")->row(0)[1], Value("x"));
+}
+
+TEST(CsvTest, Errors) {
+  Database db;
+  EXPECT_FALSE(LoadCsvIntoDatabase(&db, "E1", "").ok());
+  EXPECT_FALSE(LoadCsvIntoDatabase(&db, "E2", "a:float\n1\n").ok());
+  EXPECT_FALSE(LoadCsvIntoDatabase(&db, "E3", "a:int\nnotanint\n").ok());
+  EXPECT_FALSE(LoadCsvIntoDatabase(&db, "E4", "a:int,b:int\n1\n").ok());
+  ASSERT_TRUE(LoadCsvIntoDatabase(&db, "Dup", "a:int\n1\n").ok());
+  EXPECT_EQ(LoadCsvIntoDatabase(&db, "Dup", "a:int\n1\n").code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(CsvTest, RoundTripThroughRender) {
+  Database db;
+  ASSERT_TRUE(LoadCsvIntoDatabase(&db, "T",
+                                  "a:int,b:str\n"
+                                  "1,x\n"
+                                  "2,y\n")
+                  .ok());
+  std::string rendered = RelationToCsv(*db.FindRelation("T"));
+  Database db2;
+  ASSERT_TRUE(LoadCsvIntoDatabase(&db2, "T", rendered).ok());
+  EXPECT_EQ(db2.FindRelation("T")->live_count(), 2u);
+  EXPECT_EQ(db2.FindRelation("T")->row(1)[1], Value("y"));
+}
+
+TEST(CsvTest, RenderSkipsDeletedRows) {
+  Database db;
+  ASSERT_TRUE(LoadCsvIntoDatabase(&db, "T", "a:int\n1\n2\n").ok());
+  db.MarkDeleted(TupleId{0, 0});
+  std::string rendered = RelationToCsv(*db.FindRelation("T"));
+  EXPECT_EQ(rendered, "a:int\n2\n");
+}
+
+TEST(CsvTest, LoadCsvFileNamesRelationAfterBasename) {
+  std::string path = ::testing::TempDir() + "/Writes.csv";
+  {
+    std::ofstream out(path);
+    out << "aid:int,pid:int\n4,6\n5,7\n";
+  }
+  Database db;
+  Status st = LoadCsvFile(&db, path);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ASSERT_NE(db.FindRelation("Writes"), nullptr);
+  EXPECT_EQ(db.FindRelation("Writes")->live_count(), 2u);
+  std::remove(path.c_str());
+  EXPECT_EQ(LoadCsvFile(&db, "/nonexistent/nope.csv").code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace deltarepair

@@ -1,0 +1,162 @@
+// Denial-constraint tests: parsing, translation to delta rules (Sec. 3.6),
+// violation counting, and the vertex-cover reduction of Proposition 4.2
+// (independent/step semantics compute minimum vertex covers).
+#include <gtest/gtest.h>
+
+#include "repair/dc.h"
+#include "repair/exact.h"
+#include "repair/repair_engine.h"
+#include "tests/test_util.h"
+
+namespace deltarepair {
+namespace {
+
+TEST(DcParseTest, BasicParseAndRender) {
+  auto dc = ParseDenialConstraint(
+      "FD", "R(k, v1), R(k, v2), v1 != v2");
+  ASSERT_TRUE(dc.ok()) << dc.status().ToString();
+  EXPECT_EQ(dc->atoms.size(), 2u);
+  EXPECT_EQ(dc->comparisons.size(), 1u);
+  std::string rendered = dc->ToString();
+  EXPECT_NE(rendered.find("FD"), std::string::npos);
+  EXPECT_NE(rendered.find("deny"), std::string::npos);
+}
+
+TEST(DcParseTest, RejectsDeltaAtoms) {
+  EXPECT_FALSE(ParseDenialConstraint("bad", "R(x), ~S(x)").ok());
+  EXPECT_FALSE(ParseDenialConstraint("empty", "x != 1").ok());
+}
+
+TEST(DcTranslationTest, FirstAtomHeadProducesOneRulePerDc) {
+  auto dc = ParseDenialConstraint("FD", "R(k, v1), R(k, v2), v1 != v2");
+  ASSERT_TRUE(dc.ok());
+  Program single = DcsToProgram({*dc}, DcTranslation::kFirstAtomHead);
+  EXPECT_EQ(single.size(), 1u);
+  EXPECT_TRUE(single.rules()[0].head.is_delta);
+  Program per_atom = DcsToProgram({*dc}, DcTranslation::kRulePerAtom);
+  EXPECT_EQ(per_atom.size(), 2u);
+}
+
+TEST(DcViolationTest, CountsAssignmentsAndTuples) {
+  Database db;
+  uint32_t r = db.AddRelation(MakeIntSchema("R", {"k", "v"}));
+  db.Insert(r, {Value(int64_t{1}), Value(int64_t{10})});
+  db.Insert(r, {Value(int64_t{1}), Value(int64_t{11})});
+  db.Insert(r, {Value(int64_t{1}), Value(int64_t{12})});
+  db.Insert(r, {Value(int64_t{2}), Value(int64_t{20})});
+  auto dc = ParseDenialConstraint("FD", "R(k, v1), R(k, v2), v1 != v2");
+  ASSERT_TRUE(dc.ok());
+  DcViolations v = CountViolations(&db, *dc);
+  EXPECT_EQ(v.assignments, 6u);       // 3 ordered pairs x 2
+  EXPECT_EQ(v.violating_tuples, 3u);  // the k=1 cluster
+}
+
+TEST(DcViolationTest, CleanTableHasNone) {
+  Database db;
+  uint32_t r = db.AddRelation(MakeIntSchema("R", {"k", "v"}));
+  db.Insert(r, {Value(int64_t{1}), Value(int64_t{10})});
+  db.Insert(r, {Value(int64_t{2}), Value(int64_t{20})});
+  auto dc = ParseDenialConstraint("FD", "R(k, v1), R(k, v2), v1 != v2");
+  ASSERT_TRUE(dc.ok());
+  DcViolations v = CountViolations(&db, *dc);
+  EXPECT_EQ(v.assignments, 0u);
+  EXPECT_EQ(v.violating_tuples, 0u);
+}
+
+TEST(DcRepairTest, RepairEliminatesViolations) {
+  Database db;
+  uint32_t r = db.AddRelation(MakeIntSchema("R", {"k", "v"}));
+  db.Insert(r, {Value(int64_t{1}), Value(int64_t{10})});
+  db.Insert(r, {Value(int64_t{1}), Value(int64_t{11})});
+  db.Insert(r, {Value(int64_t{2}), Value(int64_t{20})});
+  auto dc = ParseDenialConstraint("FD", "R(k, v1), R(k, v2), v1 != v2");
+  ASSERT_TRUE(dc.ok());
+  Program program = DcsToProgram({*dc}, DcTranslation::kRulePerAtom);
+  StatusOr<RepairEngine> engine = RepairEngine::Create(&db, program);
+  ASSERT_TRUE(engine.ok());
+  engine->RunAndApply(SemanticsKind::kIndependent);
+  DcViolations v = CountViolations(&db, *dc);
+  EXPECT_EQ(v.assignments, 0u);
+  EXPECT_EQ(db.TotalDelta(), 1u);  // one side of the pair deleted
+}
+
+// --- Proposition 4.2: vertex cover reduction. ----------------------------
+
+struct VcInstance {
+  Database db;
+  Program program;
+};
+
+/// Encodes a graph as E(u,v), E(v,u), VC(v) with the reduction's rule
+/// ∆VC(x) :- E(x, y), VC(x), VC(y).
+VcInstance MakeVcInstance(const std::vector<std::pair<int, int>>& edges,
+                          int num_vertices) {
+  VcInstance inst;
+  uint32_t e = inst.db.AddRelation(MakeIntSchema("E", {"u", "v"}));
+  uint32_t vc = inst.db.AddRelation(MakeIntSchema("VC", {"v"}));
+  for (auto [u, v] : edges) {
+    inst.db.Insert(e, {Value(int64_t{u}), Value(int64_t{v})});
+    inst.db.Insert(e, {Value(int64_t{v}), Value(int64_t{u})});
+  }
+  for (int v = 0; v < num_vertices; ++v) {
+    inst.db.Insert(vc, {Value(int64_t{v})});
+  }
+  inst.program = MustParseProgram("~VC(x) :- E(x, y), VC(x), VC(y).\n");
+  return inst;
+}
+
+class VertexCoverTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::vector<std::pair<int, int>>, int, size_t>> {};
+
+TEST_P(VertexCoverTest, IndependentAndStepFindMinimumCover) {
+  auto [edges, n, expected_cover] = GetParam();
+  VcInstance inst = MakeVcInstance(edges, n);
+  StatusOr<RepairEngine> engine =
+      RepairEngine::Create(&inst.db, inst.program);
+  ASSERT_TRUE(engine.ok());
+
+  RepairResult ind = engine->Run(SemanticsKind::kIndependent);
+  ASSERT_TRUE(ind.stats.optimal);
+  EXPECT_EQ(ind.size(), expected_cover);
+  // Only VC tuples are ever deleted under this reduction.
+  for (const TupleId& t : ind.deleted) {
+    EXPECT_EQ(inst.db.relation(t.relation).name(), "VC");
+  }
+
+  auto exact_step = ExactStep(&inst.db, engine->program());
+  ASSERT_TRUE(exact_step.has_value());
+  EXPECT_EQ(exact_step->size(), expected_cover);
+
+  // Algorithm 2 returns a valid cover (possibly larger).
+  RepairResult step = engine->Run(SemanticsKind::kStep);
+  EXPECT_TRUE(engine->Verify(step));
+  EXPECT_GE(step.size(), expected_cover);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, VertexCoverTest,
+    ::testing::Values(
+        // Triangle: min cover 2.
+        std::make_tuple(std::vector<std::pair<int, int>>{{0, 1}, {1, 2},
+                                                         {0, 2}},
+                        3, size_t{2}),
+        // Star K1,4: min cover 1.
+        std::make_tuple(std::vector<std::pair<int, int>>{{0, 1}, {0, 2},
+                                                         {0, 3}, {0, 4}},
+                        5, size_t{1}),
+        // Path of 4 vertices: min cover 2.
+        std::make_tuple(std::vector<std::pair<int, int>>{{0, 1}, {1, 2},
+                                                         {2, 3}},
+                        4, size_t{2}),
+        // 5-cycle: min cover 3.
+        std::make_tuple(std::vector<std::pair<int, int>>{{0, 1}, {1, 2},
+                                                         {2, 3}, {3, 4},
+                                                         {4, 0}},
+                        5, size_t{3}),
+        // Two disjoint edges: min cover 2.
+        std::make_tuple(std::vector<std::pair<int, int>>{{0, 1}, {2, 3}}, 4,
+                        size_t{2})));
+
+}  // namespace
+}  // namespace deltarepair

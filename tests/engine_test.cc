@@ -1,0 +1,190 @@
+// RepairEngine facade tests: creation failures, run-vs-apply state
+// handling, option plumbing, result statistics, and result-set helpers.
+#include <gtest/gtest.h>
+
+#include "repair/repair_engine.h"
+#include "repair/stability.h"
+#include "tests/test_util.h"
+
+namespace deltarepair {
+namespace {
+
+struct EngineFixture {
+  Database db;
+  TupleId a1, a2, b1;
+
+  EngineFixture() {
+    uint32_t a = db.AddRelation(MakeIntSchema("A", {"x"}));
+    uint32_t b = db.AddRelation(MakeIntSchema("B", {"x"}));
+    a1 = db.Insert(a, {Value(int64_t{1})});
+    a2 = db.Insert(a, {Value(int64_t{2})});
+    b1 = db.Insert(b, {Value(int64_t{1})});
+  }
+};
+
+const char* kProgram =
+    "~A(x) :- A(x), x = 1.\n"
+    "~B(x) :- B(x), ~A(x).\n";
+
+TEST(EngineTest, CreateFailsOnUnknownRelation) {
+  EngineFixture f;
+  auto engine =
+      RepairEngine::Create(&f.db, MustParseProgram("~Z(x) :- Z(x).\n"));
+  EXPECT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kNotFound);
+}
+
+TEST(EngineTest, CreateFailsOnArityMismatch) {
+  EngineFixture f;
+  auto engine =
+      RepairEngine::Create(&f.db, MustParseProgram("~A(x, y) :- A(x, y).\n"));
+  EXPECT_FALSE(engine.ok());
+}
+
+TEST(EngineTest, RunLeavesStateUntouchedApplyDoesNot) {
+  EngineFixture f;
+  auto engine = RepairEngine::Create(&f.db, MustParseProgram(kProgram));
+  ASSERT_TRUE(engine.ok());
+  RepairResult dry = engine->Run(SemanticsKind::kStage);
+  EXPECT_EQ(dry.deleted, IdSet({f.a1, f.b1}));
+  EXPECT_EQ(f.db.TotalLive(), 3u);
+  EXPECT_EQ(f.db.TotalDelta(), 0u);
+
+  RepairResult applied = engine->RunAndApply(SemanticsKind::kStage);
+  EXPECT_EQ(applied.deleted, dry.deleted);
+  EXPECT_EQ(f.db.TotalLive(), 1u);
+  EXPECT_TRUE(f.db.delta(f.a1));
+  EXPECT_TRUE(IsStable(&f.db, engine->program()));
+}
+
+TEST(EngineTest, RunAllReturnsFourInCanonicalOrder) {
+  EngineFixture f;
+  auto engine = RepairEngine::Create(&f.db, MustParseProgram(kProgram));
+  ASSERT_TRUE(engine.ok());
+  auto all = engine->RunAll();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].semantics, SemanticsKind::kEnd);
+  EXPECT_EQ(all[1].semantics, SemanticsKind::kStage);
+  EXPECT_EQ(all[2].semantics, SemanticsKind::kStep);
+  EXPECT_EQ(all[3].semantics, SemanticsKind::kIndependent);
+  // Database untouched after a full sweep.
+  EXPECT_EQ(f.db.TotalLive(), 3u);
+}
+
+TEST(EngineTest, VerifyRejectsNonStabilizingSets) {
+  EngineFixture f;
+  auto engine = RepairEngine::Create(&f.db, MustParseProgram(kProgram));
+  ASSERT_TRUE(engine.ok());
+  RepairResult fake;
+  fake.deleted = {f.a2};  // deleting A(2) does not silence rule 1
+  CanonicalizeResult(&fake);
+  EXPECT_FALSE(engine->Verify(fake));
+  RepairResult empty;
+  EXPECT_FALSE(engine->Verify(empty));  // database is unstable
+  RepairResult good;
+  good.deleted = {f.a1, f.b1};
+  CanonicalizeResult(&good);
+  EXPECT_TRUE(engine->Verify(good));
+}
+
+TEST(EngineTest, IndependentOptionsArePlumbedThrough) {
+  EngineFixture f;
+  auto engine = RepairEngine::Create(&f.db, MustParseProgram(kProgram));
+  ASSERT_TRUE(engine.ok());
+  engine->independent_options().min_ones.max_assignments = 1;
+  RepairResult ind = engine->Run(SemanticsKind::kIndependent);
+  // Starved solver may lose optimality but never soundness.
+  EXPECT_TRUE(engine->Verify(ind));
+}
+
+TEST(EngineTest, StatsPopulatedPerAlgorithm) {
+  EngineFixture f;
+  auto engine = RepairEngine::Create(&f.db, MustParseProgram(kProgram));
+  ASSERT_TRUE(engine.ok());
+  RepairResult ind = engine->Run(SemanticsKind::kIndependent);
+  EXPECT_GT(ind.stats.cnf_vars, 0u);
+  EXPECT_GT(ind.stats.cnf_clauses, 0u);
+  EXPECT_GE(ind.stats.solve_seconds, 0.0);
+  RepairResult step = engine->Run(SemanticsKind::kStep);
+  EXPECT_GT(step.stats.graph_nodes, 0u);
+  EXPECT_EQ(step.stats.graph_layers, 2u);
+  RepairResult end = engine->Run(SemanticsKind::kEnd);
+  EXPECT_GT(end.stats.assignments, 0u);
+  EXPECT_GT(end.stats.eval_seconds, 0.0);
+}
+
+TEST(EngineTest, ResultSetHelpers) {
+  EngineFixture f;
+  RepairResult small;
+  small.deleted = {f.a1};
+  CanonicalizeResult(&small);
+  RepairResult big;
+  big.deleted = {f.b1, f.a1};  // out of order on purpose
+  CanonicalizeResult(&big);
+  EXPECT_TRUE(small.SubsetOf(big));
+  EXPECT_FALSE(big.SubsetOf(small));
+  EXPECT_FALSE(small.SameSet(big));
+  EXPECT_TRUE(big.Contains(f.b1));
+  EXPECT_FALSE(small.Contains(f.b1));
+  EXPECT_EQ(big.BreakdownByRelation(f.db), "A:1 B:1");
+}
+
+TEST(EngineTest, CanonicalizeDedupes) {
+  EngineFixture f;
+  RepairResult r;
+  r.deleted = {f.a1, f.a1, f.b1, f.a1};
+  CanonicalizeResult(&r);
+  EXPECT_EQ(r.deleted, IdSet({f.a1, f.b1}));
+}
+
+TEST(CrossTypeTest, IntStringComparisonNeverMatches) {
+  // A rule comparing an int column against a string constant simply
+  // never fires (total order across types, no coercion).
+  Database db;
+  uint32_t r = db.AddRelation(MakeIntSchema("R", {"x"}));
+  db.Insert(r, {Value(int64_t{1})});
+  auto engine = RepairEngine::Create(
+      &db, MustParseProgram("~R(x) :- R(x), x = 'one'.\n"));
+  ASSERT_TRUE(engine.ok());
+  for (auto& result : engine->RunAll()) {
+    EXPECT_TRUE(result.deleted.empty());
+  }
+}
+
+TEST(CrossTypeTest, OrderingAcrossTypesIsStable) {
+  // x < 'a' holds for every int (ints sort before strings).
+  Database db;
+  uint32_t r = db.AddRelation(MakeIntSchema("R", {"x"}));
+  TupleId t = db.Insert(r, {Value(int64_t{5})});
+  auto engine = RepairEngine::Create(
+      &db, MustParseProgram("~R(x) :- R(x), x < 'a'.\n"));
+  ASSERT_TRUE(engine.ok());
+  RepairResult end = engine->Run(SemanticsKind::kEnd);
+  EXPECT_EQ(end.deleted, IdSet({t}));
+}
+
+TEST(EmptyCasesTest, EmptyProgramIsAlwaysStable) {
+  EngineFixture f;
+  Program empty;
+  auto engine = RepairEngine::Create(&f.db, empty);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_TRUE(IsStable(&f.db, engine->program()));
+  for (auto& result : engine->RunAll()) {
+    EXPECT_TRUE(result.deleted.empty());
+  }
+}
+
+TEST(EmptyCasesTest, EmptyRelationsYieldEmptyRepairs) {
+  Database db;
+  db.AddRelation(MakeIntSchema("A", {"x"}));
+  db.AddRelation(MakeIntSchema("B", {"x"}));
+  auto engine = RepairEngine::Create(
+      &db, MustParseProgram("~A(x) :- A(x), B(x).\n"));
+  ASSERT_TRUE(engine.ok());
+  for (auto& result : engine->RunAll()) {
+    EXPECT_TRUE(result.deleted.empty());
+  }
+}
+
+}  // namespace
+}  // namespace deltarepair

@@ -1,0 +1,202 @@
+// Grounder tests: assignment enumeration, matching modes, pivots,
+// comparisons, self-joins, repeated variables, early termination.
+#include <gtest/gtest.h>
+
+#include "datalog/grounder.h"
+#include "tests/test_util.h"
+
+namespace deltarepair {
+namespace {
+
+struct JoinFixture {
+  Database db;
+  uint32_t r, s;
+
+  JoinFixture() {
+    r = db.AddRelation(MakeIntSchema("R", {"x", "y"}));
+    s = db.AddRelation(MakeIntSchema("S", {"y", "z"}));
+    // R: (1,10) (2,20) (3,30); S: (10,100) (10,101) (20,200)
+    db.Insert(r, {Value(int64_t{1}), Value(int64_t{10})});
+    db.Insert(r, {Value(int64_t{2}), Value(int64_t{20})});
+    db.Insert(r, {Value(int64_t{3}), Value(int64_t{30})});
+    db.Insert(s, {Value(int64_t{10}), Value(int64_t{100})});
+    db.Insert(s, {Value(int64_t{10}), Value(int64_t{101})});
+    db.Insert(s, {Value(int64_t{20}), Value(int64_t{200})});
+  }
+
+  Rule Resolve(const std::string& text) {
+    Program p = MustParseProgram(text);
+    Status st = ResolveProgram(&p, db);
+    if (!st.ok()) std::abort();
+    return p.rules()[0];
+  }
+
+  size_t Count(const Rule& rule, BaseMatch bm = BaseMatch::kLive,
+               DeltaMatch dm = DeltaMatch::kCurrent) {
+    Grounder g(&db);
+    size_t n = 0;
+    g.EnumerateRule(rule, 0, bm, dm, [&](const GroundAssignment&) {
+      ++n;
+      return true;
+    });
+    return n;
+  }
+};
+
+TEST(GrounderTest, EquiJoinCount) {
+  JoinFixture f;
+  Rule rule = f.Resolve("~R(x, y) :- R(x, y), S(y, z).");
+  // R(1,10) joins two S rows, R(2,20) joins one: 3 assignments.
+  EXPECT_EQ(f.Count(rule), 3u);
+}
+
+TEST(GrounderTest, ComparisonFilter) {
+  JoinFixture f;
+  Rule rule = f.Resolve("~R(x, y) :- R(x, y), S(y, z), z > 100.");
+  EXPECT_EQ(f.Count(rule), 2u);  // z=101, z=200
+}
+
+TEST(GrounderTest, ConstantInAtom) {
+  JoinFixture f;
+  Rule rule = f.Resolve("~R(x, 10) :- R(x, 10).");
+  EXPECT_EQ(f.Count(rule), 1u);
+}
+
+TEST(GrounderTest, ConstantOnlyComparisonFalseShortCircuits) {
+  JoinFixture f;
+  Rule rule = f.Resolve("~R(x, y) :- R(x, y), 1 = 2.");
+  EXPECT_EQ(f.Count(rule), 0u);
+}
+
+TEST(GrounderTest, LiveVsAllRowsBaseMatch) {
+  JoinFixture f;
+  Rule rule = f.Resolve("~R(x, y) :- R(x, y).");
+  EXPECT_EQ(f.Count(rule), 3u);
+  f.db.MarkDeleted(TupleId{f.r, 0});
+  EXPECT_EQ(f.Count(rule, BaseMatch::kLive), 2u);
+  EXPECT_EQ(f.Count(rule, BaseMatch::kAllRows), 3u);
+}
+
+TEST(GrounderTest, DeltaMatchModes) {
+  JoinFixture f;
+  Rule rule = f.Resolve("~S(y, z) :- S(y, z), ~R(x, y).");
+  // No deltas yet: operational mode finds nothing; hypothetical mode
+  // treats every live R row as potentially deleted.
+  EXPECT_EQ(f.Count(rule, BaseMatch::kLive, DeltaMatch::kCurrent), 0u);
+  EXPECT_EQ(f.Count(rule, BaseMatch::kLive, DeltaMatch::kHypothetical), 3u);
+  // Delete R(1,10): its delta joins S(10,100) and S(10,101).
+  f.db.MarkDeleted(TupleId{f.r, 0});
+  EXPECT_EQ(f.Count(rule, BaseMatch::kLive, DeltaMatch::kCurrent), 2u);
+}
+
+TEST(GrounderTest, PivotRestrictsAtom) {
+  JoinFixture f;
+  f.db.MarkDeleted(TupleId{f.r, 0});  // ~R(1,10)
+  f.db.MarkDeleted(TupleId{f.r, 1});  // ~R(2,20)
+  Rule rule = f.Resolve("~S(y, z) :- S(y, z), ~R(x, y).");
+  int delta_atom = 1;
+  std::vector<uint32_t> pivot = {0};  // only ~R(1,10)
+  Grounder g(&f.db);
+  size_t n = 0;
+  g.EnumerateRule(rule, 0, BaseMatch::kLive, DeltaMatch::kCurrent,
+                  [&](const GroundAssignment& ga) {
+                    EXPECT_EQ(ga.body[1].row, 0u);
+                    ++n;
+                    return true;
+                  },
+                  delta_atom, &pivot);
+  EXPECT_EQ(n, 2u);  // S(10,100), S(10,101)
+}
+
+TEST(GrounderTest, EarlyStopViaCallback) {
+  JoinFixture f;
+  Rule rule = f.Resolve("~R(x, y) :- R(x, y).");
+  Grounder g(&f.db);
+  size_t n = 0;
+  bool completed = g.EnumerateRule(rule, 0, BaseMatch::kLive,
+                                   DeltaMatch::kCurrent,
+                                   [&](const GroundAssignment&) {
+                                     ++n;
+                                     return false;
+                                   });
+  EXPECT_EQ(n, 1u);
+  EXPECT_FALSE(completed);
+}
+
+TEST(GrounderTest, HeadIsSelfAtomRow) {
+  JoinFixture f;
+  Rule rule = f.Resolve("~S(y, z) :- S(y, z), R(x, y).");
+  Grounder g(&f.db);
+  g.EnumerateRule(rule, 0, BaseMatch::kLive, DeltaMatch::kCurrent,
+                  [&](const GroundAssignment& ga) {
+                    EXPECT_EQ(ga.head, ga.body[0]);  // self atom is S
+                    EXPECT_EQ(ga.head.relation, f.s);
+                    return true;
+                  });
+}
+
+TEST(GrounderTest, RepeatedVariableWithinAtom) {
+  Database db;
+  uint32_t e = db.AddRelation(MakeIntSchema("E", {"a", "b"}));
+  db.Insert(e, {Value(int64_t{1}), Value(int64_t{1})});  // loop
+  db.Insert(e, {Value(int64_t{1}), Value(int64_t{2})});
+  Program p = MustParseProgram("~E(x, x) :- E(x, x).");
+  ASSERT_TRUE(ResolveProgram(&p, db).ok());
+  Grounder g(&db);
+  size_t n = 0;
+  g.EnumerateRule(p.rules()[0], 0, BaseMatch::kLive, DeltaMatch::kCurrent,
+                  [&](const GroundAssignment&) {
+                    ++n;
+                    return true;
+                  });
+  EXPECT_EQ(n, 1u);  // only the loop row
+}
+
+TEST(GrounderTest, SelfJoinEnumeratesOrderedPairs) {
+  Database db;
+  uint32_t r = db.AddRelation(MakeIntSchema("R", {"k", "v"}));
+  db.Insert(r, {Value(int64_t{1}), Value(int64_t{10})});
+  db.Insert(r, {Value(int64_t{1}), Value(int64_t{11})});
+  db.Insert(r, {Value(int64_t{2}), Value(int64_t{20})});
+  Program p =
+      MustParseProgram("~R(k, v1) :- R(k, v1), R(k, v2), v1 != v2.");
+  ASSERT_TRUE(ResolveProgram(&p, db).ok());
+  Grounder g(&db);
+  size_t n = 0;
+  g.EnumerateRule(p.rules()[0], 0, BaseMatch::kLive, DeltaMatch::kCurrent,
+                  [&](const GroundAssignment&) {
+                    ++n;
+                    return true;
+                  });
+  EXPECT_EQ(n, 2u);  // (row0,row1) and (row1,row0)
+}
+
+TEST(GrounderTest, AnyAssignmentStability) {
+  JoinFixture f;
+  Program p = MustParseProgram("~R(x, y) :- R(x, y), y = 999.");
+  ASSERT_TRUE(ResolveProgram(&p, f.db).ok());
+  Grounder g(&f.db);
+  EXPECT_FALSE(g.AnyAssignment(p, BaseMatch::kLive, DeltaMatch::kCurrent));
+  Program p2 = MustParseProgram("~R(x, y) :- R(x, y), y = 10.");
+  ASSERT_TRUE(ResolveProgram(&p2, f.db).ok());
+  EXPECT_TRUE(g.AnyAssignment(p2, BaseMatch::kLive, DeltaMatch::kCurrent));
+}
+
+TEST(GrounderTest, CrossProductWhenNoSharedVars) {
+  JoinFixture f;
+  Rule rule = f.Resolve("~R(x, y) :- R(x, y), S(a, b).");
+  EXPECT_EQ(f.Count(rule), 9u);  // 3 x 3
+}
+
+TEST(GrounderTest, AssignmentCounterAccumulates) {
+  JoinFixture f;
+  Rule rule = f.Resolve("~R(x, y) :- R(x, y).");
+  Grounder g(&f.db);
+  auto noop = [](const GroundAssignment&) { return true; };
+  g.EnumerateRule(rule, 0, BaseMatch::kLive, DeltaMatch::kCurrent, noop);
+  g.EnumerateRule(rule, 0, BaseMatch::kLive, DeltaMatch::kCurrent, noop);
+  EXPECT_EQ(g.assignments_enumerated(), 6u);
+}
+
+}  // namespace
+}  // namespace deltarepair

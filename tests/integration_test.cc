@@ -1,0 +1,220 @@
+// Integration tests: every MAS and TPC-H program of the paper, run
+// end-to-end through all four semantics on a small generated instance,
+// checking the paper's guaranteed invariants plus the structurally forced
+// rows of Table 3.
+#include <gtest/gtest.h>
+
+#include "repair/repair_engine.h"
+#include "tests/test_util.h"
+#include "workload/mas_generator.h"
+#include "workload/programs.h"
+#include "workload/tpch_generator.h"
+
+namespace deltarepair {
+namespace {
+
+MasConfig TinyMas() {
+  MasConfig config;
+  config.num_orgs = 10;
+  config.num_authors = 120;
+  config.num_pubs = 240;
+  config.name_pool = 25;
+  return config;
+}
+
+struct FourResults {
+  RepairResult end, stage, step, ind;
+};
+
+FourResults RunAllFour(RepairEngine* engine) {
+  FourResults out;
+  out.end = engine->Run(SemanticsKind::kEnd);
+  out.stage = engine->Run(SemanticsKind::kStage);
+  out.step = engine->Run(SemanticsKind::kStep);
+  out.ind = engine->Run(SemanticsKind::kIndependent);
+  return out;
+}
+
+class MasProgramTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MasProgramTest, InvariantsAcrossSemantics) {
+  const int num = GetParam();
+  MasData data = GenerateMas(TinyMas());
+  StatusOr<RepairEngine> engine =
+      RepairEngine::Create(&data.db, MasProgram(num, data.hubs));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  FourResults r = RunAllFour(&*engine);
+
+  for (const RepairResult* result :
+       {&r.end, &r.stage, &r.step, &r.ind}) {
+    EXPECT_TRUE(engine->Verify(*result))
+        << "program " << num << " " << SemanticsName(result->semantics);
+  }
+  EXPECT_TRUE(r.stage.SubsetOf(r.end)) << num;
+  EXPECT_TRUE(r.step.SubsetOf(r.end)) << num;
+  if (r.ind.stats.optimal) {
+    EXPECT_LE(r.ind.size(), r.stage.size()) << num;
+    EXPECT_LE(r.ind.size(), r.step.size()) << num;
+  }
+  // Every program has non-trivial work on this instance.
+  EXPECT_GT(r.end.size(), 0u) << num;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, MasProgramTest,
+                         ::testing::Range(1, 21),
+                         [](const auto& info) {
+                           return "Program" + std::to_string(info.param);
+                         });
+
+// Structurally forced rows of Table 3.
+TEST(Table3StructureTest, Program2IndependentNotContained) {
+  MasData data = GenerateMas(TinyMas());
+  StatusOr<RepairEngine> engine =
+      RepairEngine::Create(&data.db, MasProgram(2, data.hubs));
+  ASSERT_TRUE(engine.ok());
+  FourResults r = RunAllFour(&*engine);
+  // Ind deletes the single Author tuple — not derivable, so not contained
+  // in stage or step (Table 3 row 2: ✓ ✗ ✗).
+  EXPECT_EQ(r.ind.size(), 1u);
+  EXPECT_TRUE(r.step.SameSet(r.stage));
+  EXPECT_FALSE(r.ind.SubsetOf(r.stage));
+  EXPECT_FALSE(r.ind.SubsetOf(r.step));
+  EXPECT_GT(r.stage.size(), 1u);
+}
+
+TEST(Table3StructureTest, Programs3And4StepPicksOneTuple) {
+  MasData data = GenerateMas(TinyMas());
+  for (int num : {3, 4}) {
+    StatusOr<RepairEngine> engine =
+        RepairEngine::Create(&data.db, MasProgram(num, data.hubs));
+    ASSERT_TRUE(engine.ok());
+    FourResults r = RunAllFour(&*engine);
+    // Table 3 rows 3-4: Step != Stage, Ind ⊆ Stage, Ind ⊆ Step; figure 6a:
+    // step/independent have a single-tuple result.
+    EXPECT_EQ(r.step.size(), 1u) << num;
+    EXPECT_EQ(r.ind.size(), 1u) << num;
+    EXPECT_FALSE(r.step.SameSet(r.stage)) << num;
+    EXPECT_TRUE(r.ind.SubsetOf(r.stage)) << num;
+    EXPECT_TRUE(r.ind.SubsetOf(r.step)) << num;
+    EXPECT_GT(r.stage.size(), 1u) << num;
+  }
+}
+
+TEST(Table3StructureTest, PureCascades16To20AllEqual) {
+  MasData data = GenerateMas(TinyMas());
+  size_t previous_size = 0;
+  for (int num = 16; num <= 20; ++num) {
+    StatusOr<RepairEngine> engine =
+        RepairEngine::Create(&data.db, MasProgram(num, data.hubs));
+    ASSERT_TRUE(engine.ok());
+    FourResults r = RunAllFour(&*engine);
+    EXPECT_TRUE(r.end.SameSet(r.stage)) << num;
+    EXPECT_TRUE(r.end.SameSet(r.step)) << num;
+    EXPECT_TRUE(r.end.SameSet(r.ind)) << num;
+    // Figure 6c: the cascade grows with the chain length.
+    EXPECT_GE(r.end.size(), previous_size) << num;
+    previous_size = r.end.size();
+  }
+}
+
+TEST(Table3StructureTest, Program11DeletesAllCites) {
+  MasData data = GenerateMas(TinyMas());
+  StatusOr<RepairEngine> engine =
+      RepairEngine::Create(&data.db, MasProgram(11, data.hubs));
+  ASSERT_TRUE(engine.ok());
+  FourResults r = RunAllFour(&*engine);
+  size_t cites = data.db.FindRelation(kMasCite)->live_count();
+  EXPECT_EQ(r.end.size(), cites);
+  EXPECT_TRUE(r.end.SameSet(r.ind));  // Table 3 row 11: all ✓
+}
+
+TEST(Table3StructureTest, Programs12To15IndependentShrinksWithJoins) {
+  MasData data = GenerateMas(TinyMas());
+  size_t previous = SIZE_MAX;
+  for (int num = 12; num <= 15; ++num) {
+    StatusOr<RepairEngine> engine =
+        RepairEngine::Create(&data.db, MasProgram(num, data.hubs));
+    ASSERT_TRUE(engine.ok());
+    RepairResult ind = engine->Run(SemanticsKind::kIndependent);
+    RepairResult stage = engine->Run(SemanticsKind::kStage);
+    // Figure 6b: more joins → more repair options → smaller (or equal)
+    // independent repair; stage keeps deleting whole Cite slices.
+    EXPECT_LE(ind.size(), stage.size()) << num;
+    EXPECT_LE(ind.size(), previous) << num;
+    previous = ind.size();
+  }
+}
+
+TpchConfig TinyTpch() {
+  TpchConfig config;
+  config.num_suppliers = 30;
+  config.num_customers = 90;
+  config.num_parts = 80;
+  config.num_orders = 150;
+  return config;
+}
+
+class TpchProgramTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TpchProgramTest, InvariantsAcrossSemantics) {
+  const int num = GetParam();
+  TpchData data = GenerateTpch(TinyTpch());
+  StatusOr<RepairEngine> engine =
+      RepairEngine::Create(&data.db, TpchProgram(num, data.consts));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  FourResults r = RunAllFour(&*engine);
+  for (const RepairResult* result :
+       {&r.end, &r.stage, &r.step, &r.ind}) {
+    EXPECT_TRUE(engine->Verify(*result))
+        << "T" << num << " " << SemanticsName(result->semantics);
+  }
+  EXPECT_TRUE(r.stage.SubsetOf(r.end)) << num;
+  EXPECT_TRUE(r.step.SubsetOf(r.end)) << num;
+  if (r.ind.stats.optimal) {
+    EXPECT_LE(r.ind.size(), r.stage.size()) << num;
+    EXPECT_LE(r.ind.size(), r.step.size()) << num;
+  }
+  EXPECT_GT(r.end.size(), 0u) << num;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2, TpchProgramTest, ::testing::Range(1, 7),
+                         [](const auto& info) {
+                           return "T" + std::to_string(info.param);
+                         });
+
+TEST(Table3StructureTest, T2PureCascadeAllEqual) {
+  TpchData data = GenerateTpch(TinyTpch());
+  StatusOr<RepairEngine> engine =
+      RepairEngine::Create(&data.db, TpchProgram(2, data.consts));
+  ASSERT_TRUE(engine.ok());
+  FourResults r = RunAllFour(&*engine);
+  EXPECT_TRUE(r.end.SameSet(r.stage));
+  EXPECT_TRUE(r.end.SameSet(r.step));
+  EXPECT_TRUE(r.end.SameSet(r.ind));  // Table 3 row T-2: ✓ ✓ ✓
+}
+
+TEST(Table3StructureTest, T5StepDeletesOnlySmallerSide) {
+  TpchData data = GenerateTpch(TinyTpch());
+  StatusOr<RepairEngine> engine =
+      RepairEngine::Create(&data.db, TpchProgram(5, data.consts));
+  ASSERT_TRUE(engine.ok());
+  FourResults r = RunAllFour(&*engine);
+  // Table 3 row T-5: Step != Stage (stage deletes both suppliers and
+  // customers of the nation; step can stop after the smaller side).
+  EXPECT_FALSE(r.step.SameSet(r.stage));
+  EXPECT_LT(r.step.size(), r.stage.size());
+  EXPECT_TRUE(r.ind.SubsetOf(r.stage));
+}
+
+TEST(Table3StructureTest, T4IndependentCanPickOrders) {
+  TpchData data = GenerateTpch(TinyTpch());
+  StatusOr<RepairEngine> engine =
+      RepairEngine::Create(&data.db, TpchProgram(4, data.consts));
+  ASSERT_TRUE(engine.ok());
+  FourResults r = RunAllFour(&*engine);
+  EXPECT_TRUE(r.step.SameSet(r.stage));  // Table 3 row T-4 col 1: ✓
+  EXPECT_LE(r.ind.size(), r.stage.size());
+}
+
+}  // namespace
+}  // namespace deltarepair

@@ -1,0 +1,169 @@
+// Parser tests: rule grammar, delta markers, constants, comparisons,
+// comments, validation errors (Def. 3.1 shape), and round-tripping.
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+
+namespace deltarepair {
+namespace {
+
+TEST(ParserTest, SimpleRule) {
+  auto rule = ParseRule("~R(x) :- R(x), S(x, y).");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_TRUE(rule->head.is_delta);
+  EXPECT_EQ(rule->head.relation, "R");
+  EXPECT_EQ(rule->body.size(), 2u);
+  EXPECT_EQ(rule->self_atom, 0);
+  EXPECT_EQ(rule->num_vars, 2u);
+}
+
+TEST(ParserTest, ConstantsIntAndString) {
+  auto rule = ParseRule("~R(x, n) :- R(x, n), n = 'ERC', x < 10.");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  ASSERT_EQ(rule->comparisons.size(), 2u);
+  EXPECT_EQ(rule->comparisons[0].op, CmpOp::kEq);
+  EXPECT_EQ(rule->comparisons[0].rhs.constant.AsString(), "ERC");
+  EXPECT_EQ(rule->comparisons[1].op, CmpOp::kLt);
+  EXPECT_EQ(rule->comparisons[1].rhs.constant.AsInt(), 10);
+}
+
+TEST(ParserTest, ConstantsInAtoms) {
+  auto rule = ParseRule("~R(1, 'a') :- R(1, 'a').");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_TRUE(rule->head.terms[0].is_const());
+  EXPECT_EQ(rule->head.terms[0].constant.AsInt(), 1);
+  EXPECT_EQ(rule->self_atom, 0);
+  EXPECT_EQ(rule->num_vars, 0u);
+}
+
+TEST(ParserTest, NegativeIntegerConstant) {
+  auto rule = ParseRule("~R(x) :- R(x), x > -5.");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->comparisons[0].rhs.constant.AsInt(), -5);
+}
+
+TEST(ParserTest, DeltaBodyAtoms) {
+  auto rule = ParseRule("~W(a, p) :- W(a, p), ~A(a, n).");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_FALSE(rule->body[0].is_delta);
+  EXPECT_TRUE(rule->body[1].is_delta);
+  EXPECT_EQ(rule->NumDeltaBodyAtoms(), 1);
+  EXPECT_FALSE(rule->IsSeed());
+}
+
+TEST(ParserTest, AllComparisonOperators) {
+  auto rule = ParseRule(
+      "~R(a, b) :- R(a, b), a = 1, a != 2, a < 3, a <= 4, b > 5, b >= 6.");
+  ASSERT_TRUE(rule.ok());
+  ASSERT_EQ(rule->comparisons.size(), 6u);
+  EXPECT_EQ(rule->comparisons[0].op, CmpOp::kEq);
+  EXPECT_EQ(rule->comparisons[1].op, CmpOp::kNe);
+  EXPECT_EQ(rule->comparisons[2].op, CmpOp::kLt);
+  EXPECT_EQ(rule->comparisons[3].op, CmpOp::kLe);
+  EXPECT_EQ(rule->comparisons[4].op, CmpOp::kGt);
+  EXPECT_EQ(rule->comparisons[5].op, CmpOp::kGe);
+}
+
+TEST(ParserTest, ProgramWithCommentsAndMultipleRules) {
+  auto program = ParseProgram(
+      "% initialize the deletion\n"
+      "~G(g, n) :- G(g, n), n = 'ERC'.\n"
+      "# cascade\n"
+      "~A(a, n) :- A(a, n), AG(a, g), ~G(g, gn).\n");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(program->size(), 2u);
+}
+
+TEST(ParserTest, DoubleQuotedStrings) {
+  auto rule = ParseRule("~R(n) :- R(n), n = \"abc\".");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->comparisons[0].rhs.constant.AsString(), "abc");
+}
+
+TEST(ParserTest, VariableScopingPerRule) {
+  auto program = ParseProgram(
+      "~R(x) :- R(x), S(x).\n"
+      "~S(x) :- S(x), R(x).\n");
+  ASSERT_TRUE(program.ok());
+  // Both rules use var id 0 for their own 'x'.
+  EXPECT_EQ(program->rules()[0].num_vars, 1u);
+  EXPECT_EQ(program->rules()[1].num_vars, 1u);
+}
+
+TEST(ParserErrorTest, MissingSelfAtomRejected) {
+  auto rule = ParseRule("~R(x) :- S(x).");
+  EXPECT_FALSE(rule.ok());
+  EXPECT_EQ(rule.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParserErrorTest, SelfAtomTermMismatchRejected) {
+  // Same relation but different argument vector: not a self atom.
+  auto rule = ParseRule("~R(x, y) :- R(y, x).");
+  EXPECT_FALSE(rule.ok());
+}
+
+TEST(ParserErrorTest, NonDeltaHeadRejected) {
+  auto rule = ParseRule("R(x) :- R(x).");
+  EXPECT_FALSE(rule.ok());
+}
+
+TEST(ParserErrorTest, UnboundComparisonVariableRejected) {
+  auto rule = ParseRule("~R(x) :- R(x), z < 3.");
+  EXPECT_FALSE(rule.ok());
+}
+
+TEST(ParserErrorTest, SyntaxErrors) {
+  EXPECT_FALSE(ParseRule("~R(x :- R(x).").ok());
+  EXPECT_FALSE(ParseRule("~R(x) : R(x).").ok());
+  EXPECT_FALSE(ParseRule("~R(x) :- R(x), n = 'unterminated.").ok());
+  EXPECT_FALSE(ParseRule("~R(x) :- R(x), x ! 3.").ok());
+  EXPECT_FALSE(ParseRule("~R(x) @ R(x).").ok());
+}
+
+TEST(ParserTest, RuleToStringRoundTrip) {
+  auto rule = ParseRule("~W(a, p) :- W(a, p), ~A(a, n), p < 7.");
+  ASSERT_TRUE(rule.ok());
+  std::string rendered = rule->ToString();
+  auto reparsed = ParseRule(rendered);
+  ASSERT_TRUE(reparsed.ok()) << "rendered: " << rendered;
+  EXPECT_EQ(reparsed->ToString(), rendered);
+}
+
+TEST(ParseBodyTest, AtomsAndComparisons) {
+  auto body = ParseBody("A(x, y), B(y, z), x != z");
+  ASSERT_TRUE(body.ok()) << body.status().ToString();
+  EXPECT_EQ(body->atoms.size(), 2u);
+  EXPECT_EQ(body->comparisons.size(), 1u);
+  EXPECT_EQ(body->var_names.size(), 3u);
+}
+
+TEST(ParseBodyTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(ParseBody("A(x) extra").ok());
+}
+
+TEST(ResolveProgramTest, UnknownRelationAndArity) {
+  Database db;
+  db.AddRelation(MakeIntSchema("R", {"x"}));
+  {
+    auto program = ParseProgram("~Q(x) :- Q(x).");
+    ASSERT_TRUE(program.ok());
+    Program p = std::move(program).value();
+    EXPECT_EQ(ResolveProgram(&p, db).code(), StatusCode::kNotFound);
+  }
+  {
+    auto program = ParseProgram("~R(x, y) :- R(x, y).");
+    ASSERT_TRUE(program.ok());
+    Program p = std::move(program).value();
+    EXPECT_EQ(ResolveProgram(&p, db).code(), StatusCode::kInvalidArgument);
+  }
+  {
+    auto program = ParseProgram("~R(x) :- R(x).");
+    ASSERT_TRUE(program.ok());
+    Program p = std::move(program).value();
+    EXPECT_TRUE(ResolveProgram(&p, db).ok());
+    EXPECT_EQ(p.rules()[0].head.relation_index, 0);
+  }
+}
+
+}  // namespace
+}  // namespace deltarepair

@@ -1,0 +1,165 @@
+// Property-based tests: random small databases + random (acyclic) delta
+// programs, checking the paper's guaranteed invariants on every instance:
+//  * every semantics returns a stabilizing set (Prop. 3.18);
+//  * Stage ⊆ End and Step ⊆ End (Prop. 3.20 items 2-3);
+//  * |Ind| is minimum (cross-checked against brute force);
+//  * Algorithm 2's result is bounded below by exact step semantics;
+//  * the PTIME semantics are deterministic.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "repair/exact.h"
+#include "repair/repair_engine.h"
+#include "repair/stability.h"
+#include "tests/test_util.h"
+
+namespace deltarepair {
+namespace {
+
+struct RandomInstance {
+  Database db;
+  Program program;
+  std::string description;
+};
+
+/// Builds a random instance: 3 unary relations over a small int domain and
+/// 2-5 rules (seeds, constraint pairs, cascades). Cascade dependencies
+/// only point from lower-indexed to higher-indexed relations, so programs
+/// stay non-recursive.
+RandomInstance MakeRandomInstance(uint64_t seed) {
+  Rng rng(seed);
+  RandomInstance inst;
+  const int num_rels = 3;
+  const int domain = 4;
+  for (int r = 0; r < num_rels; ++r) {
+    uint32_t rel =
+        inst.db.AddRelation(MakeIntSchema(StrFormat("R%d", r), {"x"}));
+    int tuples = 2 + static_cast<int>(rng.NextBounded(3));
+    for (int t = 0; t < tuples; ++t) {
+      inst.db.Insert(rel,
+                     {Value(static_cast<int64_t>(rng.NextBounded(domain)))});
+    }
+  }
+  std::string text;
+  int num_rules = 2 + static_cast<int>(rng.NextBounded(4));
+  for (int i = 0; i < num_rules; ++i) {
+    int head = static_cast<int>(rng.NextBounded(num_rels));
+    switch (rng.NextBounded(4)) {
+      case 0:  // selection seed
+        text += StrFormat("~R%d(x) :- R%d(x), x <= %d.\n", head, head,
+                          static_cast<int>(rng.NextBounded(domain)));
+        break;
+      case 1: {  // constraint seed over two relations
+        int other = static_cast<int>(rng.NextBounded(num_rels));
+        const char* cmp = rng.NextBool(0.5) ? "=" : "!=";
+        text += StrFormat("~R%d(x) :- R%d(x), R%d(y), x %s y.\n", head, head,
+                          other, cmp);
+        break;
+      }
+      case 2: {  // cascade on shared value (acyclic: dep < head)
+        if (head == 0) head = 1;
+        int dep = static_cast<int>(rng.NextBounded(
+            static_cast<uint64_t>(head)));
+        text += StrFormat("~R%d(x) :- R%d(x), ~R%d(x).\n", head, head, dep);
+        break;
+      }
+      default: {  // cascade on any value
+        if (head == 0) head = 2;
+        int dep = static_cast<int>(rng.NextBounded(
+            static_cast<uint64_t>(head)));
+        text += StrFormat("~R%d(x) :- R%d(x), ~R%d(y).\n", head, head, dep);
+        break;
+      }
+    }
+  }
+  inst.program = MustParseProgram(text);
+  inst.description = text;
+  return inst;
+}
+
+class RandomInstanceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomInstanceTest, PaperInvariantsHold) {
+  RandomInstance inst = MakeRandomInstance(static_cast<uint64_t>(GetParam()));
+  StatusOr<RepairEngine> engine =
+      RepairEngine::Create(&inst.db, inst.program);
+  ASSERT_TRUE(engine.ok()) << inst.description;
+
+  RepairResult end = engine->Run(SemanticsKind::kEnd);
+  RepairResult stage = engine->Run(SemanticsKind::kStage);
+  RepairResult step = engine->Run(SemanticsKind::kStep);
+  RepairResult ind = engine->Run(SemanticsKind::kIndependent);
+
+  // Prop. 3.18: all results are stabilizing sets.
+  for (const RepairResult* r : {&end, &stage, &step, &ind}) {
+    EXPECT_TRUE(engine->Verify(*r))
+        << SemanticsName(r->semantics) << " not stabilizing\nprogram:\n"
+        << inst.description << "set: " << RenderSet(inst.db, r->deleted);
+  }
+
+  // Prop. 3.20 (2)-(3): containment in end semantics.
+  EXPECT_TRUE(stage.SubsetOf(end)) << inst.description;
+  EXPECT_TRUE(step.SubsetOf(end)) << inst.description;
+
+  // Prop. 3.20 (1): independent is the global minimum.
+  ASSERT_TRUE(ind.stats.optimal);
+  EXPECT_LE(ind.size(), stage.size()) << inst.description;
+  EXPECT_LE(ind.size(), step.size()) << inst.description;
+  EXPECT_LE(ind.size(), end.size()) << inst.description;
+
+  // Cross-check Algorithm 1 against subset brute force.
+  auto exact_ind = ExactIndependent(&inst.db, engine->program());
+  ASSERT_TRUE(exact_ind.has_value()) << inst.description;
+  EXPECT_EQ(ind.size(), exact_ind->size()) << inst.description;
+
+  // Exact step bounds Algorithm 2 from below and independent from above.
+  auto exact_step = ExactStep(&inst.db, engine->program());
+  ASSERT_TRUE(exact_step.has_value()) << inst.description;
+  EXPECT_LE(exact_step->size(), step.size()) << inst.description;
+  EXPECT_GE(exact_step->size(), ind.size()) << inst.description;
+  EXPECT_TRUE(IsStabilizingSet(&inst.db, engine->program(),
+                               exact_step->deleted));
+
+  // Determinism of the PTIME semantics.
+  EXPECT_EQ(engine->Run(SemanticsKind::kEnd).deleted, end.deleted);
+  EXPECT_EQ(engine->Run(SemanticsKind::kStage).deleted, stage.deleted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomInstanceTest, ::testing::Range(0, 48));
+
+// Wider random sweep without the exponential reference solvers: bigger
+// domains, checking only the polynomial invariants.
+class RandomInstanceWideTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomInstanceWideTest, StabilizingAndContained) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 77 + 5);
+  RandomInstance inst =
+      MakeRandomInstance(static_cast<uint64_t>(GetParam()) + 500);
+  // Add extra tuples to stress the fixpoint paths.
+  for (uint32_t r = 0; r < inst.db.num_relations(); ++r) {
+    for (int t = 0; t < 30; ++t) {
+      inst.db.Insert(r, {Value(static_cast<int64_t>(rng.NextBounded(12)))});
+    }
+  }
+  StatusOr<RepairEngine> engine =
+      RepairEngine::Create(&inst.db, inst.program);
+  ASSERT_TRUE(engine.ok());
+  RepairResult end = engine->Run(SemanticsKind::kEnd);
+  RepairResult stage = engine->Run(SemanticsKind::kStage);
+  RepairResult step = engine->Run(SemanticsKind::kStep);
+  RepairResult ind = engine->Run(SemanticsKind::kIndependent);
+  for (const RepairResult* r : {&end, &stage, &step, &ind}) {
+    EXPECT_TRUE(engine->Verify(*r)) << SemanticsName(r->semantics) << "\n"
+                                    << inst.description;
+  }
+  EXPECT_TRUE(stage.SubsetOf(end));
+  EXPECT_TRUE(step.SubsetOf(end));
+  EXPECT_LE(ind.size(), std::min(stage.size(), step.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomInstanceWideTest,
+                         ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace deltarepair

@@ -1,0 +1,166 @@
+// Provenance substrate tests: the deletion-CNF builder of Algorithm 1 and
+// the provenance graph of Algorithm 2.
+#include <gtest/gtest.h>
+
+#include "provenance/bool_formula.h"
+#include "provenance/prov_graph.h"
+#include "repair/end_semantics.h"
+#include "tests/test_util.h"
+
+namespace deltarepair {
+namespace {
+
+struct ProvFixture {
+  Database db;
+  uint32_t a, b;
+  Program program;
+
+  ProvFixture() {
+    a = db.AddRelation(MakeIntSchema("A", {"x"}));
+    b = db.AddRelation(MakeIntSchema("B", {"x"}));
+    db.Insert(a, {Value(int64_t{1})});
+    db.Insert(b, {Value(int64_t{1})});
+    program = MustParseProgram(
+        "~A(x) :- A(x).\n"
+        "~B(x) :- B(x), ~A(x).\n");
+    Status st = ResolveProgram(&program, db);
+    if (!st.ok()) std::abort();
+  }
+};
+
+TEST(DeletionCnfBuilderTest, PolarityOfBaseAndDelta) {
+  ProvFixture f;
+  DeletionCnfBuilder builder;
+  Grounder g(&f.db);
+  for (size_t i = 0; i < f.program.rules().size(); ++i) {
+    g.EnumerateRule(f.program.rules()[i], static_cast<int>(i),
+                    BaseMatch::kLive, DeltaMatch::kHypothetical,
+                    [&](const GroundAssignment& ga) {
+                      builder.AddAssignment(ga);
+                      return true;
+                    });
+  }
+  // Rule 1: clause (v_A1). Rule 2: clause (v_B1 ∨ ¬v_A1).
+  ASSERT_EQ(builder.cnf().num_clauses(), 2u);
+  EXPECT_EQ(builder.num_vars(), 2u);
+  // Find the binary clause and check polarity.
+  bool found_unit = false, found_binary = false;
+  for (const auto& clause : builder.cnf().clauses()) {
+    if (clause.size() == 1) {
+      found_unit = true;
+      EXPECT_TRUE(LitSign(clause[0]));
+      EXPECT_EQ(builder.TupleOfVar(LitVar(clause[0])).relation, f.a);
+    } else {
+      found_binary = true;
+      int neg = 0, pos = 0;
+      for (Lit l : clause) (LitSign(l) ? pos : neg)++;
+      EXPECT_EQ(pos, 1);
+      EXPECT_EQ(neg, 1);
+    }
+  }
+  EXPECT_TRUE(found_unit);
+  EXPECT_TRUE(found_binary);
+}
+
+TEST(DeletionCnfBuilderTest, TautologicalAssignmentDropped) {
+  // Rule where a tuple is both required present and deleted: R(x), ~R(y)
+  // with x = y binds both atoms to the same row.
+  Database db;
+  uint32_t r = db.AddRelation(MakeIntSchema("R", {"x"}));
+  db.Insert(r, {Value(int64_t{1})});
+  Program p = MustParseProgram("~R(x) :- R(x), ~R(y), x = y.");
+  ASSERT_TRUE(ResolveProgram(&p, db).ok());
+  DeletionCnfBuilder builder;
+  Grounder g(&db);
+  g.EnumerateRule(p.rules()[0], 0, BaseMatch::kLive,
+                  DeltaMatch::kHypothetical,
+                  [&](const GroundAssignment& ga) {
+                    builder.AddAssignment(ga);
+                    return true;
+                  });
+  EXPECT_EQ(builder.cnf().num_clauses(), 0u);
+}
+
+TEST(DeletionCnfBuilderTest, VarLookup) {
+  DeletionCnfBuilder builder;
+  TupleId t{0, 5};
+  EXPECT_EQ(builder.FindVar(t), -1);
+  uint32_t v = builder.VarOf(t);
+  EXPECT_EQ(builder.FindVar(t), static_cast<int64_t>(v));
+  EXPECT_EQ(builder.VarOf(t), v);  // idempotent
+  EXPECT_EQ(builder.TupleOfVar(v), t);
+}
+
+TEST(DeletionCnfBuilderTest, RenderShowsPolarities) {
+  ProvFixture f;
+  DeletionCnfBuilder builder;
+  Grounder g(&f.db);
+  for (size_t i = 0; i < f.program.rules().size(); ++i) {
+    g.EnumerateRule(f.program.rules()[i], static_cast<int>(i),
+                    BaseMatch::kLive, DeltaMatch::kHypothetical,
+                    [&](const GroundAssignment& ga) {
+                      builder.AddAssignment(ga);
+                      return true;
+                    });
+  }
+  std::string rendered = builder.Render(f.db);
+  EXPECT_NE(rendered.find("A(1)"), std::string::npos);
+  EXPECT_NE(rendered.find("¬"), std::string::npos);
+  EXPECT_NE(rendered.find("∧"), std::string::npos);
+}
+
+TEST(ProvenanceGraphTest, DedupesIdenticalAssignments) {
+  ProvFixture f;
+  ProvenanceGraph graph;
+  GroundAssignment ga;
+  ga.rule = &f.program.rules()[0];
+  ga.rule_index = 0;
+  ga.head = TupleId{f.a, 0};
+  ga.body = {TupleId{f.a, 0}};
+  EXPECT_GE(graph.AddAssignment(ga, 1), 0);
+  EXPECT_EQ(graph.AddAssignment(ga, 2), -1);  // duplicate
+  EXPECT_EQ(graph.num_assignments(), 1u);
+  EXPECT_EQ(graph.FindDeltaNode(TupleId{f.a, 0})->layer, 1);
+}
+
+TEST(ProvenanceGraphTest, LayersAndUsesFromEndEvaluation) {
+  ProvFixture f;
+  ProvenanceGraph graph;
+  RunEndSemantics(&f.db, f.program, &graph);
+  EXPECT_EQ(graph.num_layers(), 2);
+  TupleId ta{f.a, 0};
+  TupleId tb{f.b, 0};
+  ASSERT_NE(graph.FindDeltaNode(ta), nullptr);
+  ASSERT_NE(graph.FindDeltaNode(tb), nullptr);
+  EXPECT_EQ(graph.FindDeltaNode(ta)->layer, 1);
+  EXPECT_EQ(graph.FindDeltaNode(tb)->layer, 2);
+  // Benefit of A(1): participates as base in its own derivation only (1),
+  // ∆A(1) feeds B's derivation (1) → benefit 0.
+  EXPECT_EQ(graph.Benefit(ta), 0);
+  // Benefit of B(1): base in its own derivation, ∆B unused → 1.
+  EXPECT_EQ(graph.Benefit(tb), 1);
+  ASSERT_NE(graph.BaseUses(ta), nullptr);
+  EXPECT_EQ(graph.BaseUses(ta)->size(), 1u);
+  ASSERT_NE(graph.DeltaUses(ta), nullptr);
+  EXPECT_EQ(graph.DeltaUses(ta)->size(), 1u);
+  EXPECT_EQ(graph.DeltaUses(tb), nullptr);
+}
+
+TEST(ProvenanceGraphTest, ToStringListsLayers) {
+  ProvFixture f;
+  ProvenanceGraph graph;
+  RunEndSemantics(&f.db, f.program, &graph);
+  std::string rendered = graph.ToString(f.db);
+  EXPECT_NE(rendered.find("layer 1"), std::string::npos);
+  EXPECT_NE(rendered.find("layer 2"), std::string::npos);
+  EXPECT_NE(rendered.find("~B(1)"), std::string::npos);
+}
+
+TEST(ProvenanceGraphTest, BenefitOfUnknownTupleIsZero) {
+  ProvenanceGraph graph;
+  EXPECT_EQ(graph.Benefit(TupleId{9, 9}), 0);
+  EXPECT_EQ(graph.FindDeltaNode(TupleId{9, 9}), nullptr);
+}
+
+}  // namespace
+}  // namespace deltarepair

@@ -1,0 +1,114 @@
+// Recursive delta programs (Sec. 8): the definitions of all four
+// semantics still apply; end/stage fixpoints remain finite because delta
+// relations are bounded by the base relations, Algorithm 1's hypothetical
+// grounding never iterates, and Algorithm 2's stabilizing-set argument
+// does not require acyclicity. These tests pin that behaviour down.
+#include <gtest/gtest.h>
+
+#include "datalog/analysis.h"
+#include "repair/repair_engine.h"
+#include "tests/test_util.h"
+
+namespace deltarepair {
+namespace {
+
+// Mutually recursive cascade: deleting any A(x) deletes B(x) and
+// vice versa; a seed starts at A(1).
+struct MutualFixture {
+  Database db;
+  TupleId a1, b1, a2, b2;
+  Program program;
+
+  MutualFixture() {
+    uint32_t a = db.AddRelation(MakeIntSchema("A", {"x"}));
+    uint32_t b = db.AddRelation(MakeIntSchema("B", {"x"}));
+    a1 = db.Insert(a, {Value(int64_t{1})});
+    b1 = db.Insert(b, {Value(int64_t{1})});
+    a2 = db.Insert(a, {Value(int64_t{2})});
+    b2 = db.Insert(b, {Value(int64_t{2})});
+    program = MustParseProgram(
+        "~A(1) :- A(1).\n"
+        "~B(x) :- B(x), ~A(x).\n"
+        "~A(x) :- A(x), ~B(x).\n");
+  }
+};
+
+TEST(RecursionTest, AnalysisFlagsRecursion) {
+  MutualFixture f;
+  ProgramAnalysis analysis = AnalyzeProgram(f.program);
+  EXPECT_TRUE(analysis.recursive);
+}
+
+TEST(RecursionTest, EndAndStageConvergeOnMutualRecursion) {
+  MutualFixture f;
+  StatusOr<RepairEngine> engine = RepairEngine::Create(&f.db, f.program);
+  ASSERT_TRUE(engine.ok());
+  RepairResult end = engine->Run(SemanticsKind::kEnd);
+  RepairResult stage = engine->Run(SemanticsKind::kStage);
+  // Only the x = 1 pair is reachable from the seed.
+  EXPECT_EQ(end.deleted, IdSet({f.a1, f.b1}));
+  EXPECT_EQ(stage.deleted, IdSet({f.a1, f.b1}));
+  EXPECT_TRUE(engine->Verify(end));
+}
+
+TEST(RecursionTest, HeuristicsStillProduceStabilizingSets) {
+  MutualFixture f;
+  StatusOr<RepairEngine> engine = RepairEngine::Create(&f.db, f.program);
+  ASSERT_TRUE(engine.ok());
+  RepairResult step = engine->Run(SemanticsKind::kStep);
+  RepairResult ind = engine->Run(SemanticsKind::kIndependent);
+  EXPECT_TRUE(engine->Verify(step));
+  EXPECT_TRUE(engine->Verify(ind));
+  EXPECT_EQ(ind.deleted, IdSet({f.a1, f.b1}));  // minimum is forced here
+  EXPECT_EQ(step.deleted, IdSet({f.a1, f.b1}));
+}
+
+TEST(RecursionTest, TransitiveClosureStyleCascade) {
+  // Edge-deletion propagation along a path graph: deleting E(1,2)
+  // cascades down the chain E(2,3), E(3,4), ...
+  Database db;
+  uint32_t e = db.AddRelation(MakeIntSchema("E", {"u", "v"}));
+  const int n = 6;
+  std::vector<TupleId> edges;
+  for (int i = 1; i < n; ++i) {
+    edges.push_back(
+        db.Insert(e, {Value(int64_t{i}), Value(int64_t{i + 1})}));
+  }
+  Program program = MustParseProgram(
+      "~E(1, 2) :- E(1, 2).\n"
+      "~E(v, w) :- E(v, w), ~E(u, v).\n");
+  EXPECT_TRUE(AnalyzeProgram(program).recursive);
+  StatusOr<RepairEngine> engine = RepairEngine::Create(&db, program);
+  ASSERT_TRUE(engine.ok());
+  RepairResult stage = engine->Run(SemanticsKind::kStage);
+  EXPECT_EQ(stage.deleted, IdSet(edges));  // whole chain collapses
+  EXPECT_EQ(stage.stats.iterations, static_cast<uint64_t>(n));
+  RepairResult end = engine->Run(SemanticsKind::kEnd);
+  EXPECT_EQ(end.deleted, IdSet(edges));
+  EXPECT_TRUE(engine->Verify(engine->Run(SemanticsKind::kStep)));
+  EXPECT_TRUE(engine->Verify(engine->Run(SemanticsKind::kIndependent)));
+}
+
+TEST(RecursionTest, CycleGraphDeletesEverythingReachable) {
+  // A 4-cycle with a seed: recursion wraps around and still terminates.
+  Database db;
+  uint32_t e = db.AddRelation(MakeIntSchema("E", {"u", "v"}));
+  std::vector<TupleId> edges;
+  const int n = 4;
+  for (int i = 0; i < n; ++i) {
+    edges.push_back(db.Insert(
+        e, {Value(int64_t{i}), Value(int64_t{(i + 1) % n})}));
+  }
+  Program program = MustParseProgram(
+      "~E(0, 1) :- E(0, 1).\n"
+      "~E(v, w) :- E(v, w), ~E(u, v).\n");
+  StatusOr<RepairEngine> engine = RepairEngine::Create(&db, program);
+  ASSERT_TRUE(engine.ok());
+  for (auto& result : engine->RunAll()) {
+    EXPECT_EQ(result.deleted, IdSet(edges)) << SemanticsName(result.semantics);
+    EXPECT_TRUE(engine->Verify(result));
+  }
+}
+
+}  // namespace
+}  // namespace deltarepair

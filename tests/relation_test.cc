@@ -1,0 +1,186 @@
+// Unit tests for the relational engine: values, tuples, relations with
+// membership bitmaps and lazy indexes, and database snapshots.
+#include <gtest/gtest.h>
+
+#include "relation/database.h"
+
+namespace deltarepair {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  Value null;
+  Value i(int64_t{42});
+  Value s("hello");
+  EXPECT_TRUE(null.is_null());
+  EXPECT_TRUE(i.is_int());
+  EXPECT_TRUE(s.is_string());
+  EXPECT_EQ(i.AsInt(), 42);
+  EXPECT_EQ(s.AsString(), "hello");
+}
+
+TEST(ValueTest, OrderingWithinAndAcrossTypes) {
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_LT(Value("a"), Value("b"));
+  EXPECT_LT(Value(int64_t{999}), Value("a"));  // int < string by type tag
+  EXPECT_LT(Value(), Value(int64_t{0}));       // null < int
+  EXPECT_GE(Value(int64_t{3}), Value(int64_t{3}));
+  EXPECT_LE(Value(int64_t{3}), Value(int64_t{3}));
+}
+
+TEST(ValueTest, EqualityAndHash) {
+  EXPECT_EQ(Value(int64_t{5}), Value(int64_t{5}));
+  EXPECT_NE(Value(int64_t{5}), Value("5"));
+  EXPECT_EQ(Value("x").Hash(), Value("x").Hash());
+  EXPECT_NE(Value("x").Hash(), Value("y").Hash());
+  EXPECT_NE(Value(int64_t{1}).Hash(), Value(int64_t{2}).Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(int64_t{7}).ToString(), "7");
+  EXPECT_EQ(Value("ab").ToString(), "'ab'");
+  EXPECT_EQ(Value().ToString(), "null");
+}
+
+TEST(TupleTest, HashAndToString) {
+  Tuple t{Value(int64_t{1}), Value("x")};
+  Tuple u{Value(int64_t{1}), Value("x")};
+  Tuple v{Value("x"), Value(int64_t{1})};
+  EXPECT_EQ(HashTuple(t), HashTuple(u));
+  EXPECT_NE(HashTuple(t), HashTuple(v));  // order-sensitive
+  EXPECT_EQ(TupleToString(t), "(1, 'x')");
+}
+
+TEST(TupleIdTest, PackUnpack) {
+  TupleId id{3, 77};
+  EXPECT_EQ(TupleId::Unpack(id.Pack()), id);
+  EXPECT_TRUE(id.valid());
+  EXPECT_FALSE(TupleId{}.valid());
+  EXPECT_LT((TupleId{1, 5}), (TupleId{2, 0}));
+  EXPECT_LT((TupleId{1, 5}), (TupleId{1, 6}));
+}
+
+TEST(SchemaTest, AttributeLookupAndToString) {
+  RelationSchema s = MakeSchema("R", {"a", "b"}, "is");
+  EXPECT_EQ(s.arity(), 2u);
+  EXPECT_EQ(s.AttributeIndex("b"), 1);
+  EXPECT_EQ(s.AttributeIndex("zz"), -1);
+  EXPECT_EQ(s.ToString(), "R(a:int, b:str)");
+}
+
+TEST(RelationTest, SetSemanticsInsert) {
+  Relation r(MakeIntSchema("R", {"x", "y"}));
+  auto a = r.Insert({Value(int64_t{1}), Value(int64_t{2})});
+  auto b = r.Insert({Value(int64_t{1}), Value(int64_t{2})});
+  auto c = r.Insert({Value(int64_t{1}), Value(int64_t{3})});
+  EXPECT_TRUE(a.inserted);
+  EXPECT_FALSE(b.inserted);
+  EXPECT_EQ(a.row, b.row);
+  EXPECT_TRUE(c.inserted);
+  EXPECT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.live_count(), 2u);
+}
+
+TEST(RelationTest, FindRow) {
+  Relation r(MakeIntSchema("R", {"x"}));
+  r.Insert({Value(int64_t{5})});
+  EXPECT_GE(r.FindRow({Value(int64_t{5})}), 0);
+  EXPECT_EQ(r.FindRow({Value(int64_t{6})}), -1);
+}
+
+TEST(RelationTest, DeleteAndDeltaLifecycle) {
+  Relation r(MakeIntSchema("R", {"x"}));
+  uint32_t row = r.Insert({Value(int64_t{1})}).row;
+  EXPECT_TRUE(r.live(row));
+  EXPECT_FALSE(r.delta(row));
+  r.MarkDeleted(row);
+  EXPECT_FALSE(r.live(row));
+  EXPECT_TRUE(r.delta(row));
+  EXPECT_EQ(r.live_count(), 0u);
+  EXPECT_EQ(r.delta_count(), 1u);
+  r.UnmarkDeleted(row);
+  EXPECT_TRUE(r.live(row));
+  EXPECT_FALSE(r.delta(row));
+  r.SetDelta(row);
+  EXPECT_TRUE(r.live(row));  // SetDelta keeps the base tuple (end mode)
+  EXPECT_TRUE(r.delta(row));
+  r.ResetState();
+  EXPECT_TRUE(r.live(row));
+  EXPECT_FALSE(r.delta(row));
+}
+
+TEST(RelationTest, IndexProbeFindsMatchingRows) {
+  Relation r(MakeIntSchema("R", {"x", "y"}));
+  for (int64_t i = 0; i < 10; ++i) {
+    r.Insert({Value(i % 3), Value(i)});
+  }
+  r.EnsureIndex(0b01);  // index on column 0
+  Tuple probe{Value(int64_t{1}), Value()};
+  const auto* rows = r.Probe(0b01, probe);
+  ASSERT_NE(rows, nullptr);
+  size_t verified = 0;
+  for (uint32_t row : *rows) {
+    if (r.row(row)[0] == Value(int64_t{1})) ++verified;
+  }
+  EXPECT_EQ(verified, 3u);  // i = 1, 4, 7
+}
+
+TEST(RelationTest, IndexMaintainedAcrossInserts) {
+  Relation r(MakeIntSchema("R", {"x"}));
+  r.EnsureIndex(0b1);
+  r.Insert({Value(int64_t{9})});
+  const auto* rows = r.Probe(0b1, {Value(int64_t{9})});
+  ASSERT_NE(rows, nullptr);
+  EXPECT_EQ(rows->size(), 1u);
+}
+
+TEST(DatabaseTest, RelationRegistry) {
+  Database db;
+  uint32_t r1 = db.AddRelation(MakeIntSchema("A", {"x"}));
+  uint32_t r2 = db.AddRelation(MakeIntSchema("B", {"x"}));
+  EXPECT_EQ(db.num_relations(), 2u);
+  EXPECT_EQ(db.RelationIndex("A"), static_cast<int>(r1));
+  EXPECT_EQ(db.RelationIndex("B"), static_cast<int>(r2));
+  EXPECT_EQ(db.RelationIndex("C"), -1);
+  EXPECT_NE(db.FindRelation("A"), nullptr);
+  EXPECT_EQ(db.FindRelation("zzz"), nullptr);
+}
+
+TEST(DatabaseTest, CountsAndIdEnumeration) {
+  Database db;
+  uint32_t a = db.AddRelation(MakeIntSchema("A", {"x"}));
+  db.AddRelation(MakeIntSchema("B", {"x"}));
+  TupleId t1 = db.Insert(a, {Value(int64_t{1})});
+  TupleId t2 = db.Insert("B", {Value(int64_t{2})});
+  EXPECT_EQ(db.TotalLive(), 2u);
+  EXPECT_EQ(db.LiveTupleIds(), (std::vector<TupleId>{t1, t2}));
+  db.MarkDeleted(t1);
+  EXPECT_EQ(db.TotalLive(), 1u);
+  EXPECT_EQ(db.TotalDelta(), 1u);
+  EXPECT_EQ(db.DeltaTupleIds(), (std::vector<TupleId>{t1}));
+  EXPECT_EQ(db.LiveTupleIds(), (std::vector<TupleId>{t2}));
+}
+
+TEST(DatabaseTest, SaveRestoreState) {
+  Database db;
+  uint32_t a = db.AddRelation(MakeIntSchema("A", {"x"}));
+  TupleId t1 = db.Insert(a, {Value(int64_t{1})});
+  TupleId t2 = db.Insert(a, {Value(int64_t{2})});
+  Database::State snap = db.SaveState();
+  db.MarkDeleted(t1);
+  db.SetDelta(t2);
+  EXPECT_EQ(db.TotalLive(), 1u);
+  db.RestoreState(snap);
+  EXPECT_EQ(db.TotalLive(), 2u);
+  EXPECT_EQ(db.TotalDelta(), 0u);
+  EXPECT_TRUE(db.live(t1));
+}
+
+TEST(DatabaseTest, TupleRendering) {
+  Database db;
+  uint32_t a = db.AddRelation(MakeSchema("Grant", {"gid", "name"}, "is"));
+  TupleId t = db.Insert(a, {Value(int64_t{2}), Value("ERC")});
+  EXPECT_EQ(db.TupleToStr(t), "Grant(2, 'ERC')");
+}
+
+}  // namespace
+}  // namespace deltarepair

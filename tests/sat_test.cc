@@ -1,0 +1,303 @@
+// SAT substrate tests: CNF construction, the DPLL engine, plain
+// satisfiability, and the Min-Ones optimizer — including a randomized
+// parameterized cross-check against brute force and the vertex-cover
+// reduction of Proposition 4.2.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sat/min_ones.h"
+#include "sat/solver.h"
+
+namespace deltarepair {
+namespace {
+
+TEST(CnfTest, LiteralHelpers) {
+  EXPECT_EQ(PosLit(0), 1);
+  EXPECT_EQ(NegLit(0), -1);
+  EXPECT_EQ(LitVar(PosLit(7)), 7u);
+  EXPECT_EQ(LitVar(NegLit(7)), 7u);
+  EXPECT_TRUE(LitSign(PosLit(3)));
+  EXPECT_FALSE(LitSign(NegLit(3)));
+}
+
+TEST(CnfTest, AddClauseDedupesLiterals) {
+  Cnf cnf;
+  EXPECT_TRUE(cnf.AddClause({PosLit(0), PosLit(0), NegLit(1)}));
+  ASSERT_EQ(cnf.num_clauses(), 1u);
+  EXPECT_EQ(cnf.clauses()[0].size(), 2u);
+}
+
+TEST(CnfTest, TautologyDropped) {
+  Cnf cnf;
+  EXPECT_FALSE(cnf.AddClause({PosLit(0), NegLit(0)}));
+  EXPECT_EQ(cnf.num_clauses(), 0u);
+  EXPECT_EQ(cnf.num_vars(), 1u);  // variable still registered
+}
+
+TEST(CnfTest, DedupeClauses) {
+  Cnf cnf;
+  cnf.AddClause({PosLit(0), PosLit(1)});
+  cnf.AddClause({PosLit(1), PosLit(0)});
+  cnf.AddClause({PosLit(2)});
+  cnf.DedupeClauses();
+  EXPECT_EQ(cnf.num_clauses(), 2u);
+}
+
+TEST(CnfTest, IsSatisfiedBy) {
+  Cnf cnf;
+  cnf.AddClause({PosLit(0), NegLit(1)});
+  EXPECT_TRUE(cnf.IsSatisfiedBy({true, true}));
+  EXPECT_TRUE(cnf.IsSatisfiedBy({false, false}));
+  EXPECT_FALSE(cnf.IsSatisfiedBy({false, true}));
+}
+
+TEST(SolverTest, TrivialSatAndUnsat) {
+  Cnf sat;
+  sat.AddClause({PosLit(0)});
+  sat.AddClause({NegLit(0), PosLit(1)});
+  SatResult r = SolveSat(sat);
+  ASSERT_TRUE(r.satisfiable);
+  EXPECT_TRUE(r.model[0]);
+  EXPECT_TRUE(r.model[1]);
+  EXPECT_TRUE(sat.IsSatisfiedBy(r.model));
+
+  Cnf unsat;
+  unsat.AddClause({PosLit(0)});
+  unsat.AddClause({NegLit(0)});
+  EXPECT_FALSE(SolveSat(unsat).satisfiable);
+}
+
+TEST(SolverTest, EmptyClauseIsUnsat) {
+  Cnf cnf;
+  cnf.AddClause({});
+  EXPECT_FALSE(SolveSat(cnf).satisfiable);
+}
+
+TEST(SolverTest, EmptyFormulaIsSat) {
+  Cnf cnf(3);
+  SatResult r = SolveSat(cnf);
+  EXPECT_TRUE(r.satisfiable);
+}
+
+TEST(SolverTest, Pigeonhole3x2IsUnsat) {
+  // 3 pigeons, 2 holes: var p*2+h means pigeon p in hole h.
+  Cnf cnf;
+  for (int p = 0; p < 3; ++p) {
+    cnf.AddClause({PosLit(p * 2), PosLit(p * 2 + 1)});
+  }
+  for (int h = 0; h < 2; ++h) {
+    for (int p1 = 0; p1 < 3; ++p1) {
+      for (int p2 = p1 + 1; p2 < 3; ++p2) {
+        cnf.AddClause({NegLit(p1 * 2 + h), NegLit(p2 * 2 + h)});
+      }
+    }
+  }
+  EXPECT_FALSE(SolveSat(cnf).satisfiable);
+}
+
+TEST(ClauseEngineTest, AssignPropagateBacktrack) {
+  Cnf cnf;
+  cnf.AddClause({PosLit(0), PosLit(1)});
+  cnf.AddClause({NegLit(0), PosLit(2)});
+  ClauseEngine engine(cnf);
+  size_t mark = engine.TrailSize();
+  EXPECT_TRUE(engine.Assign(0, true));
+  EXPECT_TRUE(engine.Propagate());   // forces var 2 true
+  EXPECT_EQ(engine.value(2), 1);
+  EXPECT_TRUE(engine.AllSatisfied());
+  engine.BacktrackTo(mark);
+  EXPECT_EQ(engine.value(0), -1);
+  EXPECT_EQ(engine.value(2), -1);
+  EXPECT_FALSE(engine.AllSatisfied());
+}
+
+TEST(MinOnesTest, PrefersAllFalseWhenPossible) {
+  Cnf cnf;
+  cnf.AddClause({NegLit(0), NegLit(1)});
+  cnf.AddClause({NegLit(2)});
+  MinOnesResult r = MinOnesSat(cnf);
+  ASSERT_TRUE(r.satisfiable);
+  EXPECT_TRUE(r.optimal);
+  EXPECT_EQ(r.num_true, 0u);
+}
+
+TEST(MinOnesTest, ForcedUnitChain) {
+  // v0; v0 -> v1; v1 -> v2  (all must be true).
+  Cnf cnf;
+  cnf.AddClause({PosLit(0)});
+  cnf.AddClause({NegLit(0), PosLit(1)});
+  cnf.AddClause({NegLit(1), PosLit(2)});
+  MinOnesResult r = MinOnesSat(cnf);
+  ASSERT_TRUE(r.satisfiable);
+  EXPECT_EQ(r.num_true, 3u);
+  EXPECT_TRUE(r.optimal);
+}
+
+TEST(MinOnesTest, ChoosesCheaperSide) {
+  // (v0 ∨ v1) ∧ (v0 ∨ v2) ∧ (v0 ∨ v3): v0 alone beats {v1,v2,v3}.
+  Cnf cnf;
+  cnf.AddClause({PosLit(0), PosLit(1)});
+  cnf.AddClause({PosLit(0), PosLit(2)});
+  cnf.AddClause({PosLit(0), PosLit(3)});
+  MinOnesResult r = MinOnesSat(cnf);
+  ASSERT_TRUE(r.satisfiable);
+  EXPECT_EQ(r.num_true, 1u);
+  EXPECT_TRUE(r.model[0]);
+}
+
+TEST(MinOnesTest, UnsatReported) {
+  Cnf cnf;
+  cnf.AddClause({PosLit(0)});
+  cnf.AddClause({NegLit(0)});
+  MinOnesResult r = MinOnesSat(cnf);
+  EXPECT_FALSE(r.satisfiable);
+}
+
+TEST(MinOnesTest, IndependentComponentsSolvedSeparately) {
+  Cnf cnf;
+  // Five disjoint (a ∨ b) components: optimum 5, one per component.
+  for (uint32_t i = 0; i < 10; i += 2) {
+    cnf.AddClause({PosLit(i), PosLit(i + 1)});
+  }
+  MinOnesResult r = MinOnesSat(cnf);
+  ASSERT_TRUE(r.satisfiable);
+  EXPECT_EQ(r.num_true, 5u);
+  EXPECT_EQ(r.num_components, 5u);
+  EXPECT_TRUE(r.optimal);
+}
+
+TEST(MinOnesTest, VertexCoverTriangle) {
+  // Triangle graph: clauses (u ∨ v) per edge; min VC = 2.
+  Cnf cnf;
+  cnf.AddClause({PosLit(0), PosLit(1)});
+  cnf.AddClause({PosLit(1), PosLit(2)});
+  cnf.AddClause({PosLit(0), PosLit(2)});
+  MinOnesResult r = MinOnesSat(cnf);
+  EXPECT_EQ(r.num_true, 2u);
+}
+
+TEST(MinOnesTest, VertexCoverStar) {
+  // Star K1,6: center covers all edges; min VC = 1.
+  Cnf cnf;
+  for (uint32_t leaf = 1; leaf <= 6; ++leaf) {
+    cnf.AddClause({PosLit(0), PosLit(leaf)});
+  }
+  MinOnesResult r = MinOnesSat(cnf);
+  EXPECT_EQ(r.num_true, 1u);
+  EXPECT_TRUE(r.model[0]);
+}
+
+TEST(MinOnesTest, CompleteBipartiteCover) {
+  // K3,5 with negated guard: (s_i ∨ c_j ∨ ¬n) plus unit (n) — the T5
+  // pattern; optimum = 1 + min(3, 5).
+  Cnf cnf;
+  uint32_t n = 8;
+  cnf.AddClause({PosLit(n)});
+  for (uint32_t s = 0; s < 3; ++s) {
+    for (uint32_t c = 3; c < 8; ++c) {
+      cnf.AddClause({PosLit(s), PosLit(c), NegLit(n)});
+    }
+  }
+  MinOnesResult r = MinOnesSat(cnf);
+  EXPECT_EQ(r.num_true, 4u);
+}
+
+TEST(MinOnesTest, AnytimeBudgetStillSatisfies) {
+  Rng rng(5);
+  Cnf cnf;
+  for (int c = 0; c < 60; ++c) {
+    std::vector<Lit> lits;
+    for (int l = 0; l < 3; ++l) {
+      uint32_t v = static_cast<uint32_t>(rng.NextBounded(24));
+      lits.push_back(rng.NextBool(0.7) ? PosLit(v) : NegLit(v));
+    }
+    cnf.AddClause(lits);
+  }
+  MinOnesOptions opts;
+  opts.max_assignments = 50;  // starve the search
+  MinOnesResult r = MinOnesSat(cnf, opts);
+  if (r.satisfiable) {
+    EXPECT_TRUE(cnf.IsSatisfiedBy(r.model));
+  }
+}
+
+// Randomized cross-check against brute force: for small random CNFs the
+// optimizer must return the exact minimum-ones count.
+class MinOnesRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinOnesRandomTest, MatchesBruteForce) {
+  const int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  const uint32_t num_vars = 3 + static_cast<uint32_t>(rng.NextBounded(8));
+  const int num_clauses = 2 + static_cast<int>(rng.NextBounded(12));
+  Cnf cnf(num_vars);
+  for (int c = 0; c < num_clauses; ++c) {
+    std::vector<Lit> lits;
+    int width = 1 + static_cast<int>(rng.NextBounded(3));
+    for (int l = 0; l < width; ++l) {
+      uint32_t v = static_cast<uint32_t>(rng.NextBounded(num_vars));
+      lits.push_back(rng.NextBool(0.6) ? PosLit(v) : NegLit(v));
+    }
+    cnf.AddClause(lits);
+  }
+
+  // Brute force over all assignments.
+  int best = -1;
+  for (uint32_t mask = 0; mask < (1u << num_vars); ++mask) {
+    std::vector<bool> model(num_vars);
+    int ones = 0;
+    for (uint32_t v = 0; v < num_vars; ++v) {
+      model[v] = (mask >> v) & 1;
+      ones += model[v] ? 1 : 0;
+    }
+    if (cnf.IsSatisfiedBy(model) && (best < 0 || ones < best)) best = ones;
+  }
+
+  MinOnesResult r = MinOnesSat(cnf);
+  if (best < 0) {
+    EXPECT_FALSE(r.satisfiable) << cnf.ToString();
+  } else {
+    ASSERT_TRUE(r.satisfiable) << cnf.ToString();
+    EXPECT_TRUE(r.optimal);
+    EXPECT_EQ(static_cast<int>(r.num_true), best) << cnf.ToString();
+    EXPECT_TRUE(cnf.IsSatisfiedBy(r.model));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCnfs, MinOnesRandomTest,
+                         ::testing::Range(0, 60));
+
+// Same cross-check for plain satisfiability.
+class SatRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SatRandomTest, MatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 1000);
+  const uint32_t num_vars = 2 + static_cast<uint32_t>(rng.NextBounded(9));
+  const int num_clauses = 1 + static_cast<int>(rng.NextBounded(18));
+  Cnf cnf(num_vars);
+  for (int c = 0; c < num_clauses; ++c) {
+    std::vector<Lit> lits;
+    int width = 1 + static_cast<int>(rng.NextBounded(3));
+    for (int l = 0; l < width; ++l) {
+      uint32_t v = static_cast<uint32_t>(rng.NextBounded(num_vars));
+      lits.push_back(rng.NextBool(0.5) ? PosLit(v) : NegLit(v));
+    }
+    cnf.AddClause(lits);
+  }
+  bool brute_sat = false;
+  for (uint32_t mask = 0; mask < (1u << num_vars) && !brute_sat; ++mask) {
+    std::vector<bool> model(num_vars);
+    for (uint32_t v = 0; v < num_vars; ++v) model[v] = (mask >> v) & 1;
+    brute_sat = cnf.IsSatisfiedBy(model);
+  }
+  SatResult r = SolveSat(cnf);
+  EXPECT_EQ(r.satisfiable, brute_sat) << cnf.ToString();
+  if (r.satisfiable) {
+    EXPECT_TRUE(cnf.IsSatisfiedBy(r.model));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCnfs, SatRandomTest, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace deltarepair

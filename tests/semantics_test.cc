@@ -1,0 +1,266 @@
+// Unit tests for the four semantics on hand-built instances: cascades,
+// denial-constraint pairs, guarded cascades, initialization rules, stable
+// inputs, determinism, and delta-program edge cases.
+#include <gtest/gtest.h>
+
+#include "repair/end_semantics.h"
+#include "repair/exact.h"
+#include "repair/repair_engine.h"
+#include "repair/stability.h"
+#include "repair/stage_semantics.h"
+#include "repair/step_semantics.h"
+#include "tests/test_util.h"
+
+namespace deltarepair {
+namespace {
+
+// D with a 3-level cascade chain: Org -> Author -> Writes.
+struct ChainFixture {
+  Database db;
+  TupleId org, author1, author2, w11, w12, w21;
+
+  ChainFixture() {
+    uint32_t o = db.AddRelation(MakeIntSchema("O", {"oid"}));
+    uint32_t a = db.AddRelation(MakeIntSchema("A", {"aid", "oid"}));
+    uint32_t w = db.AddRelation(MakeIntSchema("W", {"aid", "pid"}));
+    org = db.Insert(o, {Value(int64_t{1})});
+    author1 = db.Insert(a, {Value(int64_t{10}), Value(int64_t{1})});
+    author2 = db.Insert(a, {Value(int64_t{11}), Value(int64_t{1})});
+    w11 = db.Insert(w, {Value(int64_t{10}), Value(int64_t{100})});
+    w12 = db.Insert(w, {Value(int64_t{10}), Value(int64_t{101})});
+    w21 = db.Insert(w, {Value(int64_t{11}), Value(int64_t{102})});
+  }
+};
+
+const char* kChainProgram =
+    "~O(o) :- O(o), o = 1.\n"
+    "~A(a, o) :- A(a, o), ~O(o).\n"
+    "~W(a, p) :- W(a, p), ~A(a, o).\n";
+
+TEST(CascadeTest, AllFourSemanticsAgreeOnPureCascade) {
+  ChainFixture f;
+  StatusOr<RepairEngine> engine =
+      RepairEngine::Create(&f.db, MustParseProgram(kChainProgram));
+  ASSERT_TRUE(engine.ok());
+  std::vector<TupleId> expected =
+      IdSet({f.org, f.author1, f.author2, f.w11, f.w12, f.w21});
+  for (auto& result : engine->RunAll()) {
+    EXPECT_EQ(result.deleted, expected) << SemanticsName(result.semantics);
+    EXPECT_TRUE(engine->Verify(result));
+  }
+}
+
+TEST(CascadeTest, RepairedDatabaseIsStable) {
+  ChainFixture f;
+  StatusOr<RepairEngine> engine =
+      RepairEngine::Create(&f.db, MustParseProgram(kChainProgram));
+  ASSERT_TRUE(engine.ok());
+  EXPECT_FALSE(IsStable(&f.db, engine->program()));
+  engine->RunAndApply(SemanticsKind::kStage);
+  EXPECT_TRUE(IsStable(&f.db, engine->program()));
+  EXPECT_EQ(f.db.TotalLive(), 0u);  // whole chain hangs off the org
+}
+
+TEST(CascadeTest, RunRestoresState) {
+  ChainFixture f;
+  StatusOr<RepairEngine> engine =
+      RepairEngine::Create(&f.db, MustParseProgram(kChainProgram));
+  ASSERT_TRUE(engine.ok());
+  size_t live_before = f.db.TotalLive();
+  engine->Run(SemanticsKind::kEnd);
+  engine->Run(SemanticsKind::kIndependent);
+  EXPECT_EQ(f.db.TotalLive(), live_before);
+  EXPECT_EQ(f.db.TotalDelta(), 0u);
+}
+
+TEST(StableInputTest, AllSemanticsReturnEmpty) {
+  ChainFixture f;
+  // Selection matches nothing: o = 99.
+  Program program = MustParseProgram(
+      "~O(o) :- O(o), o = 99.\n"
+      "~A(a, o) :- A(a, o), ~O(o).\n");
+  StatusOr<RepairEngine> engine = RepairEngine::Create(&f.db, program);
+  ASSERT_TRUE(engine.ok());
+  for (auto& result : engine->RunAll()) {
+    EXPECT_TRUE(result.deleted.empty()) << SemanticsName(result.semantics);
+  }
+  EXPECT_TRUE(IsStable(&f.db, engine->program()));
+}
+
+TEST(DcPairTest, IndependentDeletesOnePerViolation) {
+  // R(x, y): two tuples with same x, different y — a functional-dependency
+  // style violation, rule-per-atom translation.
+  Database db;
+  uint32_t r = db.AddRelation(MakeIntSchema("R", {"x", "y"}));
+  TupleId t1 = db.Insert(r, {Value(int64_t{1}), Value(int64_t{10})});
+  TupleId t2 = db.Insert(r, {Value(int64_t{1}), Value(int64_t{11})});
+  db.Insert(r, {Value(int64_t{2}), Value(int64_t{20})});  // clean row
+
+  Program program = MustParseProgram(
+      "~R(x, y1) :- R(x, y1), R(x, y2), y1 != y2.\n");
+  StatusOr<RepairEngine> engine = RepairEngine::Create(&db, program);
+  ASSERT_TRUE(engine.ok());
+
+  RepairResult ind = engine->Run(SemanticsKind::kIndependent);
+  EXPECT_EQ(ind.size(), 1u);
+  EXPECT_TRUE(ind.deleted[0] == t1 || ind.deleted[0] == t2);
+
+  RepairResult step = engine->Run(SemanticsKind::kStep);
+  EXPECT_EQ(step.size(), 1u);
+
+  // End/stage delete both sides of the violating pair.
+  RepairResult end = engine->Run(SemanticsKind::kEnd);
+  EXPECT_EQ(end.deleted, IdSet({t1, t2}));
+  RepairResult stage = engine->Run(SemanticsKind::kStage);
+  EXPECT_EQ(stage.deleted, IdSet({t1, t2}));
+}
+
+TEST(GuardedCascadeTest, StageStopsWhenGuardDeleted) {
+  // ~B after ~A, but only while the guard G is live; the guard is itself
+  // deleted in stage 1, so stage/step keep B while end deletes it.
+  Database db;
+  uint32_t a = db.AddRelation(MakeIntSchema("A", {"x"}));
+  uint32_t b = db.AddRelation(MakeIntSchema("B", {"x"}));
+  uint32_t g = db.AddRelation(MakeIntSchema("G", {"x"}));
+  TupleId ta = db.Insert(a, {Value(int64_t{1})});
+  TupleId tb = db.Insert(b, {Value(int64_t{1})});
+  TupleId tg = db.Insert(g, {Value(int64_t{1})});
+
+  Program program = MustParseProgram(
+      "~A(x) :- A(x).\n"
+      "~G(x) :- G(x).\n"
+      "~B(x) :- B(x), G(x), ~A(x).\n");
+  StatusOr<RepairEngine> engine = RepairEngine::Create(&db, program);
+  ASSERT_TRUE(engine.ok());
+
+  RepairResult end = engine->Run(SemanticsKind::kEnd);
+  EXPECT_EQ(end.deleted, IdSet({ta, tb, tg}));
+  RepairResult stage = engine->Run(SemanticsKind::kStage);
+  EXPECT_EQ(stage.deleted, IdSet({ta, tg}));
+  EXPECT_TRUE(engine->Verify(stage));
+}
+
+TEST(InitializationRuleTest, SeedDeletionOfSpecificTuple) {
+  // Sec. 3.6: "∆i(C) :- Ri(C)" starts the deletion process on a stable DB.
+  Database db;
+  uint32_t r = db.AddRelation(MakeIntSchema("R", {"x"}));
+  TupleId t1 = db.Insert(r, {Value(int64_t{1})});
+  db.Insert(r, {Value(int64_t{2})});
+
+  Program program = MustParseProgram("~R(1) :- R(1).\n");
+  StatusOr<RepairEngine> engine = RepairEngine::Create(&db, program);
+  ASSERT_TRUE(engine.ok());
+  for (auto& result : engine->RunAll()) {
+    EXPECT_EQ(result.deleted, IdSet({t1})) << SemanticsName(result.semantics);
+  }
+}
+
+TEST(DeterminismTest, StageAndEndAreDeterministic) {
+  ChainFixture f;
+  StatusOr<RepairEngine> engine =
+      RepairEngine::Create(&f.db, MustParseProgram(kChainProgram));
+  ASSERT_TRUE(engine.ok());
+  RepairResult s1 = engine->Run(SemanticsKind::kStage);
+  RepairResult s2 = engine->Run(SemanticsKind::kStage);
+  EXPECT_EQ(s1.deleted, s2.deleted);
+  RepairResult e1 = engine->Run(SemanticsKind::kEnd);
+  RepairResult e2 = engine->Run(SemanticsKind::kEnd);
+  EXPECT_EQ(e1.deleted, e2.deleted);
+  RepairResult st1 = engine->Run(SemanticsKind::kStep);
+  RepairResult st2 = engine->Run(SemanticsKind::kStep);
+  EXPECT_EQ(st1.deleted, st2.deleted);  // deterministic tie-breaking
+}
+
+TEST(MultiDeltaBodyTest, RuleConsumingTwoDeltas) {
+  // ~C(x) requires both ~A(x) and ~B(x) to have happened.
+  Database db;
+  uint32_t a = db.AddRelation(MakeIntSchema("A", {"x"}));
+  uint32_t b = db.AddRelation(MakeIntSchema("B", {"x"}));
+  uint32_t c = db.AddRelation(MakeIntSchema("C", {"x"}));
+  TupleId ta = db.Insert(a, {Value(int64_t{1})});
+  TupleId tb = db.Insert(b, {Value(int64_t{1})});
+  TupleId tc = db.Insert(c, {Value(int64_t{1})});
+  db.Insert(c, {Value(int64_t{2})});  // unaffected
+
+  Program program = MustParseProgram(
+      "~A(x) :- A(x).\n"
+      "~B(x) :- B(x).\n"
+      "~C(x) :- C(x), ~A(x), ~B(x).\n");
+  StatusOr<RepairEngine> engine = RepairEngine::Create(&db, program);
+  ASSERT_TRUE(engine.ok());
+  RepairResult end = engine->Run(SemanticsKind::kEnd);
+  EXPECT_EQ(end.deleted, IdSet({ta, tb, tc}));
+  RepairResult stage = engine->Run(SemanticsKind::kStage);
+  EXPECT_EQ(stage.deleted, IdSet({ta, tb, tc}));
+  EXPECT_TRUE(engine->Verify(engine->Run(SemanticsKind::kStep)));
+  EXPECT_TRUE(engine->Verify(engine->Run(SemanticsKind::kIndependent)));
+}
+
+TEST(DiamondTest, SharedDownstreamTupleDeletedOnce) {
+  // Two cascade paths converge on one tuple.
+  Database db;
+  uint32_t s = db.AddRelation(MakeIntSchema("S", {"x"}));
+  uint32_t t = db.AddRelation(MakeIntSchema("T", {"x"}));
+  TupleId s1 = db.Insert(s, {Value(int64_t{1})});
+  TupleId s2 = db.Insert(s, {Value(int64_t{2})});
+  TupleId shared = db.Insert(t, {Value(int64_t{7})});
+
+  Program program = MustParseProgram(
+      "~S(x) :- S(x).\n"
+      "~T(y) :- T(y), ~S(x), y = 7.\n");
+  StatusOr<RepairEngine> engine = RepairEngine::Create(&db, program);
+  ASSERT_TRUE(engine.ok());
+  for (auto& result : engine->RunAll()) {
+    EXPECT_EQ(result.deleted, IdSet({s1, s2, shared}))
+        << SemanticsName(result.semantics);
+  }
+}
+
+TEST(SelfJoinTest, ComparisonPreventsSelfPair) {
+  // R(x), R(y), x != y never matches a single tuple against itself.
+  Database db;
+  uint32_t r = db.AddRelation(MakeIntSchema("R", {"x"}));
+  db.Insert(r, {Value(int64_t{1})});
+  Program program = MustParseProgram("~R(x) :- R(x), R(y), x != y.\n");
+  StatusOr<RepairEngine> engine = RepairEngine::Create(&db, program);
+  ASSERT_TRUE(engine.ok());
+  for (auto& result : engine->RunAll()) {
+    EXPECT_TRUE(result.deleted.empty()) << SemanticsName(result.semantics);
+  }
+}
+
+TEST(StepHeuristicTest, GreedyMatchesExactOnHubInstance) {
+  // Hub tuple with many dependents: Algorithm 2 should pick the hub.
+  Database db;
+  uint32_t a = db.AddRelation(MakeIntSchema("A", {"x"}));
+  uint32_t w = db.AddRelation(MakeIntSchema("W", {"a", "p"}));
+  TupleId hub = db.Insert(a, {Value(int64_t{1})});
+  for (int i = 0; i < 5; ++i) {
+    db.Insert(w, {Value(int64_t{1}), Value(int64_t{100 + i})});
+  }
+  // Two rules, same body, different heads (the program-3 pattern).
+  Program program = MustParseProgram(
+      "~A(x) :- A(x), W(x, p).\n"
+      "~W(x, p) :- A(x), W(x, p).\n");
+  StatusOr<RepairEngine> engine = RepairEngine::Create(&db, program);
+  ASSERT_TRUE(engine.ok());
+  RepairResult step = engine->Run(SemanticsKind::kStep);
+  EXPECT_EQ(step.deleted, IdSet({hub}));
+  auto exact = ExactStep(&db, engine->program());
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_EQ(exact->deleted.size(), 1u);
+}
+
+TEST(EndSemanticsStatsTest, IterationAndAssignmentCountsPopulated) {
+  ChainFixture f;
+  StatusOr<RepairEngine> engine =
+      RepairEngine::Create(&f.db, MustParseProgram(kChainProgram));
+  ASSERT_TRUE(engine.ok());
+  RepairResult end = engine->Run(SemanticsKind::kEnd);
+  EXPECT_GE(end.stats.iterations, 3u);  // three cascade levels
+  EXPECT_GE(end.stats.assignments, 6u);
+  EXPECT_GT(end.stats.total_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace deltarepair

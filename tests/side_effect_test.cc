@@ -1,0 +1,189 @@
+// Tests for the Sec. 7 extension: the source side-effect problem combined
+// with delta programs — view parsing/evaluation, minimum derivation
+// breaking, and cascade-aware deletion costs.
+#include <gtest/gtest.h>
+
+#include "repair/repair_engine.h"
+#include "repair/side_effect.h"
+#include "repair/stability.h"
+#include "tests/test_util.h"
+
+namespace deltarepair {
+namespace {
+
+struct ViewFixture {
+  Database db;
+  uint32_t r, s;
+  TupleId r1, r2, s1, s2;
+
+  ViewFixture() {
+    r = db.AddRelation(MakeIntSchema("R", {"x", "y"}));
+    s = db.AddRelation(MakeIntSchema("S", {"y", "z"}));
+    // Q(x) over R(x,y), S(y,z): Q = {1 (two derivations), 2 (one)}.
+    r1 = db.Insert(r, {Value(int64_t{1}), Value(int64_t{10})});
+    r2 = db.Insert(r, {Value(int64_t{1}), Value(int64_t{11})});
+    db.Insert(r, {Value(int64_t{2}), Value(int64_t{10})});
+    s1 = db.Insert(s, {Value(int64_t{10}), Value(int64_t{100})});
+    s2 = db.Insert(s, {Value(int64_t{11}), Value(int64_t{101})});
+  }
+
+  ViewQuery Query() {
+    auto q = ParseViewQuery("x <- R(x, y), S(y, z)");
+    if (!q.ok()) std::abort();
+    ViewQuery query = std::move(q).value();
+    if (!ResolveViewQuery(&query, db).ok()) std::abort();
+    return query;
+  }
+};
+
+TEST(ViewQueryTest, ParseAndRender) {
+  auto q = ParseViewQuery("x, z <- A(x, y), B(y, z), y < 5");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->head_vars.size(), 2u);
+  EXPECT_EQ(q->atoms.size(), 2u);
+  EXPECT_EQ(q->comparisons.size(), 1u);
+  EXPECT_NE(q->ToString().find("<-"), std::string::npos);
+}
+
+TEST(ViewQueryTest, ParseErrors) {
+  EXPECT_FALSE(ParseViewQuery("no arrow here").ok());
+  EXPECT_FALSE(ParseViewQuery("zz <- A(x)").ok());   // head var not in body
+  EXPECT_FALSE(ParseViewQuery("x <- ~A(x)").ok());   // delta atom
+  EXPECT_FALSE(ParseViewQuery(" <- A(x)").ok());     // empty head
+  EXPECT_FALSE(ParseViewQuery("x <- x < 3").ok());   // no atoms
+}
+
+TEST(ViewQueryTest, ResolveErrors) {
+  Database db;
+  db.AddRelation(MakeIntSchema("A", {"x"}));
+  auto q = ParseViewQuery("x <- B(x)");
+  ASSERT_TRUE(q.ok());
+  ViewQuery query = std::move(q).value();
+  EXPECT_EQ(ResolveViewQuery(&query, db).code(), StatusCode::kNotFound);
+  auto q2 = ParseViewQuery("x <- A(x, y)");
+  ASSERT_TRUE(q2.ok());
+  ViewQuery query2 = std::move(q2).value();
+  EXPECT_EQ(ResolveViewQuery(&query2, db).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ViewEvalTest, DistinctProjection) {
+  ViewFixture f;
+  ViewQuery query = f.Query();
+  std::vector<Tuple> result = EvaluateView(&f.db, query);
+  ASSERT_EQ(result.size(), 2u);  // Q = {(1), (2)} — deduplicated
+}
+
+TEST(SideEffectTest, BreaksAllDerivationsMinimally) {
+  ViewFixture f;
+  ViewQuery query = f.Query();
+  Program empty;
+  auto result = MinimalSourceSideEffect(&f.db, query, {Value(int64_t{1})},
+                                        empty);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->derivations, 2u);
+  EXPECT_TRUE(result->optimal);
+  // Cheapest: delete R(1,10) and R(1,11) — 2 tuples (S tuples also
+  // support Q(2)... deleting S(10,*) would kill Q(2)'s support too but
+  // the encoding only requires breaking Q(1); S(10,100)+S(11,101) is
+  // also 2). Minimum is 2 either way.
+  EXPECT_EQ(result->deleted.size(), 2u);
+  // Verify: apply and re-evaluate.
+  for (TupleId t : result->deleted) f.db.MarkDeleted(t);
+  for (const Tuple& t : EvaluateView(&f.db, query)) {
+    EXPECT_NE(t[0], Value(int64_t{1}));
+  }
+}
+
+TEST(SideEffectTest, SingleDerivationSingleDeletion) {
+  ViewFixture f;
+  ViewQuery query = f.Query();
+  Program empty;
+  auto result = MinimalSourceSideEffect(&f.db, query, {Value(int64_t{2})},
+                                        empty);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->derivations, 1u);
+  EXPECT_EQ(result->deleted.size(), 1u);
+}
+
+TEST(SideEffectTest, AbsentTargetNeedsNothing) {
+  ViewFixture f;
+  ViewQuery query = f.Query();
+  Program empty;
+  auto result = MinimalSourceSideEffect(&f.db, query, {Value(int64_t{99})},
+                                        empty);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->derivations, 0u);
+  EXPECT_TRUE(result->deleted.empty());
+}
+
+TEST(SideEffectTest, ArityMismatchRejected) {
+  ViewFixture f;
+  ViewQuery query = f.Query();
+  Program empty;
+  auto result = MinimalSourceSideEffect(
+      &f.db, query, {Value(int64_t{1}), Value(int64_t{2})}, empty);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(SideEffectTest, DeltaProgramChangesTheOptimalChoice) {
+  // Without rules, deleting R(1, y) tuples is as cheap as deleting the
+  // S tuples. With a delta program that cascades R deletions into an
+  // expensive relation, the optimum shifts to the S side.
+  Database db;
+  uint32_t r = db.AddRelation(MakeIntSchema("R", {"x", "y"}));
+  uint32_t s = db.AddRelation(MakeIntSchema("S", {"y"}));
+  uint32_t w = db.AddRelation(MakeIntSchema("W", {"x", "p"}));
+  db.Insert(r, {Value(int64_t{1}), Value(int64_t{10})});
+  TupleId s10 = db.Insert(s, {Value(int64_t{10})});
+  // R(1,10) supports many W tuples through the cascade rule below.
+  for (int i = 0; i < 4; ++i) {
+    db.Insert(w, {Value(int64_t{1}), Value(int64_t{100 + i})});
+  }
+  Program cascade = MustParseProgram(
+      "~W(x, p) :- W(x, p), ~R(x, y).\n");
+  ASSERT_TRUE(ResolveProgram(&cascade, db).ok());
+
+  auto q = ParseViewQuery("x <- R(x, y), S(y)");
+  ASSERT_TRUE(q.ok());
+  ViewQuery query = std::move(q).value();
+  ASSERT_TRUE(ResolveViewQuery(&query, db).ok());
+
+  auto result = MinimalSourceSideEffect(&db, query, {Value(int64_t{1})},
+                                        cascade);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Deleting R(1,10) costs 1 + 4 cascaded W deletions; deleting S(10)
+  // costs 1. The solver must pick S.
+  EXPECT_EQ(result->deleted, (std::vector<TupleId>{s10}));
+  EXPECT_TRUE(result->optimal);
+
+  // And the combined deletion set leaves the database stable.
+  EXPECT_TRUE(IsStabilizingSet(&db, cascade, result->deleted));
+}
+
+TEST(SideEffectTest, CascadeCostIncludedWhenUnavoidable) {
+  // Only one way to break the derivation: delete R, paying the cascade.
+  Database db;
+  uint32_t r = db.AddRelation(MakeIntSchema("R", {"x"}));
+  uint32_t w = db.AddRelation(MakeIntSchema("W", {"x", "p"}));
+  TupleId r1 = db.Insert(r, {Value(int64_t{1})});
+  std::vector<TupleId> ws;
+  for (int i = 0; i < 3; ++i) {
+    ws.push_back(db.Insert(w, {Value(int64_t{1}), Value(int64_t{100 + i})}));
+  }
+  Program cascade = MustParseProgram("~W(x, p) :- W(x, p), ~R(x).\n");
+  ASSERT_TRUE(ResolveProgram(&cascade, db).ok());
+  auto q = ParseViewQuery("x <- R(x)");
+  ASSERT_TRUE(q.ok());
+  ViewQuery query = std::move(q).value();
+  ASSERT_TRUE(ResolveViewQuery(&query, db).ok());
+  auto result = MinimalSourceSideEffect(&db, query, {Value(int64_t{1})},
+                                        cascade);
+  ASSERT_TRUE(result.ok());
+  std::vector<TupleId> expected = {r1};
+  expected.insert(expected.end(), ws.begin(), ws.end());
+  EXPECT_EQ(result->deleted, IdSet(expected));  // R plus all cascaded Ws
+}
+
+}  // namespace
+}  // namespace deltarepair

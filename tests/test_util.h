@@ -1,0 +1,46 @@
+// Shared helpers for the test suite.
+#ifndef DELTAREPAIR_TESTS_TEST_UTIL_H_
+#define DELTAREPAIR_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "datalog/parser.h"
+#include "relation/database.h"
+#include "repair/semantics.h"
+
+namespace deltarepair {
+
+/// Parses a program or aborts (test fixture convenience).
+inline Program MustParseProgram(const std::string& text) {
+  StatusOr<Program> p = ParseProgram(text);
+  if (!p.ok()) {
+    std::fprintf(stderr, "parse failure: %s\n", p.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(p).value();
+}
+
+/// Sorted TupleId set from a list.
+inline std::vector<TupleId> IdSet(std::vector<TupleId> ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+/// Renders a deleted-set for diagnostics.
+inline std::string RenderSet(const Database& db,
+                             const std::vector<TupleId>& ids) {
+  std::string out = "{";
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i) out += ", ";
+    out += db.TupleToStr(ids[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_TESTS_TEST_UTIL_H_

@@ -1,0 +1,145 @@
+// Trigger-emulation tests (Sec. 6 "Comparison with Triggers"): firing
+// order sensitivity (PostgreSQL alphabetical vs MySQL creation order),
+// cascades, and agreement with stage semantics on pure cascades.
+#include <gtest/gtest.h>
+
+#include "repair/repair_engine.h"
+#include "tests/test_util.h"
+#include "triggers/trigger.h"
+
+namespace deltarepair {
+namespace {
+
+/// The program-4 pattern: two constraint rules on the same event; which
+/// one runs first decides whether one Organization tuple or all Author
+/// tuples get deleted.
+struct OrgAuthorsFixture {
+  Database db;
+  TupleId org;
+  std::vector<TupleId> authors;
+
+  OrgAuthorsFixture() {
+    uint32_t o = db.AddRelation(MakeIntSchema("O", {"oid"}));
+    uint32_t a = db.AddRelation(MakeIntSchema("A", {"aid", "oid"}));
+    org = db.Insert(o, {Value(int64_t{1})});
+    for (int i = 0; i < 4; ++i) {
+      authors.push_back(
+          db.Insert(a, {Value(int64_t{10 + i}), Value(int64_t{1})}));
+    }
+  }
+};
+
+const char* kProgram4Pattern =
+    "~A(a, o) :- O(o), A(a, o), o = 1.\n"
+    "~O(o) :- O(o), A(a, o), o = 1.\n";
+
+TEST(TriggerOrderTest, AlphabeticalVsCreationOrderDiverge) {
+  // Name the author-deleting trigger late alphabetically, so PostgreSQL
+  // (alphabetical) runs the org deletion first while MySQL (creation
+  // order) runs the author deletion first.
+  {
+    OrgAuthorsFixture f;
+    auto engine = TriggerEngine::Create(&f.db, MustParseProgram(
+                                                   kProgram4Pattern),
+                                        {"z_delete_authors", "a_delete_org"});
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    TriggerRunResult pg = engine->Run(TriggerOrder::kAlphabetical);
+    // Org goes first; the author statement then finds no matching org.
+    EXPECT_EQ(pg.deleted, IdSet({f.org}));
+  }
+  {
+    OrgAuthorsFixture f;
+    auto engine = TriggerEngine::Create(&f.db, MustParseProgram(
+                                                   kProgram4Pattern),
+                                        {"z_delete_authors", "a_delete_org"});
+    ASSERT_TRUE(engine.ok());
+    TriggerRunResult mysql = engine->Run(TriggerOrder::kCreationOrder);
+    // All authors go first; the org statement then finds no author.
+    EXPECT_EQ(mysql.deleted, IdSet(f.authors));
+    EXPECT_EQ(mysql.size(), 4u);
+  }
+}
+
+TEST(TriggerOrderTest, StepSemanticsBeatsTheBadOrder) {
+  // The paper's observation on program 4: triggers can delete all authors
+  // where step semantics deletes a single organization tuple.
+  OrgAuthorsFixture f;
+  StatusOr<RepairEngine> engine =
+      RepairEngine::Create(&f.db, MustParseProgram(kProgram4Pattern));
+  ASSERT_TRUE(engine.ok());
+  RepairResult step = engine->Run(SemanticsKind::kStep);
+  EXPECT_EQ(step.deleted, IdSet({f.org}));
+  EXPECT_LT(step.size(), f.authors.size());
+}
+
+TEST(TriggerCascadeTest, MatchesStageSemanticsOnPureCascade) {
+  Database db;
+  uint32_t o = db.AddRelation(MakeIntSchema("O", {"oid"}));
+  uint32_t a = db.AddRelation(MakeIntSchema("A", {"aid", "oid"}));
+  uint32_t w = db.AddRelation(MakeIntSchema("W", {"aid", "pid"}));
+  db.Insert(o, {Value(int64_t{1})});
+  db.Insert(o, {Value(int64_t{2})});  // survives
+  db.Insert(a, {Value(int64_t{10}), Value(int64_t{1})});
+  db.Insert(a, {Value(int64_t{11}), Value(int64_t{1})});
+  db.Insert(a, {Value(int64_t{12}), Value(int64_t{2})});  // survives
+  db.Insert(w, {Value(int64_t{10}), Value(int64_t{100})});
+  db.Insert(w, {Value(int64_t{11}), Value(int64_t{101})});
+  db.Insert(w, {Value(int64_t{12}), Value(int64_t{102})});  // survives
+
+  const char* text =
+      "~O(o) :- O(o), o = 1.\n"
+      "~A(a, o) :- A(a, o), ~O(o).\n"
+      "~W(a, p) :- W(a, p), ~A(a, o).\n";
+
+  StatusOr<RepairEngine> repair =
+      RepairEngine::Create(&db, MustParseProgram(text));
+  ASSERT_TRUE(repair.ok());
+  RepairResult stage = repair->Run(SemanticsKind::kStage);
+
+  for (TriggerOrder order :
+       {TriggerOrder::kAlphabetical, TriggerOrder::kCreationOrder}) {
+    Database copy = db;
+    auto engine = TriggerEngine::Create(&copy, MustParseProgram(text));
+    ASSERT_TRUE(engine.ok());
+    TriggerRunResult result = engine->Run(order);
+    EXPECT_EQ(result.deleted, stage.deleted) << TriggerOrderName(order);
+    EXPECT_GE(result.firings, 3u);
+    EXPECT_GE(result.events_processed, result.deleted.size());
+  }
+}
+
+TEST(TriggerCreateTest, RejectsMultiDeltaRules) {
+  Database db;
+  db.AddRelation(MakeIntSchema("A", {"x"}));
+  db.AddRelation(MakeIntSchema("B", {"x"}));
+  db.AddRelation(MakeIntSchema("C", {"x"}));
+  auto engine = TriggerEngine::Create(
+      &db, MustParseProgram("~C(x) :- C(x), ~A(x), ~B(x).\n"));
+  EXPECT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TriggerTraceTest, RecordsFiringOrder) {
+  OrgAuthorsFixture f;
+  auto engine = TriggerEngine::Create(&f.db,
+                                      MustParseProgram(kProgram4Pattern));
+  ASSERT_TRUE(engine.ok());
+  TriggerRunResult result = engine->Run(TriggerOrder::kAlphabetical);
+  ASSERT_FALSE(result.firing_trace.empty());
+  // Default names follow rule order: t00_A fires first alphabetically.
+  EXPECT_EQ(result.firing_trace[0], "t00_A");
+  EXPECT_GT(result.seconds, 0.0);
+}
+
+TEST(TriggerStableTest, NoMatchesNoFirings) {
+  OrgAuthorsFixture f;
+  auto engine = TriggerEngine::Create(
+      &f.db, MustParseProgram("~O(o) :- O(o), o = 99.\n"));
+  ASSERT_TRUE(engine.ok());
+  TriggerRunResult result = engine->Run(TriggerOrder::kAlphabetical);
+  EXPECT_TRUE(result.deleted.empty());
+  EXPECT_EQ(result.firings, 0u);
+}
+
+}  // namespace
+}  // namespace deltarepair

@@ -1,0 +1,202 @@
+// drepair — command-line declarative repair over CSV data.
+//
+// Usage:
+//   drepair --data <dir> --program <file> [--semantics <name>] [--apply]
+//           [--out <dir>] [--show <n>] [--verify]
+//
+//   --data       directory of <Relation>.csv files; first line is the
+//                schema, e.g. "aid:int,name:str,oid:int"
+//   --program    delta-rule file, e.g.
+//                  ~Author(a, n, o) :- Author(a, n, o), n = 'ERC'.
+//                  ~Writes(a, p) :- Writes(a, p), ~Author(a, n, o).
+//   --semantics  end | stage | step | independent | all   (default: all)
+//   --apply      apply the repair (with --out, write repaired CSVs)
+//   --show n     print up to n deleted tuples per semantics (default 10)
+//   --verify     re-check that the result is a stabilizing set
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "relation/csv.h"
+#include "repair/repair_engine.h"
+#include "repair/stability.h"
+#include "datalog/parser.h"
+
+namespace fs = std::filesystem;
+using namespace deltarepair;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --data <dir> --program <file> "
+               "[--semantics end|stage|step|independent|all] [--apply] "
+               "[--out <dir>] [--show <n>] [--verify]\n",
+               argv0);
+  return 2;
+}
+
+bool ParseSemantics(const std::string& name, SemanticsKind* out) {
+  if (name == "end") *out = SemanticsKind::kEnd;
+  else if (name == "stage") *out = SemanticsKind::kStage;
+  else if (name == "step") *out = SemanticsKind::kStep;
+  else if (name == "independent" || name == "ind")
+    *out = SemanticsKind::kIndependent;
+  else
+    return false;
+  return true;
+}
+
+void PrintResult(Database& db, const RepairResult& result, size_t show) {
+  std::printf("%-12s: %zu tuples deleted", SemanticsName(result.semantics),
+              result.size());
+  if (!result.deleted.empty()) {
+    std::printf(" (%s)", result.BreakdownByRelation(db).c_str());
+  }
+  std::printf("  [%.1fms%s]\n", result.stats.total_seconds * 1e3,
+              result.semantics == SemanticsKind::kIndependent
+                  ? (result.stats.optimal ? ", provably minimum"
+                                          : ", anytime cutoff")
+                  : "");
+  for (size_t i = 0; i < result.deleted.size() && i < show; ++i) {
+    std::printf("    - %s\n", db.TupleToStr(result.deleted[i]).c_str());
+  }
+  if (result.deleted.size() > show) {
+    std::printf("    ... and %zu more\n", result.deleted.size() - show);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string data_dir, program_path, out_dir;
+  std::string semantics_name = "all";
+  bool apply = false, verify = false;
+  size_t show = 10;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--data") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      data_dir = v;
+    } else if (arg == "--program") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      program_path = v;
+    } else if (arg == "--semantics") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      semantics_name = v;
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      out_dir = v;
+    } else if (arg == "--show") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      show = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--apply") {
+      apply = true;
+    } else if (arg == "--verify") {
+      verify = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return Usage(argv[0]);
+    }
+  }
+  if (data_dir.empty() || program_path.empty()) return Usage(argv[0]);
+
+  // Load every CSV in the data directory.
+  Database db;
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(data_dir, ec)) {
+    if (entry.path().extension() == ".csv") {
+      files.push_back(entry.path().string());
+    }
+  }
+  if (ec) {
+    std::fprintf(stderr, "cannot read %s: %s\n", data_dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::string& path : files) {
+    Status st = LoadCsvFile(&db, path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), st.ToString().c_str());
+      return 1;
+    }
+  }
+  if (db.num_relations() == 0) {
+    std::fprintf(stderr, "no .csv files found in %s\n", data_dir.c_str());
+    return 1;
+  }
+  std::printf("loaded %zu relations, %zu tuples\n", db.num_relations(),
+              db.TotalLive());
+
+  // Parse the program.
+  std::ifstream in(program_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", program_path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  StatusOr<Program> program = ParseProgram(buffer.str());
+  if (!program.ok()) {
+    std::fprintf(stderr, "program: %s\n",
+                 program.status().ToString().c_str());
+    return 1;
+  }
+  StatusOr<RepairEngine> engine =
+      RepairEngine::Create(&db, std::move(program).value());
+  if (!engine.ok()) {
+    std::fprintf(stderr, "program: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("database stable: %s\n\n",
+              IsStable(&db, engine->program()) ? "yes" : "no");
+
+  std::vector<SemanticsKind> kinds;
+  if (semantics_name == "all") {
+    kinds = {SemanticsKind::kEnd, SemanticsKind::kStage, SemanticsKind::kStep,
+             SemanticsKind::kIndependent};
+  } else {
+    SemanticsKind kind;
+    if (!ParseSemantics(semantics_name, &kind)) return Usage(argv[0]);
+    kinds = {kind};
+  }
+
+  for (SemanticsKind kind : kinds) {
+    bool last = kind == kinds.back();
+    RepairResult result =
+        (apply && last) ? engine->RunAndApply(kind) : engine->Run(kind);
+    PrintResult(db, result, show);
+    if (verify) {
+      bool ok = (apply && last) ? IsStable(&db, engine->program())
+                                : engine->Verify(result);
+      std::printf("    verified stabilizing: %s\n", ok ? "yes" : "NO");
+      if (!ok) return 1;
+    }
+  }
+
+  if (apply && !out_dir.empty()) {
+    fs::create_directories(out_dir, ec);
+    for (uint32_t r = 0; r < db.num_relations(); ++r) {
+      const Relation& rel = db.relation(r);
+      std::ofstream out(out_dir + "/" + rel.name() + ".csv");
+      out << RelationToCsv(rel);
+    }
+    std::printf("\nrepaired CSVs written to %s (semantics: %s)\n",
+                out_dir.c_str(), SemanticsName(kinds.back()));
+  }
+  return 0;
+}
