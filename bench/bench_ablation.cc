@@ -49,7 +49,7 @@ int Main() {
   for (size_t errors : {100, 300, 700}) {
     ErrorInjectorConfig config;
     config.num_rows = static_cast<size_t>(2000 * BenchScale());
-    config.num_errors = errors;
+    config.num_errors = ScaledErrors(errors, config.num_rows);
     InjectedTable injected = MakeInjectedAuthorTable(config);
     Database db = injected.MakeDb();
     // Build the negated provenance formula once.

@@ -44,14 +44,14 @@ int Main() {
   const size_t base_rows = static_cast<size_t>(5000 * scale);
   std::vector<std::pair<size_t, size_t>> error_sweep;
   for (size_t errors : {100, 200, 300, 500, 700, 1000}) {
-    error_sweep.push_back({base_rows, errors});
+    error_sweep.push_back({base_rows, ScaledErrors(errors, base_rows)});
   }
   RunSweep("Figure 10a: runtime vs #errors (rows fixed)", error_sweep);
 
   std::vector<std::pair<size_t, size_t>> row_sweep;
   for (size_t rows : {2000, 5000, 10000, 20000}) {
-    row_sweep.push_back(
-        {static_cast<size_t>(static_cast<double>(rows) * scale), 700});
+    size_t scaled_rows = static_cast<size_t>(static_cast<double>(rows) * scale);
+    row_sweep.push_back({scaled_rows, ScaledErrors(700, scaled_rows)});
   }
   RunSweep("Figure 10b: runtime vs #rows (errors fixed at 700)", row_sweep);
   std::printf(

@@ -13,6 +13,7 @@ namespace {
 int Main() {
   MasData mas = BenchMas();
   PrintHeader("Figure 7: execution time, MAS programs 1-20");
+  BenchReporter reporter("bench_fig7_mas_runtime");
   TablePrinter table({"Program", "End", "Stage", "Step(Alg2)", "Ind(Alg1)",
                       "|End| result"});
   double sum_end = 0, sum_stage = 0, sum_step = 0, sum_ind = 0;
@@ -29,6 +30,12 @@ int Main() {
     sum_stage += stage.stats.total_seconds;
     sum_step += step.stats.total_seconds;
     sum_ind += ind.stats.total_seconds;
+    reporter.AddRow("program_" + std::to_string(num))
+        .Metric("end_seconds", end.stats.total_seconds)
+        .Metric("stage_seconds", stage.stats.total_seconds)
+        .Metric("step_seconds", step.stats.total_seconds)
+        .Metric("independent_seconds", ind.stats.total_seconds)
+        .Metric("end_deleted", static_cast<int64_t>(end.size()));
     table.AddRow({std::to_string(num), Ms(end.stats.total_seconds),
                   Ms(stage.stats.total_seconds), Ms(step.stats.total_seconds),
                   Ms(ind.stats.total_seconds), std::to_string(end.size())});

@@ -5,6 +5,10 @@
 // vertex-cover instances.
 #include <benchmark/benchmark.h>
 
+#include <type_traits>
+#include <utility>
+
+#include "bench/bench_util.h"
 #include "provenance/bool_formula.h"
 #include "provenance/prov_graph.h"
 #include "repair/end_semantics.h"
@@ -177,7 +181,54 @@ void BM_StabilityCheck(benchmark::State& state) {
 }
 BENCHMARK(BM_StabilityCheck);
 
+// google-benchmark 1.8 replaced Run::error_occurred with Run::skipped;
+// detect whichever member this library version has.
+template <typename R, typename = void>
+struct RunHasSkipped : std::false_type {};
+template <typename R>
+struct RunHasSkipped<R, std::void_t<decltype(std::declval<const R&>().skipped)>>
+    : std::true_type {};
+
+template <typename R>
+bool RunWasSkipped(const R& run) {
+  if constexpr (RunHasSkipped<R>::value) {
+    return static_cast<bool>(run.skipped);
+  } else {
+    return run.error_occurred;
+  }
+}
+
+// Forwards to the normal console output while recording every run into a
+// BenchReporter, so DR_BENCH_JSON=path captures machine-readable results.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(BenchReporter* json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (RunWasSkipped(run)) continue;
+      json_->AddRow(run.benchmark_name())
+          .Metric("real_time_ns", run.GetAdjustedRealTime())
+          .Metric("cpu_time_ns", run.GetAdjustedCPUTime())
+          .Metric("iterations", static_cast<int64_t>(run.iterations));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  BenchReporter* json_;
+};
+
 }  // namespace
 }  // namespace deltarepair
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  deltarepair::BenchReporter json("bench_micro_engine");
+  deltarepair::JsonTeeReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  json.Flush();
+  return 0;
+}

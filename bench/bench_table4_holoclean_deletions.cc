@@ -24,7 +24,8 @@ int Main() {
   std::vector<DenialConstraint> dcs = AuthorDenialConstraints();
   Program dc_program = DcsToProgram(dcs, DcTranslation::kRulePerAtom);
 
-  for (size_t errors : {100, 200, 300, 500, 700, 1000}) {
+  for (size_t base_errors : {100, 200, 300, 500, 700, 1000}) {
+    const size_t errors = ScaledErrors(base_errors, rows);
     ErrorInjectorConfig config;
     config.num_rows = rows;
     config.num_errors = errors;

@@ -22,7 +22,8 @@ int Main() {
   TablePrinter table({"Errors", "DC1", "DC2", "DC3", "DC4",
                       "HoloClean Total", "Semantics Total"});
 
-  for (size_t errors : {100, 200, 300, 500, 700, 1000}) {
+  for (size_t base_errors : {100, 200, 300, 500, 700, 1000}) {
+    const size_t errors = ScaledErrors(base_errors, rows);
     ErrorInjectorConfig config;
     config.num_rows = rows;
     config.num_errors = errors;

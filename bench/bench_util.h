@@ -7,8 +7,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/json_writer.h"
 #include "common/string_util.h"
 #include "workload/mas_generator.h"
 #include "workload/tpch_generator.h"
@@ -38,9 +42,103 @@ inline std::string Ms(double seconds) {
 
 inline const char* Tick(bool b) { return b ? "yes" : "no"; }
 
+/// Scales a paper-table error count by DR_SCALE and clamps it to the
+/// (equally scaled) table size, so small DR_SCALE runs keep the
+/// injector's num_errors <= num_rows invariant.
+inline size_t ScaledErrors(size_t errors, size_t num_rows) {
+  size_t scaled = static_cast<size_t>(static_cast<double>(errors) *
+                                      BenchScale());
+  if (scaled < 1) scaled = 1;
+  return scaled < num_rows ? scaled : num_rows;
+}
+
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
+
+/// Path for machine-readable bench output, or "" when not requested.
+inline std::string BenchJsonPath() {
+  const char* env = std::getenv("DR_BENCH_JSON");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+/// Collects per-row metrics from a bench run and, when DR_BENCH_JSON=path
+/// is set, writes them as one JSON document on Flush() (or destruction):
+///   {"bench": "...", "scale": 1.0, "rows":
+///     [{"name": "...", "<metric>": <value>, ...}, ...]}
+/// When DR_BENCH_JSON is unset the reporter is inert, so the printf
+/// tables remain the only output.
+class BenchReporter {
+ public:
+  explicit BenchReporter(std::string bench_name)
+      : bench_name_(std::move(bench_name)), path_(BenchJsonPath()) {}
+  ~BenchReporter() { Flush(); }
+
+  BenchReporter(const BenchReporter&) = delete;
+  BenchReporter& operator=(const BenchReporter&) = delete;
+
+  class Row {
+   public:
+    Row& Metric(std::string key, double value) {
+      doubles_.emplace_back(std::move(key), value);
+      return *this;
+    }
+    Row& Metric(std::string key, int64_t value) {
+      ints_.emplace_back(std::move(key), value);
+      return *this;
+    }
+    Row& Metric(std::string key, std::string value) {
+      strings_.emplace_back(std::move(key), std::move(value));
+      return *this;
+    }
+
+   private:
+    friend class BenchReporter;
+    explicit Row(std::string name) : name_(std::move(name)) {}
+    std::string name_;
+    std::vector<std::pair<std::string, double>> doubles_;
+    std::vector<std::pair<std::string, int64_t>> ints_;
+    std::vector<std::pair<std::string, std::string>> strings_;
+  };
+
+  /// Adds a result row; chain Metric() calls on the returned reference.
+  Row& AddRow(std::string name) {
+    rows_.push_back(Row(std::move(name)));
+    return rows_.back();
+  }
+
+  /// Writes the JSON document if DR_BENCH_JSON is set. Idempotent.
+  void Flush() {
+    if (path_.empty() || flushed_) return;
+    flushed_ = true;
+    JsonWriter w;
+    w.BeginObject()
+        .Field("bench", bench_name_)
+        .Field("scale", BenchScale())
+        .Key("rows")
+        .BeginArray();
+    for (const Row& row : rows_) {
+      w.BeginObject().Field("name", row.name_);
+      for (const auto& [key, value] : row.ints_) w.Field(key, value);
+      for (const auto& [key, value] : row.doubles_) w.Field(key, value);
+      for (const auto& [key, value] : row.strings_) {
+        w.Field(key, std::string_view(value));
+      }
+      w.EndObject();
+    }
+    w.EndArray().EndObject();
+    if (WriteFileOrWarn(path_, w.str())) {
+      std::fprintf(stderr, "bench: wrote %zu rows to %s\n", rows_.size(),
+                   path_.c_str());
+    }
+  }
+
+ private:
+  std::string bench_name_;
+  std::string path_;
+  std::deque<Row> rows_;  // deque: AddRow() references stay valid
+  bool flushed_ = false;
+};
 
 }  // namespace deltarepair
 

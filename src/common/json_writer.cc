@@ -1,0 +1,148 @@
+#include "common/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace deltarepair {
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // Key() already emitted the separator and colon.
+  }
+  if (counts_.back() > 0) out_ += ',';
+  ++counts_.back();
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  counts_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  counts_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  if (counts_.back() > 0) out_ += ',';
+  ++counts_.back();
+  out_ += '"';
+  out_ += Escape(key);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += Escape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ += StrFormat("%lld", static_cast<long long>(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Uint(uint64_t value) {
+  BeforeValue();
+  out_ += StrFormat("%llu", static_cast<unsigned long long>(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return *this;
+  }
+  // %.17g round-trips doubles; trim to the shortest representation that
+  // still parses back to the same value.
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::string candidate = StrFormat("%.*g", precision, value);
+    if (std::strtod(candidate.c_str(), nullptr) == value) {
+      out_ += candidate;
+      return *this;
+    }
+  }
+  out_ += StrFormat("%.17g", value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+std::string JsonWriter::Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+bool WriteFileOrWarn(const std::string& path, std::string_view contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "json_writer: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  out.write(contents.data(),
+            static_cast<std::streamsize>(contents.size()));
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "json_writer: short write to %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace deltarepair

@@ -1,0 +1,79 @@
+// Minimal append-only JSON emitter used by the bench harnesses
+// (DR_BENCH_JSON) and anything else that needs machine-readable output.
+// Produces compact, valid JSON; commas and nesting are tracked so call
+// sites just Begin/Key/value/End in order.
+#ifndef DELTAREPAIR_COMMON_JSON_WRITER_H_
+#define DELTAREPAIR_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace deltarepair {
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits an object key; the next value call is its value.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Uint(uint64_t value);
+  /// Doubles are emitted with enough digits to round-trip; NaN and
+  /// infinities (not representable in JSON) become null.
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// Shorthand for Key(key) followed by the value.
+  JsonWriter& Field(std::string_view key, std::string_view value) {
+    return Key(key).String(value);
+  }
+  JsonWriter& Field(std::string_view key, const char* value) {
+    return Key(key).String(value);
+  }
+  JsonWriter& Field(std::string_view key, int64_t value) {
+    return Key(key).Int(value);
+  }
+  JsonWriter& Field(std::string_view key, uint64_t value) {
+    return Key(key).Uint(value);
+  }
+  JsonWriter& Field(std::string_view key, int value) {
+    return Key(key).Int(value);
+  }
+  JsonWriter& Field(std::string_view key, double value) {
+    return Key(key).Double(value);
+  }
+  JsonWriter& Field(std::string_view key, bool value) {
+    return Key(key).Bool(value);
+  }
+
+  /// The JSON document built so far.
+  const std::string& str() const { return out_; }
+
+  /// JSON string escaping (quotes, backslash, control characters).
+  static std::string Escape(std::string_view s);
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  // One entry per open container: number of elements emitted so far.
+  // The sentinel entry at depth 0 lets a bare top-level value work.
+  std::vector<int> counts_{0};
+  bool pending_key_ = false;
+};
+
+/// Writes `contents` to `path` atomically enough for bench output
+/// (truncate + write). Returns false on I/O failure.
+bool WriteFileOrWarn(const std::string& path, std::string_view contents);
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_COMMON_JSON_WRITER_H_

@@ -23,11 +23,15 @@ int64_t ProvenanceGraph::AddAssignment(const GroundAssignment& ga, int layer) {
     return -1;
   }
   uint32_t id = static_cast<uint32_t>(assignments_.size());
+  const auto& atoms = ga.rule->body;
   ProvAssignment pa;
-  pa.rule = ga.rule;
   pa.rule_index = ga.rule_index;
   pa.head = ga.head;
   pa.body = ga.body;
+  pa.body_is_delta.reserve(ga.body.size());
+  for (size_t i = 0; i < ga.body.size(); ++i) {
+    pa.body_is_delta.push_back(atoms[i].is_delta);
+  }
   assignments_.push_back(std::move(pa));
 
   DeltaNode& node = delta_nodes_[ga.head.Pack()];
@@ -37,7 +41,6 @@ int64_t ProvenanceGraph::AddAssignment(const GroundAssignment& ga, int layer) {
   }
   node.derivations.push_back(id);
 
-  const auto& atoms = ga.rule->body;
   for (size_t i = 0; i < ga.body.size(); ++i) {
     if (atoms[i].is_delta) {
       delta_uses_[ga.body[i].Pack()].push_back(id);
@@ -93,7 +96,7 @@ std::string ProvenanceGraph::ToString(const Database& db) const {
       out += StrFormat("    rule %d: ", pa.rule_index);
       for (size_t i = 0; i < pa.body.size(); ++i) {
         if (i) out += ", ";
-        if (pa.rule->body[i].is_delta) out += "~";
+        if (pa.body_is_delta[i]) out += "~";
         out += db.TupleToStr(pa.body[i]);
       }
       out += "\n";

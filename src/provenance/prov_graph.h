@@ -17,12 +17,14 @@
 
 namespace deltarepair {
 
-/// One recorded derivation (hyperedge).
+/// One recorded derivation (hyperedge). Owns everything it needs: the
+/// graph routinely outlives the Program it was built from, so no Rule
+/// pointers are retained — only the per-atom deltaness they contributed.
 struct ProvAssignment {
-  const Rule* rule = nullptr;
   int rule_index = -1;
-  TupleId head;                 // the derived delta tuple ∆(head)
-  std::vector<TupleId> body;    // per body atom (base or delta per rule)
+  TupleId head;                     // the derived delta tuple ∆(head)
+  std::vector<TupleId> body;        // per body atom (base or delta per rule)
+  std::vector<bool> body_is_delta;  // parallel to `body`
 };
 
 /// A derived delta node.

@@ -17,8 +17,8 @@ RepairResult RunEndSemantics(Database* db, const Program& program,
     RunSemiNaiveFixpoint(db, program, /*delete_between_rounds=*/false, prov,
                          &result.stats);
   }
-  // Fixpoint reached: apply all derived deletions at once (R_i^T = R_i^0 \
-  // ∆_i^T).
+  // Fixpoint reached: apply all derived deletions at once
+  // (R_i^T = R_i^0 minus ∆_i^T).
   for (const TupleId& t : db->DeltaTupleIds()) {
     db->MarkDeleted(t);
     result.deleted.push_back(t);

@@ -21,7 +21,7 @@ bool Explain(const ProvenanceGraph& graph, TupleId t,
   step.rule_index = pa.rule_index;
   step.derived = t;
   for (size_t i = 0; i < pa.body.size(); ++i) {
-    if (pa.rule->body[i].is_delta) {
+    if (pa.body_is_delta[i]) {
       step.deltas.push_back(pa.body[i]);
     } else {
       step.bases.push_back(pa.body[i]);

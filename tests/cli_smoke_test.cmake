@@ -1,0 +1,111 @@
+# End-to-end smoke test for drepair_cli: CSV data + a delta-rule program
+# in, verified deletions and repaired CSVs out. Run by CTest as
+#   cmake -DDREPAIR_CLI=<exe> -DWORK_DIR=<dir> -P cli_smoke_test.cmake
+# Mirrors the paper's running example: deleting the 'ERC' author must
+# cascade to their authorship facts under every semantics.
+
+if(NOT DEFINED DREPAIR_CLI OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DDREPAIR_CLI=... -DWORK_DIR=... -P cli_smoke_test.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}/data")
+
+file(WRITE "${WORK_DIR}/data/Author.csv"
+"aid:int,name:str,oid:int
+1,Alice,100
+2,Bob,200
+3,Carol,300
+")
+file(WRITE "${WORK_DIR}/data/Org.csv"
+"oid:int,oname:str
+100,ERC
+200,UCSD
+300,UCSD
+")
+file(WRITE "${WORK_DIR}/data/Writes.csv"
+"aid:int,pid:int
+1,10
+2,10
+2,20
+3,20
+")
+
+file(WRITE "${WORK_DIR}/repair.dl"
+"~Author(a, n, o) :- Author(a, n, o), Org(o, x), x = 'ERC'.
+~Writes(a, p) :- Writes(a, p), ~Author(a, n, o).
+")
+
+# Pass 1: all four semantics, each verified as a stabilizing set.
+execute_process(
+  COMMAND "${DREPAIR_CLI}"
+    --data "${WORK_DIR}/data"
+    --program "${WORK_DIR}/repair.dl"
+    --semantics all --verify
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc
+)
+message(STATUS "drepair_cli output:\n${out}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "drepair_cli exited with ${rc}\nstderr:\n${err}")
+endif()
+
+# All three relations must load, the ERC author + their paper must go,
+# and every semantics must report a verified stabilizing set.
+foreach(needle
+    "loaded 3 relations, 10 tuples"
+    "end"
+    "stage"
+    "step"
+    "independent")
+  string(FIND "${out}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "expected '${needle}' in CLI output")
+  endif()
+endforeach()
+string(FIND "${out}" "verified stabilizing: NO" bad)
+if(NOT bad EQUAL -1)
+  message(FATAL_ERROR "a semantics produced a non-stabilizing repair")
+endif()
+
+# Pass 2: apply the end-semantics repair and write repaired CSVs. Under
+# end semantics the ERC author and their authorship row are deleted.
+execute_process(
+  COMMAND "${DREPAIR_CLI}"
+    --data "${WORK_DIR}/data"
+    --program "${WORK_DIR}/repair.dl"
+    --semantics end --verify --apply --out "${WORK_DIR}/repaired"
+  OUTPUT_VARIABLE apply_out
+  ERROR_VARIABLE apply_err
+  RESULT_VARIABLE apply_rc
+)
+message(STATUS "drepair_cli --apply output:\n${apply_out}")
+if(NOT apply_rc EQUAL 0)
+  message(FATAL_ERROR "drepair_cli --apply exited with ${apply_rc}\nstderr:\n${apply_err}")
+endif()
+
+# The repaired CSVs must exist and no longer contain Alice or her
+# authorship row; untouched relations survive in full.
+foreach(rel Author Org Writes)
+  if(NOT EXISTS "${WORK_DIR}/repaired/${rel}.csv")
+    message(FATAL_ERROR "missing repaired CSV for ${rel}")
+  endif()
+endforeach()
+file(READ "${WORK_DIR}/repaired/Author.csv" repaired_author)
+if(repaired_author MATCHES "Alice")
+  message(FATAL_ERROR "Author.csv still contains the ERC author:\n${repaired_author}")
+endif()
+if(NOT repaired_author MATCHES "Bob")
+  message(FATAL_ERROR "Author.csv lost an unaffected author:\n${repaired_author}")
+endif()
+file(READ "${WORK_DIR}/repaired/Writes.csv" repaired_writes)
+if(repaired_writes MATCHES "(^|\n)1,10")
+  message(FATAL_ERROR "Writes.csv still contains the deleted author's row:\n${repaired_writes}")
+endif()
+file(READ "${WORK_DIR}/repaired/Org.csv" repaired_org)
+if(NOT repaired_org MATCHES "UCSD")
+  message(FATAL_ERROR "Org.csv lost rows it should have kept:\n${repaired_org}")
+endif()
+
+message(STATUS "cli_smoke_test passed")
