@@ -8,7 +8,6 @@
 #include "common/timer.h"
 #include "provenance/bool_formula.h"
 #include "repair/repair_engine.h"
-#include "repair/step_semantics.h"
 #include "workload/error_injector.h"
 #include "workload/programs.h"
 
@@ -22,17 +21,15 @@ int Main() {
   TablePrinter step_table({"Program", "|S| max-benefit", "|S| arbitrary",
                            "time max-benefit", "time arbitrary"});
   for (int num : {2, 3, 4, 8, 11, 14, 20}) {
-    Program program = MasProgram(num, mas.hubs);
     Database db = mas.db;
-    if (!ResolveProgram(&program, db).ok()) continue;
-    Database::State snap = db.SaveState();
-    StepOptions greedy;
-    RepairResult with_benefit = RunStepSemantics(&db, program, greedy);
-    db.RestoreState(snap);
-    StepOptions arbitrary;
-    arbitrary.ordering = StepOrdering::kArbitrary;
-    RepairResult without = RunStepSemantics(&db, program, arbitrary);
-    db.RestoreState(snap);
+    StatusOr<RepairEngine> engine =
+        RepairEngine::Create(&db, MasProgram(num, mas.hubs));
+    if (!engine.ok()) continue;
+    RepairRequest request;
+    request.semantics = "step";
+    RepairResult with_benefit = engine->Execute(request).result;
+    request.options.step.ordering = StepOrdering::kArbitrary;
+    RepairResult without = engine->Execute(request).result;
     step_table.AddRow({std::to_string(num),
                        std::to_string(with_benefit.size()),
                        std::to_string(without.size()),

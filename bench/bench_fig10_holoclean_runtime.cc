@@ -26,10 +26,13 @@ void RunSweep(const std::string& title,
     Database db = injected.MakeDb();
     StatusOr<RepairEngine> engine = RepairEngine::Create(&db, dc_program);
     if (!engine.ok()) return;
-    RepairResult end = engine->Run(SemanticsKind::kEnd);
-    RepairResult stage = engine->Run(SemanticsKind::kStage);
-    RepairResult step = engine->Run(SemanticsKind::kStep);
-    RepairResult ind = engine->Run(SemanticsKind::kIndependent);
+    std::vector<RepairOutcome> outcomes = engine->RunBatch(
+        {RepairRequest{"end"}, RepairRequest{"stage"}, RepairRequest{"step"},
+         RepairRequest{"independent"}});
+    const RepairResult& end = outcomes[0].result;
+    const RepairResult& stage = outcomes[1].result;
+    const RepairResult& step = outcomes[2].result;
+    const RepairResult& ind = outcomes[3].result;
     HoloCleanReport hc = RunHoloClean(&db, "Author", dcs);
     table.AddRow({std::to_string(rows), std::to_string(errors),
                   Ms(end.stats.total_seconds), Ms(stage.stats.total_seconds),

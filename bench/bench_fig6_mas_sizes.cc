@@ -19,10 +19,13 @@ void RunGroup(const MasData& mas, const std::vector<int>& programs,
     StatusOr<RepairEngine> engine =
         RepairEngine::Create(&db, MasProgram(num, mas.hubs));
     if (!engine.ok()) continue;
-    RepairResult end = engine->Run(SemanticsKind::kEnd);
-    RepairResult stage = engine->Run(SemanticsKind::kStage);
-    RepairResult step = engine->Run(SemanticsKind::kStep);
-    RepairResult ind = engine->Run(SemanticsKind::kIndependent);
+    std::vector<RepairOutcome> outcomes = engine->RunBatch(
+        {RepairRequest{"end"}, RepairRequest{"stage"}, RepairRequest{"step"},
+         RepairRequest{"independent"}});
+    const RepairResult& end = outcomes[0].result;
+    const RepairResult& stage = outcomes[1].result;
+    const RepairResult& step = outcomes[2].result;
+    const RepairResult& ind = outcomes[3].result;
     reporter->AddRow("program_" + std::to_string(num))
         .Metric("end_size", static_cast<int64_t>(end.size()))
         .Metric("stage_size", static_cast<int64_t>(stage.size()))

@@ -22,10 +22,13 @@ int Main() {
     StatusOr<RepairEngine> engine =
         RepairEngine::Create(&db, MasProgram(num, mas.hubs));
     if (!engine.ok()) continue;
-    RepairResult end = engine->Run(SemanticsKind::kEnd);
-    RepairResult stage = engine->Run(SemanticsKind::kStage);
-    RepairResult step = engine->Run(SemanticsKind::kStep);
-    RepairResult ind = engine->Run(SemanticsKind::kIndependent);
+    std::vector<RepairOutcome> outcomes = engine->RunBatch(
+        {RepairRequest{"end"}, RepairRequest{"stage"}, RepairRequest{"step"},
+         RepairRequest{"independent"}});
+    const RepairResult& end = outcomes[0].result;
+    const RepairResult& stage = outcomes[1].result;
+    const RepairResult& step = outcomes[2].result;
+    const RepairResult& ind = outcomes[3].result;
     sum_end += end.stats.total_seconds;
     sum_stage += stage.stats.total_seconds;
     sum_step += step.stats.total_seconds;

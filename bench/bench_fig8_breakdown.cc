@@ -36,8 +36,10 @@ int Main() {
     StatusOr<RepairEngine> engine =
         RepairEngine::Create(&db, MasProgram(num, mas.hubs));
     if (!engine.ok()) continue;
-    RepairResult ind = engine->Run(SemanticsKind::kIndependent);
-    RepairResult step = engine->Run(SemanticsKind::kStep);
+    std::vector<RepairOutcome> outcomes = engine->RunBatch(
+        {RepairRequest{"independent"}, RepairRequest{"step"}});
+    const RepairResult& ind = outcomes[0].result;
+    const RepairResult& step = outcomes[1].result;
     if (num <= 15) {
       alg1_a.Accumulate(ind.stats, true);
       alg2_a.Accumulate(step.stats, false);

@@ -11,16 +11,25 @@
 #include "bench/bench_util.h"
 #include "provenance/bool_formula.h"
 #include "provenance/prov_graph.h"
-#include "repair/end_semantics.h"
-#include "repair/independent_semantics.h"
-#include "repair/stage_semantics.h"
-#include "repair/step_semantics.h"
+#include "repair/semantics_registry.h"
 #include "sat/min_ones.h"
 #include "workload/mas_generator.h"
 #include "workload/programs.h"
 
 namespace deltarepair {
 namespace {
+
+/// Raw registry-runner invocation (no engine facade): what these
+/// microbenches measure is the runner itself.
+RepairResult RunKind(SemanticsKind kind, Database* db,
+                     const Program& program,
+                     ProvenanceGraph* prov = nullptr) {
+  RepairOptions options;
+  options.record_provenance = prov;
+  ExecContext ctx(options);
+  return SemanticsRegistry::Global().GetKind(kind).Run(db, program, options,
+                                                       &ctx);
+}
 
 MasData& SharedMas() {
   static MasData data = [] {
@@ -83,7 +92,7 @@ void BM_FixpointEndMode(benchmark::State& state) {
   if (!ResolveProgram(&program, db).ok()) return;
   for (auto _ : state) {
     Database::State snap = db.SaveState();
-    RepairResult r = RunEndSemantics(&db, program);
+    RepairResult r = RunKind(SemanticsKind::kEnd, &db, program);
     benchmark::DoNotOptimize(r.size());
     db.RestoreState(snap);
   }
@@ -97,7 +106,7 @@ void BM_FixpointStageMode(benchmark::State& state) {
   if (!ResolveProgram(&program, db).ok()) return;
   for (auto _ : state) {
     Database::State snap = db.SaveState();
-    RepairResult r = RunStageSemantics(&db, program);
+    RepairResult r = RunKind(SemanticsKind::kStage, &db, program);
     benchmark::DoNotOptimize(r.size());
     db.RestoreState(snap);
   }
@@ -112,7 +121,7 @@ void BM_ProvenanceGraphBuild(benchmark::State& state) {
   for (auto _ : state) {
     Database::State snap = db.SaveState();
     ProvenanceGraph graph;
-    RunEndSemantics(&db, program, &graph);
+    RunKind(SemanticsKind::kEnd, &db, program, &graph);
     benchmark::DoNotOptimize(graph.num_assignments());
     db.RestoreState(snap);
   }
@@ -126,7 +135,7 @@ void BM_StepAlgorithm2(benchmark::State& state) {
   if (!ResolveProgram(&program, db).ok()) return;
   for (auto _ : state) {
     Database::State snap = db.SaveState();
-    RepairResult r = RunStepSemantics(&db, program);
+    RepairResult r = RunKind(SemanticsKind::kStep, &db, program);
     benchmark::DoNotOptimize(r.size());
     db.RestoreState(snap);
   }
@@ -140,7 +149,7 @@ void BM_IndependentAlgorithm1(benchmark::State& state) {
   if (!ResolveProgram(&program, db).ok()) return;
   for (auto _ : state) {
     Database::State snap = db.SaveState();
-    RepairResult r = RunIndependentSemantics(&db, program);
+    RepairResult r = RunKind(SemanticsKind::kIndependent, &db, program);
     benchmark::DoNotOptimize(r.size());
     db.RestoreState(snap);
   }

@@ -32,10 +32,13 @@ int Main() {
                    engine.status().ToString().c_str());
       return;
     }
-    RepairResult end = engine->Run(SemanticsKind::kEnd);
-    RepairResult stage = engine->Run(SemanticsKind::kStage);
-    RepairResult step = engine->Run(SemanticsKind::kStep);
-    RepairResult ind = engine->Run(SemanticsKind::kIndependent);
+    std::vector<RepairOutcome> outcomes = engine->RunBatch(
+        {RepairRequest{"end"}, RepairRequest{"stage"}, RepairRequest{"step"},
+         RepairRequest{"independent"}});
+    const RepairResult& end = outcomes[0].result;
+    const RepairResult& stage = outcomes[1].result;
+    const RepairResult& step = outcomes[2].result;
+    const RepairResult& ind = outcomes[3].result;
     table.AddRow({name, Tick(step.SameSet(stage)), Tick(ind.SubsetOf(stage)),
                   Tick(ind.SubsetOf(step)), std::to_string(end.size()),
                   std::to_string(stage.size()), std::to_string(step.size()),

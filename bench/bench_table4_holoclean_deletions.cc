@@ -41,10 +41,13 @@ int Main() {
                   static_cast<int64_t>(errors);
       return StrFormat("%+lld", static_cast<long long>(d));
     };
-    RepairResult ind = engine->Run(SemanticsKind::kIndependent);
-    RepairResult step = engine->Run(SemanticsKind::kStep);
-    RepairResult stage = engine->Run(SemanticsKind::kStage);
-    RepairResult end = engine->Run(SemanticsKind::kEnd);
+    std::vector<RepairOutcome> outcomes = engine->RunBatch(
+        {RepairRequest{"independent"}, RepairRequest{"step"},
+         RepairRequest{"stage"}, RepairRequest{"end"}});
+    const RepairResult& ind = outcomes[0].result;
+    const RepairResult& step = outcomes[1].result;
+    const RepairResult& stage = outcomes[2].result;
+    const RepairResult& end = outcomes[3].result;
 
     HoloCleanReport hc = RunHoloClean(&db, "Author", dcs);
     int64_t hc_diff = static_cast<int64_t>(hc.repaired_rows) -

@@ -48,10 +48,13 @@ int Main() {
     Database db = mas.db;
     StatusOr<RepairEngine> engine = RepairEngine::Create(&db, program);
     if (!engine.ok()) continue;
-    RepairResult end = engine->Run(SemanticsKind::kEnd);
-    RepairResult stage = engine->Run(SemanticsKind::kStage);
-    RepairResult step = engine->Run(SemanticsKind::kStep);
-    RepairResult ind = engine->Run(SemanticsKind::kIndependent);
+    std::vector<RepairOutcome> outcomes = engine->RunBatch(
+        {RepairRequest{"end"}, RepairRequest{"stage"}, RepairRequest{"step"},
+         RepairRequest{"independent"}});
+    const RepairResult& end = outcomes[0].result;
+    const RepairResult& stage = outcomes[1].result;
+    const RepairResult& step = outcomes[2].result;
+    const RepairResult& ind = outcomes[3].result;
 
     std::string name = std::to_string(num);
     sizes.AddRow({name, std::to_string(pg.size()), std::to_string(my.size()),

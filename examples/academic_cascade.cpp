@@ -54,9 +54,17 @@ int main() {
       "cheaper repair.\n\n",
       ind.size());
 
-  // Apply and verify.
-  engine->RunAndApply(SemanticsKind::kStage);
-  std::printf("applied; database stable: %s; %s tuples remain\n",
+  // Apply and verify through the request API: one request, self-verified
+  // against the initial state, applied to the database.
+  RepairRequest apply_request;
+  apply_request.semantics = "stage";
+  apply_request.options.verify_after_run = true;
+  apply_request.apply = true;
+  RepairOutcome applied = engine->Execute(apply_request);
+  std::printf("applied (%s, verified: %s); database stable: %s; %s tuples "
+              "remain\n",
+              TerminationReasonName(applied.termination),
+              applied.verified.value_or(false) ? "yes" : "no",
               IsStable(&data.db, engine->program()) ? "yes" : "no",
               WithThousands(static_cast<int64_t>(data.db.TotalLive())).c_str());
 

@@ -41,9 +41,20 @@ int main() {
 
   std::printf("\nrepair sizes by semantics (errors injected: %zu):\n",
               table.errors.size());
-  for (RepairResult& result : engine->RunAll()) {
-    std::printf("  %-12s deletes %4zu tuples%s\n",
+  // Batch the sweep with a serving-style guardrail budget per request;
+  // a budget-exhausted run would still report a stabilizing set.
+  std::vector<RepairRequest> requests;
+  for (const std::string& name : SemanticsRegistry::Global().Names()) {
+    RepairRequest request;
+    request.semantics = name;
+    request.options.budget_seconds = 30.0;
+    requests.push_back(request);
+  }
+  for (const RepairOutcome& outcome : engine->RunBatch(requests)) {
+    const RepairResult& result = outcome.result;
+    std::printf("  %-12s deletes %4zu tuples [%s]%s\n",
                 SemanticsName(result.semantics), result.size(),
+                TerminationReasonName(outcome.termination),
                 result.semantics == SemanticsKind::kIndependent &&
                         result.stats.optimal
                     ? " (provably minimum)"

@@ -12,7 +12,6 @@
 #include "provenance/bool_formula.h"
 #include "repair/explain.h"
 #include "provenance/prov_graph.h"
-#include "repair/end_semantics.h"
 #include "repair/repair_engine.h"
 #include "repair/stability.h"
 #include "workload/programs.h"
@@ -34,8 +33,18 @@ int main() {
   std::printf("database stable? %s\n\n",
               IsStable(&ex.db, engine->program()) ? "yes" : "no");
 
+  // One request per registered semantics, executed as a batch against the
+  // same initial state, each self-verifying its stabilizing set.
   std::printf("== The four semantics (Example 1.3) ==\n");
-  for (RepairResult& result : engine->RunAll()) {
+  std::vector<RepairRequest> requests;
+  for (const std::string& name : SemanticsRegistry::Global().Names()) {
+    RepairRequest request;
+    request.semantics = name;
+    request.options.verify_after_run = true;
+    requests.push_back(request);
+  }
+  for (const RepairOutcome& outcome : engine->RunBatch(requests)) {
+    const RepairResult& result = outcome.result;
     std::printf("%-12s deletes %zu tuples: ", SemanticsName(result.semantics),
                 result.size());
     for (size_t i = 0; i < result.deleted.size(); ++i) {
@@ -43,15 +52,18 @@ int main() {
                   ex.db.TupleToStr(result.deleted[i]).c_str());
     }
     std::printf("\n  stabilizing: %s\n",
-                engine->Verify(result) ? "yes" : "NO (bug!)");
+                outcome.verified.value_or(false) ? "yes" : "NO (bug!)");
   }
 
-  // Provenance graph of end semantics (Figure 5) with benefits.
+  // Provenance graph of end semantics (Figure 5) with benefits. The
+  // request API records it as a side output; Execute restores the
+  // database state itself.
   std::printf("\n== Provenance graph (Figure 5) ==\n");
-  Database::State snapshot = ex.db.SaveState();
   ProvenanceGraph graph;
-  RunEndSemantics(&ex.db, engine->program(), &graph);
-  ex.db.RestoreState(snapshot);
+  RepairRequest prov_request;
+  prov_request.semantics = "end";
+  prov_request.options.record_provenance = &graph;
+  engine->Execute(prov_request);
   std::printf("%s", graph.ToString(ex.db).c_str());
   std::printf("benefits: w1=%lld p1=%lld a2=%lld g2=%lld\n",
               static_cast<long long>(graph.Benefit(ex.w1)),

@@ -28,9 +28,14 @@ int main() {
     Database db = data.db;
     StatusOr<RepairEngine> engine = RepairEngine::Create(&db, t5);
     if (!engine.ok()) return 1;
-    RepairResult stage = engine->Run(SemanticsKind::kStage);
-    RepairResult step = engine->Run(SemanticsKind::kStep);
-    RepairResult ind = engine->Run(SemanticsKind::kIndependent);
+    // One resolve, three requests: the batch runs every semantics against
+    // the same initial instance.
+    std::vector<RepairOutcome> outcomes = engine->RunBatch(
+        {RepairRequest{"stage"}, RepairRequest{"step"},
+         RepairRequest{"independent"}});
+    const RepairResult& stage = outcomes[0].result;
+    const RepairResult& step = outcomes[1].result;
+    const RepairResult& ind = outcomes[2].result;
     std::printf("stage deletes %zu: %s\n", stage.size(),
                 stage.BreakdownByRelation(db).c_str());
     std::printf("step  deletes %zu: %s\n", step.size(),

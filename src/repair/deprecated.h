@@ -1,0 +1,58 @@
+// Deprecated shims for the pre-registry free-function API. These kept the
+// four semantics behind four ad-hoc signatures (only independent took an
+// options struct); new code goes through RepairEngine::Execute — or, for
+// the raw runner layer, SemanticsRegistry::Global().Get(name)->Run(...).
+// This header exists for exactly one PR of migration slack and will be
+// removed; nothing in this repository includes it for calls.
+#ifndef DELTAREPAIR_REPAIR_DEPRECATED_H_
+#define DELTAREPAIR_REPAIR_DEPRECATED_H_
+
+#include "repair/end_semantics.h"
+#include "repair/independent_semantics.h"
+#include "repair/stage_semantics.h"
+#include "repair/step_semantics.h"
+
+namespace deltarepair {
+
+/// Runs end semantics, applying the resulting deletions to `db`.
+[[deprecated("use RepairEngine::Execute (semantics \"end\")")]]
+inline RepairResult RunEndSemantics(Database* db, const Program& program,
+                                    ProvenanceGraph* prov = nullptr) {
+  RepairOptions options;
+  options.record_provenance = prov;
+  ExecContext ctx(options);
+  return EndSemantics().Run(db, program, options, &ctx);
+}
+
+/// Runs stage semantics, applying the resulting deletions to `db`.
+[[deprecated("use RepairEngine::Execute (semantics \"stage\")")]]
+inline RepairResult RunStageSemantics(Database* db, const Program& program) {
+  RepairOptions options;
+  ExecContext ctx(options);
+  return StageSemantics().Run(db, program, options, &ctx);
+}
+
+/// Runs Algorithm 2, applying the resulting deletions to `db`.
+[[deprecated("use RepairEngine::Execute (semantics \"step\")")]]
+inline RepairResult RunStepSemantics(Database* db, const Program& program,
+                                     const StepOptions& step_options = {}) {
+  RepairOptions options;
+  options.step = step_options;
+  ExecContext ctx(options);
+  return StepSemantics().Run(db, program, options, &ctx);
+}
+
+/// Runs Algorithm 1, applying the resulting deletions to `db`.
+[[deprecated("use RepairEngine::Execute (semantics \"independent\")")]]
+inline RepairResult RunIndependentSemantics(
+    Database* db, const Program& program,
+    const IndependentOptions& independent_options = {}) {
+  RepairOptions options;
+  options.independent = independent_options;
+  ExecContext ctx(options);
+  return IndependentSemantics().Run(db, program, options, &ctx);
+}
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_REPAIR_DEPRECATED_H_

@@ -1,27 +1,36 @@
 #include "repair/end_semantics.h"
 
-#include <unordered_set>
-
 #include "common/timer.h"
 #include "repair/fixpoint.h"
+#include "repair/stability.h"
 
 namespace deltarepair {
 
-RepairResult RunEndSemantics(Database* db, const Program& program,
-                             ProvenanceGraph* prov) {
+RepairResult EndSemantics::Run(Database* db, const Program& program,
+                               const RepairOptions& options,
+                               ExecContext* ctx) const {
   WallTimer total;
   RepairResult result;
   result.semantics = SemanticsKind::kEnd;
+  bool complete;
   {
     ScopedTimer t(&result.stats.eval_seconds);
-    RunSemiNaiveFixpoint(db, program, /*delete_between_rounds=*/false, prov,
-                         &result.stats);
+    complete = RunSemiNaiveFixpoint(db, program,
+                                    /*delete_between_rounds=*/false,
+                                    options.record_provenance, &result.stats,
+                                    ctx);
   }
-  // Fixpoint reached: apply all derived deletions at once
+  // Fixpoint reached (or interrupted): apply the derived deletions at once
   // (R_i^T = R_i^0 minus ∆_i^T).
   for (const TupleId& t : db->DeltaTupleIds()) {
     db->MarkDeleted(t);
     result.deleted.push_back(t);
+  }
+  if (!complete) {
+    result.stats.optimal = false;
+    if (ctx->reason() == TerminationReason::kBudgetExhausted) {
+      TrivialStabilizingCompletion(db, program, &result);
+    }
   }
   CanonicalizeResult(&result);
   result.stats.total_seconds = total.ElapsedSeconds();

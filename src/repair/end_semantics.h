@@ -6,17 +6,22 @@
 #define DELTAREPAIR_REPAIR_END_SEMANTICS_H_
 
 #include "provenance/prov_graph.h"
-#include "repair/semantics.h"
+#include "repair/semantics_registry.h"
 
 namespace deltarepair {
 
-/// Runs end semantics, applying the resulting deletions to `db`.
-///
-/// When `prov` is non-null, every derivation found during evaluation is
-/// recorded (this is the provenance-graph input of Algorithm 2); the layer
-/// of a delta tuple is the semi-naive round in which it was first derived.
-RepairResult RunEndSemantics(Database* db, const Program& program,
-                             ProvenanceGraph* prov = nullptr);
+/// The registry's "end" runner. When options.record_provenance is
+/// non-null, every derivation found during evaluation is recorded (this
+/// is the provenance-graph input of Algorithm 2); the layer of a delta
+/// tuple is the semi-naive round in which it was first derived.
+class EndSemantics : public Semantics {
+ public:
+  const char* name() const override { return "end"; }
+  SemanticsKind kind() const override { return SemanticsKind::kEnd; }
+  RepairResult Run(Database* db, const Program& program,
+                   const RepairOptions& options,
+                   ExecContext* ctx) const override;
+};
 
 }  // namespace deltarepair
 

@@ -4,9 +4,9 @@
 
 namespace deltarepair {
 
-void RunSemiNaiveFixpoint(Database* db, const Program& program,
+bool RunSemiNaiveFixpoint(Database* db, const Program& program,
                           bool delete_between_rounds, ProvenanceGraph* prov,
-                          RepairStats* stats) {
+                          RepairStats* stats, ExecContext* ctx) {
   Grounder grounder(db);
   const auto& rules = program.rules();
 
@@ -17,6 +17,7 @@ void RunSemiNaiveFixpoint(Database* db, const Program& program,
   int round = 1;
 
   auto handle = [&](const GroundAssignment& ga) {
+    if (ctx->Tick()) return false;  // budget/cancel: stop enumerating
     if (prov != nullptr) prov->AddAssignment(ga, round);
     if (!db->delta(ga.head) && !pending_set.count(ga.head.Pack())) {
       pending_set.insert(ga.head.Pack());
@@ -34,7 +35,7 @@ void RunSemiNaiveFixpoint(Database* db, const Program& program,
 
   // Recent deltas (added in the previous round), per relation, for pivots.
   std::vector<std::vector<uint32_t>> recent(db->num_relations());
-  while (!pending.empty()) {
+  while (!pending.empty() && !ctx->ShouldStop()) {
     for (auto& v : recent) v.clear();
     for (const TupleId& t : pending) {
       if (delete_between_rounds) {
@@ -67,6 +68,7 @@ void RunSemiNaiveFixpoint(Database* db, const Program& program,
   }
   stats->iterations = static_cast<uint64_t>(round);
   stats->assignments += grounder.assignments_enumerated();
+  return !ctx->stopped();
 }
 
 }  // namespace deltarepair

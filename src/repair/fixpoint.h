@@ -17,6 +17,7 @@
 #define DELTAREPAIR_REPAIR_FIXPOINT_H_
 
 #include "provenance/prov_graph.h"
+#include "repair/repair_options.h"
 #include "repair/semantics.h"
 
 namespace deltarepair {
@@ -24,9 +25,14 @@ namespace deltarepair {
 /// Runs the fixpoint; on return the delta relations hold every derived
 /// tuple (and, in stage mode, the base relations are already updated).
 /// Fills stats->iterations and stats->assignments.
-void RunSemiNaiveFixpoint(Database* db, const Program& program,
+///
+/// `ctx` (required) is consulted per enumerated assignment (throttled)
+/// and at every round boundary. Returns true when the fixpoint was
+/// reached; false when the run was interrupted (ctx->reason() says why —
+/// the delta relations then hold a prefix of the derivation).
+bool RunSemiNaiveFixpoint(Database* db, const Program& program,
                           bool delete_between_rounds, ProvenanceGraph* prov,
-                          RepairStats* stats);
+                          RepairStats* stats, ExecContext* ctx);
 
 }  // namespace deltarepair
 

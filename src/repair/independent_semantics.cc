@@ -1,7 +1,10 @@
 #include "repair/independent_semantics.h"
 
+#include <algorithm>
+
 #include "common/timer.h"
 #include "provenance/bool_formula.h"
+#include "repair/stability.h"
 
 namespace deltarepair {
 
@@ -17,8 +20,9 @@ struct StoredAssignment {
 
 }  // namespace
 
-RepairResult RunIndependentSemantics(Database* db, const Program& program,
-                                     const IndependentOptions& options) {
+RepairResult IndependentSemantics::Run(Database* db, const Program& program,
+                                       const RepairOptions& options,
+                                       ExecContext* ctx) const {
   WallTimer total;
   RepairResult result;
   result.semantics = SemanticsKind::kIndependent;
@@ -30,10 +34,11 @@ RepairResult RunIndependentSemantics(Database* db, const Program& program,
   {
     ScopedTimer t(&result.stats.eval_seconds);
     Grounder grounder(db);
-    for (size_t i = 0; i < program.rules().size(); ++i) {
+    for (size_t i = 0; i < program.rules().size() && !ctx->stopped(); ++i) {
       grounder.EnumerateRule(program.rules()[i], static_cast<int>(i),
                              BaseMatch::kLive, DeltaMatch::kHypothetical,
                              [&](const GroundAssignment& ga) {
+                               if (ctx->Tick()) return false;
                                stored.push_back(
                                    StoredAssignment{ga.rule, ga.body});
                                return true;
@@ -41,6 +46,20 @@ RepairResult RunIndependentSemantics(Database* db, const Program& program,
     }
     result.stats.assignments = grounder.assignments_enumerated();
   }
+  // Interrupted during either provenance phase: the CNF would be missing
+  // constraints, so an incumbent over it would not be trustworthy. Keep
+  // the anytime contract on budget exhaustion with the trivial fallback;
+  // on cancellation just unwind.
+  auto interrupted = [&]() -> RepairResult {
+    result.stats.optimal = false;
+    if (ctx->reason() == TerminationReason::kBudgetExhausted) {
+      TrivialStabilizingCompletion(db, program, &result);
+    }
+    CanonicalizeResult(&result);
+    result.stats.total_seconds = total.ElapsedSeconds();
+    return result;
+  };
+  if (ctx->stopped()) return interrupted();
 
   // Phase 2 (Process Prov): convert the stored provenance into the negated
   // CNF over deletion variables (lines 2-4).
@@ -49,26 +68,41 @@ RepairResult RunIndependentSemantics(Database* db, const Program& program,
     ScopedTimer t(&result.stats.process_prov_seconds);
     GroundAssignment ga;
     for (const StoredAssignment& sa : stored) {
+      if (ctx->Tick()) break;
       ga.rule = sa.rule;
       ga.body = sa.body;
       builder.AddAssignment(ga);
     }
-    builder.mutable_cnf().DedupeClauses();
+    if (!ctx->stopped()) builder.mutable_cnf().DedupeClauses();
   }
+  if (ctx->stopped()) return interrupted();
   result.stats.cnf_vars = builder.num_vars();
   result.stats.cnf_clauses = builder.cnf().num_clauses();
 
-  // Phase 3 (Solve): Min-Ones SAT (line 5).
+  // Phase 3 (Solve): Min-Ones SAT (line 5). The remaining wall-clock
+  // budget caps the solver's own deadline, and the cancel flag reaches
+  // its branch-and-bound loop; either way the anytime incumbent is a
+  // model of the full CNF, i.e. still a stabilizing set.
   MinOnesResult solved;
   {
     ScopedTimer t(&result.stats.solve_seconds);
-    solved = MinOnesSat(builder.cnf(), options.min_ones);
+    MinOnesOptions solver_options = options.independent.min_ones;
+    solver_options.time_limit_seconds = std::min(
+        solver_options.time_limit_seconds, ctx->RemainingSeconds());
+    if (ctx->cancel_token() != nullptr) {
+      solver_options.cancel = ctx->cancel_token()->flag();
+    }
+    solved = MinOnesSat(builder.cnf(), solver_options);
   }
   // The formula always has the all-true model (every clause has a positive
   // literal because every rule body contains its self atom), so
   // unsatisfiability would indicate an encoding bug.
   DR_CHECK_MSG(solved.satisfiable, "negated provenance must be satisfiable");
   result.stats.optimal = solved.optimal;
+  // Latch kBudgetExhausted/kCancelled when the solver was cut short and
+  // the run-level budget or token (not just the solver's own work caps)
+  // is to blame.
+  if (!solved.optimal) ctx->ShouldStop();
 
   // Line 6: output the tuples whose deletion variable is true.
   for (uint32_t v = 0; v < builder.num_vars(); ++v) {

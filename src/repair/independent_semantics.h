@@ -4,23 +4,30 @@
 // *hypothetical* deltas (any tuple of D may be deleted, derivable or not),
 // store the provenance as a Boolean formula, negate it into CNF, and find
 // a minimum-ones satisfying assignment.
+//
+// IndependentOptions lives in repair/repair_options.h so one
+// RepairOptions covers every semantics.
 #ifndef DELTAREPAIR_REPAIR_INDEPENDENT_SEMANTICS_H_
 #define DELTAREPAIR_REPAIR_INDEPENDENT_SEMANTICS_H_
 
-#include "repair/semantics.h"
-#include "sat/min_ones.h"
+#include "repair/semantics_registry.h"
 
 namespace deltarepair {
 
-struct IndependentOptions {
-  MinOnesOptions min_ones;
+/// The registry's "independent" runner (alias "ind"). The result is
+/// provably minimum when stats.optimal is true (solver budget not
+/// exhausted); otherwise it is still a stabilizing set — the wall-clock
+/// budget is threaded into the Min-Ones deadline, so kBudgetExhausted
+/// outcomes keep the anytime guarantee.
+class IndependentSemantics : public Semantics {
+ public:
+  const char* name() const override { return "independent"; }
+  std::vector<const char*> aliases() const override { return {"ind"}; }
+  SemanticsKind kind() const override { return SemanticsKind::kIndependent; }
+  RepairResult Run(Database* db, const Program& program,
+                   const RepairOptions& options,
+                   ExecContext* ctx) const override;
 };
-
-/// Runs Algorithm 1, applying the resulting deletions to `db`. The result
-/// is provably minimum when stats.optimal is true (solver budget not
-/// exhausted); otherwise it is still a stabilizing set.
-RepairResult RunIndependentSemantics(Database* db, const Program& program,
-                                     const IndependentOptions& options = {});
 
 }  // namespace deltarepair
 

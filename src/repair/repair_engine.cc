@@ -1,9 +1,6 @@
 #include "repair/repair_engine.h"
 
-#include "repair/end_semantics.h"
 #include "repair/stability.h"
-#include "repair/stage_semantics.h"
-#include "repair/step_semantics.h"
 
 namespace deltarepair {
 
@@ -13,30 +10,62 @@ StatusOr<RepairEngine> RepairEngine::Create(Database* db, Program program) {
   return RepairEngine(db, std::move(program));
 }
 
-RepairResult RepairEngine::Dispatch(SemanticsKind kind) {
-  switch (kind) {
-    case SemanticsKind::kEnd:
-      return RunEndSemantics(db_, program_);
-    case SemanticsKind::kStage:
-      return RunStageSemantics(db_, program_);
-    case SemanticsKind::kStep:
-      return RunStepSemantics(db_, program_);
-    case SemanticsKind::kIndependent:
-      return RunIndependentSemantics(db_, program_, independent_options_);
+RepairOutcome RepairEngine::Execute(const RepairRequest& request) {
+  RepairOutcome outcome;
+  StatusOr<const Semantics*> semantics =
+      SemanticsRegistry::Global().Get(request.semantics);
+  if (!semantics.ok()) {
+    outcome.status = semantics.status();
+    outcome.termination = TerminationReason::kInvalidProgram;
+    return outcome;
   }
-  DR_CHECK_MSG(false, "unknown semantics");
-  return RepairResult{};
+
+  Database::State snapshot = db_->SaveState();
+  ExecContext ctx(request.options);
+  outcome.result =
+      (*semantics)->Run(db_, program_, request.options, &ctx);
+  outcome.termination = ctx.reason();
+  db_->RestoreState(snapshot);
+
+  if (request.options.verify_after_run) {
+    outcome.verified =
+        IsStabilizingSet(db_, program_, outcome.result.deleted);
+  }
+  if (request.apply) {
+    for (const TupleId& t : outcome.result.deleted) db_->MarkDeleted(t);
+  }
+  return outcome;
+}
+
+std::vector<RepairOutcome> RepairEngine::RunBatch(
+    const std::vector<RepairRequest>& requests) {
+  std::vector<RepairOutcome> out;
+  out.reserve(requests.size());
+  for (RepairRequest request : requests) {
+    request.apply = false;  // batches are read-only sweeps
+    out.push_back(Execute(request));
+  }
+  return out;
 }
 
 RepairResult RepairEngine::Run(SemanticsKind kind) {
-  Database::State snapshot = db_->SaveState();
-  RepairResult result = Dispatch(kind);
-  db_->RestoreState(snapshot);
-  return result;
+  return Run(kind, default_options_);
+}
+
+RepairResult RepairEngine::Run(SemanticsKind kind,
+                               const RepairOptions& options) {
+  RepairRequest request;
+  request.semantics = SemanticsName(kind);
+  request.options = options;
+  return Execute(request).result;
 }
 
 RepairResult RepairEngine::RunAndApply(SemanticsKind kind) {
-  return Dispatch(kind);
+  RepairRequest request;
+  request.semantics = SemanticsName(kind);
+  request.options = default_options_;
+  request.apply = true;
+  return Execute(request).result;
 }
 
 std::vector<RepairResult> RepairEngine::RunAll() {

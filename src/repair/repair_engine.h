@@ -1,13 +1,16 @@
 // RepairEngine: the library facade. Resolves a delta program against a
-// database and runs any of the four semantics, optionally applying the
-// repair. This is the entry point examples and benches use.
+// database once, then executes repair requests against it — one at a time
+// (Execute) or as a batch over the same initial state (RunBatch). The
+// legacy Run/RunAll/RunAndApply entry points survive as thin wrappers
+// over Execute. This is the entry point examples, benches, and the CLI
+// use.
 #ifndef DELTAREPAIR_REPAIR_REPAIR_ENGINE_H_
 #define DELTAREPAIR_REPAIR_REPAIR_ENGINE_H_
 
 #include <vector>
 
-#include "repair/independent_semantics.h"
-#include "repair/semantics.h"
+#include "repair/repair_options.h"
+#include "repair/semantics_registry.h"
 
 namespace deltarepair {
 
@@ -18,9 +21,24 @@ class RepairEngine {
   /// Resolves `program` against `db`. `db` must outlive the engine.
   static StatusOr<RepairEngine> Create(Database* db, Program program);
 
+  /// Executes one request: resolves the semantics by registry name, runs
+  /// it under the request's budget/cancel options, and restores the
+  /// database state afterwards unless `request.apply` is set. A non-OK
+  /// outcome (unknown semantics name) carries kInvalidProgram.
+  RepairOutcome Execute(const RepairRequest& request);
+
+  /// Executes many requests against this engine's resolved program, each
+  /// from the same initial database state (state restored between runs —
+  /// `apply` is ignored; batches are read-only sweeps). The first step
+  /// toward serving traffic: one resolve, many requests.
+  std::vector<RepairOutcome> RunBatch(
+      const std::vector<RepairRequest>& requests);
+
   /// Runs one semantics against the database's current state; the state is
   /// restored afterwards (the result describes what *would* be deleted).
+  /// Thin wrapper over Execute with `default_options()`.
   RepairResult Run(SemanticsKind kind);
+  RepairResult Run(SemanticsKind kind, const RepairOptions& options);
 
   /// Runs one semantics and leaves the database repaired.
   RepairResult RunAndApply(SemanticsKind kind);
@@ -35,17 +53,22 @@ class RepairEngine {
   const Program& program() const { return program_; }
   Database* db() { return db_; }
 
-  IndependentOptions& independent_options() { return independent_options_; }
+  /// Options the wrapper entry points (Run/RunAll/RunAndApply) use.
+  RepairOptions& default_options() { return default_options_; }
+
+  /// Back-compat accessor for the solver knobs now folded into
+  /// RepairOptions.
+  IndependentOptions& independent_options() {
+    return default_options_.independent;
+  }
 
  private:
   RepairEngine(Database* db, Program program)
       : db_(db), program_(std::move(program)) {}
 
-  RepairResult Dispatch(SemanticsKind kind);
-
   Database* db_ = nullptr;
   Program program_;
-  IndependentOptions independent_options_;
+  RepairOptions default_options_;
 };
 
 }  // namespace deltarepair

@@ -1,0 +1,19 @@
+#include "repair/repair_options.h"
+
+namespace deltarepair {
+
+const char* TerminationReasonName(TerminationReason r) {
+  switch (r) {
+    case TerminationReason::kComplete:
+      return "complete";
+    case TerminationReason::kBudgetExhausted:
+      return "budget_exhausted";
+    case TerminationReason::kCancelled:
+      return "cancelled";
+    case TerminationReason::kInvalidProgram:
+      return "invalid_program";
+  }
+  return "?";
+}
+
+}  // namespace deltarepair

@@ -1,0 +1,72 @@
+#include "repair/semantics_registry.h"
+
+#include "repair/end_semantics.h"
+#include "repair/independent_semantics.h"
+#include "repair/stage_semantics.h"
+#include "repair/step_semantics.h"
+
+namespace deltarepair {
+
+SemanticsRegistry& SemanticsRegistry::Global() {
+  static SemanticsRegistry* registry = new SemanticsRegistry();
+  return *registry;
+}
+
+SemanticsRegistry::SemanticsRegistry() {
+  // Built-ins, in the paper's canonical reporting order (the order
+  // RunAll and the CLI's "all" sweep use).
+  DR_CHECK(Register(std::make_unique<EndSemantics>()).ok());
+  DR_CHECK(Register(std::make_unique<StageSemantics>()).ok());
+  DR_CHECK(Register(std::make_unique<StepSemantics>()).ok());
+  DR_CHECK(Register(std::make_unique<IndependentSemantics>()).ok());
+}
+
+Status SemanticsRegistry::Register(
+    std::unique_ptr<const Semantics> semantics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> keys{semantics->name()};
+  for (const char* alias : semantics->aliases()) keys.push_back(alias);
+  for (const std::string& key : keys) {
+    if (by_name_.count(key)) {
+      return Status::AlreadyExists("semantics '" + key +
+                                   "' is already registered");
+    }
+  }
+  const Semantics* raw = semantics.get();
+  for (const std::string& key : keys) by_name_[key] = raw;
+  entries_.push_back(std::move(semantics));
+  return Status::OK();
+}
+
+StatusOr<const Semantics*> SemanticsRegistry::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;
+  std::string known;
+  for (const auto& entry : entries_) {
+    if (!known.empty()) known += ", ";
+    known += entry->name();
+  }
+  return Status::NotFound("unknown semantics '" + name + "' (known: " +
+                          known + ")");
+}
+
+const Semantics& SemanticsRegistry::GetKind(SemanticsKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& entry : entries_) {
+    if (entry->kind() == kind) return *entry;
+  }
+  DR_CHECK_MSG(false, "no semantics registered for kind");
+  return *entries_.front();  // unreachable
+}
+
+std::vector<std::string> SemanticsRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) out.emplace_back(entry->name());
+  return out;
+}
+
+}  // namespace deltarepair

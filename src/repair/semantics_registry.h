@@ -1,0 +1,78 @@
+// The pluggable dispatch surface of the repair core: an abstract
+// Semantics runner plus a process-wide registry keyed by name. The four
+// paper semantics (Defs. 3.3/3.5/3.7/3.10) register themselves as
+// built-ins; future semantics (e.g. the incremental repairs of Lopatenko
+// & Bertossi) plug in without touching the engine or the CLI.
+#ifndef DELTAREPAIR_REPAIR_SEMANTICS_REGISTRY_H_
+#define DELTAREPAIR_REPAIR_SEMANTICS_REGISTRY_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "repair/repair_options.h"
+
+namespace deltarepair {
+
+/// One repair semantics: a named strategy that, given a resolved program
+/// and a database, chooses a deletion set and applies it to the database.
+/// Callers own snapshot/restore (RepairEngine::Execute does both).
+///
+/// Implementations must honor `ctx`: check Tick()/ShouldStop() inside
+/// evaluation loops, and keep the anytime contract — on
+/// kBudgetExhausted the applied set must still be stabilizing (falling
+/// back to TrivialStabilizingCompletion when interrupted mid-derivation);
+/// on kCancelled, unwind as fast as possible with best-effort output.
+class Semantics {
+ public:
+  virtual ~Semantics() = default;
+
+  /// Registry key, e.g. "step".
+  virtual const char* name() const = 0;
+  /// Alternate lookup names (e.g. "ind" for independent).
+  virtual std::vector<const char*> aliases() const { return {}; }
+  /// Which of the paper's four definitions this runner reports as.
+  virtual SemanticsKind kind() const = 0;
+
+  /// Runs against the database's current state, applying the chosen
+  /// deletions to `db`. `ctx` must be non-null.
+  virtual RepairResult Run(Database* db, const Program& program,
+                           const RepairOptions& options,
+                           ExecContext* ctx) const = 0;
+};
+
+/// Name -> Semantics lookup. The global instance is created on first use
+/// with the four built-ins already registered; additional semantics can
+/// be registered at any time (thread-safe).
+class SemanticsRegistry {
+ public:
+  /// The process-wide registry.
+  static SemanticsRegistry& Global();
+
+  /// Takes ownership. Fails with kAlreadyExists when the name or an
+  /// alias collides with an existing entry.
+  Status Register(std::unique_ptr<const Semantics> semantics);
+
+  /// Lookup by name or alias; kNotFound lists the known names.
+  StatusOr<const Semantics*> Get(const std::string& name) const;
+
+  /// The built-in runner for `kind` (always present).
+  const Semantics& GetKind(SemanticsKind kind) const;
+
+  /// Primary names in registration order (the CLI's "all" sweep and its
+  /// usage string).
+  std::vector<std::string> Names() const;
+
+ private:
+  SemanticsRegistry();
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<const Semantics>> entries_;
+  std::unordered_map<std::string, const Semantics*> by_name_;
+};
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_REPAIR_SEMANTICS_REGISTRY_H_

@@ -17,4 +17,24 @@ bool IsStabilizingSet(Database* db, const Program& program,
   return stable;
 }
 
+void TrivialStabilizingCompletion(Database* db, const Program& program,
+                                  RepairResult* result) {
+  std::vector<uint8_t> is_head(db->num_relations(), 0);
+  for (const Rule& rule : program.rules()) {
+    if (rule.head.relation_index >= 0) {
+      is_head[static_cast<uint32_t>(rule.head.relation_index)] = 1;
+    }
+  }
+  for (uint32_t r = 0; r < db->num_relations(); ++r) {
+    if (!is_head[r]) continue;
+    const Relation& rel = db->relation(r);
+    for (uint32_t row = 0; row < rel.num_rows(); ++row) {
+      if (!rel.live(row)) continue;
+      TupleId t{r, row};
+      db->MarkDeleted(t);
+      result->deleted.push_back(t);
+    }
+  }
+}
+
 }  // namespace deltarepair

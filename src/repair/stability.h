@@ -8,6 +8,7 @@
 
 #include "datalog/grounder.h"
 #include "relation/database.h"
+#include "repair/semantics.h"
 
 namespace deltarepair {
 
@@ -20,6 +21,16 @@ bool IsStable(Database* db, const Program& program);
 /// database (Def. 3.14). The database state is restored before returning.
 bool IsStabilizingSet(Database* db, const Program& program,
                       const std::vector<TupleId>& set);
+
+/// Extends `result->deleted` into a guaranteed stabilizing set by deleting
+/// every still-live tuple of every rule-head relation (applied to `db` and
+/// appended to the result). Every rule body contains its mandatory self
+/// atom over the head relation, so after this no rule can fire and the
+/// database is stable (Def. 3.12, vacuously). Budget-exhausted runners use
+/// this to keep the anytime contract: the returned set is always
+/// stabilizing, just far from minimal.
+void TrivialStabilizingCompletion(Database* db, const Program& program,
+                                  RepairResult* result);
 
 }  // namespace deltarepair
 

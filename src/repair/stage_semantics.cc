@@ -2,19 +2,33 @@
 
 #include "common/timer.h"
 #include "repair/fixpoint.h"
+#include "repair/stability.h"
 
 namespace deltarepair {
 
-RepairResult RunStageSemantics(Database* db, const Program& program) {
+RepairResult StageSemantics::Run(Database* db, const Program& program,
+                                 const RepairOptions& options,
+                                 ExecContext* ctx) const {
+  (void)options;
   WallTimer total;
   RepairResult result;
   result.semantics = SemanticsKind::kStage;
+  bool complete;
   {
     ScopedTimer t(&result.stats.eval_seconds);
-    RunSemiNaiveFixpoint(db, program, /*delete_between_rounds=*/true,
-                         /*prov=*/nullptr, &result.stats);
+    complete = RunSemiNaiveFixpoint(db, program,
+                                    /*delete_between_rounds=*/true,
+                                    /*prov=*/nullptr, &result.stats, ctx);
   }
   result.deleted = db->DeltaTupleIds();
+  if (!complete) {
+    result.stats.optimal = false;
+    if (ctx->reason() == TerminationReason::kBudgetExhausted) {
+      // The interrupted round's pending deletions were never applied;
+      // degrade to the anytime fallback so the set still stabilizes.
+      TrivialStabilizingCompletion(db, program, &result);
+    }
+  }
   CanonicalizeResult(&result);
   result.stats.total_seconds = total.ElapsedSeconds();
   return result;

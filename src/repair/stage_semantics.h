@@ -5,12 +5,19 @@
 #ifndef DELTAREPAIR_REPAIR_STAGE_SEMANTICS_H_
 #define DELTAREPAIR_REPAIR_STAGE_SEMANTICS_H_
 
-#include "repair/semantics.h"
+#include "repair/semantics_registry.h"
 
 namespace deltarepair {
 
-/// Runs stage semantics, applying the resulting deletions to `db`.
-RepairResult RunStageSemantics(Database* db, const Program& program);
+/// The registry's "stage" runner.
+class StageSemantics : public Semantics {
+ public:
+  const char* name() const override { return "stage"; }
+  SemanticsKind kind() const override { return SemanticsKind::kStage; }
+  RepairResult Run(Database* db, const Program& program,
+                   const RepairOptions& options,
+                   ExecContext* ctx) const override;
+};
 
 }  // namespace deltarepair
 

@@ -1,12 +1,16 @@
 #include "repair/step_semantics.h"
 
 #include <algorithm>
+#include <memory>
 #include <queue>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/hash.h"
 #include "common/timer.h"
-#include "repair/end_semantics.h"
+#include "provenance/prov_graph.h"
+#include "repair/fixpoint.h"
+#include "repair/stability.h"
 
 namespace deltarepair {
 
@@ -19,15 +23,16 @@ namespace {
 /// never pruned — they are exactly what remains at the end.
 class GreedyTraversal {
  public:
-  GreedyTraversal(const ProvenanceGraph& graph, StepOrdering ordering)
-      : graph_(graph), ordering_(ordering) {
+  GreedyTraversal(const ProvenanceGraph& graph, StepOrdering ordering,
+                  uint64_t seed)
+      : graph_(graph), ordering_(ordering), seed_(seed) {
     for (const auto& [packed, node] : graph.delta_nodes()) {
       live_derivations_[packed] = node.derivations.size();
     }
     assignment_dead_.assign(graph.num_assignments(), 0);
   }
 
-  std::vector<TupleId> Run() {
+  std::vector<TupleId> Run(ExecContext* ctx) {
     const int layers = graph_.num_layers();
     // Per layer: max-heap of (benefit, packed id) with lazy invalidation.
     using Entry = std::pair<int64_t, uint64_t>;
@@ -42,15 +47,22 @@ class GreedyTraversal {
     for (const auto& [packed, node] : graph_.delta_nodes()) {
       TupleId t = TupleId::Unpack(packed);
       // Ablation: arbitrary ordering ranks everything equally (the heap
-      // then degenerates to smallest-id order).
-      int64_t key = ordering_ == StepOrdering::kMaxBenefit
-                        ? graph_.Benefit(t)
-                        : 0;
+      // then degenerates to smallest-id order), or — under a nonzero
+      // seed — by a seeded hash, i.e. a reproducible shuffle.
+      int64_t key;
+      if (ordering_ == StepOrdering::kMaxBenefit) {
+        key = graph_.Benefit(t);
+      } else if (seed_ != 0) {
+        key = static_cast<int64_t>(Mix64(packed ^ seed_) >> 1);
+      } else {
+        key = 0;
+      }
       heaps[static_cast<size_t>(node.layer)].emplace(key, packed);
     }
-    for (int layer = 1; layer <= layers; ++layer) {
+    for (int layer = 1; layer <= layers && !ctx->stopped(); ++layer) {
       auto& heap = heaps[static_cast<size_t>(layer)];
       while (!heap.empty()) {
+        if (ctx->Tick()) break;
         auto [benefit, packed] = heap.top();
         heap.pop();
         if (pruned_.count(packed) || in_s_.count(packed)) continue;
@@ -96,6 +108,7 @@ class GreedyTraversal {
 
   const ProvenanceGraph& graph_;
   StepOrdering ordering_;
+  uint64_t seed_;
   std::unordered_map<uint64_t, size_t> live_derivations_;
   std::vector<uint8_t> assignment_dead_;
   std::unordered_set<uint64_t> in_s_;
@@ -104,8 +117,9 @@ class GreedyTraversal {
 
 }  // namespace
 
-RepairResult RunStepSemantics(Database* db, const Program& program,
-                              const StepOptions& options) {
+RepairResult StepSemantics::Run(Database* db, const Program& program,
+                                const RepairOptions& options,
+                                ExecContext* ctx) const {
   WallTimer total;
   RepairResult result;
   result.semantics = SemanticsKind::kStep;
@@ -115,29 +129,37 @@ RepairResult RunStepSemantics(Database* db, const Program& program,
   ProvenanceGraph graph;
   {
     ScopedTimer t(&result.stats.eval_seconds);
-    RepairResult end_result = RunEndSemantics(db, program, &graph);
-    result.stats.assignments = end_result.stats.assignments;
-    result.stats.iterations = end_result.stats.iterations;
+    RunSemiNaiveFixpoint(db, program, /*delete_between_rounds=*/false,
+                         &graph, &result.stats, ctx);
   }
   db->RestoreState(snapshot);
 
   // Phase 2 (Process Prov): traversal state construction.
   result.stats.graph_nodes = graph.delta_nodes().size();
   result.stats.graph_layers = static_cast<uint64_t>(graph.num_layers());
-  GreedyTraversal* traversal = nullptr;
+  std::unique_ptr<GreedyTraversal> traversal;
   {
     ScopedTimer t(&result.stats.process_prov_seconds);
-    traversal = new GreedyTraversal(graph, options.ordering);
+    traversal = std::make_unique<GreedyTraversal>(graph,
+                                                  options.step.ordering,
+                                                  options.seed);
   }
 
-  // Phase 3 (Traverse): greedy max-benefit selection per layer.
+  // Phase 3 (Traverse): greedy max-benefit selection per layer. On an
+  // interrupted run the traversal covers a prefix of the layers only.
   {
     ScopedTimer t(&result.stats.traverse_seconds);
-    result.deleted = traversal->Run();
+    result.deleted = traversal->Run(ctx);
   }
-  delete traversal;
+  traversal.reset();
 
   for (const TupleId& t : result.deleted) db->MarkDeleted(t);
+  if (ctx->stopped() &&
+      ctx->reason() == TerminationReason::kBudgetExhausted) {
+    // Interrupted mid-derivation or mid-traversal: the chosen prefix need
+    // not stabilize on its own; degrade to the anytime fallback.
+    TrivialStabilizingCompletion(db, program, &result);
+  }
   CanonicalizeResult(&result);
   result.stats.optimal = false;  // greedy heuristic: minimal, not certified
   result.stats.total_seconds = total.ElapsedSeconds();

@@ -4,27 +4,27 @@
 // paper's Algorithm 2 — a greedy traversal of the layered provenance graph
 // choosing, per layer, the tuple of maximum benefit, then pruning delta
 // tuples that are no longer derivable.
+//
+// StepOrdering / StepOptions live in repair/repair_options.h so one
+// RepairOptions covers every semantics.
 #ifndef DELTAREPAIR_REPAIR_STEP_SEMANTICS_H_
 #define DELTAREPAIR_REPAIR_STEP_SEMANTICS_H_
 
-#include "repair/semantics.h"
+#include "repair/semantics_registry.h"
 
 namespace deltarepair {
 
-/// Greedy ordering used within each layer (ablation knob; the paper's
-/// Algorithm 2 uses max benefit).
-enum class StepOrdering {
-  kMaxBenefit,  // argmax b_t per pick (Algorithm 2 line 7)
-  kArbitrary,   // first alive node (ablation baseline)
+/// The registry's "step" runner (Algorithm 2). Honors
+/// options.step.ordering; under a nonzero options.seed the kArbitrary
+/// ablation ordering becomes a seeded shuffle.
+class StepSemantics : public Semantics {
+ public:
+  const char* name() const override { return "step"; }
+  SemanticsKind kind() const override { return SemanticsKind::kStep; }
+  RepairResult Run(Database* db, const Program& program,
+                   const RepairOptions& options,
+                   ExecContext* ctx) const override;
 };
-
-struct StepOptions {
-  StepOrdering ordering = StepOrdering::kMaxBenefit;
-};
-
-/// Runs Algorithm 2, applying the resulting deletions to `db`.
-RepairResult RunStepSemantics(Database* db, const Program& program,
-                              const StepOptions& options = {});
 
 }  // namespace deltarepair
 

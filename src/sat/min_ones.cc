@@ -34,11 +34,13 @@ class UnionFind {
 class ComponentSolver {
  public:
   ComponentSolver(const Cnf& cnf, uint64_t assignment_budget,
-                  const WallTimer* timer, double deadline_seconds)
+                  const WallTimer* timer, double deadline_seconds,
+                  const std::atomic<bool>* cancel)
       : engine_(cnf),
         budget_(assignment_budget),
         timer_(timer),
-        deadline_(deadline_seconds) {}
+        deadline_(deadline_seconds),
+        cancel_(cancel) {}
 
   /// Returns false only when the component is unsatisfiable. Sets
   /// `exhausted` when the budget ran out before proving optimality.
@@ -65,9 +67,13 @@ class ComponentSolver {
 
   void Dfs(int depth) {
     if (exhausted_) return;
-    // Anytime cutoffs: work budget every node, wall clock every 256 nodes.
+    // Anytime cutoffs: work budget every node, wall clock and the cancel
+    // flag every 256 nodes.
     if (engine_.num_assignments() > budget_ ||
-        (++nodes_ % 256 == 0 && timer_->ElapsedSeconds() > deadline_)) {
+        (++nodes_ % 256 == 0 &&
+         (timer_->ElapsedSeconds() > deadline_ ||
+          (cancel_ != nullptr &&
+           cancel_->load(std::memory_order_relaxed))))) {
       exhausted_ = true;
       return;
     }
@@ -158,6 +164,7 @@ class ComponentSolver {
   uint64_t budget_;
   const WallTimer* timer_;
   double deadline_;
+  const std::atomic<bool>* cancel_;
   uint64_t nodes_ = 0;
   bool found_ = false;
   bool exhausted_ = false;
@@ -232,7 +239,8 @@ MinOnesResult MinOnesSat(const Cnf& cnf, const MinOnesOptions& options) {
     double slice_deadline =
         timer.ElapsedSeconds() +
         std::max(0.05, options.time_limit_seconds - timer.ElapsedSeconds());
-    ComponentSolver solver(sub, budget_left, &timer, slice_deadline);
+    ComponentSolver solver(sub, budget_left, &timer, slice_deadline,
+                           options.cancel);
     bool sat = solver.Solve();
     result.engine_assignments += solver.engine_assignments();
     budget_left = budget_left > solver.engine_assignments()

@@ -16,6 +16,7 @@
 #ifndef DELTAREPAIR_SAT_MIN_ONES_H_
 #define DELTAREPAIR_SAT_MIN_ONES_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -33,6 +34,10 @@ struct MinOnesOptions {
   /// Connected-component decomposition (ablation knob; always beneficial
   /// in practice, see bench_ablation).
   bool decompose_components = true;
+  /// Optional cooperative cancellation (observed alongside the wall-clock
+  /// check). Treated like an exhausted budget: the incumbent (or the
+  /// all-true fallback) is returned with optimal=false.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct MinOnesResult {

@@ -3,7 +3,6 @@
 #include <gtest/gtest.h>
 
 #include "repair/repair_engine.h"
-#include "repair/step_semantics.h"
 #include "sat/min_ones.h"
 #include "tests/test_util.h"
 
@@ -25,15 +24,14 @@ TEST(StepOrderingAblationTest, MaxBenefitBeatsArbitraryOnHubInstance) {
   Program program = MustParseProgram(
       "~A(x) :- A(x), W(x, p).\n"
       "~W(x, p) :- A(x), W(x, p).\n");
-  ASSERT_TRUE(ResolveProgram(&program, db).ok());
 
-  StepOptions benefit;
-  RepairResult greedy = RunStepSemantics(&db, program, benefit);
-  db.ResetState();
-  StepOptions arbitrary;
-  arbitrary.ordering = StepOrdering::kArbitrary;
-  RepairResult baseline = RunStepSemantics(&db, program, arbitrary);
-  db.ResetState();
+  StatusOr<RepairEngine> step_engine = RepairEngine::Create(&db, program);
+  ASSERT_TRUE(step_engine.ok());
+  RepairRequest request;
+  request.semantics = "step";
+  RepairResult greedy = step_engine->Execute(request).result;
+  request.options.step.ordering = StepOrdering::kArbitrary;
+  RepairResult baseline = step_engine->Execute(request).result;
 
   EXPECT_EQ(greedy.size(), 1u);
   EXPECT_EQ(baseline.size(), static_cast<size_t>(k));

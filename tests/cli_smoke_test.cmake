@@ -108,4 +108,102 @@ if(NOT repaired_org MATCHES "UCSD")
   message(FATAL_ERROR "Org.csv lost rows it should have kept:\n${repaired_org}")
 endif()
 
+# Pass 3: machine-readable report. --json must produce a document that
+# parses and carries one result per semantics with a termination reason.
+execute_process(
+  COMMAND "${DREPAIR_CLI}"
+    --data "${WORK_DIR}/data"
+    --program "${WORK_DIR}/repair.dl"
+    --semantics all --verify --budget-ms 60000 --seed 7
+    --json "${WORK_DIR}/report.json"
+  OUTPUT_VARIABLE json_out
+  ERROR_VARIABLE json_err
+  RESULT_VARIABLE json_rc
+)
+if(NOT json_rc EQUAL 0)
+  message(FATAL_ERROR "drepair_cli --json exited with ${json_rc}\nstderr:\n${json_err}")
+endif()
+if(NOT EXISTS "${WORK_DIR}/report.json")
+  message(FATAL_ERROR "--json did not write ${WORK_DIR}/report.json")
+endif()
+find_program(PYTHON3 python3)
+if(PYTHON3)
+  execute_process(
+    COMMAND "${PYTHON3}" -c
+"import json, sys
+d = json.load(open(sys.argv[1]))
+results = d['results']
+assert len(results) == 4, results
+names = [r['semantics'] for r in results]
+assert names == ['end', 'stage', 'step', 'independent'], names
+for r in results:
+    assert r['termination'] in ('complete', 'budget_exhausted',
+                                'cancelled'), r
+    assert r['verified_stabilizing'] is True, r
+    assert 'deleted' in r and 'stats' in r, r
+    assert 'total_seconds' in r['stats'], r
+print('report ok:', names)
+"
+      "${WORK_DIR}/report.json"
+    RESULT_VARIABLE py_rc
+    OUTPUT_VARIABLE py_out
+    ERROR_VARIABLE py_err
+  )
+  if(NOT py_rc EQUAL 0)
+    message(FATAL_ERROR "JSON report failed to parse/validate:\n${py_out}\n${py_err}")
+  endif()
+  message(STATUS "${py_out}")
+else()
+  file(READ "${WORK_DIR}/report.json" report)
+  foreach(needle "\"results\"" "\"termination\"" "\"independent\"")
+    string(FIND "${report}" "${needle}" pos)
+    if(pos EQUAL -1)
+      message(FATAL_ERROR "expected ${needle} in report.json:\n${report}")
+    endif()
+  endforeach()
+endif()
+
+# Pass 4: argument validation. Garbage --show must be rejected (atoll
+# used to silently accept it), as must the ambiguous --apply + all.
+execute_process(
+  COMMAND "${DREPAIR_CLI}"
+    --data "${WORK_DIR}/data" --program "${WORK_DIR}/repair.dl"
+    --show abc
+  OUTPUT_QUIET ERROR_QUIET
+  RESULT_VARIABLE bad_show_rc
+)
+if(bad_show_rc EQUAL 0)
+  message(FATAL_ERROR "--show abc should have been rejected")
+endif()
+execute_process(
+  COMMAND "${DREPAIR_CLI}"
+    --data "${WORK_DIR}/data" --program "${WORK_DIR}/repair.dl"
+    --show -5
+  OUTPUT_QUIET ERROR_QUIET
+  RESULT_VARIABLE neg_show_rc
+)
+if(neg_show_rc EQUAL 0)
+  message(FATAL_ERROR "--show -5 should have been rejected")
+endif()
+execute_process(
+  COMMAND "${DREPAIR_CLI}"
+    --data "${WORK_DIR}/data" --program "${WORK_DIR}/repair.dl"
+    --semantics all --apply
+  OUTPUT_QUIET ERROR_QUIET
+  RESULT_VARIABLE apply_all_rc
+)
+if(apply_all_rc EQUAL 0)
+  message(FATAL_ERROR "--apply with --semantics all should have been rejected")
+endif()
+execute_process(
+  COMMAND "${DREPAIR_CLI}"
+    --data "${WORK_DIR}/data" --program "${WORK_DIR}/repair.dl"
+    --semantics bogus
+  OUTPUT_QUIET ERROR_QUIET
+  RESULT_VARIABLE bogus_rc
+)
+if(bogus_rc EQUAL 0)
+  message(FATAL_ERROR "--semantics bogus should have been rejected")
+endif()
+
 message(STATUS "cli_smoke_test passed")

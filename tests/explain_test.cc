@@ -1,8 +1,8 @@
 // Deletion-explanation tests over the running example's provenance graph.
 #include <gtest/gtest.h>
 
-#include "repair/end_semantics.h"
 #include "repair/explain.h"
+#include "repair/repair_engine.h"
 #include "tests/test_util.h"
 #include "workload/programs.h"
 
@@ -14,12 +14,12 @@ struct ExplainFixture {
   ProvenanceGraph graph;
 
   ExplainFixture() : ex(MakeRunningExample()) {
-    Program program = ex.program;
-    Status st = ResolveProgram(&program, ex.db);
-    if (!st.ok()) std::abort();
-    Database::State snap = ex.db.SaveState();
-    RunEndSemantics(&ex.db, program, &graph);
-    ex.db.RestoreState(snap);
+    StatusOr<RepairEngine> engine = RepairEngine::Create(&ex.db, ex.program);
+    if (!engine.ok()) std::abort();
+    RepairRequest request;
+    request.semantics = "end";
+    request.options.record_provenance = &graph;
+    engine->Execute(request);  // restores db state itself
   }
 };
 

@@ -22,6 +22,16 @@ struct ChainDb {
   }
 };
 
+/// Unbounded fixpoint run (these tests exercise the substrate, not the
+/// budget plumbing — api_test covers that).
+bool RunFixpoint(Database* db, const Program& program,
+                 bool delete_between_rounds, ProvenanceGraph* prov,
+                 RepairStats* stats) {
+  ExecContext ctx;
+  return RunSemiNaiveFixpoint(db, program, delete_between_rounds, prov,
+                              stats, &ctx);
+}
+
 Program ChainProgram() {
   return MustParseProgram(
       "~A(x) :- A(x).\n"
@@ -35,7 +45,7 @@ TEST(FixpointTest, RoundCountMatchesChainDepth) {
   Program program = ChainProgram();
   ASSERT_TRUE(ResolveProgram(&program, f.db).ok());
   RepairStats stats;
-  RunSemiNaiveFixpoint(&f.db, program, /*delete_between_rounds=*/false,
+  RunFixpoint(&f.db, program, /*delete_between_rounds=*/false,
                        nullptr, &stats);
   // 4 productive rounds + 1 empty fixpoint round.
   EXPECT_EQ(stats.iterations, 5u);
@@ -49,7 +59,7 @@ TEST(FixpointTest, StageModeDeletesBetweenRounds) {
   Program program = ChainProgram();
   ASSERT_TRUE(ResolveProgram(&program, f.db).ok());
   RepairStats stats;
-  RunSemiNaiveFixpoint(&f.db, program, /*delete_between_rounds=*/true,
+  RunFixpoint(&f.db, program, /*delete_between_rounds=*/true,
                        nullptr, &stats);
   EXPECT_EQ(f.db.TotalDelta(), 4u);
   EXPECT_EQ(f.db.TotalLive(), 0u);
@@ -61,7 +71,7 @@ TEST(FixpointTest, ProvenanceLayersAreDerivationDepths) {
   ASSERT_TRUE(ResolveProgram(&program, f.db).ok());
   ProvenanceGraph graph;
   RepairStats stats;
-  RunSemiNaiveFixpoint(&f.db, program, false, &graph, &stats);
+  RunFixpoint(&f.db, program, false, &graph, &stats);
   for (int i = 0; i < 4; ++i) {
     ASSERT_NE(graph.FindDeltaNode(f.tuples[i]), nullptr) << i;
     EXPECT_EQ(graph.FindDeltaNode(f.tuples[i])->layer, i + 1) << i;
@@ -87,7 +97,7 @@ TEST(FixpointTest, MultiDeltaRuleFiresOnceBothInputsExist) {
   ASSERT_TRUE(ResolveProgram(&program, db).ok());
   ProvenanceGraph graph;
   RepairStats stats;
-  RunSemiNaiveFixpoint(&db, program, false, &graph, &stats);
+  RunFixpoint(&db, program, false, &graph, &stats);
   EXPECT_TRUE(db.delta(tc));
   EXPECT_EQ(graph.FindDeltaNode(ta)->layer, 1);
   EXPECT_EQ(graph.FindDeltaNode(tb)->layer, 2);
@@ -113,7 +123,7 @@ TEST(FixpointTest, SameRoundDeltasNotVisibleWithinRound) {
   ASSERT_TRUE(ResolveProgram(&program, db).ok());
   ProvenanceGraph graph;
   RepairStats stats;
-  RunSemiNaiveFixpoint(&db, program, false, &graph, &stats);
+  RunFixpoint(&db, program, false, &graph, &stats);
   EXPECT_EQ(graph.FindDeltaNode(tc)->layer, 2);
 }
 
@@ -137,13 +147,13 @@ TEST(FixpointTest, StageGuardCutsCascadeMidway) {
     Program p = program;
     ASSERT_TRUE(ResolveProgram(&p, copy).ok());
     RepairStats stats;
-    RunSemiNaiveFixpoint(&copy, p, /*delete_between_rounds=*/true, nullptr,
+    RunFixpoint(&copy, p, /*delete_between_rounds=*/true, nullptr,
                          &stats);
     EXPECT_FALSE(copy.delta(tc)) << "stage: guard was already deleted";
   }
   {
     RepairStats stats;
-    RunSemiNaiveFixpoint(&db, program, /*delete_between_rounds=*/false,
+    RunFixpoint(&db, program, /*delete_between_rounds=*/false,
                          nullptr, &stats);
     EXPECT_TRUE(db.delta(tc)) << "end: bases frozen, guard still matches";
   }

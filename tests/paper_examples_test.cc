@@ -5,7 +5,6 @@
 #include <gtest/gtest.h>
 
 #include "provenance/prov_graph.h"
-#include "repair/end_semantics.h"
 #include "repair/exact.h"
 #include "repair/repair_engine.h"
 #include "repair/stability.h"
@@ -97,10 +96,11 @@ TEST_F(RunningExampleTest, SizeOrderingAcrossSemantics) {
 }
 
 TEST_F(RunningExampleTest, ProvenanceGraphBenefitsMatchFigure5) {
-  Database::State snapshot = ex_.db.SaveState();
   ProvenanceGraph graph;
-  RunEndSemantics(&ex_.db, engine_->program(), &graph);
-  ex_.db.RestoreState(snapshot);
+  RepairRequest request;
+  request.semantics = "end";
+  request.options.record_provenance = &graph;
+  engine_->Execute(request);  // restores db state itself
 
   // Benefits annotated in Figure 5: w1:3, p1:1, a2:-1, g2:-1, a3:-1,
   // p2:2, w2:3, c:1.

@@ -4,11 +4,23 @@
 
 #include "provenance/bool_formula.h"
 #include "provenance/prov_graph.h"
-#include "repair/end_semantics.h"
+#include "repair/semantics_registry.h"
 #include "tests/test_util.h"
 
 namespace deltarepair {
 namespace {
+
+/// End-semantics evaluation with provenance recording, via the registry
+/// runner layer (the graph is all these tests read; db state is left as
+/// the runner applied it, as the old free function did).
+void EvalEndWithProvenance(Database* db, const Program& program,
+                           ProvenanceGraph* graph) {
+  RepairOptions options;
+  options.record_provenance = graph;
+  ExecContext ctx(options);
+  SemanticsRegistry::Global().GetKind(SemanticsKind::kEnd).Run(db, program,
+                                                               options, &ctx);
+}
 
 struct ProvFixture {
   Database db;
@@ -126,7 +138,7 @@ TEST(ProvenanceGraphTest, DedupesIdenticalAssignments) {
 TEST(ProvenanceGraphTest, LayersAndUsesFromEndEvaluation) {
   ProvFixture f;
   ProvenanceGraph graph;
-  RunEndSemantics(&f.db, f.program, &graph);
+  EvalEndWithProvenance(&f.db, f.program, &graph);
   EXPECT_EQ(graph.num_layers(), 2);
   TupleId ta{f.a, 0};
   TupleId tb{f.b, 0};
@@ -149,7 +161,7 @@ TEST(ProvenanceGraphTest, LayersAndUsesFromEndEvaluation) {
 TEST(ProvenanceGraphTest, ToStringListsLayers) {
   ProvFixture f;
   ProvenanceGraph graph;
-  RunEndSemantics(&f.db, f.program, &graph);
+  EvalEndWithProvenance(&f.db, f.program, &graph);
   std::string rendered = graph.ToString(f.db);
   EXPECT_NE(rendered.find("layer 1"), std::string::npos);
   EXPECT_NE(rendered.find("layer 2"), std::string::npos);

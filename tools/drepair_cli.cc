@@ -2,7 +2,8 @@
 //
 // Usage:
 //   drepair --data <dir> --program <file> [--semantics <name>] [--apply]
-//           [--out <dir>] [--show <n>] [--verify]
+//           [--out <dir>] [--show <n>] [--verify] [--budget-ms <n>]
+//           [--seed <n>] [--json <path>]
 //
 //   --data       directory of <Relation>.csv files; first line is the
 //                schema, e.g. "aid:int,name:str,oid:int"
@@ -10,20 +11,32 @@
 //                  ~Author(a, n, o) :- Author(a, n, o), n = 'ERC'.
 //                  ~Writes(a, p) :- Writes(a, p), ~Author(a, n, o).
 //   --semantics  end | stage | step | independent | all   (default: all)
-//   --apply      apply the repair (with --out, write repaired CSVs)
+//   --apply      apply the repair (with --out, write repaired CSVs);
+//                requires a single --semantics, not "all"
 //   --show n     print up to n deleted tuples per semantics (default 10)
 //   --verify     re-check that the result is a stabilizing set
+//   --budget-ms  wall-clock budget per semantics run, in milliseconds;
+//                budget-exhausted runs report termination
+//                "budget_exhausted" and still return a stabilizing set
+//   --seed       RNG seed forwarded to randomized strategies
+//   --json       write a machine-readable report of every run to <path>
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 
+#include "common/json_writer.h"
+#include "datalog/parser.h"
 #include "relation/csv.h"
 #include "repair/repair_engine.h"
 #include "repair/stability.h"
-#include "datalog/parser.h"
 
 namespace fs = std::filesystem;
 using namespace deltarepair;
@@ -34,29 +47,36 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --data <dir> --program <file> "
                "[--semantics end|stage|step|independent|all] [--apply] "
-               "[--out <dir>] [--show <n>] [--verify]\n",
+               "[--out <dir>] [--show <n>] [--verify] [--budget-ms <n>] "
+               "[--seed <n>] [--json <path>]\n",
                argv0);
   return 2;
 }
 
-bool ParseSemantics(const std::string& name, SemanticsKind* out) {
-  if (name == "end") *out = SemanticsKind::kEnd;
-  else if (name == "stage") *out = SemanticsKind::kStage;
-  else if (name == "step") *out = SemanticsKind::kStep;
-  else if (name == "independent" || name == "ind")
-    *out = SemanticsKind::kIndependent;
-  else
-    return false;
+/// Strict non-negative integer parse; rejects empty, sign, trailing
+/// garbage, and overflow (std::atoll silently accepted all of those).
+bool ParseUint(const char* s, uint64_t* out) {
+  if (s == nullptr || *s == '\0') return false;
+  for (const char* p = s; *p; ++p) {
+    if (!std::isdigit(static_cast<unsigned char>(*p))) return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno == ERANGE || end == nullptr || *end != '\0') return false;
+  *out = static_cast<uint64_t>(v);
   return true;
 }
 
-void PrintResult(Database& db, const RepairResult& result, size_t show) {
+void PrintResult(Database& db, const RepairOutcome& outcome, size_t show) {
+  const RepairResult& result = outcome.result;
   std::printf("%-12s: %zu tuples deleted", SemanticsName(result.semantics),
               result.size());
   if (!result.deleted.empty()) {
     std::printf(" (%s)", result.BreakdownByRelation(db).c_str());
   }
-  std::printf("  [%.1fms%s]\n", result.stats.total_seconds * 1e3,
+  std::printf("  [%.1fms, %s%s]\n", result.stats.total_seconds * 1e3,
+              TerminationReasonName(outcome.termination),
               result.semantics == SemanticsKind::kIndependent
                   ? (result.stats.optimal ? ", provably minimum"
                                           : ", anytime cutoff")
@@ -69,13 +89,50 @@ void PrintResult(Database& db, const RepairResult& result, size_t show) {
   }
 }
 
+void WriteOutcomeJson(JsonWriter& json, Database& db,
+                      const RepairOutcome& outcome, bool applied) {
+  const RepairResult& result = outcome.result;
+  const RepairStats& stats = result.stats;
+  json.BeginObject();
+  json.Field("semantics", SemanticsName(result.semantics));
+  json.Field("termination", TerminationReasonName(outcome.termination));
+  json.Field("deleted", static_cast<uint64_t>(result.size()));
+  std::map<std::string, uint64_t> by_relation;
+  for (const TupleId& t : result.deleted) {
+    ++by_relation[db.relation(t.relation).name()];
+  }
+  json.Key("deleted_by_relation").BeginObject();
+  for (const auto& [rel, n] : by_relation) json.Field(rel, n);
+  json.EndObject();
+  if (outcome.verified.has_value()) {
+    json.Field("verified_stabilizing", *outcome.verified);
+  }
+  json.Field("applied", applied);
+  json.Key("stats").BeginObject();
+  json.Field("eval_seconds", stats.eval_seconds);
+  json.Field("process_prov_seconds", stats.process_prov_seconds);
+  json.Field("solve_seconds", stats.solve_seconds);
+  json.Field("traverse_seconds", stats.traverse_seconds);
+  json.Field("total_seconds", stats.total_seconds);
+  json.Field("assignments", stats.assignments);
+  json.Field("iterations", stats.iterations);
+  json.Field("cnf_vars", stats.cnf_vars);
+  json.Field("cnf_clauses", stats.cnf_clauses);
+  json.Field("graph_nodes", stats.graph_nodes);
+  json.Field("graph_layers", stats.graph_layers);
+  json.Field("optimal", stats.optimal);
+  json.EndObject();
+  json.EndObject();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string data_dir, program_path, out_dir;
+  std::string data_dir, program_path, out_dir, json_path;
   std::string semantics_name = "all";
   bool apply = false, verify = false;
   size_t show = 10;
+  uint64_t budget_ms = 0, seed = 0;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -98,10 +155,33 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage(argv[0]);
       out_dir = v;
-    } else if (arg == "--show") {
+    } else if (arg == "--json") {
       const char* v = next();
       if (!v) return Usage(argv[0]);
-      show = static_cast<size_t>(std::atoll(v));
+      json_path = v;
+    } else if (arg == "--show") {
+      const char* v = next();
+      uint64_t n = 0;
+      if (!v || !ParseUint(v, &n)) {
+        std::fprintf(stderr, "--show expects a non-negative integer, got"
+                             " '%s'\n", v ? v : "");
+        return Usage(argv[0]);
+      }
+      show = static_cast<size_t>(n);
+    } else if (arg == "--budget-ms") {
+      const char* v = next();
+      if (!v || !ParseUint(v, &budget_ms)) {
+        std::fprintf(stderr, "--budget-ms expects a non-negative integer,"
+                             " got '%s'\n", v ? v : "");
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v || !ParseUint(v, &seed)) {
+        std::fprintf(stderr, "--seed expects a non-negative integer, got"
+                             " '%s'\n", v ? v : "");
+        return Usage(argv[0]);
+      }
     } else if (arg == "--apply") {
       apply = true;
     } else if (arg == "--verify") {
@@ -112,6 +192,39 @@ int main(int argc, char** argv) {
     }
   }
   if (data_dir.empty() || program_path.empty()) return Usage(argv[0]);
+
+  // One request per selected semantics, validated against the registry.
+  std::vector<RepairRequest> requests;
+  {
+    RepairOptions options;
+    options.budget_seconds = static_cast<double>(budget_ms) / 1e3;
+    options.seed = seed;
+    options.verify_after_run = verify;
+    std::vector<std::string> names;
+    if (semantics_name == "all") {
+      names = SemanticsRegistry::Global().Names();
+    } else {
+      names = {semantics_name};
+    }
+    for (const std::string& name : names) {
+      StatusOr<const Semantics*> semantics =
+          SemanticsRegistry::Global().Get(name);
+      if (!semantics.ok()) {
+        std::fprintf(stderr, "%s\n", semantics.status().ToString().c_str());
+        return Usage(argv[0]);
+      }
+      RepairRequest request;
+      request.semantics = name;
+      request.options = options;
+      requests.push_back(request);
+    }
+  }
+  if (apply && requests.size() != 1) {
+    std::fprintf(stderr,
+                 "--apply with --semantics all is ambiguous (which repair "
+                 "would be kept?); pick one semantics\n");
+    return Usage(argv[0]);
+  }
 
   // Load every CSV in the data directory.
   Database db;
@@ -162,31 +275,50 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "program: %s\n", engine.status().ToString().c_str());
     return 1;
   }
-  std::printf("database stable: %s\n\n",
-              IsStable(&db, engine->program()) ? "yes" : "no");
+  bool stable_before = IsStable(&db, engine->program());
+  std::printf("database stable: %s\n\n", stable_before ? "yes" : "no");
 
-  std::vector<SemanticsKind> kinds;
-  if (semantics_name == "all") {
-    kinds = {SemanticsKind::kEnd, SemanticsKind::kStage, SemanticsKind::kStep,
-             SemanticsKind::kIndependent};
+  std::vector<RepairOutcome> outcomes;
+  if (apply) {
+    requests[0].apply = true;
+    outcomes.push_back(engine->Execute(requests[0]));
   } else {
-    SemanticsKind kind;
-    if (!ParseSemantics(semantics_name, &kind)) return Usage(argv[0]);
-    kinds = {kind};
+    outcomes = engine->RunBatch(requests);
   }
 
-  for (SemanticsKind kind : kinds) {
-    bool last = kind == kinds.back();
-    RepairResult result =
-        (apply && last) ? engine->RunAndApply(kind) : engine->Run(kind);
-    PrintResult(db, result, show);
-    if (verify) {
-      bool ok = (apply && last) ? IsStable(&db, engine->program())
-                                : engine->Verify(result);
-      std::printf("    verified stabilizing: %s\n", ok ? "yes" : "NO");
-      if (!ok) return 1;
+  bool verify_failed = false;
+  for (const RepairOutcome& outcome : outcomes) {
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "%s\n", outcome.status.ToString().c_str());
+      return 1;
+    }
+    PrintResult(db, outcome, show);
+    if (outcome.verified.has_value()) {
+      std::printf("    verified stabilizing: %s\n",
+                  *outcome.verified ? "yes" : "NO");
+      if (!*outcome.verified) verify_failed = true;
     }
   }
+
+  if (!json_path.empty()) {
+    JsonWriter json;
+    json.BeginObject();
+    json.Field("tool", "drepair");
+    json.Field("data", data_dir);
+    json.Field("program", program_path);
+    json.Field("budget_ms", budget_ms);
+    json.Field("seed", seed);
+    json.Field("stable_before", stable_before);
+    json.Key("results").BeginArray();
+    for (const RepairOutcome& outcome : outcomes) {
+      WriteOutcomeJson(json, db, outcome, apply);
+    }
+    json.EndArray();
+    json.EndObject();
+    if (!WriteFileOrWarn(json_path, json.str())) return 1;
+    std::printf("\nJSON report written to %s\n", json_path.c_str());
+  }
+  if (verify_failed) return 1;
 
   if (apply && !out_dir.empty()) {
     fs::create_directories(out_dir, ec);
@@ -196,7 +328,7 @@ int main(int argc, char** argv) {
       out << RelationToCsv(rel);
     }
     std::printf("\nrepaired CSVs written to %s (semantics: %s)\n",
-                out_dir.c_str(), SemanticsName(kinds.back()));
+                out_dir.c_str(), requests[0].semantics.c_str());
   }
   return 0;
 }
