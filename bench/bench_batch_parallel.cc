@@ -1,0 +1,119 @@
+// Parallel batch throughput: the Figs. 6-10 sweep shape — four semantics
+// x several MAS cascade programs, many requests per engine — executed by
+// RepairEngine::RunBatch sequentially and with a worker pool over
+// thread-local instance views. Reports per-program and aggregate
+// wall-clock plus the speedup, and checks that the parallel outcomes are
+// identical to the sequential ones. DR_BENCH_JSON=path captures the rows
+// (speedup lands in the perf trajectory); DR_THREADS overrides the
+// worker count (default 4).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "repair/repair_engine.h"
+#include "workload/programs.h"
+
+using namespace deltarepair;
+
+namespace {
+
+int BenchThreads() {
+  const char* env = std::getenv("DR_THREADS");
+  if (env == nullptr) return 4;
+  int v = std::atoi(env);
+  return v > 0 ? v : 4;
+}
+
+bool SameOutcomes(const std::vector<RepairOutcome>& a,
+                  const std::vector<RepairOutcome>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].ok() != b[i].ok()) return false;
+    if (a[i].termination != b[i].termination) return false;
+    if (!(a[i].result.deleted == b[i].result.deleted)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const int threads = BenchThreads();
+  const int repeats_per_semantics = 3;
+  const std::vector<int> programs = {2, 9, 10, 20};
+
+  MasData mas = BenchMas();
+  PrintHeader(StrFormat("Parallel RunBatch — MAS sweep, %d threads",
+                        threads));
+  std::printf("instance: %zu tuples; %d requests per program (4 semantics "
+              "x %d repeats)\n",
+              mas.db.TotalLive(), 4 * repeats_per_semantics,
+              repeats_per_semantics);
+
+  BenchReporter json("bench_batch_parallel");
+  TablePrinter table({"program", "requests", "seq", "parallel", "speedup",
+                      "identical"});
+
+  double seq_total = 0;
+  double par_total = 0;
+  bool all_identical = true;
+  for (int p : programs) {
+    StatusOr<RepairEngine> engine =
+        RepairEngine::Create(&mas.db, MasProgram(p, mas.hubs));
+    if (!engine.ok()) {
+      std::fprintf(stderr, "program %d: %s\n", p,
+                   engine.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<RepairRequest> requests;
+    for (int r = 0; r < repeats_per_semantics; ++r) {
+      for (const std::string& name : SemanticsRegistry::Global().Names()) {
+        requests.push_back(RepairRequest(name));
+      }
+    }
+
+    WallTimer seq_timer;
+    std::vector<RepairOutcome> sequential = engine->RunBatch(requests, 1);
+    double seq_seconds = seq_timer.ElapsedSeconds();
+
+    WallTimer par_timer;
+    std::vector<RepairOutcome> parallel =
+        engine->RunBatch(requests, threads);
+    double par_seconds = par_timer.ElapsedSeconds();
+
+    bool identical = SameOutcomes(sequential, parallel);
+    all_identical = all_identical && identical;
+    seq_total += seq_seconds;
+    par_total += par_seconds;
+
+    double speedup = par_seconds > 0 ? seq_seconds / par_seconds : 0;
+    table.AddRow({StrFormat("%d", p), StrFormat("%zu", requests.size()),
+                  Ms(seq_seconds), Ms(par_seconds),
+                  StrFormat("%.2fx", speedup), Tick(identical)});
+    json.AddRow(StrFormat("mas_program_%d", p))
+        .Metric("requests", static_cast<int64_t>(requests.size()))
+        .Metric("threads", static_cast<int64_t>(threads))
+        .Metric("seq_seconds", seq_seconds)
+        .Metric("par_seconds", par_seconds)
+        .Metric("speedup", speedup)
+        .Metric("identical", identical ? "yes" : "no");
+  }
+  table.Print();
+
+  double speedup = par_total > 0 ? seq_total / par_total : 0;
+  std::printf("\ntotal: sequential %s, parallel %s — %.2fx with %d "
+              "threads; outcomes identical: %s\n",
+              Ms(seq_total).c_str(), Ms(par_total).c_str(), speedup,
+              threads, Tick(all_identical));
+  json.AddRow("mas_sweep_total")
+      .Metric("threads", static_cast<int64_t>(threads))
+      .Metric("seq_seconds", seq_total)
+      .Metric("par_seconds", par_total)
+      .Metric("speedup", speedup)
+      .Metric("identical", all_identical ? "yes" : "no");
+  return all_identical ? 0 : 1;
+}

@@ -62,6 +62,32 @@ void BM_GrounderJoinChain(benchmark::State& state) {
 // Programs 11-15: the single rule with 1..5 joined atoms (Figure 6b).
 BENCHMARK(BM_GrounderJoinChain)->DenseRange(11, 15);
 
+// The same join chains late in a deletion cascade: program 10's cascade
+// is applied first, so most Writes/Cite slots are dead. The planner's
+// live-count join ordering (vs. counting dead row slots) is what keeps
+// these selective.
+void BM_GrounderJoinChainLateCascade(benchmark::State& state) {
+  MasData& mas = SharedMas();
+  Program cascade = MasProgram(10, mas.hubs);
+  Program program = MasProgram(static_cast<int>(state.range(0)), mas.hubs);
+  Database db = mas.db;
+  if (!ResolveProgram(&cascade, db).ok()) return;
+  if (!ResolveProgram(&program, db).ok()) return;
+  RunKind(SemanticsKind::kStage, &db, cascade);  // deletions stay applied
+  for (auto _ : state) {
+    Grounder grounder(&db);
+    size_t n = 0;
+    grounder.EnumerateRule(program.rules()[0], 0, BaseMatch::kLive,
+                           DeltaMatch::kCurrent,
+                           [&](const GroundAssignment&) {
+                             ++n;
+                             return true;
+                           });
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_GrounderJoinChainLateCascade)->DenseRange(11, 15);
+
 void BM_HypotheticalGrounding(benchmark::State& state) {
   MasData& mas = SharedMas();
   Program program = MasProgram(10, mas.hubs);

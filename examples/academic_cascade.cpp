@@ -25,7 +25,7 @@ int main() {
               WithThousands(static_cast<int64_t>(data.db.TotalLive())).c_str());
   for (uint32_t r = 0; r < data.db.num_relations(); ++r) {
     std::printf("  %-14s %zu rows\n", data.db.relation(r).name().c_str(),
-                data.db.relation(r).live_count());
+                data.db.live_count(r));
   }
   std::printf("hub organization: oid=%lld\n\n",
               static_cast<long long>(data.hubs.hub_org_oid));

@@ -15,10 +15,6 @@ struct Bindings {
       : values(num_vars), bound(num_vars, 0) {}
 };
 
-bool TermBound(const Term& t, const Bindings& b) {
-  return t.is_const() || b.bound[t.var];
-}
-
 const Value& TermValue(const Term& t, const Bindings& b) {
   return t.is_const() ? t.constant : b.values[t.var];
 }
@@ -47,7 +43,9 @@ std::vector<Grounder::PlanStep> Grounder::MakePlan(const Rule& rule,
   };
 
   if (pivot_atom >= 0) {
-    plan.push_back(PlanStep{pivot_atom, {}});
+    PlanStep step;
+    step.atom = pivot_atom;
+    plan.push_back(std::move(step));
     chosen[pivot_atom] = 1;
     bind_atom_vars(pivot_atom);
   }
@@ -58,27 +56,42 @@ std::vector<Grounder::PlanStep> Grounder::MakePlan(const Rule& rule,
     for (size_t i = 0; i < n; ++i) {
       if (chosen[i]) continue;
       int score = bound_score(static_cast<int>(i));
+      // Tie-break on the *live* cardinality: late in a deletion cascade
+      // most row slots can be dead, and counting them would order the
+      // join by a stale size.
       size_t rows =
-          db_->relation(static_cast<uint32_t>(rule.body[i].relation_index))
-              .num_rows();
+          view_->rel(static_cast<uint32_t>(rule.body[i].relation_index))
+              .live_count();
       if (score > best_score || (score == best_score && rows < best_rows)) {
         best = static_cast<int>(i);
         best_score = score;
         best_rows = rows;
       }
     }
-    plan.push_back(PlanStep{best, {}});
+    PlanStep step;
+    step.atom = best;
+    plan.push_back(std::move(step));
     chosen[best] = 1;
     bind_atom_vars(best);
   }
 
-  // Attach each comparison to the earliest plan step at which both sides
-  // are bound. Constant-only comparisons are attached to step 0's checks
-  // (they hold or fail for the whole rule).
+  // Per step: the probe mask (bound columns), and each comparison attached
+  // to the earliest plan step at which both sides are bound. Both depend
+  // only on the binding *order*, never on row values, so they are fixed
+  // here instead of being recomputed in the hot join loop.
+  // Constant-only comparisons are attached to step 0's checks (they hold
+  // or fail for the whole rule).
   std::fill(var_bound.begin(), var_bound.end(), 0);
   std::vector<uint8_t> cmp_done(rule.comparisons.size(), 0);
   for (size_t s = 0; s < plan.size(); ++s) {
-    for (const auto& t : rule.body[plan[s].atom].terms) {
+    const Atom& atom = rule.body[plan[s].atom];
+    for (size_t c = 0; c < atom.terms.size(); ++c) {
+      const Term& t = atom.terms[c];
+      if (t.is_const() || var_bound[t.var]) {
+        plan[s].mask |= (1ULL << c);
+      }
+    }
+    for (const auto& t : atom.terms) {
       if (t.is_var()) var_bound[t.var] = 1;
     }
     for (size_t c = 0; c < rule.comparisons.size(); ++c) {
@@ -101,9 +114,12 @@ bool Grounder::EnumerateRule(const Rule& rule, int rule_index, BaseMatch bm,
                              int pivot_atom,
                              const std::vector<uint32_t>* pivot_rows) {
   DR_CHECK_MSG(rule.self_atom >= 0, "rule not validated");
-  const std::vector<PlanStep> plan = MakePlan(rule, pivot_atom);
+  std::vector<PlanStep> plan = MakePlan(rule, pivot_atom);
   Bindings bindings(rule.num_vars);
   std::vector<TupleId> atom_rows(rule.body.size());
+  // Per-depth scratch for variables bound at that depth, hoisted out of
+  // the per-row loop (one allocation per rule, not per row).
+  std::vector<std::vector<uint32_t>> newly_bound_scratch(plan.size());
 
   // Comparisons between two constants never depend on bindings; check once.
   for (const auto& cmp : rule.comparisons) {
@@ -127,32 +143,27 @@ bool Grounder::EnumerateRule(const Rule& rule, int rule_index, BaseMatch bm,
       if (!cb(ga)) keep_going = false;
       return;
     }
-    const PlanStep& step = plan[depth];
+    PlanStep& step = plan[depth];
     const Atom& atom = rule.body[step.atom];
-    Relation& rel =
-        db_->relation(static_cast<uint32_t>(atom.relation_index));
+    const uint32_t rel_index = static_cast<uint32_t>(atom.relation_index);
+    const Relation& rel = view_->relation(rel_index);
+    const RelationView& rel_view = view_->rel(rel_index);
 
     auto member_ok = [&](uint32_t r) {
       if (atom.is_delta) {
         // Hypothetical mode: any tuple of the current instance D could be
         // deleted (∆(D) of Algorithm 1), so delta atoms range over live
         // rows; operational mode matches actual delta membership.
-        return dm == DeltaMatch::kHypothetical ? rel.live(r) : rel.delta(r);
+        return dm == DeltaMatch::kHypothetical ? rel_view.live(r)
+                                               : rel_view.delta(r);
       }
-      return bm == BaseMatch::kAllRows || rel.live(r);
+      // kAllRows still respects the view's horizon: row slots interned
+      // after the view was created are not part of its instance.
+      return bm == BaseMatch::kAllRows ? r < rel_view.num_rows()
+                                       : rel_view.live(r);
     };
 
-    // Build the probe mask/tuple from currently bound positions.
-    Relation::ColumnMask mask = 0;
-    Tuple probe(atom.terms.size());
-    for (size_t c = 0; c < atom.terms.size(); ++c) {
-      const Term& t = atom.terms[c];
-      if (TermBound(t, bindings)) {
-        mask |= (1ULL << c);
-        probe[c] = TermValue(t, bindings);
-      }
-    }
-
+    std::vector<uint32_t>& newly_bound = newly_bound_scratch[depth];
     auto try_row = [&](uint32_t r) {
       if (!keep_going) return;
       if (!member_ok(r)) return;
@@ -160,7 +171,7 @@ bool Grounder::EnumerateRule(const Rule& rule, int rule_index, BaseMatch bm,
       // Verify bound positions and bind the rest; remember new bindings to
       // undo on backtrack. Repeated variables within the atom are handled
       // by sequential bind-then-verify.
-      std::vector<uint32_t> newly_bound;
+      newly_bound.clear();
       bool ok = true;
       for (size_t c = 0; c < atom.terms.size(); ++c) {
         const Term& t = atom.terms[c];
@@ -191,11 +202,11 @@ bool Grounder::EnumerateRule(const Rule& rule, int rule_index, BaseMatch bm,
         }
       }
       if (ok) {
-        atom_rows[step.atom] =
-            TupleId{static_cast<uint32_t>(atom.relation_index), r};
+        atom_rows[step.atom] = TupleId{rel_index, r};
         self(self, depth + 1);
       }
-      for (uint32_t v : newly_bound) bindings.bound[v] = 0;
+      // Deeper steps reuse the scratch; only the bound flags need undoing.
+      for (uint32_t v : newly_bound_scratch[depth]) bindings.bound[v] = 0;
     };
 
     if (depth == 0 && pivot_atom >= 0) {
@@ -204,9 +215,17 @@ bool Grounder::EnumerateRule(const Rule& rule, int rule_index, BaseMatch bm,
         if (!keep_going) break;
         try_row(r);
       }
-    } else if (mask != 0) {
-      rel.EnsureIndex(mask);
-      const std::vector<uint32_t>* rows = rel.Probe(mask, probe);
+    } else if (step.mask != 0) {
+      if (step.index == nullptr) step.index = rel.EnsureIndex(step.mask);
+      // Build the probe tuple from the step's bound positions.
+      Tuple probe(atom.terms.size());
+      for (size_t c = 0; c < atom.terms.size(); ++c) {
+        if (step.mask & (1ULL << c)) {
+          probe[c] = TermValue(atom.terms[c], bindings);
+        }
+      }
+      const std::vector<uint32_t>* rows =
+          rel.Probe(step.index, step.mask, probe);
       if (rows != nullptr) {
         for (uint32_t r : *rows) {
           if (!keep_going) break;
@@ -214,7 +233,7 @@ bool Grounder::EnumerateRule(const Rule& rule, int rule_index, BaseMatch bm,
         }
       }
     } else {
-      const uint32_t n = static_cast<uint32_t>(rel.num_rows());
+      const uint32_t n = static_cast<uint32_t>(rel_view.num_rows());
       for (uint32_t r = 0; r < n; ++r) {
         if (!keep_going) break;
         try_row(r);

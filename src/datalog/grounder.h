@@ -1,17 +1,22 @@
 // The grounder enumerates satisfying assignments (the α of Sec. 2) of a
-// delta rule's body against a database state. It is the shared join engine
-// behind all four semantics, the stability check, provenance construction,
-// and the trigger emulator.
+// delta rule's body against one instance state. It is the shared join
+// engine behind all four semantics, the stability check, provenance
+// construction, and the trigger emulator.
+//
+// The grounder reads row data and hash indexes from the shared Relation
+// storage and membership (live/delta) from an InstanceView, so concurrent
+// grounders over per-thread views never race: index construction is the
+// only shared mutation and Relation::EnsureIndex serializes it.
 //
 // Two orthogonal matching modes select which tuples a body atom ranges
 // over:
 //  * BaseMatch  — base atoms R_i(Y) match live rows (stage/step/stability)
-//                 or all original rows (end semantics freezes R during
+//                 or all view-visible rows (end semantics freezes R during
 //                 derivation, Def. 3.10).
 //  * DeltaMatch — delta atoms ∆_i(Y) match currently-deleted rows
-//                 (operational semantics) or *any* original row
-//                 (hypothetical deletions, used by Algorithm 1: independent
-//                 semantics may delete tuples that are never derivable).
+//                 (operational semantics) or *any* live row (hypothetical
+//                 deletions, used by Algorithm 1: independent semantics
+//                 may delete tuples that are never derivable).
 #ifndef DELTAREPAIR_DATALOG_GROUNDER_H_
 #define DELTAREPAIR_DATALOG_GROUNDER_H_
 
@@ -43,9 +48,11 @@ using AssignmentCallback = std::function<bool(const GroundAssignment&)>;
 
 class Grounder {
  public:
-  /// `db` must outlive the grounder. Non-const because probing builds
-  /// hash indexes lazily; logical content is never modified.
-  explicit Grounder(Database* db) : db_(db) {}
+  /// `view` must outlive the grounder. Probing builds shared hash indexes
+  /// lazily (thread-safe); logical content is never modified.
+  explicit Grounder(InstanceView* view) : view_(view) {}
+  /// Convenience: grounds against the database's canonical state.
+  explicit Grounder(Database* db) : Grounder(&db->base_view()) {}
 
   /// Enumerates every satisfying assignment of `rule`.
   ///
@@ -58,7 +65,7 @@ class Grounder {
                      const std::vector<uint32_t>* pivot_rows = nullptr);
 
   /// True if at least one satisfying assignment of any rule in `program`
-  /// exists (i.e., the database is *unstable* w.r.t. the program,
+  /// exists (i.e., the instance is *unstable* w.r.t. the program,
   /// Def. 3.12 negated).
   bool AnyAssignment(const Program& program, BaseMatch bm, DeltaMatch dm);
 
@@ -67,13 +74,19 @@ class Grounder {
 
  private:
   struct PlanStep {
-    int atom = -1;                 // body atom index
-    std::vector<int> cmp_checks;   // comparisons first fully bound here
+    int atom = -1;                // body atom index
+    std::vector<int> cmp_checks;  // comparisons first fully bound here
+    // Probe mask over the atom's columns: a column is in the mask when
+    // its term is a constant or a variable bound by an earlier step.
+    // Fixed per step (independent of row values).
+    Relation::ColumnMask mask = 0;
+    // Index for `mask`, resolved lazily at the step's first visit.
+    const Relation::Index* index = nullptr;
   };
 
   std::vector<PlanStep> MakePlan(const Rule& rule, int pivot_atom) const;
 
-  Database* db_;
+  InstanceView* view_;
   uint64_t assignments_enumerated_ = 0;
 };
 

@@ -45,14 +45,17 @@ HoloCleanReport RunHoloClean(Database* db, const std::string& relation,
                              const HoloCleanOptions& options) {
   WallTimer total;
   HoloCleanReport report;
-  const Relation* rel = db->FindRelation(relation);
-  DR_CHECK_MSG(rel != nullptr, "unknown relation: " + relation);
+  int rel_index = db->RelationIndex(relation);
+  DR_CHECK_MSG(rel_index >= 0, "unknown relation: " + relation);
+  const Relation* rel = &db->relation(static_cast<uint32_t>(rel_index));
+  const RelationView& rel_view =
+      db->base_view().rel(static_cast<uint32_t>(rel_index));
   const size_t arity = rel->arity();
 
   // Working copy of the table.
   report.rows.reserve(rel->num_rows());
   for (uint32_t r = 0; r < rel->num_rows(); ++r) {
-    if (rel->live(r)) report.rows.push_back(rel->row(r));
+    if (rel_view.live(r)) report.rows.push_back(rel->row(r));
   }
   const size_t n = report.rows.size();
 

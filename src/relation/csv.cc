@@ -86,7 +86,9 @@ Status LoadCsvFile(Database* db, const std::string& path) {
   return LoadCsvIntoDatabase(db, base, buffer.str());
 }
 
-std::string RelationToCsv(const Relation& relation) {
+std::string RelationToCsv(const Database& db, uint32_t rel) {
+  const Relation& relation = db.relation(rel);
+  const RelationView& view = db.base_view().rel(rel);
   std::string out;
   const RelationSchema& schema = relation.schema();
   for (size_t c = 0; c < schema.arity(); ++c) {
@@ -96,7 +98,7 @@ std::string RelationToCsv(const Relation& relation) {
   }
   out += '\n';
   for (uint32_t r = 0; r < relation.num_rows(); ++r) {
-    if (!relation.live(r)) continue;
+    if (!view.live(r)) continue;
     const Tuple& t = relation.row(r);
     for (size_t c = 0; c < t.size(); ++c) {
       if (c) out += ',';

@@ -20,8 +20,9 @@ Status LoadCsvIntoDatabase(Database* db, const std::string& relation_name,
 /// basename without extension.
 Status LoadCsvFile(Database* db, const std::string& path);
 
-/// Renders the live tuples of `relation` back to CSV (schema line first).
-std::string RelationToCsv(const Relation& relation);
+/// Renders the live tuples (canonical state) of relation `rel` back to
+/// CSV (schema line first).
+std::string RelationToCsv(const Database& db, uint32_t rel);
 
 }  // namespace deltarepair
 

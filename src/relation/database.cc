@@ -4,11 +4,47 @@
 
 namespace deltarepair {
 
+Database::Database(const Database& other)
+    : relations_(other.relations_),
+      by_name_(other.by_name_),
+      base_(other.base_) {
+  base_.db_ = this;
+}
+
+Database& Database::operator=(const Database& other) {
+  if (this != &other) {
+    relations_ = other.relations_;
+    by_name_ = other.by_name_;
+    base_ = other.base_;
+    base_.db_ = this;
+  }
+  return *this;
+}
+
+Database::Database(Database&& other) noexcept
+    : relations_(std::move(other.relations_)),
+      by_name_(std::move(other.by_name_)),
+      base_(std::move(other.base_)) {
+  base_.db_ = this;
+}
+
+Database& Database::operator=(Database&& other) noexcept {
+  if (this != &other) {
+    relations_ = std::move(other.relations_);
+    by_name_ = std::move(other.by_name_);
+    base_ = std::move(other.base_);
+    base_.db_ = this;
+  }
+  return *this;
+}
+
 uint32_t Database::AddRelation(RelationSchema schema) {
   DR_CHECK_MSG(!by_name_.count(schema.name()), "duplicate relation name");
   uint32_t idx = static_cast<uint32_t>(relations_.size());
   by_name_[schema.name()] = idx;
   relations_.emplace_back(std::move(schema));
+  base_.db_ = this;
+  base_.rels_.emplace_back(size_t{0});
   return idx;
 }
 
@@ -17,19 +53,13 @@ int Database::RelationIndex(const std::string& name) const {
   return it == by_name_.end() ? -1 : static_cast<int>(it->second);
 }
 
-Relation* Database::FindRelation(const std::string& name) {
-  int i = RelationIndex(name);
-  return i < 0 ? nullptr : &relations_[i];
-}
-
 const Relation* Database::FindRelation(const std::string& name) const {
   int i = RelationIndex(name);
   return i < 0 ? nullptr : &relations_[i];
 }
 
 TupleId Database::Insert(uint32_t rel, Tuple t) {
-  DR_CHECK(rel < relations_.size());
-  InsertResult r = relations_[rel].Insert(std::move(t));
+  InsertResult r = InsertChecked(rel, std::move(t));
   return TupleId{rel, r.row};
 }
 
@@ -39,10 +69,9 @@ TupleId Database::Insert(const std::string& rel, Tuple t) {
   return Insert(static_cast<uint32_t>(i), std::move(t));
 }
 
-size_t Database::TotalLive() const {
-  size_t n = 0;
-  for (const auto& r : relations_) n += r.live_count();
-  return n;
+InsertResult Database::InsertChecked(uint32_t rel, Tuple t) {
+  DR_CHECK(rel < relations_.size());
+  return base_.Insert(rel, std::move(t));
 }
 
 size_t Database::TotalRows() const {
@@ -51,62 +80,8 @@ size_t Database::TotalRows() const {
   return n;
 }
 
-size_t Database::TotalDelta() const {
-  size_t n = 0;
-  for (const auto& r : relations_) n += r.delta_count();
-  return n;
-}
-
-std::vector<TupleId> Database::LiveTupleIds() const {
-  std::vector<TupleId> out;
-  out.reserve(TotalLive());
-  for (uint32_t i = 0; i < relations_.size(); ++i) {
-    for (uint32_t r = 0; r < relations_[i].num_rows(); ++r) {
-      if (relations_[i].live(r)) out.push_back(TupleId{i, r});
-    }
-  }
-  return out;
-}
-
-std::vector<TupleId> Database::DeltaTupleIds() const {
-  std::vector<TupleId> out;
-  for (uint32_t i = 0; i < relations_.size(); ++i) {
-    for (uint32_t r = 0; r < relations_[i].num_rows(); ++r) {
-      if (relations_[i].delta(r)) out.push_back(TupleId{i, r});
-    }
-  }
-  return out;
-}
-
-void Database::ResetState() {
-  for (auto& r : relations_) r.ResetState();
-}
-
-Database::State Database::SaveState() const {
-  State s;
-  s.reserve(relations_.size());
-  for (const auto& r : relations_) s.push_back(r.SaveState());
-  return s;
-}
-
-void Database::RestoreState(const State& s) {
-  DR_CHECK(s.size() == relations_.size());
-  for (size_t i = 0; i < relations_.size(); ++i) {
-    relations_[i].RestoreState(s[i]);
-  }
-}
-
 std::string Database::TupleToStr(TupleId id) const {
   return relations_[id.relation].name() + TupleToString(tuple(id));
-}
-
-std::string Database::ToString() const {
-  std::string out;
-  for (const auto& r : relations_) {
-    out += r.ToString();
-    out += "\n";
-  }
-  return out;
 }
 
 }  // namespace deltarepair

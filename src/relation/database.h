@@ -1,7 +1,11 @@
-// Database: a set of relations plus their delta relations (Sec. 3.1).
+// Database: shared relation storage plus the canonical instance state.
 // The database instance D of the paper is the set of live tuples; ∆(S) is
-// tracked through per-row delta flags. Copy/Save/Restore support running
-// several repair semantics against the same instance.
+// tracked through per-row delta flags. Storage (rows, schema, dedupe,
+// indexes — see relation/relation.h) is owned here and shared read-only
+// by any number of InstanceViews; the Database keeps one distinguished
+// `base_view()` holding the canonical live/delta state, and every legacy
+// entry point (Insert/MarkDeleted/SaveState/...) delegates to it.
+// Concurrent repair runs take per-thread copies via SnapshotView().
 #ifndef DELTAREPAIR_RELATION_DATABASE_H_
 #define DELTAREPAIR_RELATION_DATABASE_H_
 
@@ -9,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "relation/instance_view.h"
 #include "relation/relation.h"
 
 namespace deltarepair {
@@ -17,6 +22,13 @@ class Database {
  public:
   Database() = default;
 
+  // Copies rebind the base view onto the new owner; independent
+  // InstanceViews created from the source keep pointing at the source.
+  Database(const Database& other);
+  Database& operator=(const Database& other);
+  Database(Database&& other) noexcept;
+  Database& operator=(Database&& other) noexcept;
+
   /// Registers a relation; returns its index. Names must be unique.
   uint32_t AddRelation(RelationSchema schema);
 
@@ -24,56 +36,73 @@ class Database {
   int RelationIndex(const std::string& name) const;
 
   size_t num_relations() const { return relations_.size(); }
-  Relation& relation(uint32_t i) { return relations_[i]; }
   const Relation& relation(uint32_t i) const { return relations_[i]; }
+  /// Storage-mutating access (loading phase; see Relation's thread model).
+  Relation& mutable_relation(uint32_t i) { return relations_[i]; }
 
-  Relation* FindRelation(const std::string& name);
   const Relation* FindRelation(const std::string& name) const;
 
-  /// Inserts a live tuple into relation `rel`.
+  /// The canonical instance state every legacy entry point operates on.
+  InstanceView& base_view() { return base_; }
+  const InstanceView& base_view() const { return base_; }
+
+  /// A per-run copy of the canonical state, sharing this database's
+  /// storage. The backbone of parallel batch execution.
+  InstanceView SnapshotView() { return base_; }
+
+  /// Inserts a live tuple into relation `rel`. A dedupe hit on a deleted
+  /// row revives it (see InstanceView::Insert).
   TupleId Insert(uint32_t rel, Tuple t);
   /// Inserts by relation name (must exist).
   TupleId Insert(const std::string& rel, Tuple t);
+  /// Insert that also reports whether a new row slot was created.
+  InsertResult InsertChecked(uint32_t rel, Tuple t);
 
   const Tuple& tuple(TupleId id) const {
     return relations_[id.relation].row(id.row);
   }
-  bool live(TupleId id) const { return relations_[id.relation].live(id.row); }
-  bool delta(TupleId id) const {
-    return relations_[id.relation].delta(id.row);
-  }
-  void MarkDeleted(TupleId id) { relations_[id.relation].MarkDeleted(id.row); }
-  void SetDelta(TupleId id) { relations_[id.relation].SetDelta(id.row); }
+  bool live(TupleId id) const { return base_.live(id); }
+  bool delta(TupleId id) const { return base_.delta(id); }
+  void MarkDeleted(TupleId id) { base_.MarkDeleted(id); }
+  void SetDelta(TupleId id) { base_.SetDelta(id); }
+  void UnmarkDeleted(TupleId id) { base_.UnmarkDeleted(id); }
 
   /// Total live tuples across relations (the size of D).
-  size_t TotalLive() const;
-  /// Total row slots across relations.
+  size_t TotalLive() const { return base_.TotalLive(); }
+  /// Total row slots across relations (storage, live or not).
   size_t TotalRows() const;
   /// Total delta tuples across relations.
-  size_t TotalDelta() const;
+  size_t TotalDelta() const { return base_.TotalDelta(); }
+  /// Live tuples in one relation.
+  size_t live_count(uint32_t rel) const {
+    return base_.rel(rel).live_count();
+  }
 
   /// All live tuple ids (deterministic order: relation-major).
-  std::vector<TupleId> LiveTupleIds() const;
+  std::vector<TupleId> LiveTupleIds() const { return base_.LiveTupleIds(); }
   /// All tuple ids currently in delta relations.
-  std::vector<TupleId> DeltaTupleIds() const;
+  std::vector<TupleId> DeltaTupleIds() const {
+    return base_.DeltaTupleIds();
+  }
 
-  /// Restores every relation to its load-time state.
-  void ResetState();
+  /// Restores the canonical state to everything-live, deltas empty.
+  void ResetState() { base_.ResetAllLive(); }
 
-  /// Whole-database (live, delta) snapshot.
-  using State = std::vector<Relation::State>;
-  State SaveState() const;
-  void RestoreState(const State& s);
+  /// Whole-database (live, delta) snapshot of the canonical state.
+  using State = InstanceView::State;
+  State SaveState() const { return base_.SaveState(); }
+  void RestoreState(const State& s) { base_.RestoreState(s); }
 
   /// Renders tuple `id` as "Rel(v1, v2)".
   std::string TupleToStr(TupleId id) const;
 
-  /// Debug rendering (small databases).
-  std::string ToString() const;
+  /// Debug rendering of the canonical state (small databases).
+  std::string ToString() const { return base_.ToString(); }
 
  private:
   std::vector<Relation> relations_;
   std::unordered_map<std::string, uint32_t> by_name_;
+  InstanceView base_;
 };
 
 }  // namespace deltarepair

@@ -4,7 +4,39 @@
 
 namespace deltarepair {
 
-InsertResult Relation::Insert(Tuple t) {
+Relation::Relation(const Relation& other)
+    : schema_(other.schema_),
+      rows_(other.rows_),
+      dedupe_(other.dedupe_),
+      indexes_(other.indexes_) {}
+
+Relation& Relation::operator=(const Relation& other) {
+  if (this != &other) {
+    schema_ = other.schema_;
+    rows_ = other.rows_;
+    dedupe_ = other.dedupe_;
+    indexes_ = other.indexes_;
+  }
+  return *this;
+}
+
+Relation::Relation(Relation&& other) noexcept
+    : schema_(std::move(other.schema_)),
+      rows_(std::move(other.rows_)),
+      dedupe_(std::move(other.dedupe_)),
+      indexes_(std::move(other.indexes_)) {}
+
+Relation& Relation::operator=(Relation&& other) noexcept {
+  if (this != &other) {
+    schema_ = std::move(other.schema_);
+    rows_ = std::move(other.rows_);
+    dedupe_ = std::move(other.dedupe_);
+    indexes_ = std::move(other.indexes_);
+  }
+  return *this;
+}
+
+InsertResult Relation::InternRow(Tuple t) {
   DR_CHECK_MSG(t.size() == schema_.arity(), "arity mismatch on insert");
   uint64_t h = HashTuple(t);
   auto it = dedupe_.find(h);
@@ -19,9 +51,6 @@ InsertResult Relation::Insert(Tuple t) {
     index[KeyHash(mask, t)].push_back(r);
   }
   rows_.push_back(std::move(t));
-  live_.push_back(1);
-  delta_.push_back(0);
-  ++live_count_;
   dedupe_[h].push_back(r);
   return InsertResult{r, true};
 }
@@ -35,45 +64,6 @@ int64_t Relation::FindRow(const Tuple& t) const {
   return -1;
 }
 
-void Relation::MarkDeleted(uint32_t r) {
-  DR_CHECK(r < rows_.size());
-  if (live_[r]) {
-    live_[r] = 0;
-    --live_count_;
-  }
-  if (!delta_[r]) {
-    delta_[r] = 1;
-    ++delta_count_;
-  }
-}
-
-void Relation::SetDelta(uint32_t r) {
-  DR_CHECK(r < rows_.size());
-  if (!delta_[r]) {
-    delta_[r] = 1;
-    ++delta_count_;
-  }
-}
-
-void Relation::UnmarkDeleted(uint32_t r) {
-  DR_CHECK(r < rows_.size());
-  if (!live_[r]) {
-    live_[r] = 1;
-    ++live_count_;
-  }
-  if (delta_[r]) {
-    delta_[r] = 0;
-    --delta_count_;
-  }
-}
-
-void Relation::ResetState() {
-  std::fill(live_.begin(), live_.end(), 1);
-  std::fill(delta_.begin(), delta_.end(), 0);
-  live_count_ = rows_.size();
-  delta_count_ = 0;
-}
-
 uint64_t Relation::KeyHash(ColumnMask mask, const Tuple& t) const {
   uint64_t h = 0x6b657948ULL ^ Mix64(mask);
   for (size_t c = 0; c < t.size(); ++c) {
@@ -82,43 +72,42 @@ uint64_t Relation::KeyHash(ColumnMask mask, const Tuple& t) const {
   return h;
 }
 
-void Relation::EnsureIndex(ColumnMask mask) {
-  if (indexes_.count(mask)) return;
-  auto& index = indexes_[mask];
+const Relation::Index* Relation::EnsureIndex(ColumnMask mask) const {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  auto it = indexes_.find(mask);
+  if (it != indexes_.end()) return &it->second;
+  Index& index = indexes_[mask];
   index.reserve(rows_.size());
   for (uint32_t r = 0; r < rows_.size(); ++r) {
     index[KeyHash(mask, rows_[r])].push_back(r);
   }
+  return &index;
 }
 
-const std::vector<uint32_t>* Relation::Probe(ColumnMask mask,
-                                             const Tuple& full_binding) const {
-  auto iit = indexes_.find(mask);
-  DR_CHECK_MSG(iit != indexes_.end(), "Probe before EnsureIndex");
-  auto it = iit->second.find(KeyHash(mask, full_binding));
-  if (it == iit->second.end()) return nullptr;
+const std::vector<uint32_t>* Relation::Probe(
+    const Index* index, ColumnMask mask, const Tuple& full_binding) const {
+  DR_CHECK_MSG(index != nullptr, "Probe before EnsureIndex");
+  auto it = index->find(KeyHash(mask, full_binding));
+  if (it == index->end()) return nullptr;
   return &it->second;
 }
 
-Relation::State Relation::SaveState() const {
-  return State{live_, delta_, live_count_, delta_count_};
-}
-
-void Relation::RestoreState(const State& s) {
-  DR_CHECK(s.live.size() == rows_.size());
-  live_ = s.live;
-  delta_ = s.delta;
-  live_count_ = s.live_count;
-  delta_count_ = s.delta_count;
+const std::vector<uint32_t>* Relation::Probe(
+    ColumnMask mask, const Tuple& full_binding) const {
+  const Index* index = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    auto it = indexes_.find(mask);
+    DR_CHECK_MSG(it != indexes_.end(), "Probe before EnsureIndex");
+    index = &it->second;
+  }
+  return Probe(index, mask, full_binding);
 }
 
 std::string Relation::ToString() const {
   std::string out = schema_.ToString() + " {";
-  bool first = true;
   for (uint32_t r = 0; r < rows_.size(); ++r) {
-    if (!live_[r]) continue;
-    if (!first) out += ", ";
-    first = false;
+    if (r) out += ", ";
     out += TupleToString(rows_[r]);
   }
   out += "}";

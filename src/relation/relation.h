@@ -1,13 +1,25 @@
-// Relation: an append-only row store with set semantics plus two membership
-// bitmaps, `live` (tuple currently in R_i) and `delta` (tuple currently in
-// the delta relation ∆_i of Sec. 3.1). Rows are never physically removed,
-// which keeps TupleIds and hash indexes stable while repair semantics flip
-// membership. Lazily-built hash indexes over arbitrary column subsets
-// accelerate rule-body joins.
+// Relation: the immutable storage core of a relation — an append-only,
+// set-semantics row store (rows, schema, full-tuple dedupe map) plus
+// lazily built hash indexes over arbitrary column subsets. Row slots are
+// never removed, which keeps TupleIds and index entries stable while
+// repair semantics flip membership. Which rows are currently *live* in
+// R_i or recorded in the delta relation ∆_i (Sec. 3.1) is NOT stored
+// here: that cheap per-run state lives in RelationView / InstanceView
+// (relation/instance_view.h), so any number of concurrent repair runs
+// share one copy of the rows and indexes.
+//
+// Thread model:
+//  * InternRow mutates storage (rows, dedupe map, index maintenance) and
+//    must not run concurrently with readers — loading/insertion is a
+//    single-threaded phase.
+//  * EnsureIndex is safe to call from concurrent readers: the first
+//    caller builds the index under a mutex, later callers get a stable
+//    pointer to the finished (from then on read-only) index.
 #ifndef DELTAREPAIR_RELATION_RELATION_H_
 #define DELTAREPAIR_RELATION_RELATION_H_
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -16,7 +28,8 @@
 
 namespace deltarepair {
 
-/// Result of an insert: the row slot and whether it was newly added.
+/// Result of a set-semantics insert: the row slot and whether a new slot
+/// was created (false on a dedupe hit).
 struct InsertResult {
   uint32_t row = 0;
   bool inserted = false;
@@ -26,64 +39,56 @@ class Relation {
  public:
   explicit Relation(RelationSchema schema) : schema_(std::move(schema)) {}
 
+  // Storage is copyable (deep copy of rows and indexes); the index mutex
+  // is per-instance and never copied.
+  Relation(const Relation& other);
+  Relation& operator=(const Relation& other);
+  Relation(Relation&& other) noexcept;
+  Relation& operator=(Relation&& other) noexcept;
+
   const RelationSchema& schema() const { return schema_; }
   const std::string& name() const { return schema_.name(); }
   size_t arity() const { return schema_.arity(); }
 
-  /// Number of row slots ever created (live + deleted).
+  /// Number of row slots ever created.
   size_t num_rows() const { return rows_.size(); }
-  /// Number of currently-live tuples.
-  size_t live_count() const { return live_count_; }
-  /// Number of tuples currently in the delta relation.
-  size_t delta_count() const { return delta_count_; }
 
   const Tuple& row(uint32_t r) const { return rows_[r]; }
-  bool live(uint32_t r) const { return live_[r] != 0; }
-  bool delta(uint32_t r) const { return delta_[r] != 0; }
 
-  /// Set-semantics insert of a live tuple. Arity must match the schema.
-  InsertResult Insert(Tuple t);
+  /// Set-semantics insert into storage. Returns the existing slot on a
+  /// dedupe hit (inserted=false); liveness is the caller's (view's)
+  /// concern. Arity must match the schema. Not safe against concurrent
+  /// readers.
+  InsertResult InternRow(Tuple t);
 
   /// Row slot holding exactly `t`, or -1 if absent.
   int64_t FindRow(const Tuple& t) const;
 
-  /// Removes the tuple from R_i and records it in ∆_i (delete + log).
-  void MarkDeleted(uint32_t r);
-
-  /// Records the tuple in ∆_i without removing it from R_i (used by end
-  /// semantics during derivation, where base relations stay frozen).
-  void SetDelta(uint32_t r);
-
-  /// Reverts a MarkDeleted: the tuple is live again and leaves ∆_i (used
-  /// by the exact reference solvers to undo trial deletions).
-  void UnmarkDeleted(uint32_t r);
-
-  /// Restores the load-time state: everything live, deltas empty.
-  void ResetState();
-
   /// Bitmask with bit c set for each indexed column c.
   using ColumnMask = uint64_t;
+  /// Key hash -> row slots with that hash, over one column mask.
+  using Index = std::unordered_map<uint64_t, std::vector<uint32_t>>;
 
-  /// Ensures a hash index over the columns in `mask` exists (built over all
-  /// row slots; callers filter by live/delta at probe time).
-  void EnsureIndex(ColumnMask mask);
+  /// Returns the hash index over the columns in `mask`, building it on
+  /// first use (over all row slots; callers filter by view liveness at
+  /// probe time). Thread-safe; the returned pointer stays valid and the
+  /// index read-only for the relation's lifetime.
+  const Index* EnsureIndex(ColumnMask mask) const;
 
-  /// Rows whose `mask` columns hash-match `key` (collisions possible; the
-  /// caller must verify values). Returns nullptr when no row matches.
+  /// Rows of `index` whose `mask` columns hash-match `full_binding`
+  /// (collisions possible; the caller must verify values). Returns
+  /// nullptr when no row matches. Lock-free: `index` came from
+  /// EnsureIndex and is immutable.
+  const std::vector<uint32_t>* Probe(const Index* index, ColumnMask mask,
+                                     const Tuple& full_binding) const;
+
+  /// Convenience probe resolving the index by mask (requires a prior
+  /// EnsureIndex with the same mask).
   const std::vector<uint32_t>* Probe(ColumnMask mask,
                                      const Tuple& full_binding) const;
 
-  /// Copy of the (live, delta) bitmaps, for snapshot/rollback.
-  struct State {
-    std::vector<uint8_t> live;
-    std::vector<uint8_t> delta;
-    size_t live_count;
-    size_t delta_count;
-  };
-  State SaveState() const;
-  void RestoreState(const State& s);
-
-  /// Debug rendering of live tuples (small relations only).
+  /// Debug rendering of all stored row slots (small relations only);
+  /// liveness-aware rendering lives on the views.
   std::string ToString() const;
 
  private:
@@ -91,16 +96,14 @@ class Relation {
 
   RelationSchema schema_;
   std::vector<Tuple> rows_;
-  std::vector<uint8_t> live_;
-  std::vector<uint8_t> delta_;
-  size_t live_count_ = 0;
-  size_t delta_count_ = 0;
-  // Full-tuple hash -> row slots with that hash (for set-semantics insert).
+  // Full-tuple hash -> row slots with that hash (for set-semantics
+  // interning).
   std::unordered_map<uint64_t, std::vector<uint32_t>> dedupe_;
-  // Column-mask -> (key hash -> row slots).
-  std::unordered_map<ColumnMask,
-                     std::unordered_map<uint64_t, std::vector<uint32_t>>>
-      indexes_;
+  // Column-mask -> index. Guarded by index_mu_ for map lookups/inserts;
+  // each Index is immutable once built (InternRow maintains existing
+  // indexes, but never runs concurrently with readers).
+  mutable std::unordered_map<ColumnMask, Index> indexes_;
+  mutable std::mutex index_mu_;
 };
 
 }  // namespace deltarepair

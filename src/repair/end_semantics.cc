@@ -6,7 +6,7 @@
 
 namespace deltarepair {
 
-RepairResult EndSemantics::Run(Database* db, const Program& program,
+RepairResult EndSemantics::Run(InstanceView* view, const Program& program,
                                const RepairOptions& options,
                                ExecContext* ctx) const {
   WallTimer total;
@@ -15,21 +15,21 @@ RepairResult EndSemantics::Run(Database* db, const Program& program,
   bool complete;
   {
     ScopedTimer t(&result.stats.eval_seconds);
-    complete = RunSemiNaiveFixpoint(db, program,
+    complete = RunSemiNaiveFixpoint(view, program,
                                     /*delete_between_rounds=*/false,
                                     options.record_provenance, &result.stats,
                                     ctx);
   }
   // Fixpoint reached (or interrupted): apply the derived deletions at once
   // (R_i^T = R_i^0 minus ∆_i^T).
-  for (const TupleId& t : db->DeltaTupleIds()) {
-    db->MarkDeleted(t);
+  for (const TupleId& t : view->DeltaTupleIds()) {
+    view->MarkDeleted(t);
     result.deleted.push_back(t);
   }
   if (!complete) {
     result.stats.optimal = false;
     if (ctx->reason() == TerminationReason::kBudgetExhausted) {
-      TrivialStabilizingCompletion(db, program, &result);
+      TrivialStabilizingCompletion(view, program, &result);
     }
   }
   CanonicalizeResult(&result);

@@ -18,7 +18,8 @@ class EndSemantics : public Semantics {
  public:
   const char* name() const override { return "end"; }
   SemanticsKind kind() const override { return SemanticsKind::kEnd; }
-  RepairResult Run(Database* db, const Program& program,
+  using Semantics::Run;
+  RepairResult Run(InstanceView* view, const Program& program,
                    const RepairOptions& options,
                    ExecContext* ctx) const override;
 };

@@ -136,7 +136,7 @@ class StepSearch {
       Dfs(deleted);
       current_deleted_.erase(packed);
       deleted->pop_back();
-      db_->relation(t.relation).UnmarkDeleted(t.row);
+      db_->UnmarkDeleted(t);
       if (out_of_budget_) return;
     }
   }

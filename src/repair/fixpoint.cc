@@ -4,10 +4,10 @@
 
 namespace deltarepair {
 
-bool RunSemiNaiveFixpoint(Database* db, const Program& program,
+bool RunSemiNaiveFixpoint(InstanceView* view, const Program& program,
                           bool delete_between_rounds, ProvenanceGraph* prov,
                           RepairStats* stats, ExecContext* ctx) {
-  Grounder grounder(db);
+  Grounder grounder(view);
   const auto& rules = program.rules();
 
   // Heads derived this round but not yet applied (snapshot evaluation:
@@ -19,7 +19,7 @@ bool RunSemiNaiveFixpoint(Database* db, const Program& program,
   auto handle = [&](const GroundAssignment& ga) {
     if (ctx->Tick()) return false;  // budget/cancel: stop enumerating
     if (prov != nullptr) prov->AddAssignment(ga, round);
-    if (!db->delta(ga.head) && !pending_set.count(ga.head.Pack())) {
+    if (!view->delta(ga.head) && !pending_set.count(ga.head.Pack())) {
       pending_set.insert(ga.head.Pack());
       pending.push_back(ga.head);
     }
@@ -34,14 +34,14 @@ bool RunSemiNaiveFixpoint(Database* db, const Program& program,
   }
 
   // Recent deltas (added in the previous round), per relation, for pivots.
-  std::vector<std::vector<uint32_t>> recent(db->num_relations());
+  std::vector<std::vector<uint32_t>> recent(view->num_relations());
   while (!pending.empty() && !ctx->ShouldStop()) {
     for (auto& v : recent) v.clear();
     for (const TupleId& t : pending) {
       if (delete_between_rounds) {
-        db->MarkDeleted(t);  // stage: D^t = D^{t-1} \ ∆^t
+        view->MarkDeleted(t);  // stage: D^t = D^{t-1} \ ∆^t
       } else {
-        db->SetDelta(t);  // end: base stays frozen
+        view->SetDelta(t);  // end: base stays frozen
       }
       recent[t.relation].push_back(t.row);
     }

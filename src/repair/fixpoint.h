@@ -30,7 +30,7 @@ namespace deltarepair {
 /// and at every round boundary. Returns true when the fixpoint was
 /// reached; false when the run was interrupted (ctx->reason() says why —
 /// the delta relations then hold a prefix of the derivation).
-bool RunSemiNaiveFixpoint(Database* db, const Program& program,
+bool RunSemiNaiveFixpoint(InstanceView* view, const Program& program,
                           bool delete_between_rounds, ProvenanceGraph* prov,
                           RepairStats* stats, ExecContext* ctx);
 

@@ -20,7 +20,7 @@ struct StoredAssignment {
 
 }  // namespace
 
-RepairResult IndependentSemantics::Run(Database* db, const Program& program,
+RepairResult IndependentSemantics::Run(InstanceView* view, const Program& program,
                                        const RepairOptions& options,
                                        ExecContext* ctx) const {
   WallTimer total;
@@ -33,7 +33,7 @@ RepairResult IndependentSemantics::Run(Database* db, const Program& program,
   std::vector<StoredAssignment> stored;
   {
     ScopedTimer t(&result.stats.eval_seconds);
-    Grounder grounder(db);
+    Grounder grounder(view);
     for (size_t i = 0; i < program.rules().size() && !ctx->stopped(); ++i) {
       grounder.EnumerateRule(program.rules()[i], static_cast<int>(i),
                              BaseMatch::kLive, DeltaMatch::kHypothetical,
@@ -53,7 +53,7 @@ RepairResult IndependentSemantics::Run(Database* db, const Program& program,
   auto interrupted = [&]() -> RepairResult {
     result.stats.optimal = false;
     if (ctx->reason() == TerminationReason::kBudgetExhausted) {
-      TrivialStabilizingCompletion(db, program, &result);
+      TrivialStabilizingCompletion(view, program, &result);
     }
     CanonicalizeResult(&result);
     result.stats.total_seconds = total.ElapsedSeconds();
@@ -108,7 +108,7 @@ RepairResult IndependentSemantics::Run(Database* db, const Program& program,
   for (uint32_t v = 0; v < builder.num_vars(); ++v) {
     if (solved.model[v]) result.deleted.push_back(builder.TupleOfVar(v));
   }
-  for (const TupleId& t : result.deleted) db->MarkDeleted(t);
+  for (const TupleId& t : result.deleted) view->MarkDeleted(t);
   CanonicalizeResult(&result);
   result.stats.total_seconds = total.ElapsedSeconds();
   return result;

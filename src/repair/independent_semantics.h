@@ -24,7 +24,8 @@ class IndependentSemantics : public Semantics {
   const char* name() const override { return "independent"; }
   std::vector<const char*> aliases() const override { return {"ind"}; }
   SemanticsKind kind() const override { return SemanticsKind::kIndependent; }
-  RepairResult Run(Database* db, const Program& program,
+  using Semantics::Run;
+  RepairResult Run(InstanceView* view, const Program& program,
                    const RepairOptions& options,
                    ExecContext* ctx) const override;
 };

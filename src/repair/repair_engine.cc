@@ -1,5 +1,9 @@
 #include "repair/repair_engine.h"
 
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
 #include "repair/stability.h"
 
 namespace deltarepair {
@@ -10,7 +14,9 @@ StatusOr<RepairEngine> RepairEngine::Create(Database* db, Program program) {
   return RepairEngine(db, std::move(program));
 }
 
-RepairOutcome RepairEngine::Execute(const RepairRequest& request) {
+RepairOutcome RepairEngine::ExecuteOnView(
+    InstanceView* view, const InstanceView::State& initial,
+    const RepairRequest& request) const {
   RepairOutcome outcome;
   StatusOr<const Semantics*> semantics =
       SemanticsRegistry::Global().Get(request.semantics);
@@ -20,31 +26,71 @@ RepairOutcome RepairEngine::Execute(const RepairRequest& request) {
     return outcome;
   }
 
-  Database::State snapshot = db_->SaveState();
   ExecContext ctx(request.options);
   outcome.result =
-      (*semantics)->Run(db_, program_, request.options, &ctx);
+      (*semantics)->Run(view, program_, request.options, &ctx);
   outcome.termination = ctx.reason();
-  db_->RestoreState(snapshot);
+  view->RestoreState(initial);
 
   if (request.options.verify_after_run) {
     outcome.verified =
-        IsStabilizingSet(db_, program_, outcome.result.deleted);
+        IsStabilizingSet(view, program_, outcome.result.deleted);
   }
-  if (request.apply) {
-    for (const TupleId& t : outcome.result.deleted) db_->MarkDeleted(t);
+  return outcome;
+}
+
+RepairOutcome RepairEngine::Execute(const RepairRequest& request) {
+  InstanceView* view = &db_->base_view();
+  InstanceView::State snapshot = view->SaveState();
+  RepairOutcome outcome = ExecuteOnView(view, snapshot, request);
+  if (request.apply && outcome.ok()) {
+    for (const TupleId& t : outcome.result.deleted) view->MarkDeleted(t);
   }
   return outcome;
 }
 
 std::vector<RepairOutcome> RepairEngine::RunBatch(
     const std::vector<RepairRequest>& requests) {
-  std::vector<RepairOutcome> out;
-  out.reserve(requests.size());
-  for (RepairRequest request : requests) {
-    request.apply = false;  // batches are read-only sweeps
-    out.push_back(Execute(request));
+  int threads = default_options_.threads;
+  for (const RepairRequest& request : requests) {
+    threads = std::max(threads, request.options.threads);
   }
+  return RunBatch(requests, threads);
+}
+
+std::vector<RepairOutcome> RepairEngine::RunBatch(
+    const std::vector<RepairRequest>& requests, int num_threads) {
+  std::vector<RepairOutcome> out(requests.size());
+  if (requests.empty()) return out;
+  size_t workers = num_threads > 1 ? static_cast<size_t>(num_threads) : 1;
+  workers = std::min(workers, requests.size());
+
+  // Every worker runs requests on its own snapshot of the canonical
+  // state; requests are claimed off a shared counter (dynamic load
+  // balancing) and write their outcome into the request's slot, so the
+  // result order matches the request order and each unbudgeted outcome
+  // is bit-identical to what the sequential path produces.
+  std::atomic<size_t> next{0};
+  auto work = [&]() {
+    InstanceView view = db_->SnapshotView();
+    InstanceView::State initial = view.SaveState();
+    for (;;) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= requests.size()) break;
+      RepairRequest request = requests[i];
+      request.apply = false;  // batches are read-only sweeps
+      out[i] = ExecuteOnView(&view, initial, request);
+    }
+  };
+
+  if (workers <= 1) {
+    work();
+    return out;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) pool.emplace_back(work);
+  for (std::thread& t : pool) t.join();
   return out;
 }
 

@@ -1,7 +1,8 @@
 // RepairEngine: the library facade. Resolves a delta program against a
 // database once, then executes repair requests against it — one at a time
-// (Execute) or as a batch over the same initial state (RunBatch). The
-// legacy Run/RunAll/RunAndApply entry points survive as thin wrappers
+// (Execute) or as a batch over the same initial state (RunBatch, which
+// fans the requests out over a worker pool when threads are requested).
+// The legacy Run/RunAll/RunAndApply entry points survive as thin wrappers
 // over Execute. This is the entry point examples, benches, and the CLI
 // use.
 #ifndef DELTAREPAIR_REPAIR_REPAIR_ENGINE_H_
@@ -28,11 +29,22 @@ class RepairEngine {
   RepairOutcome Execute(const RepairRequest& request);
 
   /// Executes many requests against this engine's resolved program, each
-  /// from the same initial database state (state restored between runs —
-  /// `apply` is ignored; batches are read-only sweeps). The first step
-  /// toward serving traffic: one resolve, many requests.
+  /// from the same initial database state (`apply` is ignored; batches
+  /// are read-only sweeps — the canonical state is never touched).
+  ///
+  /// Worker count: the maximum `options.threads` across the requests,
+  /// falling back to `default_options().threads`; <= 1 runs sequentially.
+  /// Each worker executes requests on a thread-local snapshot view over
+  /// the shared storage, so outcomes are order-preserving and — for
+  /// unbudgeted, uncancelled requests — deterministic and identical to
+  /// the sequential path (wall-clock budgets and cancel tokens can trip
+  /// at a different derivation point under contention, as between any
+  /// two timed runs). Requests that record provenance must each point at
+  /// their own ProvenanceGraph sink.
   std::vector<RepairOutcome> RunBatch(
       const std::vector<RepairRequest>& requests);
+  std::vector<RepairOutcome> RunBatch(
+      const std::vector<RepairRequest>& requests, int num_threads);
 
   /// Runs one semantics against the database's current state; the state is
   /// restored afterwards (the result describes what *would* be deleted).
@@ -53,7 +65,8 @@ class RepairEngine {
   const Program& program() const { return program_; }
   Database* db() { return db_; }
 
-  /// Options the wrapper entry points (Run/RunAll/RunAndApply) use.
+  /// Options the wrapper entry points (Run/RunAll/RunAndApply) use, and
+  /// the fallback for RunBatch's worker count.
   RepairOptions& default_options() { return default_options_; }
 
   /// Back-compat accessor for the solver knobs now folded into
@@ -65,6 +78,11 @@ class RepairEngine {
  private:
   RepairEngine(Database* db, Program program)
       : db_(db), program_(std::move(program)) {}
+
+  /// Runs one request on `view`, restoring it to `initial` afterwards.
+  RepairOutcome ExecuteOnView(InstanceView* view,
+                              const InstanceView::State& initial,
+                              const RepairRequest& request) const;
 
   Database* db_ = nullptr;
   Program program_;

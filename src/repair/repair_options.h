@@ -91,6 +91,15 @@ struct RepairOptions {
   /// Re-check the returned deletion set with IsStabilizingSet and record
   /// the answer in RepairOutcome::verified.
   bool verify_after_run = false;
+  /// Worker threads for RepairEngine::RunBatch (the per-request value is
+  /// ignored by Execute; a batch runs with the maximum requested across
+  /// its requests, falling back to the engine's default options).
+  /// <= 1 means sequential. For unbudgeted, uncancelled requests the
+  /// results are deterministic and identical to the sequential path
+  /// regardless of this value; a wall-clock budget or cancel token can
+  /// trip at a different point under contention, as it can between any
+  /// two timed runs.
+  int threads = 0;
   /// Min-Ones SAT knobs (independent semantics, Algorithm 1).
   IndependentOptions independent;
   /// Greedy-traversal knobs (step semantics, Algorithm 2).

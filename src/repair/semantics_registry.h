@@ -17,14 +17,18 @@
 namespace deltarepair {
 
 /// One repair semantics: a named strategy that, given a resolved program
-/// and a database, chooses a deletion set and applies it to the database.
-/// Callers own snapshot/restore (RepairEngine::Execute does both).
+/// and an instance view, chooses a deletion set and applies it to the
+/// view. Callers own snapshot/restore (RepairEngine::Execute does both).
 ///
 /// Implementations must honor `ctx`: check Tick()/ShouldStop() inside
 /// evaluation loops, and keep the anytime contract — on
 /// kBudgetExhausted the applied set must still be stabilizing (falling
 /// back to TrivialStabilizingCompletion when interrupted mid-derivation);
 /// on kCancelled, unwind as fast as possible with best-effort output.
+///
+/// Run is const and must keep all run state on the stack / in the view,
+/// so one registered instance can serve concurrent runs over distinct
+/// views (RepairEngine::RunBatch relies on this).
 class Semantics {
  public:
   virtual ~Semantics() = default;
@@ -36,11 +40,17 @@ class Semantics {
   /// Which of the paper's four definitions this runner reports as.
   virtual SemanticsKind kind() const = 0;
 
-  /// Runs against the database's current state, applying the chosen
-  /// deletions to `db`. `ctx` must be non-null.
-  virtual RepairResult Run(Database* db, const Program& program,
+  /// Runs against the view's current state, applying the chosen
+  /// deletions to `view`. `ctx` must be non-null.
+  virtual RepairResult Run(InstanceView* view, const Program& program,
                            const RepairOptions& options,
                            ExecContext* ctx) const = 0;
+
+  /// Convenience: runs against the database's canonical state.
+  RepairResult Run(Database* db, const Program& program,
+                   const RepairOptions& options, ExecContext* ctx) const {
+    return Run(&db->base_view(), program, options, ctx);
+  }
 };
 
 /// Name -> Semantics lookup. The global instance is created on first use

@@ -2,39 +2,54 @@
 
 namespace deltarepair {
 
-bool IsStable(Database* db, const Program& program) {
-  Grounder grounder(db);
+bool IsStable(InstanceView* view, const Program& program) {
+  Grounder grounder(view);
   return !grounder.AnyAssignment(program, BaseMatch::kLive,
                                  DeltaMatch::kCurrent);
 }
 
-bool IsStabilizingSet(Database* db, const Program& program,
+bool IsStable(Database* db, const Program& program) {
+  return IsStable(&db->base_view(), program);
+}
+
+bool IsStabilizingSet(InstanceView* view, const Program& program,
                       const std::vector<TupleId>& set) {
-  Database::State snapshot = db->SaveState();
-  for (const TupleId& t : set) db->MarkDeleted(t);
-  bool stable = IsStable(db, program);
-  db->RestoreState(snapshot);
+  InstanceView::State snapshot = view->SaveState();
+  for (const TupleId& t : set) view->MarkDeleted(t);
+  bool stable = IsStable(view, program);
+  view->RestoreState(snapshot);
   return stable;
 }
 
-void TrivialStabilizingCompletion(Database* db, const Program& program,
+bool IsStabilizingSet(Database* db, const Program& program,
+                      const std::vector<TupleId>& set) {
+  return IsStabilizingSet(&db->base_view(), program, set);
+}
+
+void TrivialStabilizingCompletion(InstanceView* view, const Program& program,
                                   RepairResult* result) {
-  std::vector<uint8_t> is_head(db->num_relations(), 0);
+  std::vector<uint8_t> is_head(view->num_relations(), 0);
   for (const Rule& rule : program.rules()) {
     if (rule.head.relation_index >= 0) {
       is_head[static_cast<uint32_t>(rule.head.relation_index)] = 1;
     }
   }
-  for (uint32_t r = 0; r < db->num_relations(); ++r) {
+  for (uint32_t r = 0; r < view->num_relations(); ++r) {
     if (!is_head[r]) continue;
-    const Relation& rel = db->relation(r);
-    for (uint32_t row = 0; row < rel.num_rows(); ++row) {
+    const RelationView& rel = view->rel(r);
+    const uint32_t n = static_cast<uint32_t>(rel.num_rows());
+    for (uint32_t row = 0; row < n; ++row) {
       if (!rel.live(row)) continue;
       TupleId t{r, row};
-      db->MarkDeleted(t);
+      view->MarkDeleted(t);
       result->deleted.push_back(t);
     }
   }
+}
+
+void TrivialStabilizingCompletion(Database* db, const Program& program,
+                                  RepairResult* result) {
+  TrivialStabilizingCompletion(&db->base_view(), program, result);
 }
 
 }  // namespace deltarepair

@@ -1,6 +1,8 @@
 // Stability and stabilizing-set checks (Defs. 3.12 / 3.14): a database is
 // stable w.r.t. a delta program when no rule has a satisfying assignment;
-// S is a stabilizing set when (D \ S) ∪ ∆(S) is stable.
+// S is a stabilizing set when (D \ S) ∪ ∆(S) is stable. All checks run
+// against an InstanceView so concurrent verifications share storage;
+// Database overloads operate on the canonical base view.
 #ifndef DELTAREPAIR_REPAIR_STABILITY_H_
 #define DELTAREPAIR_REPAIR_STABILITY_H_
 
@@ -12,23 +14,28 @@
 
 namespace deltarepair {
 
-/// True when the database's *current* state (live relations + delta
+/// True when the view's *current* state (live relations + delta
 /// relations) satisfies no rule of `program` (Def. 3.12).
+bool IsStable(InstanceView* view, const Program& program);
 bool IsStable(Database* db, const Program& program);
 
-/// True when deleting `set` from the database's current live state (and
+/// True when deleting `set` from the view's current live state (and
 /// recording the deletions in the delta relations) yields a stable
-/// database (Def. 3.14). The database state is restored before returning.
+/// database (Def. 3.14). The view state is restored before returning.
+bool IsStabilizingSet(InstanceView* view, const Program& program,
+                      const std::vector<TupleId>& set);
 bool IsStabilizingSet(Database* db, const Program& program,
                       const std::vector<TupleId>& set);
 
 /// Extends `result->deleted` into a guaranteed stabilizing set by deleting
-/// every still-live tuple of every rule-head relation (applied to `db` and
-/// appended to the result). Every rule body contains its mandatory self
-/// atom over the head relation, so after this no rule can fire and the
-/// database is stable (Def. 3.12, vacuously). Budget-exhausted runners use
-/// this to keep the anytime contract: the returned set is always
-/// stabilizing, just far from minimal.
+/// every still-live tuple of every rule-head relation (applied to `view`
+/// and appended to the result). Every rule body contains its mandatory
+/// self atom over the head relation, so after this no rule can fire and
+/// the database is stable (Def. 3.12, vacuously). Budget-exhausted
+/// runners use this to keep the anytime contract: the returned set is
+/// always stabilizing, just far from minimal.
+void TrivialStabilizingCompletion(InstanceView* view, const Program& program,
+                                  RepairResult* result);
 void TrivialStabilizingCompletion(Database* db, const Program& program,
                                   RepairResult* result);
 

@@ -6,7 +6,7 @@
 
 namespace deltarepair {
 
-RepairResult StageSemantics::Run(Database* db, const Program& program,
+RepairResult StageSemantics::Run(InstanceView* view, const Program& program,
                                  const RepairOptions& options,
                                  ExecContext* ctx) const {
   (void)options;
@@ -16,17 +16,17 @@ RepairResult StageSemantics::Run(Database* db, const Program& program,
   bool complete;
   {
     ScopedTimer t(&result.stats.eval_seconds);
-    complete = RunSemiNaiveFixpoint(db, program,
+    complete = RunSemiNaiveFixpoint(view, program,
                                     /*delete_between_rounds=*/true,
                                     /*prov=*/nullptr, &result.stats, ctx);
   }
-  result.deleted = db->DeltaTupleIds();
+  result.deleted = view->DeltaTupleIds();
   if (!complete) {
     result.stats.optimal = false;
     if (ctx->reason() == TerminationReason::kBudgetExhausted) {
       // The interrupted round's pending deletions were never applied;
       // degrade to the anytime fallback so the set still stabilizes.
-      TrivialStabilizingCompletion(db, program, &result);
+      TrivialStabilizingCompletion(view, program, &result);
     }
   }
   CanonicalizeResult(&result);

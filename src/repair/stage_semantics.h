@@ -14,7 +14,8 @@ class StageSemantics : public Semantics {
  public:
   const char* name() const override { return "stage"; }
   SemanticsKind kind() const override { return SemanticsKind::kStage; }
-  RepairResult Run(Database* db, const Program& program,
+  using Semantics::Run;
+  RepairResult Run(InstanceView* view, const Program& program,
                    const RepairOptions& options,
                    ExecContext* ctx) const override;
 };

@@ -117,7 +117,7 @@ class GreedyTraversal {
 
 }  // namespace
 
-RepairResult StepSemantics::Run(Database* db, const Program& program,
+RepairResult StepSemantics::Run(InstanceView* view, const Program& program,
                                 const RepairOptions& options,
                                 ExecContext* ctx) const {
   WallTimer total;
@@ -125,14 +125,14 @@ RepairResult StepSemantics::Run(Database* db, const Program& program,
   result.semantics = SemanticsKind::kStep;
 
   // Phase 1 (Eval): end-semantics evaluation with provenance recording.
-  Database::State snapshot = db->SaveState();
+  InstanceView::State snapshot = view->SaveState();
   ProvenanceGraph graph;
   {
     ScopedTimer t(&result.stats.eval_seconds);
-    RunSemiNaiveFixpoint(db, program, /*delete_between_rounds=*/false,
+    RunSemiNaiveFixpoint(view, program, /*delete_between_rounds=*/false,
                          &graph, &result.stats, ctx);
   }
-  db->RestoreState(snapshot);
+  view->RestoreState(snapshot);
 
   // Phase 2 (Process Prov): traversal state construction.
   result.stats.graph_nodes = graph.delta_nodes().size();
@@ -153,12 +153,12 @@ RepairResult StepSemantics::Run(Database* db, const Program& program,
   }
   traversal.reset();
 
-  for (const TupleId& t : result.deleted) db->MarkDeleted(t);
+  for (const TupleId& t : result.deleted) view->MarkDeleted(t);
   if (ctx->stopped() &&
       ctx->reason() == TerminationReason::kBudgetExhausted) {
     // Interrupted mid-derivation or mid-traversal: the chosen prefix need
     // not stabilize on its own; degrade to the anytime fallback.
-    TrivialStabilizingCompletion(db, program, &result);
+    TrivialStabilizingCompletion(view, program, &result);
   }
   CanonicalizeResult(&result);
   result.stats.optimal = false;  // greedy heuristic: minimal, not certified

@@ -21,7 +21,8 @@ class StepSemantics : public Semantics {
  public:
   const char* name() const override { return "step"; }
   SemanticsKind kind() const override { return SemanticsKind::kStep; }
-  RepairResult Run(Database* db, const Program& program,
+  using Semantics::Run;
+  RepairResult Run(InstanceView* view, const Program& program,
                    const RepairOptions& options,
                    ExecContext* ctx) const override;
 };

@@ -77,7 +77,7 @@ MasData GenerateMas(const MasConfig& config) {
       int64_t cited = static_cast<int64_t>(
           rng.NextZipf(config.num_pubs, config.cite_skew) + 1);
       if (cited == static_cast<int64_t>(p)) continue;
-      InsertResult r = db.relation(cite).Insert(
+      InsertResult r = db.InsertChecked(cite,
           {Value(static_cast<int64_t>(p)), Value(cited)});
       if (r.inserted) ++cited_count[cited];
     }

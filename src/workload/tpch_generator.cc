@@ -97,7 +97,7 @@ TpchData GenerateTpch(const TpchConfig& config) {
                        ? static_cast<int64_t>(
                              rng.NextBounded(config.num_suppliers) + 1)
                        : sups[rng.NextBounded(sups.size())];
-      db.relation(lineitem).Insert(
+      db.InsertChecked(lineitem,
           {Value(static_cast<int64_t>(o)), Value(sk), Value(pk)});
     }
   }

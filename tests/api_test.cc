@@ -8,9 +8,7 @@
 #include <chrono>
 #include <thread>
 
-// Include-only check that the one-PR migration shim still compiles;
-// nothing below may *call* these deprecated signatures.
-#include "repair/deprecated.h"
+#include "repair/end_semantics.h"
 #include "repair/repair_engine.h"
 #include "repair/stability.h"
 #include "tests/test_util.h"

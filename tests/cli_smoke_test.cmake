@@ -206,4 +206,59 @@ if(bogus_rc EQUAL 0)
   message(FATAL_ERROR "--semantics bogus should have been rejected")
 endif()
 
+# Pass 5: parallel batch. --threads 4 must produce per-semantics results
+# identical to the sequential pass-3 report (deterministic worker pool),
+# with every result still a verified stabilizing set.
+execute_process(
+  COMMAND "${DREPAIR_CLI}"
+    --data "${WORK_DIR}/data"
+    --program "${WORK_DIR}/repair.dl"
+    --semantics all --verify --threads 4
+    --json "${WORK_DIR}/report_threads.json"
+  OUTPUT_VARIABLE par_out
+  ERROR_VARIABLE par_err
+  RESULT_VARIABLE par_rc
+)
+if(NOT par_rc EQUAL 0)
+  message(FATAL_ERROR "drepair_cli --threads exited with ${par_rc}\nstderr:\n${par_err}")
+endif()
+string(FIND "${par_out}" "verified stabilizing: NO" par_bad)
+if(NOT par_bad EQUAL -1)
+  message(FATAL_ERROR "a parallel run produced a non-stabilizing repair")
+endif()
+if(PYTHON3)
+  execute_process(
+    COMMAND "${PYTHON3}" -c
+"import json, sys
+seq = json.load(open(sys.argv[1]))['results']
+par = json.load(open(sys.argv[2]))['results']
+assert len(par) == 4, par
+for s, p in zip(seq, par):
+    assert s['semantics'] == p['semantics'], (s, p)
+    assert s['deleted'] == p['deleted'], (s, p)
+    assert s['deleted_by_relation'] == p['deleted_by_relation'], (s, p)
+    assert p['verified_stabilizing'] is True, p
+print('parallel report matches sequential')
+"
+      "${WORK_DIR}/report.json" "${WORK_DIR}/report_threads.json"
+    RESULT_VARIABLE par_py_rc
+    OUTPUT_VARIABLE par_py_out
+    ERROR_VARIABLE par_py_err
+  )
+  if(NOT par_py_rc EQUAL 0)
+    message(FATAL_ERROR "parallel report mismatch:\n${par_py_out}\n${par_py_err}")
+  endif()
+  message(STATUS "${par_py_out}")
+endif()
+execute_process(
+  COMMAND "${DREPAIR_CLI}"
+    --data "${WORK_DIR}/data" --program "${WORK_DIR}/repair.dl"
+    --threads 0
+  OUTPUT_QUIET ERROR_QUIET
+  RESULT_VARIABLE bad_threads_rc
+)
+if(bad_threads_rc EQUAL 0)
+  message(FATAL_ERROR "--threads 0 should have been rejected")
+endif()
+
 message(STATUS "cli_smoke_test passed")

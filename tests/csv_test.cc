@@ -18,7 +18,7 @@ TEST(CsvTest, LoadTypedTable) {
   ASSERT_TRUE(st.ok()) << st.ToString();
   const Relation* rel = db.FindRelation("Author");
   ASSERT_NE(rel, nullptr);
-  EXPECT_EQ(rel->live_count(), 2u);
+  EXPECT_EQ(db.live_count(0), 2u);
   EXPECT_EQ(rel->row(0)[0], Value(int64_t{1}));
   EXPECT_EQ(rel->row(0)[1], Value("alice"));
   EXPECT_EQ(rel->schema().attribute(2).type, ValueType::kInt);
@@ -39,7 +39,7 @@ TEST(CsvTest, SkipsBlankLinesAndTrimsCells) {
                                   "\n"
                                   "2,y\n\n");
   ASSERT_TRUE(st.ok()) << st.ToString();
-  EXPECT_EQ(db.FindRelation("T")->live_count(), 2u);
+  EXPECT_EQ(db.live_count(0), 2u);
   EXPECT_EQ(db.FindRelation("T")->row(0)[1], Value("x"));
 }
 
@@ -61,10 +61,10 @@ TEST(CsvTest, RoundTripThroughRender) {
                                   "1,x\n"
                                   "2,y\n")
                   .ok());
-  std::string rendered = RelationToCsv(*db.FindRelation("T"));
+  std::string rendered = RelationToCsv(db, 0);
   Database db2;
   ASSERT_TRUE(LoadCsvIntoDatabase(&db2, "T", rendered).ok());
-  EXPECT_EQ(db2.FindRelation("T")->live_count(), 2u);
+  EXPECT_EQ(db2.live_count(0), 2u);
   EXPECT_EQ(db2.FindRelation("T")->row(1)[1], Value("y"));
 }
 
@@ -72,7 +72,7 @@ TEST(CsvTest, RenderSkipsDeletedRows) {
   Database db;
   ASSERT_TRUE(LoadCsvIntoDatabase(&db, "T", "a:int\n1\n2\n").ok());
   db.MarkDeleted(TupleId{0, 0});
-  std::string rendered = RelationToCsv(*db.FindRelation("T"));
+  std::string rendered = RelationToCsv(db, 0);
   EXPECT_EQ(rendered, "a:int\n2\n");
 }
 
@@ -86,7 +86,7 @@ TEST(CsvTest, LoadCsvFileNamesRelationAfterBasename) {
   Status st = LoadCsvFile(&db, path);
   ASSERT_TRUE(st.ok()) << st.ToString();
   ASSERT_NE(db.FindRelation("Writes"), nullptr);
-  EXPECT_EQ(db.FindRelation("Writes")->live_count(), 2u);
+  EXPECT_EQ(db.live_count(0), 2u);
   std::remove(path.c_str());
   EXPECT_EQ(LoadCsvFile(&db, "/nonexistent/nope.csv").code(),
             StatusCode::kNotFound);

@@ -28,8 +28,8 @@ bool RunFixpoint(Database* db, const Program& program,
                  bool delete_between_rounds, ProvenanceGraph* prov,
                  RepairStats* stats) {
   ExecContext ctx;
-  return RunSemiNaiveFixpoint(db, program, delete_between_rounds, prov,
-                              stats, &ctx);
+  return RunSemiNaiveFixpoint(&db->base_view(), program,
+                              delete_between_rounds, prov, stats, &ctx);
 }
 
 Program ChainProgram() {

@@ -123,7 +123,8 @@ TEST(Table3StructureTest, Program11DeletesAllCites) {
       RepairEngine::Create(&data.db, MasProgram(11, data.hubs));
   ASSERT_TRUE(engine.ok());
   FourResults r = RunAllFour(&*engine);
-  size_t cites = data.db.FindRelation(kMasCite)->live_count();
+  size_t cites = data.db.live_count(
+      static_cast<uint32_t>(data.db.RelationIndex(kMasCite)));
   EXPECT_EQ(r.end.size(), cites);
   EXPECT_TRUE(r.end.SameSet(r.ind));  // Table 3 row 11: all ✓
 }

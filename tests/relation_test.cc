@@ -1,5 +1,6 @@
-// Unit tests for the relational engine: values, tuples, relations with
-// membership bitmaps and lazy indexes, and database snapshots.
+// Unit tests for the relational engine: values, tuples, the immutable
+// relation storage core (interning + lazy indexes), the per-run
+// RelationView membership bitmaps, and database snapshots.
 #include <gtest/gtest.h>
 
 #include "relation/database.h"
@@ -67,55 +68,67 @@ TEST(SchemaTest, AttributeLookupAndToString) {
   EXPECT_EQ(s.ToString(), "R(a:int, b:str)");
 }
 
-TEST(RelationTest, SetSemanticsInsert) {
+TEST(RelationTest, SetSemanticsInternRow) {
   Relation r(MakeIntSchema("R", {"x", "y"}));
-  auto a = r.Insert({Value(int64_t{1}), Value(int64_t{2})});
-  auto b = r.Insert({Value(int64_t{1}), Value(int64_t{2})});
-  auto c = r.Insert({Value(int64_t{1}), Value(int64_t{3})});
+  auto a = r.InternRow({Value(int64_t{1}), Value(int64_t{2})});
+  auto b = r.InternRow({Value(int64_t{1}), Value(int64_t{2})});
+  auto c = r.InternRow({Value(int64_t{1}), Value(int64_t{3})});
   EXPECT_TRUE(a.inserted);
   EXPECT_FALSE(b.inserted);
   EXPECT_EQ(a.row, b.row);
   EXPECT_TRUE(c.inserted);
   EXPECT_EQ(r.num_rows(), 2u);
-  EXPECT_EQ(r.live_count(), 2u);
 }
 
 TEST(RelationTest, FindRow) {
   Relation r(MakeIntSchema("R", {"x"}));
-  r.Insert({Value(int64_t{5})});
+  r.InternRow({Value(int64_t{5})});
   EXPECT_GE(r.FindRow({Value(int64_t{5})}), 0);
   EXPECT_EQ(r.FindRow({Value(int64_t{6})}), -1);
 }
 
-TEST(RelationTest, DeleteAndDeltaLifecycle) {
+TEST(RelationViewTest, DeleteAndDeltaLifecycle) {
   Relation r(MakeIntSchema("R", {"x"}));
-  uint32_t row = r.Insert({Value(int64_t{1})}).row;
-  EXPECT_TRUE(r.live(row));
-  EXPECT_FALSE(r.delta(row));
-  r.MarkDeleted(row);
-  EXPECT_FALSE(r.live(row));
-  EXPECT_TRUE(r.delta(row));
-  EXPECT_EQ(r.live_count(), 0u);
-  EXPECT_EQ(r.delta_count(), 1u);
-  r.UnmarkDeleted(row);
-  EXPECT_TRUE(r.live(row));
-  EXPECT_FALSE(r.delta(row));
-  r.SetDelta(row);
-  EXPECT_TRUE(r.live(row));  // SetDelta keeps the base tuple (end mode)
-  EXPECT_TRUE(r.delta(row));
-  r.ResetState();
-  EXPECT_TRUE(r.live(row));
-  EXPECT_FALSE(r.delta(row));
+  uint32_t row = r.InternRow({Value(int64_t{1})}).row;
+  RelationView view(r.num_rows());
+  EXPECT_TRUE(view.live(row));
+  EXPECT_FALSE(view.delta(row));
+  view.MarkDeleted(row);
+  EXPECT_FALSE(view.live(row));
+  EXPECT_TRUE(view.delta(row));
+  EXPECT_EQ(view.live_count(), 0u);
+  EXPECT_EQ(view.delta_count(), 1u);
+  view.UnmarkDeleted(row);
+  EXPECT_TRUE(view.live(row));
+  EXPECT_FALSE(view.delta(row));
+  view.SetDelta(row);
+  EXPECT_TRUE(view.live(row));  // SetDelta keeps the base tuple (end mode)
+  EXPECT_TRUE(view.delta(row));
+  view.ResetAllLive(r.num_rows());
+  EXPECT_TRUE(view.live(row));
+  EXPECT_FALSE(view.delta(row));
+}
+
+TEST(RelationViewTest, ViewsOverOneStorageAreIndependent) {
+  Relation r(MakeIntSchema("R", {"x"}));
+  uint32_t row = r.InternRow({Value(int64_t{1})}).row;
+  RelationView a(r.num_rows());
+  RelationView b(r.num_rows());
+  a.MarkDeleted(row);
+  EXPECT_FALSE(a.live(row));
+  EXPECT_TRUE(b.live(row));  // b's membership is untouched
+  EXPECT_EQ(b.delta_count(), 0u);
 }
 
 TEST(RelationTest, IndexProbeFindsMatchingRows) {
   Relation r(MakeIntSchema("R", {"x", "y"}));
   for (int64_t i = 0; i < 10; ++i) {
-    r.Insert({Value(i % 3), Value(i)});
+    r.InternRow({Value(i % 3), Value(i)});
   }
-  r.EnsureIndex(0b01);  // index on column 0
+  const Relation::Index* index = r.EnsureIndex(0b01);  // column 0
+  ASSERT_NE(index, nullptr);
   Tuple probe{Value(int64_t{1}), Value()};
-  const auto* rows = r.Probe(0b01, probe);
+  const auto* rows = r.Probe(index, 0b01, probe);
   ASSERT_NE(rows, nullptr);
   size_t verified = 0;
   for (uint32_t row : *rows) {
@@ -127,10 +140,18 @@ TEST(RelationTest, IndexProbeFindsMatchingRows) {
 TEST(RelationTest, IndexMaintainedAcrossInserts) {
   Relation r(MakeIntSchema("R", {"x"}));
   r.EnsureIndex(0b1);
-  r.Insert({Value(int64_t{9})});
+  r.InternRow({Value(int64_t{9})});
   const auto* rows = r.Probe(0b1, {Value(int64_t{9})});
   ASSERT_NE(rows, nullptr);
   EXPECT_EQ(rows->size(), 1u);
+}
+
+TEST(RelationTest, EnsureIndexIsStableAndIdempotent) {
+  Relation r(MakeIntSchema("R", {"x"}));
+  r.InternRow({Value(int64_t{1})});
+  const Relation::Index* first = r.EnsureIndex(0b1);
+  const Relation::Index* second = r.EnsureIndex(0b1);
+  EXPECT_EQ(first, second);
 }
 
 TEST(DatabaseTest, RelationRegistry) {
@@ -180,6 +201,79 @@ TEST(DatabaseTest, TupleRendering) {
   uint32_t a = db.AddRelation(MakeSchema("Grant", {"gid", "name"}, "is"));
   TupleId t = db.Insert(a, {Value(int64_t{2}), Value("ERC")});
   EXPECT_EQ(db.TupleToStr(t), "Grant(2, 'ERC')");
+}
+
+// Regression: re-inserting a previously deleted tuple used to hit the
+// dedupe map, report inserted=false, and silently leave the row dead.
+// It must revive the row (live again, out of the delta relation).
+TEST(DatabaseTest, ReinsertingDeletedTupleRevivesIt) {
+  Database db;
+  uint32_t a = db.AddRelation(MakeIntSchema("A", {"x"}));
+  TupleId t = db.Insert(a, {Value(int64_t{1})});
+  db.MarkDeleted(t);
+  ASSERT_FALSE(db.live(t));
+  ASSERT_TRUE(db.delta(t));
+  InsertResult r = db.InsertChecked(a, {Value(int64_t{1})});
+  EXPECT_FALSE(r.inserted);  // dedupe hit, no new slot
+  EXPECT_EQ(r.row, t.row);
+  EXPECT_TRUE(db.live(t));    // ... but the tuple is back in R_i
+  EXPECT_FALSE(db.delta(t));  // and no longer recorded as deleted
+  EXPECT_EQ(db.TotalLive(), 1u);
+  EXPECT_EQ(db.TotalDelta(), 0u);
+}
+
+// Regression: RestoreState used to DR_CHECK that the row count had not
+// changed since SaveState, so inserting mid-run aborted the engine's
+// snapshot restore. Rows grown past the snapshot are now simply
+// non-live/non-delta after the restore.
+TEST(DatabaseTest, RestoreStateHandlesRowsGrownPastSnapshot) {
+  Database db;
+  uint32_t a = db.AddRelation(MakeIntSchema("A", {"x"}));
+  TupleId t1 = db.Insert(a, {Value(int64_t{1})});
+  Database::State snap = db.SaveState();
+  TupleId t2 = db.Insert(a, {Value(int64_t{2})});
+  db.MarkDeleted(t1);
+  db.RestoreState(snap);
+  EXPECT_TRUE(db.live(t1));
+  EXPECT_FALSE(db.live(t2));   // beyond the snapshot horizon
+  EXPECT_FALSE(db.delta(t2));
+  EXPECT_EQ(db.TotalLive(), 1u);
+  EXPECT_EQ(db.TotalDelta(), 0u);
+  // Re-inserting the grown tuple adopts its existing slot back as live.
+  InsertResult r = db.InsertChecked(a, {Value(int64_t{2})});
+  EXPECT_FALSE(r.inserted);
+  EXPECT_EQ(r.row, t2.row);
+  EXPECT_TRUE(db.live(t2));
+  // ResetState revives every stored row slot.
+  db.ResetState();
+  EXPECT_EQ(db.TotalLive(), 2u);
+}
+
+TEST(DatabaseTest, SnapshotViewIsIsolatedFromBaseState) {
+  Database db;
+  uint32_t a = db.AddRelation(MakeIntSchema("A", {"x"}));
+  TupleId t1 = db.Insert(a, {Value(int64_t{1})});
+  TupleId t2 = db.Insert(a, {Value(int64_t{2})});
+  db.MarkDeleted(t1);
+  InstanceView view = db.SnapshotView();
+  EXPECT_FALSE(view.live(t1));  // snapshot starts from the base state
+  EXPECT_TRUE(view.live(t2));
+  view.MarkDeleted(t2);
+  EXPECT_TRUE(db.live(t2));  // base state untouched by the view
+  EXPECT_EQ(view.TotalLive(), 0u);
+  EXPECT_EQ(db.TotalLive(), 1u);
+  EXPECT_EQ(&view.db(), &db);
+}
+
+TEST(DatabaseTest, CopyRebindsBaseViewToTheCopy) {
+  Database db;
+  uint32_t a = db.AddRelation(MakeIntSchema("A", {"x"}));
+  TupleId t = db.Insert(a, {Value(int64_t{1})});
+  Database copy = db;
+  copy.MarkDeleted(t);
+  EXPECT_TRUE(db.live(t));
+  EXPECT_FALSE(copy.live(t));
+  EXPECT_EQ(&copy.base_view().db(), &copy);
 }
 
 }  // namespace

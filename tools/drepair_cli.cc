@@ -3,7 +3,7 @@
 // Usage:
 //   drepair --data <dir> --program <file> [--semantics <name>] [--apply]
 //           [--out <dir>] [--show <n>] [--verify] [--budget-ms <n>]
-//           [--seed <n>] [--json <path>]
+//           [--seed <n>] [--json <path>] [--threads <n>]
 //
 //   --data       directory of <Relation>.csv files; first line is the
 //                schema, e.g. "aid:int,name:str,oid:int"
@@ -20,6 +20,8 @@
 //                "budget_exhausted" and still return a stabilizing set
 //   --seed       RNG seed forwarded to randomized strategies
 //   --json       write a machine-readable report of every run to <path>
+//   --threads    worker threads for the batch of runs (default 1 =
+//                sequential); results are identical either way
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
@@ -48,7 +50,7 @@ int Usage(const char* argv0) {
                "usage: %s --data <dir> --program <file> "
                "[--semantics end|stage|step|independent|all] [--apply] "
                "[--out <dir>] [--show <n>] [--verify] [--budget-ms <n>] "
-               "[--seed <n>] [--json <path>]\n",
+               "[--seed <n>] [--json <path>] [--threads <n>]\n",
                argv0);
   return 2;
 }
@@ -132,7 +134,7 @@ int main(int argc, char** argv) {
   std::string semantics_name = "all";
   bool apply = false, verify = false;
   size_t show = 10;
-  uint64_t budget_ms = 0, seed = 0;
+  uint64_t budget_ms = 0, seed = 0, threads = 1;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -182,6 +184,14 @@ int main(int argc, char** argv) {
                              " '%s'\n", v ? v : "");
         return Usage(argv[0]);
       }
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v || !ParseUint(v, &threads) || threads == 0 ||
+          threads > 1024) {
+        std::fprintf(stderr, "--threads expects an integer in [1, 1024],"
+                             " got '%s'\n", v ? v : "");
+        return Usage(argv[0]);
+      }
     } else if (arg == "--apply") {
       apply = true;
     } else if (arg == "--verify") {
@@ -200,6 +210,7 @@ int main(int argc, char** argv) {
     options.budget_seconds = static_cast<double>(budget_ms) / 1e3;
     options.seed = seed;
     options.verify_after_run = verify;
+    options.threads = static_cast<int>(threads);
     std::vector<std::string> names;
     if (semantics_name == "all") {
       names = SemanticsRegistry::Global().Names();
@@ -308,6 +319,7 @@ int main(int argc, char** argv) {
     json.Field("program", program_path);
     json.Field("budget_ms", budget_ms);
     json.Field("seed", seed);
+    json.Field("threads", threads);
     json.Field("stable_before", stable_before);
     json.Key("results").BeginArray();
     for (const RepairOutcome& outcome : outcomes) {
@@ -325,7 +337,7 @@ int main(int argc, char** argv) {
     for (uint32_t r = 0; r < db.num_relations(); ++r) {
       const Relation& rel = db.relation(r);
       std::ofstream out(out_dir + "/" + rel.name() + ".csv");
-      out << RelationToCsv(rel);
+      out << RelationToCsv(db, r);
     }
     std::printf("\nrepaired CSVs written to %s (semantics: %s)\n",
                 out_dir.c_str(), requests[0].semantics.c_str());
