@@ -2,7 +2,11 @@
 //  (1) Algorithm 2's max-benefit ordering vs an arbitrary ordering —
 //      result sizes on the constraint-style MAS programs;
 //  (2) Min-Ones component decomposition on/off — solver work on the
-//      denial-constraint instances of the HoloClean comparison.
+//      denial-constraint instances of the HoloClean comparison;
+//  (3) CDCL clause learning and restarts on/off — the solver knobs the
+//      incremental engine exposes, on the same DC instances.
+// With DR_BENCH_JSON=path set, the Min-Ones rows (2) and (3) are also
+// written as machine-readable metrics.
 #include "bench/bench_util.h"
 #include "common/table_printer.h"
 #include "common/timer.h"
@@ -38,9 +42,13 @@ int Main() {
   }
   step_table.Print();
 
-  PrintHeader("Ablation 2: Min-Ones component decomposition");
-  TablePrinter sat_table({"Errors", "components", "work (decomposed)",
-                          "work (monolithic)", "|S| both"});
+  BenchReporter reporter("bench_ablation");
+
+  TablePrinter sat_table({"Errors", "components", "dropped clauses",
+                          "work (decomposed)", "work (monolithic)",
+                          "time dec/mono", "|S| both", "optimal d/m"});
+  TablePrinter cdcl_table({"Errors", "config", "time", "work", "conflicts",
+                           "learned", "restarts", "|S|", "optimal"});
   std::vector<DenialConstraint> dcs = AuthorDenialConstraints();
   Program dc_program = DcsToProgram(dcs, DcTranslation::kRulePerAtom);
   for (size_t errors : {100, 300, 700}) {
@@ -62,19 +70,78 @@ int Main() {
                                return true;
                              });
     }
-    builder.mutable_cnf().DedupeClauses();
+    const Cnf::NormalizeStats& norm = builder.Normalize();
+    uint64_t dropped = norm.duplicate_clauses + norm.unit_subsumed_clauses;
+
+    WallTimer dec_timer;
     MinOnesOptions decomposed;
     MinOnesResult with = MinOnesSat(builder.cnf(), decomposed);
+    double dec_seconds = dec_timer.ElapsedSeconds();
+    WallTimer mono_timer;
     MinOnesOptions monolithic;
     monolithic.decompose_components = false;
     MinOnesResult without = MinOnesSat(builder.cnf(), monolithic);
+    double mono_seconds = mono_timer.ElapsedSeconds();
     sat_table.AddRow(
         {std::to_string(errors), std::to_string(with.num_components),
+         WithThousands(static_cast<int64_t>(dropped)),
          WithThousands(static_cast<int64_t>(with.engine_assignments)),
          WithThousands(static_cast<int64_t>(without.engine_assignments)),
-         StrFormat("%u / %u", with.num_true, without.num_true)});
+         StrFormat("%s / %s", Ms(dec_seconds).c_str(),
+                   Ms(mono_seconds).c_str()),
+         StrFormat("%u / %u", with.num_true, without.num_true),
+         StrFormat("%s / %s", Tick(with.optimal), Tick(without.optimal))});
+    reporter.AddRow(StrFormat("min_ones_decomposition/%zu", errors))
+        .Metric("components", static_cast<int64_t>(with.num_components))
+        .Metric("clauses_dropped", static_cast<int64_t>(dropped))
+        .Metric("work_decomposed",
+                static_cast<int64_t>(with.engine_assignments))
+        .Metric("work_monolithic",
+                static_cast<int64_t>(without.engine_assignments))
+        .Metric("seconds_decomposed", dec_seconds)
+        .Metric("seconds_monolithic", mono_seconds)
+        .Metric("num_true", static_cast<int64_t>(with.num_true));
+
+    // Ablation 3: learning / restarts.
+    struct CdclConfig {
+      const char* name;
+      bool learning;
+      bool restarts;
+    };
+    for (const CdclConfig& cc :
+         {CdclConfig{"learn+restart", true, true},
+          CdclConfig{"learn only", true, false},
+          CdclConfig{"restart only", false, true},
+          CdclConfig{"neither", false, false}}) {
+      MinOnesOptions options;
+      options.enable_learning = cc.learning;
+      options.enable_restarts = cc.restarts;
+      WallTimer timer;
+      MinOnesResult r = MinOnesSat(builder.cnf(), options);
+      double seconds = timer.ElapsedSeconds();
+      cdcl_table.AddRow(
+          {std::to_string(errors), cc.name, Ms(seconds),
+           WithThousands(static_cast<int64_t>(r.engine_assignments)),
+           WithThousands(static_cast<int64_t>(r.solver.conflicts)),
+           WithThousands(static_cast<int64_t>(r.solver.learned_clauses)),
+           std::to_string(r.solver.restarts), std::to_string(r.num_true),
+           Tick(r.optimal)});
+      reporter
+          .AddRow(StrFormat("min_ones_cdcl/%zu/%s", errors, cc.name))
+          .Metric("seconds", seconds)
+          .Metric("work", static_cast<int64_t>(r.engine_assignments))
+          .Metric("conflicts", static_cast<int64_t>(r.solver.conflicts))
+          .Metric("learned",
+                  static_cast<int64_t>(r.solver.learned_clauses))
+          .Metric("restarts", static_cast<int64_t>(r.solver.restarts))
+          .Metric("num_true", static_cast<int64_t>(r.num_true))
+          .Metric("optimal", std::string(r.optimal ? "yes" : "no"));
+    }
   }
+  PrintHeader("Ablation 2: Min-Ones component decomposition");
   sat_table.Print();
+  PrintHeader("Ablation 3: CDCL learning / restarts (decomposed instances)");
+  cdcl_table.Print();
   return 0;
 }
 

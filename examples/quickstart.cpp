@@ -90,7 +90,7 @@ int main() {
                              return true;
                            });
   }
-  builder.mutable_cnf().DedupeClauses();
+  builder.Normalize();
   std::printf("%s\n", builder.Render(ex.db).c_str());
 
   // Apply the independent repair and show the final database (Figure 4).

@@ -36,6 +36,18 @@ class DeletionCnfBuilder {
   const Cnf& cnf() const { return cnf_; }
   Cnf& mutable_cnf() { return cnf_; }
 
+  /// Normalizes the accumulated CNF before handing it to the solver:
+  /// deduplicates identical clauses (repeated ground assignments emit
+  /// them) and drops clauses subsumed by a unit clause. Returns what was
+  /// dropped; the counters stay readable via normalize_stats().
+  const Cnf::NormalizeStats& Normalize() {
+    normalize_stats_ = cnf_.Normalize();
+    return normalize_stats_;
+  }
+  const Cnf::NormalizeStats& normalize_stats() const {
+    return normalize_stats_;
+  }
+
   /// Number of deletion variables (touched tuples).
   uint32_t num_vars() const { return static_cast<uint32_t>(tuple_of_.size()); }
 
@@ -55,6 +67,7 @@ class DeletionCnfBuilder {
 
  private:
   Cnf cnf_;
+  Cnf::NormalizeStats normalize_stats_;
   std::unordered_map<uint64_t, uint32_t> var_of_;  // packed TupleId -> var
   std::vector<TupleId> tuple_of_;
 };

@@ -73,15 +73,18 @@ RepairResult IndependentSemantics::Run(InstanceView* view, const Program& progra
       ga.body = sa.body;
       builder.AddAssignment(ga);
     }
-    if (!ctx->stopped()) builder.mutable_cnf().DedupeClauses();
+    if (!ctx->stopped()) builder.Normalize();
   }
   if (ctx->stopped()) return interrupted();
   result.stats.cnf_vars = builder.num_vars();
   result.stats.cnf_clauses = builder.cnf().num_clauses();
+  result.stats.cnf_dup_clauses = builder.normalize_stats().duplicate_clauses;
+  result.stats.cnf_subsumed_clauses =
+      builder.normalize_stats().unit_subsumed_clauses;
 
   // Phase 3 (Solve): Min-Ones SAT (line 5). The remaining wall-clock
   // budget caps the solver's own deadline, and the cancel flag reaches
-  // its branch-and-bound loop; either way the anytime incumbent is a
+  // its bounded-search loop; either way the anytime incumbent is a
   // model of the full CNF, i.e. still a stabilizing set.
   MinOnesResult solved;
   {
@@ -99,6 +102,10 @@ RepairResult IndependentSemantics::Run(InstanceView* view, const Program& progra
   // unsatisfiability would indicate an encoding bug.
   DR_CHECK_MSG(solved.satisfiable, "negated provenance must be satisfiable");
   result.stats.optimal = solved.optimal;
+  result.stats.sat_conflicts = solved.solver.conflicts;
+  result.stats.sat_learned_clauses = solved.solver.learned_clauses;
+  result.stats.sat_restarts = solved.solver.restarts;
+  result.stats.sat_solve_calls = solved.solver.solve_calls;
   // Latch kBudgetExhausted/kCancelled when the solver was cut short and
   // the run-level budget or token (not just the solver's own work caps)
   // is to blame.

@@ -34,8 +34,15 @@ struct RepairStats {
   uint64_t iterations = 0;    // fixpoint rounds / stages
   uint64_t cnf_vars = 0;      // Algorithm 1 formula size
   uint64_t cnf_clauses = 0;
+  uint64_t cnf_dup_clauses = 0;       // dropped by pre-solve normalization
+  uint64_t cnf_subsumed_clauses = 0;  // unit-subsumed, also dropped
   uint64_t graph_nodes = 0;   // Algorithm 2 provenance-graph size
   uint64_t graph_layers = 0;
+  // CDCL solver counters (Algorithm 1's Min-Ones loop).
+  uint64_t sat_conflicts = 0;
+  uint64_t sat_learned_clauses = 0;
+  uint64_t sat_restarts = 0;
+  uint64_t sat_solve_calls = 0;
   /// For the heuristic algorithms: whether the result is provably
   /// minimum (Alg. 1 with an exhausted budget reports false).
   bool optimal = true;

@@ -186,10 +186,13 @@ StatusOr<SideEffectResult> MinimalSourceSideEffect(
   }
   {
     ScopedTimer t(&result.stats.process_prov_seconds);
-    builder.mutable_cnf().DedupeClauses();
+    builder.Normalize();
   }
   result.stats.cnf_vars = builder.num_vars();
   result.stats.cnf_clauses = builder.cnf().num_clauses();
+  result.stats.cnf_dup_clauses = builder.normalize_stats().duplicate_clauses;
+  result.stats.cnf_subsumed_clauses =
+      builder.normalize_stats().unit_subsumed_clauses;
 
   MinOnesResult solved;
   {
@@ -201,6 +204,10 @@ StatusOr<SideEffectResult> MinimalSourceSideEffect(
   }
   result.optimal = solved.optimal;
   result.stats.optimal = solved.optimal;
+  result.stats.sat_conflicts = solved.solver.conflicts;
+  result.stats.sat_learned_clauses = solved.solver.learned_clauses;
+  result.stats.sat_restarts = solved.solver.restarts;
+  result.stats.sat_solve_calls = solved.solver.solve_calls;
   for (uint32_t v = 0; v < builder.num_vars(); ++v) {
     if (solved.model[v]) result.deleted.push_back(builder.TupleOfVar(v));
   }

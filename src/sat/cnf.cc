@@ -27,16 +27,53 @@ bool Cnf::AddClause(std::vector<Lit> lits) {
   return true;
 }
 
-void Cnf::DedupeClauses() {
-  std::set<std::vector<Lit>> seen;
-  std::vector<std::vector<Lit>> unique;
-  unique.reserve(clauses_.size());
-  for (auto& c : clauses_) {
-    std::vector<Lit> key = c;
-    std::sort(key.begin(), key.end());
-    if (seen.insert(key).second) unique.push_back(std::move(c));
+Cnf::NormalizeStats Cnf::Normalize() {
+  NormalizeStats stats;
+  const size_t m = clauses_.size();
+  // Duplicate detection without per-clause key copies: clauses are
+  // already in canonical literal order (AddClause sorts), so sorting
+  // clause *indices* lexicographically puts duplicates side by side.
+  std::vector<uint32_t> order(m);
+  for (size_t i = 0; i < m; ++i) order[i] = static_cast<uint32_t>(i);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return clauses_[a] < clauses_[b];
+  });
+  std::vector<char> drop(m, 0);
+  for (size_t i = 1; i < m; ++i) {
+    if (clauses_[order[i]] == clauses_[order[i - 1]]) {
+      drop[order[i]] = 1;
+      ++stats.duplicate_clauses;
+    }
   }
-  clauses_ = std::move(unique);
+  // Unit literals subsume every wider clause that contains them.
+  std::vector<Lit> units;
+  for (size_t i = 0; i < m; ++i) {
+    if (!drop[i] && clauses_[i].size() == 1) units.push_back(clauses_[i][0]);
+  }
+  if (!units.empty()) {
+    std::sort(units.begin(), units.end());
+    for (size_t i = 0; i < m; ++i) {
+      if (drop[i] || clauses_[i].size() <= 1) continue;
+      for (Lit l : clauses_[i]) {
+        if (std::binary_search(units.begin(), units.end(), l)) {
+          drop[i] = 1;
+          ++stats.unit_subsumed_clauses;
+          break;
+        }
+      }
+    }
+  }
+  if (stats.duplicate_clauses + stats.unit_subsumed_clauses > 0) {
+    size_t keep = 0;
+    for (size_t i = 0; i < m; ++i) {
+      if (!drop[i]) {
+        if (keep != i) clauses_[keep] = std::move(clauses_[i]);
+        ++keep;
+      }
+    }
+    clauses_.resize(keep);
+  }
+  return stats;
 }
 
 bool Cnf::IsSatisfiedBy(const std::vector<bool>& model) const {

@@ -40,8 +40,17 @@ class Cnf {
   size_t num_clauses() const { return clauses_.size(); }
   const std::vector<std::vector<Lit>>& clauses() const { return clauses_; }
 
-  /// Removes duplicate clauses (canonical sorted form).
-  void DedupeClauses();
+  /// What Normalize() dropped (satisfiability-preserving).
+  struct NormalizeStats {
+    uint64_t duplicate_clauses = 0;    // textually identical repeats
+    uint64_t unit_subsumed_clauses = 0;  // wider clauses containing a unit
+  };
+
+  /// Normalizes the clause set before solving: drops duplicate clauses
+  /// and clauses subsumed by a unit clause (any clause containing the
+  /// unit's literal is implied by it). Repeated ground assignments emit
+  /// exactly these shapes, so the counters are worth reporting.
+  NormalizeStats Normalize();
 
   /// True if `model` (indexed by variable) satisfies every clause.
   bool IsSatisfiedBy(const std::vector<bool>& model) const;

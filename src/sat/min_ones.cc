@@ -5,7 +5,6 @@
 
 #include "common/status.h"
 #include "common/timer.h"
-#include "sat/solver.h"
 
 namespace deltarepair {
 
@@ -30,149 +29,382 @@ class UnionFind {
   std::vector<uint32_t> parent_;
 };
 
-/// Exact B&B min-ones over one (sub-)instance.
-class ComponentSolver {
- public:
-  ComponentSolver(const Cnf& cnf, uint64_t assignment_budget,
-                  const WallTimer* timer, double deadline_seconds,
-                  const std::atomic<bool>* cancel)
-      : engine_(cnf),
-        budget_(assignment_budget),
-        timer_(timer),
-        deadline_(deadline_seconds),
-        cancel_(cancel) {}
-
-  /// Returns false only when the component is unsatisfiable. Sets
-  /// `exhausted` when the budget ran out before proving optimality.
-  bool Solve() {
-    if (engine_.HasConflict()) return false;
-    Dfs(0);
-    return found_;
-  }
-
-  bool exhausted() const { return exhausted_; }
-  uint32_t best_cost() const { return best_cost_; }
-  const std::vector<bool>& best_model() const { return best_model_; }
-  uint64_t engine_assignments() const { return engine_.num_assignments(); }
-
- private:
-  void RecordSolution(uint32_t cost) {
-    best_cost_ = cost;
-    found_ = true;
-    best_model_.assign(engine_.num_vars(), false);
-    for (uint32_t v = 0; v < engine_.num_vars(); ++v) {
-      best_model_[v] = engine_.value(v) == 1;  // unassigned -> false
+/// Min-Ones-specific preprocessing, run globally before decomposition:
+/// unit propagation over the clause set plus pure-negative-literal
+/// elimination (a variable with no positive occurrence can be false in
+/// some minimum model — making it true only costs), cascaded to
+/// fixpoint. Mutates `clauses` (dead clauses emptied, falsified literals
+/// stripped) and records decided variables in `fixed` (-1 free, 0 false,
+/// 1 true). Returns false on refutation.
+bool PreprocessMinOnes(std::vector<std::vector<Lit>>* clauses,
+                       std::vector<int8_t>* fixed) {
+  const uint32_t n = static_cast<uint32_t>(fixed->size());
+  // Occurrence lists by literal (2v = positive, 2v+1 = negative) in one
+  // flat CSR block, and live positive-occurrence counts.
+  std::vector<uint32_t> occ_start(static_cast<size_t>(n) * 2 + 1, 0);
+  std::vector<uint32_t> pos_count(n, 0);
+  std::vector<char> dead(clauses->size(), 0);
+  size_t total_lits = 0;
+  for (const auto& clause : *clauses) {
+    total_lits += clause.size();
+    for (Lit l : clause) {
+      ++occ_start[LitVar(l) * 2 + (LitSign(l) ? 0 : 1) + 1];
+      if (LitSign(l)) ++pos_count[LitVar(l)];
     }
   }
-
-  void Dfs(int depth) {
-    if (exhausted_) return;
-    // Anytime cutoffs: work budget every node, wall clock and the cancel
-    // flag every 256 nodes.
-    if (engine_.num_assignments() > budget_ ||
-        (++nodes_ % 256 == 0 &&
-         (timer_->ElapsedSeconds() > deadline_ ||
-          (cancel_ != nullptr &&
-           cancel_->load(std::memory_order_relaxed))))) {
-      exhausted_ = true;
-      return;
-    }
-    size_t mark = engine_.TrailSize();
-    if (!engine_.Propagate()) {
-      engine_.BacktrackTo(mark);
-      return;
-    }
-    uint32_t cost = engine_.num_true();
-    if (found_ && cost >= best_cost_) {
-      engine_.BacktrackTo(mark);
-      return;
-    }
-    // Cost clauses: unsatisfied, with every free literal positive. Each
-    // forces at least one additional true assignment.
-    cost_clauses_.clear();
-    const auto& clauses = engine_.clauses();
-    for (size_t c = 0; c < clauses.size(); ++c) {
-      if (engine_.ClauseSatisfied(c)) continue;
-      bool all_positive = true;
-      for (Lit l : clauses[c]) {
-        if (!LitSign(l) && engine_.value(LitVar(l)) == -1) {
-          all_positive = false;
-          break;
-        }
-      }
-      if (all_positive) cost_clauses_.push_back(static_cast<uint32_t>(c));
-    }
-    if (cost_clauses_.empty()) {
-      // Every unsatisfied clause has a free negative literal; setting all
-      // remaining variables false satisfies them at zero extra cost.
-      RecordSolution(cost);
-      engine_.BacktrackTo(mark);
-      return;
-    }
-    // Lower bound: variable-disjoint cost clauses each force one true.
-    uint32_t lb = 0;
-    lb_used_.assign(engine_.num_vars(), 0);
-    for (uint32_t c : cost_clauses_) {
-      bool disjoint = true;
-      for (Lit l : clauses[c]) {
-        if (engine_.value(LitVar(l)) == -1 && lb_used_[LitVar(l)]) {
-          disjoint = false;
-          break;
-        }
-      }
-      if (!disjoint) continue;
-      ++lb;
-      for (Lit l : clauses[c]) {
-        if (engine_.value(LitVar(l)) == -1) lb_used_[LitVar(l)] = 1;
+  for (size_t i = 1; i < occ_start.size(); ++i) occ_start[i] += occ_start[i - 1];
+  std::vector<uint32_t> occ_flat(total_lits);
+  {
+    std::vector<uint32_t> cursor(occ_start.begin(), occ_start.end() - 1);
+    for (size_t c = 0; c < clauses->size(); ++c) {
+      for (Lit l : (*clauses)[c]) {
+        occ_flat[cursor[LitVar(l) * 2 + (LitSign(l) ? 0 : 1)]++] =
+            static_cast<uint32_t>(c);
       }
     }
-    if (found_ && cost + lb >= best_cost_) {
-      engine_.BacktrackTo(mark);
-      return;
-    }
-    // Branch on the variable covering the most cost clauses (set-cover
-    // greedy first; its complement second).
-    uint32_t branch_var = UINT32_MAX;
-    size_t branch_score = 0;
-    for (uint32_t c : cost_clauses_) {
-      for (Lit l : clauses[c]) {
-        uint32_t v = LitVar(l);
-        if (engine_.value(v) != -1) continue;
-        size_t score = 0;
-        for (uint32_t pc : engine_.PosOcc(v)) {
-          if (!engine_.ClauseSatisfied(pc)) ++score;
-        }
-        if (score > branch_score) {
-          branch_score = score;
-          branch_var = v;
-        }
-      }
-    }
-    DR_CHECK(branch_var != UINT32_MAX);
-    for (bool val : {true, false}) {
-      size_t branch_mark = engine_.TrailSize();
-      if (engine_.Assign(branch_var, val)) {
-        Dfs(depth + 1);
-      }
-      engine_.BacktrackTo(branch_mark);
-      if (exhausted_) break;
-    }
-    engine_.BacktrackTo(mark);
+  }
+  auto occ = [&](size_t lit_index) {
+    return std::pair<const uint32_t*, const uint32_t*>(
+        occ_flat.data() + occ_start[lit_index],
+        occ_flat.data() + occ_start[lit_index + 1]);
+  };
+  std::vector<Lit> units;
+  std::vector<uint32_t> pure_candidates;
+  for (size_t c = 0; c < clauses->size(); ++c) {
+    if ((*clauses)[c].size() == 1) units.push_back((*clauses)[c][0]);
+    if ((*clauses)[c].empty()) return false;
+  }
+  for (uint32_t v = 0; v < n; ++v) {
+    if (pos_count[v] == 0) pure_candidates.push_back(v);
   }
 
-  ClauseEngine engine_;
-  uint64_t budget_;
-  const WallTimer* timer_;
-  double deadline_;
-  const std::atomic<bool>* cancel_;
-  uint64_t nodes_ = 0;
-  bool found_ = false;
-  bool exhausted_ = false;
-  uint32_t best_cost_ = UINT32_MAX;
-  std::vector<bool> best_model_;
-  std::vector<uint32_t> cost_clauses_;
-  std::vector<uint8_t> lb_used_;
+  // Kills clause `c` (it is satisfied): every other literal loses an
+  // occurrence, possibly creating new pure-negative variables.
+  auto kill_clause = [&](uint32_t c) {
+    if (dead[c]) return;
+    dead[c] = 1;
+    for (Lit l : (*clauses)[c]) {
+      if (LitSign(l) && --pos_count[LitVar(l)] == 0) {
+        pure_candidates.push_back(LitVar(l));
+      }
+    }
+    (*clauses)[c].clear();
+  };
+  // Strips a falsified literal from clause `c`.
+  auto strip_literal = [&](uint32_t c, Lit l) -> bool {
+    if (dead[c]) return true;
+    auto& lits = (*clauses)[c];
+    for (size_t i = 0; i < lits.size(); ++i) {
+      if (lits[i] == l) {
+        lits[i] = lits.back();
+        lits.pop_back();
+        break;
+      }
+    }
+    if (LitSign(l) && --pos_count[LitVar(l)] == 0) {
+      pure_candidates.push_back(LitVar(l));
+    }
+    if (lits.empty()) return false;  // refuted
+    if (lits.size() == 1) units.push_back(lits[0]);
+    return true;
+  };
+
+  while (!units.empty() || !pure_candidates.empty()) {
+    if (!units.empty()) {
+      Lit l = units.back();
+      units.pop_back();
+      uint32_t v = LitVar(l);
+      int8_t want = LitSign(l) ? 1 : 0;
+      if ((*fixed)[v] == want) continue;
+      if ((*fixed)[v] != -1) return false;  // contradicting units
+      (*fixed)[v] = want;
+      auto [sat_begin, sat_end] = occ(v * 2 + (LitSign(l) ? 0 : 1));
+      for (const uint32_t* c = sat_begin; c != sat_end; ++c) {
+        kill_clause(*c);
+      }
+      auto [unsat_begin, unsat_end] = occ(v * 2 + (LitSign(l) ? 1 : 0));
+      for (const uint32_t* c = unsat_begin; c != unsat_end; ++c) {
+        if (!strip_literal(*c, -l)) return false;
+      }
+      continue;
+    }
+    uint32_t v = pure_candidates.back();
+    pure_candidates.pop_back();
+    if ((*fixed)[v] != -1 || pos_count[v] != 0) continue;
+    (*fixed)[v] = 0;  // no positive occurrence left: false costs nothing
+    auto [neg_begin, neg_end] = occ(v * 2 + 1);
+    for (const uint32_t* c = neg_begin; c != neg_end; ++c) kill_clause(*c);
+  }
+  return true;
+}
+
+/// Seeds the solver with a greedy set cover of the all-positive clauses:
+/// those are the clauses an all-false assignment leaves unsatisfied, so
+/// phase-hinting a cheap cover to true steers the first model close to
+/// the optimum (the old branch-and-bound's set-cover branching, recast
+/// as polarity/priority hints). Clauses with a negative literal are
+/// satisfied by the all-false default and need no hint.
+template <typename ClauseRange>
+void SeedGreedyCover(CdclSolver* solver, const ClauseRange& clauses,
+                     uint32_t num_vars) {
+  std::vector<uint32_t> pos_occ(num_vars, 0);
+  std::vector<const std::vector<Lit>*> positive_clauses;
+  for (const auto& clause_ref : clauses) {
+    const std::vector<Lit>& clause = clause_ref;
+    if (clause.empty()) continue;
+    bool all_positive = true;
+    for (Lit l : clause) {
+      if (!LitSign(l)) {
+        all_positive = false;
+        break;
+      }
+    }
+    if (!all_positive) continue;
+    positive_clauses.push_back(&clause);
+    for (Lit l : clause) ++pos_occ[LitVar(l)];
+  }
+  for (uint32_t v = 0; v < num_vars; ++v) {
+    if (pos_occ[v] > 0) solver->SeedActivity(v, pos_occ[v]);
+  }
+  // Greedy pass: cover each still-open clause with its busiest variable.
+  std::vector<int8_t> in_cover(num_vars, 0);
+  for (const auto* clause : positive_clauses) {
+    uint32_t best_var = UINT32_MAX;
+    bool covered = false;
+    for (Lit l : *clause) {
+      uint32_t v = LitVar(l);
+      if (in_cover[v]) {
+        covered = true;
+        break;
+      }
+      if (best_var == UINT32_MAX || pos_occ[v] > pos_occ[best_var]) {
+        best_var = v;
+      }
+    }
+    if (covered || best_var == UINT32_MAX) continue;
+    in_cover[best_var] = 1;
+    solver->SetPhase(best_var, true);
+  }
+}
+
+/// Emits the totalizer subtree over inputs[lo, hi) into `solver` and
+/// returns its output literals, capped at `cap`: outputs[i] is forced
+/// true whenever at least i+1 of the inputs are true (the only direction
+/// an at-most bound needs). Assuming ¬outputs[t] then enforces sum <= t
+/// for any t < cap.
+std::vector<Lit> BuildTotalizer(CdclSolver* solver,
+                                const std::vector<Lit>& inputs, size_t lo,
+                                size_t hi, uint32_t cap) {
+  if (hi - lo == 1) return {inputs[lo]};
+  size_t mid = lo + (hi - lo) / 2;
+  std::vector<Lit> left = BuildTotalizer(solver, inputs, lo, mid, cap);
+  std::vector<Lit> right = BuildTotalizer(solver, inputs, mid, hi, cap);
+  size_t m = std::min<size_t>(cap, hi - lo);
+  std::vector<Lit> outs;
+  outs.reserve(m);
+  for (size_t i = 0; i < m; ++i) outs.push_back(PosLit(solver->NewVar()));
+  for (size_t i = 0; i <= left.size(); ++i) {
+    for (size_t j = 0; j <= right.size(); ++j) {
+      size_t k = i + j;
+      if (k == 0 || k > m) continue;
+      std::vector<Lit> clause;
+      clause.reserve(3);
+      if (i > 0) clause.push_back(-left[i - 1]);
+      if (j > 0) clause.push_back(-right[j - 1]);
+      clause.push_back(outs[k - 1]);
+      solver->AddClause(std::move(clause));
+    }
+  }
+  return outs;
+}
+
+/// Lower bound from variable-disjoint all-positive clauses: each needs
+/// its own true variable (negative literals elsewhere cannot pay for
+/// them). Greedy single pass over `clauses`; `used` is caller-provided
+/// scratch (entries touched are recorded in `touched` for cheap reset).
+template <typename ClausePtrRange>
+uint32_t DisjointPositiveClauseBound(const ClausePtrRange& clauses,
+                                     std::vector<char>* used,
+                                     std::vector<uint32_t>* touched) {
+  uint32_t bound = 0;
+  for (const auto* clause : clauses) {
+    bool eligible = true;
+    for (Lit l : *clause) {
+      if (!LitSign(l) || (*used)[LitVar(l)]) {
+        eligible = false;
+        break;
+      }
+    }
+    if (!eligible) continue;
+    ++bound;
+    for (Lit l : *clause) {
+      (*used)[LitVar(l)] = 1;
+      touched->push_back(LitVar(l));
+    }
+  }
+  return bound;
+}
+
+struct ComponentOutcome {
+  enum class State {
+    kUnsat,             // proven unsatisfiable
+    kOptimal,           // model proven minimum
+    kAnytime,           // model valid, bound not proven
+    kExhaustedNoModel,  // budget ran out before any model
+  };
+  State state = State::kExhaustedNoModel;
+  std::vector<bool> model;  // over the component's variables
 };
+
+/// The bounded-search loop over one component: establish an incumbent
+/// (warm-started from the global pass when available), then bisect the
+/// objective between the proven lower bound (disjoint all-positive
+/// clauses, top-level forced literals) and the incumbent, tightening via
+/// totalizer assumptions — all on one incremental solver, so learned
+/// clauses carry across bounds. Components too large for a totalizer
+/// fall back to blocking-clause descent with a non-improvement cap.
+ComponentOutcome SolveComponent(const Cnf& sub,
+                                const std::vector<bool>* warm_model,
+                                const MinOnesOptions& options,
+                                const WallTimer* timer, double deadline,
+                                uint64_t work_budget,
+                                SolverStats* stats_out) {
+  SolverOptions solver_options;
+  solver_options.learning = options.enable_learning;
+  solver_options.restarts = options.enable_restarts;
+  solver_options.cancel = options.cancel;
+  solver_options.max_work = std::max<uint64_t>(1, work_budget);
+  CdclSolver solver(solver_options);
+  solver.AddCnf(sub);
+  SeedGreedyCover(&solver, sub.clauses(), sub.num_vars());
+
+  const uint32_t n = sub.num_vars();
+  ComponentOutcome out;
+  std::vector<Lit> outputs;  // totalizer outputs, emitted lazily
+  std::vector<Lit> assumptions;
+  // Bound invariant: every model has >= lb true variables; `ub` is the
+  // incumbent's count (UINT32_MAX before the first model).
+  uint32_t forced_lb = 0;
+  for (uint32_t v = 0; v < n; ++v) {
+    if (solver.FixedValue(v) == 1) ++forced_lb;
+  }
+  std::vector<char> lb_used(n, 0);
+  std::vector<uint32_t> lb_touched;
+  std::vector<const std::vector<Lit>*> clause_ptrs;
+  clause_ptrs.reserve(sub.clauses().size());
+  for (const auto& c : sub.clauses()) clause_ptrs.push_back(&c);
+  uint32_t lb = std::max(
+      forced_lb, DisjointPositiveClauseBound(clause_ptrs, &lb_used,
+                                             &lb_touched));
+  uint32_t ub = UINT32_MAX;
+  std::vector<bool> latest;  // last model seen (the one blocking blocks)
+  if (warm_model != nullptr) {
+    latest = *warm_model;
+    ub = 0;
+    for (uint32_t v = 0; v < n; ++v) ub += latest[v] ? 1 : 0;
+    out.model = latest;
+    out.state = ComponentOutcome::State::kAnytime;
+    for (uint32_t v = 0; v < n; ++v) solver.SetPhase(v, latest[v]);
+  }
+  // Above the totalizer area (~vars x incumbent output width) exact
+  // bound probing is counterproductive — propagation drags through the
+  // counter and UNSAT probes stall; blocking-clause descent stays
+  // anytime and can still prove optimality when the space collapses.
+  constexpr int kMaxFruitlessBlocks = 8;
+  bool blocking_mode = false;
+  int fruitless_blocks = 0;
+  // Bound being probed by the in-flight Solve call (totalizer mode).
+  uint32_t probe = 0;
+
+  for (;;) {
+    // Decide the next query when an incumbent exists.
+    if (ub != UINT32_MAX) {
+      if (lb >= ub) {
+        out.state = ComponentOutcome::State::kOptimal;
+        break;
+      }
+      if (blocking_mode ||
+          (outputs.empty() && static_cast<uint64_t>(n) * (ub + 1) >
+                                  options.max_totalizer_area)) {
+        blocking_mode = true;
+        if (fruitless_blocks >= kMaxFruitlessBlocks) break;  // anytime
+        // Require the next model to differ from the latest one on at
+        // least one of its true variables.
+        std::vector<Lit> block;
+        for (uint32_t v = 0; v < n; ++v) {
+          if (latest[v]) block.push_back(NegLit(v));
+        }
+        if (!solver.AddClause(std::move(block))) {
+          out.state = ComponentOutcome::State::kOptimal;
+          break;
+        }
+        assumptions.clear();
+      } else {
+        probe = lb + (ub - 1 - lb) / 2;  // bisect [lb, ub-1]
+        if (probe == 0) {
+          // "No true variables" needs no counter: assume all false.
+          assumptions.clear();
+          for (uint32_t v = 0; v < n; ++v) {
+            assumptions.push_back(NegLit(v));
+          }
+        } else {
+          if (outputs.empty()) {
+            // First bounded probe: emit the counter, capped at the
+            // incumbent (no bound beyond it is ever queried).
+            std::vector<Lit> inputs;
+            inputs.reserve(n);
+            for (uint32_t v = 0; v < n; ++v) inputs.push_back(PosLit(v));
+            outputs = BuildTotalizer(&solver, inputs, 0, inputs.size(), ub);
+          }
+          assumptions.assign(1, -outputs[probe]);  // require sum <= probe
+        }
+      }
+    }
+    double remaining = deadline - timer->ElapsedSeconds();
+    if (remaining <= 0) break;  // anytime exit with whatever we have
+    solver.mutable_options()->time_limit_seconds = remaining;
+    SolveStatus status = solver.Solve(assumptions);
+    if (status == SolveStatus::kUnknown) break;
+    if (status == SolveStatus::kUnsat) {
+      if (ub == UINT32_MAX) {
+        out.state = ComponentOutcome::State::kUnsat;
+        break;
+      }
+      if (blocking_mode) {
+        // Every model extends some blocked incumbent, so none beats the
+        // best one: optimal.
+        out.state = ComponentOutcome::State::kOptimal;
+        break;
+      }
+      lb = probe + 1;  // no model with <= probe trues
+      if (lb < ub && probe < outputs.size()) {
+        // Every model sets >= probe+1 inputs true, which forces the
+        // totalizer output for that count; assert it permanently.
+        solver.AddClause({outputs[probe]});
+      }
+      continue;
+    }
+    // SAT: harvest the model.
+    uint32_t count = 0;
+    for (uint32_t v = 0; v < n; ++v) count += solver.model()[v] ? 1 : 0;
+    latest.assign(solver.model().begin(), solver.model().begin() + n);
+    DR_CHECK(blocking_mode || count < ub);
+    if (count < ub) {
+      ub = count;
+      out.model = latest;
+      out.state = ComponentOutcome::State::kAnytime;
+      fruitless_blocks = 0;
+      if (!blocking_mode && ub > lb && outputs.size() > ub) {
+        // "sum <= ub" is witnessed by the incumbent: sound as a clause.
+        solver.AddClause({-outputs[ub]});
+      }
+    } else {
+      ++fruitless_blocks;
+    }
+  }
+  stats_out->Add(solver.stats());
+  return out;
+}
 
 }  // namespace
 
@@ -182,28 +414,42 @@ MinOnesResult MinOnesSat(const Cnf& cnf, const MinOnesOptions& options) {
   WallTimer timer;
 
   Cnf work = cnf;
-  work.DedupeClauses();
-
-  // Component decomposition over shared variables (or one component when
-  // the ablation knob disables it).
-  UnionFind uf(work.num_vars());
-  for (const auto& clause : work.clauses()) {
-    for (size_t i = 1; i < clause.size(); ++i) {
-      uf.Union(LitVar(clause[0]), LitVar(clause[i]));
-    }
-  }
-  if (!options.decompose_components && work.num_vars() > 0) {
-    for (uint32_t v = 1; v < work.num_vars(); ++v) uf.Union(0, v);
-  }
-  // Group clauses by component root.
-  std::vector<std::vector<const std::vector<Lit>*>> comp_clauses;
-  std::vector<int> root_to_comp(work.num_vars(), -1);
+  result.normalize = work.Normalize();
   for (const auto& clause : work.clauses()) {
     if (clause.empty()) {
       result.satisfiable = false;
       result.optimal = true;
       return result;
     }
+  }
+  const uint32_t n = work.num_vars();
+
+  // Objective-aware preprocessing: unit propagation + pure-negative
+  // cascade. On the deletion CNFs this typically decides most variables
+  // outright and shatters the residual into small components.
+  std::vector<std::vector<Lit>> residual(work.clauses());
+  std::vector<int8_t> fixed(n, -1);
+  if (!PreprocessMinOnes(&residual, &fixed)) {
+    result.satisfiable = false;
+    result.optimal = true;
+    return result;
+  }
+
+  // Component decomposition of the residual over shared variables (or
+  // one component when the ablation knob disables it).
+  UnionFind uf(n);
+  for (const auto& clause : residual) {
+    for (size_t i = 1; i < clause.size(); ++i) {
+      uf.Union(LitVar(clause[0]), LitVar(clause[i]));
+    }
+  }
+  if (!options.decompose_components && n > 0) {
+    for (uint32_t v = 1; v < n; ++v) uf.Union(0, v);
+  }
+  std::vector<std::vector<const std::vector<Lit>*>> comp_clauses;
+  std::vector<int> root_to_comp(n, -1);
+  for (const auto& clause : residual) {
+    if (clause.empty()) continue;  // satisfied and cleared by preprocessing
     uint32_t root = uf.Find(LitVar(clause[0]));
     if (root_to_comp[root] < 0) {
       root_to_comp[root] = static_cast<int>(comp_clauses.size());
@@ -212,13 +458,76 @@ MinOnesResult MinOnesSat(const Cnf& cnf, const MinOnesOptions& options) {
     comp_clauses[root_to_comp[root]].push_back(&clause);
   }
   result.num_components = static_cast<uint32_t>(comp_clauses.size());
+  std::vector<std::vector<uint32_t>> comp_vars(comp_clauses.size());
+  for (uint32_t v = 0; v < n; ++v) {
+    if (fixed[v] != -1) continue;
+    int comp = root_to_comp[uf.Find(v)];
+    if (comp >= 0) comp_vars[static_cast<size_t>(comp)].push_back(v);
+  }
 
-  std::vector<bool> model(work.num_vars(), false);  // vars in no clause: false
+  // Decided variables enter the model directly; free ones default false.
+  std::vector<bool> model(n, false);
+  for (uint32_t v = 0; v < n; ++v) {
+    if (fixed[v] == 1) model[v] = true;
+  }
   uint64_t budget_left = options.max_assignments;
 
-  for (const auto& comp : comp_clauses) {
+  // Global warm pass: one greedy-seeded solve over the whole residual
+  // gives every component its first incumbent at once. Components whose
+  // incumbent already matches their disjoint lower bound finish here
+  // without a solver of their own (the common case).
+  std::vector<bool> global_model;
+  bool have_global = false;
+  if (!comp_clauses.empty()) {
+    SolverOptions global_options;
+    global_options.learning = options.enable_learning;
+    global_options.restarts = options.enable_restarts;
+    global_options.cancel = options.cancel;
+    global_options.max_work = std::max<uint64_t>(1, budget_left);
+    global_options.time_limit_seconds = std::max(
+        0.05, options.time_limit_seconds - timer.ElapsedSeconds());
+    CdclSolver global(global_options);
+    global.EnsureVars(n);
+    bool consistent = true;
+    for (const auto& clause : residual) {
+      if (!clause.empty() && !global.AddClause(clause)) consistent = false;
+    }
+    if (consistent) SeedGreedyCover(&global, residual, n);
+    SolveStatus status =
+        consistent ? global.Solve() : SolveStatus::kUnsat;
+    result.solver.Add(global.stats());
+    uint64_t work_done = global.stats().work();
+    result.engine_assignments += work_done;
+    budget_left = budget_left > work_done ? budget_left - work_done : 0;
+    if (status == SolveStatus::kUnsat) {
+      result.satisfiable = false;
+      result.optimal = true;
+      return result;
+    }
+    if (status == SolveStatus::kSat) {
+      have_global = true;
+      global_model = global.model();
+    }
+  }
+
+  std::vector<char> lb_used(n, 0);
+  std::vector<uint32_t> lb_touched;
+  for (size_t ci = 0; ci < comp_clauses.size(); ++ci) {
+    const auto& comp = comp_clauses[ci];
+    if (have_global) {
+      uint32_t count = 0;
+      for (uint32_t v : comp_vars[ci]) count += global_model[v] ? 1 : 0;
+      lb_touched.clear();
+      uint32_t lb = DisjointPositiveClauseBound(comp, &lb_used, &lb_touched);
+      for (uint32_t v : lb_touched) lb_used[v] = 0;
+      if (count <= lb) {
+        // The warm incumbent is provably minimum: no solver needed.
+        for (uint32_t v : comp_vars[ci]) model[v] = global_model[v];
+        continue;
+      }
+    }
     // Remap variables into a dense sub-instance.
-    std::vector<uint32_t> local_of(work.num_vars(), UINT32_MAX);
+    std::vector<uint32_t> local_of(n, UINT32_MAX);
     std::vector<uint32_t> global_of;
     Cnf sub;
     for (const auto* clause : comp) {
@@ -234,47 +543,87 @@ MinOnesResult MinOnesSat(const Cnf& cnf, const MinOnesOptions& options) {
       }
       sub.AddClause(std::move(lits));
     }
+    std::vector<bool> warm;
+    if (have_global) {
+      warm.resize(global_of.size());
+      for (uint32_t lv = 0; lv < global_of.size(); ++lv) {
+        warm[lv] = global_model[global_of[lv]];
+      }
+      if (options.time_limit_seconds <= timer.ElapsedSeconds() ||
+          (options.cancel != nullptr &&
+           options.cancel->load(std::memory_order_relaxed))) {
+        // Out of time: the warm incumbent is already a model of this
+        // component, so take it as-is instead of opening a solver.
+        result.optimal = false;
+        for (uint32_t lv = 0; lv < global_of.size(); ++lv) {
+          model[global_of[lv]] = warm[lv];
+        }
+        continue;
+      }
+    }
     // Deadline: global limit, but guarantee every component a minimum
-    // slice so a hard early component cannot starve the rest.
+    // slice so a hard early component cannot starve the rest (without a
+    // warm model its first solve is the only incumbent source).
     double slice_deadline =
         timer.ElapsedSeconds() +
         std::max(0.05, options.time_limit_seconds - timer.ElapsedSeconds());
-    ComponentSolver solver(sub, budget_left, &timer, slice_deadline,
-                           options.cancel);
-    bool sat = solver.Solve();
-    result.engine_assignments += solver.engine_assignments();
-    budget_left = budget_left > solver.engine_assignments()
-                      ? budget_left - solver.engine_assignments()
-                      : 0;
-    if (solver.exhausted()) result.optimal = false;
-    if (!sat) {
-      if (!solver.exhausted()) {
-        result.satisfiable = false;  // proven unsatisfiable
-        return result;
-      }
-      // Budget ran out before the first incumbent. The repair encodings
-      // always admit the all-true model (every clause keeps its self-atom
-      // positive literal) — use it when it applies, else fall back to
-      // plain DPLL for *a* model (anytime contract: any satisfying
-      // assignment is still a stabilizing set).
-      std::vector<bool> all_true(sub.num_vars(), true);
-      if (sub.IsSatisfiedBy(all_true)) {
-        for (uint32_t g : global_of) model[g] = true;
-        continue;
-      }
-      SatResult fallback = SolveSat(sub);
-      if (!fallback.satisfiable) {
+    SolverStats comp_stats;
+    ComponentOutcome outcome =
+        SolveComponent(sub, have_global ? &warm : nullptr, options, &timer,
+                       slice_deadline, budget_left, &comp_stats);
+    result.solver.Add(comp_stats);
+    uint64_t work_done = comp_stats.work();
+    result.engine_assignments += work_done;
+    budget_left = budget_left > work_done ? budget_left - work_done : 0;
+
+    switch (outcome.state) {
+      case ComponentOutcome::State::kUnsat:
         result.satisfiable = false;
+        result.optimal = true;  // a refuted component is a proof
         return result;
+      case ComponentOutcome::State::kOptimal:
+      case ComponentOutcome::State::kAnytime: {
+        if (outcome.state == ComponentOutcome::State::kAnytime) {
+          result.optimal = false;
+        }
+        for (uint32_t lv = 0; lv < global_of.size(); ++lv) {
+          model[global_of[lv]] = outcome.model[lv];
+        }
+        break;
       }
-      for (uint32_t lv = 0; lv < global_of.size(); ++lv) {
-        model[global_of[lv]] = fallback.model[lv];
+      case ComponentOutcome::State::kExhaustedNoModel: {
+        result.optimal = false;
+        // Budget ran out before the first incumbent. The repair encodings
+        // always admit the all-true model (every clause keeps its
+        // self-atom positive literal) — use it when it applies, else fall
+        // back to a plain solve for *a* model (anytime contract: any
+        // satisfying assignment is still a stabilizing set). The
+        // fallback ignores the work budget and deadline — delivering a
+        // model late beats delivering none — but still honors
+        // cancellation; a cancelled fallback reports satisfiable=false
+        // with optimal=false ("unknown"), never a proof.
+        std::vector<bool> all_true(sub.num_vars(), true);
+        if (sub.IsSatisfiedBy(all_true)) {
+          for (uint32_t g : global_of) model[g] = true;
+          break;
+        }
+        SolverOptions fallback_options;
+        fallback_options.cancel = options.cancel;
+        CdclSolver fallback(fallback_options);
+        fallback.AddCnf(sub);
+        SolveStatus status = fallback.Solve();
+        result.solver.Add(fallback.stats());
+        result.engine_assignments += fallback.stats().work();
+        if (status != SolveStatus::kSat) {
+          result.satisfiable = false;
+          result.optimal = status == SolveStatus::kUnsat;  // else unknown
+          return result;
+        }
+        for (uint32_t lv = 0; lv < global_of.size(); ++lv) {
+          model[global_of[lv]] = fallback.model()[lv];
+        }
+        break;
       }
-      continue;
-    }
-    const auto& sub_model = solver.best_model();
-    for (uint32_t lv = 0; lv < global_of.size(); ++lv) {
-      model[global_of[lv]] = sub_model[lv];
     }
   }
 

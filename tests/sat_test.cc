@@ -1,7 +1,8 @@
-// SAT substrate tests: CNF construction, the DPLL engine, plain
+// SAT substrate tests: CNF construction, the CDCL engine, plain
 // satisfiability, and the Min-Ones optimizer — including a randomized
 // parameterized cross-check against brute force and the vertex-cover
-// reduction of Proposition 4.2.
+// reduction of Proposition 4.2. (The deeper randomized differential
+// suite, including assumption-based incrementality, is sat_fuzz_test.cc.)
 #include <gtest/gtest.h>
 
 #include "common/random.h"
@@ -34,13 +35,27 @@ TEST(CnfTest, TautologyDropped) {
   EXPECT_EQ(cnf.num_vars(), 1u);  // variable still registered
 }
 
-TEST(CnfTest, DedupeClauses) {
+TEST(CnfTest, NormalizeDropsLiteralOrderDuplicates) {
   Cnf cnf;
   cnf.AddClause({PosLit(0), PosLit(1)});
-  cnf.AddClause({PosLit(1), PosLit(0)});
+  cnf.AddClause({PosLit(1), PosLit(0)});  // same clause, different order
   cnf.AddClause({PosLit(2)});
-  cnf.DedupeClauses();
+  Cnf::NormalizeStats stats = cnf.Normalize();
+  EXPECT_EQ(stats.duplicate_clauses, 1u);
   EXPECT_EQ(cnf.num_clauses(), 2u);
+}
+
+TEST(CnfTest, NormalizeDropsDuplicatesAndUnitSubsumed) {
+  Cnf cnf;
+  cnf.AddClause({PosLit(0)});                        // unit v0
+  cnf.AddClause({PosLit(0), PosLit(1)});             // subsumed by the unit
+  cnf.AddClause({PosLit(1), NegLit(2)});             // kept
+  cnf.AddClause({NegLit(2), PosLit(1)});             // duplicate of previous
+  cnf.AddClause({NegLit(0), PosLit(2)});             // kept (¬v0, not v0)
+  Cnf::NormalizeStats stats = cnf.Normalize();
+  EXPECT_EQ(stats.duplicate_clauses, 1u);
+  EXPECT_EQ(stats.unit_subsumed_clauses, 1u);
+  EXPECT_EQ(cnf.num_clauses(), 3u);
 }
 
 TEST(CnfTest, IsSatisfiedBy) {
@@ -95,20 +110,54 @@ TEST(SolverTest, Pigeonhole3x2IsUnsat) {
   EXPECT_FALSE(SolveSat(cnf).satisfiable);
 }
 
-TEST(ClauseEngineTest, AssignPropagateBacktrack) {
-  Cnf cnf;
-  cnf.AddClause({PosLit(0), PosLit(1)});
-  cnf.AddClause({NegLit(0), PosLit(2)});
-  ClauseEngine engine(cnf);
-  size_t mark = engine.TrailSize();
-  EXPECT_TRUE(engine.Assign(0, true));
-  EXPECT_TRUE(engine.Propagate());   // forces var 2 true
-  EXPECT_EQ(engine.value(2), 1);
-  EXPECT_TRUE(engine.AllSatisfied());
-  engine.BacktrackTo(mark);
-  EXPECT_EQ(engine.value(0), -1);
-  EXPECT_EQ(engine.value(2), -1);
-  EXPECT_FALSE(engine.AllSatisfied());
+TEST(CdclSolverTest, SolveUnderAssumptions) {
+  CdclSolver solver;
+  solver.AddClause({PosLit(0), PosLit(1)});
+  solver.AddClause({NegLit(0), PosLit(2)});
+  EXPECT_EQ(solver.Solve(), SolveStatus::kSat);
+  // Assuming ¬v1 forces v0 and then v2.
+  EXPECT_EQ(solver.Solve({NegLit(1)}), SolveStatus::kSat);
+  EXPECT_TRUE(solver.model()[0]);
+  EXPECT_FALSE(solver.model()[1]);
+  EXPECT_TRUE(solver.model()[2]);
+  // Contradictory assumptions: unsat under assumptions only.
+  EXPECT_EQ(solver.Solve({NegLit(1), NegLit(0)}), SolveStatus::kUnsat);
+  EXPECT_TRUE(solver.ok());
+  EXPECT_EQ(solver.Solve(), SolveStatus::kSat);
+}
+
+TEST(CdclSolverTest, IncrementalAddClauseBetweenSolves) {
+  CdclSolver solver;
+  solver.AddClause({PosLit(0), PosLit(1)});
+  EXPECT_EQ(solver.Solve(), SolveStatus::kSat);
+  EXPECT_TRUE(solver.AddClause({NegLit(0)}));  // propagates v1 at level 0
+  EXPECT_FALSE(solver.AddClause({NegLit(1)}));  // now contradicts: unsat
+  EXPECT_EQ(solver.Solve(), SolveStatus::kUnsat);
+  EXPECT_FALSE(solver.ok());
+  // The solver stays usable and keeps answering kUnsat.
+  EXPECT_EQ(solver.Solve(), SolveStatus::kUnsat);
+}
+
+TEST(CdclSolverTest, WorkBudgetReturnsUnknown) {
+  // Hard instance (pigeonhole 6->5) with a tiny work budget.
+  SolverOptions options;
+  options.max_work = 20;
+  CdclSolver solver(options);
+  const int holes = 5;
+  for (int p = 0; p < holes + 1; ++p) {
+    std::vector<Lit> at_least;
+    for (int h = 0; h < holes; ++h) at_least.push_back(PosLit(p * holes + h));
+    solver.AddClause(at_least);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < holes + 1; ++p1) {
+      for (int p2 = p1 + 1; p2 < holes + 1; ++p2) {
+        solver.AddClause({NegLit(p1 * holes + h), NegLit(p2 * holes + h)});
+      }
+    }
+  }
+  EXPECT_EQ(solver.Solve(), SolveStatus::kUnknown);
+  EXPECT_GT(solver.stats().work(), 0u);
 }
 
 TEST(MinOnesTest, PrefersAllFalseWhenPossible) {

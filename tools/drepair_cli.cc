@@ -120,6 +120,12 @@ void WriteOutcomeJson(JsonWriter& json, Database& db,
   json.Field("iterations", stats.iterations);
   json.Field("cnf_vars", stats.cnf_vars);
   json.Field("cnf_clauses", stats.cnf_clauses);
+  json.Field("cnf_dup_clauses", stats.cnf_dup_clauses);
+  json.Field("cnf_subsumed_clauses", stats.cnf_subsumed_clauses);
+  json.Field("sat_conflicts", stats.sat_conflicts);
+  json.Field("sat_learned_clauses", stats.sat_learned_clauses);
+  json.Field("sat_restarts", stats.sat_restarts);
+  json.Field("sat_solve_calls", stats.sat_solve_calls);
   json.Field("graph_nodes", stats.graph_nodes);
   json.Field("graph_layers", stats.graph_layers);
   json.Field("optimal", stats.optimal);
