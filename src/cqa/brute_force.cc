@@ -1,0 +1,176 @@
+#include "cqa/brute_force.h"
+
+#include <algorithm>
+#include <set>
+
+#include "datalog/grounder.h"
+#include "relation/instance_view.h"
+#include "repair/exact.h"
+#include "repair/semantics_registry.h"
+#include "repair/stability.h"
+
+namespace deltarepair {
+
+namespace {
+
+/// All minimum-size outcomes of maximal activation sequences, by plain
+/// recursive enumeration (every interleaving is replayed; only the
+/// state budget bounds it).
+class PlainStepEnumerator {
+ public:
+  PlainStepEnumerator(Database* db, const Program& program, uint64_t budget)
+      : db_(db), program_(program), budget_(budget), grounder_(db) {}
+
+  bool Run() {
+    Dfs();
+    return !out_of_budget_;
+  }
+
+  std::vector<std::vector<TupleId>> MinOutcomes() const {
+    std::vector<std::vector<TupleId>> out;
+    for (const std::vector<uint64_t>& packed : outcomes_) {
+      if (packed.size() != best_size_) continue;
+      std::vector<TupleId> repair;
+      repair.reserve(packed.size());
+      for (uint64_t p : packed) repair.push_back(TupleId::Unpack(p));
+      out.push_back(std::move(repair));
+    }
+    return out;
+  }
+
+ private:
+  void Dfs() {
+    if (out_of_budget_ || budget_-- == 0) {
+      out_of_budget_ = true;
+      return;
+    }
+    std::set<uint64_t> heads;
+    for (size_t i = 0; i < program_.rules().size(); ++i) {
+      grounder_.EnumerateRule(program_.rules()[i], static_cast<int>(i),
+                              BaseMatch::kLive, DeltaMatch::kCurrent,
+                              [&](const GroundAssignment& ga) {
+                                heads.insert(ga.head.Pack());
+                                return true;
+                              });
+    }
+    if (heads.empty()) {
+      std::vector<uint64_t> outcome(deleted_.begin(), deleted_.end());
+      best_size_ = std::min<size_t>(best_size_, outcome.size());
+      outcomes_.insert(std::move(outcome));
+      return;
+    }
+    for (uint64_t packed : heads) {
+      TupleId t = TupleId::Unpack(packed);
+      db_->MarkDeleted(t);
+      deleted_.insert(packed);
+      Dfs();
+      deleted_.erase(packed);
+      db_->UnmarkDeleted(t);
+      if (out_of_budget_) return;
+    }
+  }
+
+  Database* db_;
+  const Program& program_;
+  uint64_t budget_;
+  Grounder grounder_;
+  std::set<uint64_t> deleted_;
+  std::set<std::vector<uint64_t>> outcomes_;
+  size_t best_size_ = SIZE_MAX;
+  bool out_of_budget_ = false;
+};
+
+/// Every stabilizing subset of the live tuples at the smallest
+/// cardinality that has one (Def. 3.3's argmin), by the same k-subset
+/// sweep as ExactIndependent (shared ForEachSubset).
+std::optional<std::vector<std::vector<TupleId>>> EnumerateIndependent(
+    Database* db, const Program& program, uint64_t budget) {
+  std::vector<TupleId> universe = db->LiveTupleIds();
+  std::vector<std::vector<TupleId>> found;
+  for (size_t k = 0; k <= universe.size(); ++k) {
+    ForEachSubset(universe.size(), k, &budget,
+                  [&](const std::vector<size_t>& idx) {
+                    std::vector<TupleId> candidate;
+                    candidate.reserve(idx.size());
+                    for (size_t i : idx) candidate.push_back(universe[i]);
+                    if (IsStabilizingSet(db, program, candidate)) {
+                      found.push_back(std::move(candidate));
+                    }
+                    return false;  // keep going: collect every hit at k
+                  });
+    if (budget == 0) return std::nullopt;
+    if (!found.empty()) return found;
+  }
+  return found;  // unreachable: D itself always stabilizes
+}
+
+}  // namespace
+
+std::optional<std::vector<std::vector<TupleId>>> EnumerateRepairSpace(
+    Database* db, const Program& program, SemanticsKind kind,
+    const BruteForceCqaOptions& options) {
+  Database::State snapshot = db->SaveState();
+  std::optional<std::vector<std::vector<TupleId>>> out;
+  switch (kind) {
+    case SemanticsKind::kEnd:
+    case SemanticsKind::kStage: {
+      ExecContext ctx;
+      RepairResult result = SemanticsRegistry::Global().GetKind(kind).Run(
+          db, program, RepairOptions{}, &ctx);
+      out = std::vector<std::vector<TupleId>>{result.deleted};
+      break;
+    }
+    case SemanticsKind::kStep: {
+      PlainStepEnumerator search(db, program, options.max_states);
+      if (search.Run()) out = search.MinOutcomes();
+      break;
+    }
+    case SemanticsKind::kIndependent:
+      out = EnumerateIndependent(db, program, options.max_states);
+      break;
+  }
+  db->RestoreState(snapshot);
+  if (out.has_value()) {
+    for (std::vector<TupleId>& r : *out) std::sort(r.begin(), r.end());
+    std::sort(out->begin(), out->end());
+  }
+  return out;
+}
+
+std::optional<BruteForceCqaResult> BruteForceCqa(
+    Database* db, const Program& program, const Query& query,
+    SemanticsKind kind, const BruteForceCqaOptions& options) {
+  std::optional<std::vector<std::vector<TupleId>>> repairs =
+      EnumerateRepairSpace(db, program, kind, options);
+  if (!repairs.has_value()) return std::nullopt;
+
+  BruteForceCqaResult result;
+  result.num_repairs = repairs->size();
+  std::set<Tuple> certain;
+  std::set<Tuple> possible;
+  InstanceView view = db->SnapshotView();
+  InstanceView::State initial = view.SaveState();
+  bool first = true;
+  for (const std::vector<TupleId>& repair : *repairs) {
+    for (const TupleId& t : repair) view.MarkDeleted(t);
+    std::vector<Tuple> answers = EvalQuery(&view, query);
+    view.RestoreState(initial);
+    std::set<Tuple> here(answers.begin(), answers.end());
+    possible.insert(here.begin(), here.end());
+    if (first) {
+      certain = std::move(here);
+      first = false;
+    } else {
+      std::set<Tuple> kept;
+      std::set_intersection(certain.begin(), certain.end(), here.begin(),
+                            here.end(),
+                            std::inserter(kept, kept.begin()));
+      certain = std::move(kept);
+    }
+  }
+  result.certain.assign(certain.begin(), certain.end());
+  result.possible.assign(possible.begin(), possible.end());
+  return result;
+}
+
+}  // namespace deltarepair

@@ -1,0 +1,53 @@
+// Brute-force reference path for CQA differential testing: enumerate
+// the full repair space of a semantics by exhaustive search, then
+// answer the query by re-evaluating it on every repair — no provenance,
+// no SAT, no sharing with the production evaluator beyond the grounder.
+//
+//  * end / stage: one deterministic run of the registered semantics;
+//  * step: plain recursive enumeration of every maximal activation
+//    sequence (no memoization — deliberately different from the
+//    production space's memoized DFS), keeping minimum-size outcomes;
+//  * independent: subset enumeration over all live tuples in increasing
+//    cardinality, keeping every stabilizing set of the first hit size.
+//
+// Exponential; small instances only. Returns nullopt when max_states is
+// exhausted.
+#ifndef DELTAREPAIR_CQA_BRUTE_FORCE_H_
+#define DELTAREPAIR_CQA_BRUTE_FORCE_H_
+
+#include <optional>
+#include <vector>
+
+#include "cqa/query.h"
+#include "repair/semantics.h"
+
+namespace deltarepair {
+
+struct BruteForceCqaOptions {
+  /// Hard cap on explored candidates/states; nullopt when hit.
+  uint64_t max_states = 20'000'000;
+};
+
+/// The exact repair space of `kind` over the database's canonical
+/// state: every deletion set the semantics can output (sorted sets,
+/// deterministic order). The database is left unmodified.
+std::optional<std::vector<std::vector<TupleId>>> EnumerateRepairSpace(
+    Database* db, const Program& program, SemanticsKind kind,
+    const BruteForceCqaOptions& options = {});
+
+/// Certain and possible answers of `query` under `kind`, by evaluating
+/// the query on every enumerated repair (certain = intersection,
+/// possible = union). Both lists are sorted.
+struct BruteForceCqaResult {
+  std::vector<Tuple> certain;
+  std::vector<Tuple> possible;
+  uint64_t num_repairs = 0;
+};
+
+std::optional<BruteForceCqaResult> BruteForceCqa(
+    Database* db, const Program& program, const Query& query,
+    SemanticsKind kind, const BruteForceCqaOptions& options = {});
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_CQA_BRUTE_FORCE_H_

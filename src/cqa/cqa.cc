@@ -1,0 +1,203 @@
+#include "cqa/cqa.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "common/timer.h"
+#include "relation/instance_view.h"
+
+namespace deltarepair {
+
+namespace {
+
+/// The sequential core: evaluates one request on `view` (restoring its
+/// state before returning).
+CqaResult AnswerQueryOnView(InstanceView* view, const Program& program,
+                            const CqaRequest& request) {
+  WallTimer total;
+  CqaResult result;
+
+  StatusOr<const Semantics*> semantics =
+      SemanticsRegistry::Global().Get(request.semantics);
+  if (!semantics.ok()) {
+    result.status = semantics.status();
+    result.termination = TerminationReason::kInvalidProgram;
+    return result;
+  }
+  result.semantics = semantics.value()->name();
+  result.kind = semantics.value()->kind();
+  StatusOr<const RepairSpaceBuilder*> builder =
+      CqaRegistry::Global().Get(request.semantics);
+  if (!builder.ok()) {
+    result.status = builder.status();
+    result.termination = TerminationReason::kInvalidProgram;
+    return result;
+  }
+  StatusOr<Query> query = ParseQuery(request.query);
+  if (!query.ok()) {
+    result.status = query.status();
+    result.termination = TerminationReason::kInvalidProgram;
+    return result;
+  }
+  Status resolved = ResolveQuery(&query.value(), view->db());
+  if (!resolved.ok()) {
+    result.status = resolved;
+    result.termination = TerminationReason::kInvalidProgram;
+    return result;
+  }
+  result.query_head = query.value().head_name;
+
+  ExecContext ctx(request.options);
+  InstanceView::State snapshot = view->SaveState();
+
+  // Phase 1: ground the query over the live instance. Monotonicity
+  // makes Q(D) a superset of every repair's answer set, and each
+  // answer's monomials are its survival DNF.
+  std::map<Tuple, AnswerProvenance> grounded;
+  {
+    ScopedTimer t(&result.stats.ground_seconds);
+    grounded = GroundQuery(view, query.value(), &ctx);
+  }
+
+  // Phase 2: the semantics' repair space (builders may scratch-mutate
+  // the view; restore to the grounding state afterwards).
+  std::unique_ptr<RepairSpace> space;
+  {
+    ScopedTimer t(&result.stats.space_seconds);
+    space = (*builder.value())(view, program, request.options, &ctx);
+    view->RestoreState(snapshot);
+  }
+  result.stats.space_repairs = space->NumEnumerated();
+  result.stats.repair_size = space->repair_size();
+  result.stats.space_exact = space->exact();
+
+  // Phase 3: per-answer verdicts, in deterministic (sorted) order.
+  {
+    ScopedTimer t(&result.stats.entail_seconds);
+    result.answers.reserve(grounded.size());
+    for (auto& [values, prov] : grounded) {
+      CqaAnswer answer;
+      answer.values = values;
+      answer.derivations = prov.monomials.size();
+      result.stats.monomials += prov.monomials.size();
+
+      CqaVerdict certain{false, false};
+      CqaVerdict possible{true, false};
+      if (request.certain) {
+        certain = space->Certain(prov, &ctx);
+      }
+      if (certain.decided && certain.holds) {
+        // Certain implies possible (repair spaces are non-empty).
+        possible = {true, true};
+      }
+      if (request.possible && !possible.decided) {
+        possible = space->Possible(prov, &ctx);
+      }
+      if (possible.decided && !possible.holds && !certain.decided) {
+        // Impossible answers are never certain.
+        certain = {false, true};
+      }
+      answer.certain = certain.holds;
+      answer.certain_decided = certain.decided;
+      answer.possible = possible.holds;
+      answer.possible_decided = possible.decided;
+      answer.decided = (certain.decided || !request.certain) &&
+                       (possible.decided || !request.possible);
+      if (request.annotate && !(certain.decided && certain.holds)) {
+        std::optional<CqaCounterexample> cex =
+            space->Counterexample(prov, &ctx);
+        if (cex.has_value()) {
+          answer.counterexample = std::move(cex->deleted);
+          answer.counterexample_minimal = cex->minimal;
+        }
+      }
+
+      if (answer.certain) ++result.stats.certain_answers;
+      if (answer.possible) ++result.stats.possible_answers;
+      if (!answer.decided) ++result.stats.undecided_answers;
+      result.answers.push_back(std::move(answer));
+    }
+  }
+  space->AddStats(&result.stats.repair);
+
+  view->RestoreState(snapshot);
+  result.stats.answers = result.answers.size();
+  result.termination = ctx.reason();
+  if (result.termination == TerminationReason::kComplete &&
+      !result.stats.space_exact) {
+    // An internal cap (the step space's state budget, the Min-Ones
+    // work/time limits) truncated the space without tripping the
+    // request's own budget; a kComplete report would claim verdicts
+    // this run never proved.
+    result.termination = TerminationReason::kBudgetExhausted;
+  }
+  result.stats.total_seconds = total.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace
+
+std::vector<Tuple> CqaResult::CertainAnswers() const {
+  std::vector<Tuple> out;
+  for (const CqaAnswer& a : answers) {
+    if (a.certain) out.push_back(a.values);
+  }
+  return out;
+}
+
+std::vector<Tuple> CqaResult::PossibleAnswers() const {
+  std::vector<Tuple> out;
+  for (const CqaAnswer& a : answers) {
+    if (a.possible) out.push_back(a.values);
+  }
+  return out;
+}
+
+CqaResult AnswerQuery(RepairEngine* engine, const CqaRequest& request) {
+  return AnswerQueryOnView(&engine->db()->base_view(), engine->program(),
+                           request);
+}
+
+std::vector<CqaResult> AnswerQueryBatch(
+    RepairEngine* engine, const std::vector<CqaRequest>& requests) {
+  int threads = engine->default_options().threads;
+  for (const CqaRequest& request : requests) {
+    threads = std::max(threads, request.options.threads);
+  }
+  return AnswerQueryBatch(engine, requests, threads);
+}
+
+std::vector<CqaResult> AnswerQueryBatch(
+    RepairEngine* engine, const std::vector<CqaRequest>& requests,
+    int num_threads) {
+  std::vector<CqaResult> out(requests.size());
+  if (requests.empty()) return out;
+  size_t workers = num_threads > 1 ? static_cast<size_t>(num_threads) : 1;
+  workers = std::min(workers, requests.size());
+
+  // Same backbone as RepairEngine::RunBatch: thread-local snapshot
+  // views over shared storage, dynamic request claiming, outcomes in
+  // request order.
+  std::atomic<size_t> next{0};
+  auto work = [&]() {
+    InstanceView view = engine->db()->SnapshotView();
+    for (;;) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= requests.size()) break;
+      out[i] = AnswerQueryOnView(&view, engine->program(), requests[i]);
+    }
+  };
+
+  if (workers <= 1) {
+    work();
+    return out;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) pool.emplace_back(work);
+  for (std::thread& t : pool) t.join();
+  return out;
+}
+
+}  // namespace deltarepair

@@ -1,0 +1,162 @@
+#include "cqa/query.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "datalog/grounder.h"
+#include "datalog/parser.h"
+#include "relation/instance_view.h"
+#include "repair/repair_options.h"
+
+namespace deltarepair {
+
+namespace {
+
+/// Where each head term's value comes from in a ground assignment:
+/// a constant, or (body atom, column) of the variable's first occurrence.
+struct HeadSource {
+  bool is_const = false;
+  Value constant;
+  int atom = -1;
+  int column = -1;
+};
+
+std::vector<HeadSource> HeadPlan(const Rule& rule) {
+  std::vector<HeadSource> plan;
+  plan.reserve(rule.head.terms.size());
+  for (const Term& t : rule.head.terms) {
+    HeadSource src;
+    if (t.is_const()) {
+      src.is_const = true;
+      src.constant = t.constant;
+    } else {
+      for (size_t a = 0; a < rule.body.size() && src.atom < 0; ++a) {
+        const auto& terms = rule.body[a].terms;
+        for (size_t c = 0; c < terms.size(); ++c) {
+          if (terms[c].is_var() && terms[c].var == t.var) {
+            src.atom = static_cast<int>(a);
+            src.column = static_cast<int>(c);
+            break;
+          }
+        }
+      }
+      // ParseQueryRules guarantees head variables are body-bound.
+      DR_CHECK_MSG(src.atom >= 0, "unsafe query head variable");
+    }
+    plan.push_back(std::move(src));
+  }
+  return plan;
+}
+
+Tuple AnswerOf(const std::vector<HeadSource>& plan, const Database& db,
+               const GroundAssignment& ga) {
+  Tuple answer;
+  answer.reserve(plan.size());
+  for (const HeadSource& src : plan) {
+    if (src.is_const) {
+      answer.push_back(src.constant);
+    } else {
+      answer.push_back(db.tuple(ga.body[src.atom])[src.column]);
+    }
+  }
+  return answer;
+}
+
+std::vector<TupleId> MonomialOf(const GroundAssignment& ga) {
+  std::vector<TupleId> m = ga.body;
+  std::sort(m.begin(), m.end());
+  m.erase(std::unique(m.begin(), m.end()), m.end());
+  return m;
+}
+
+}  // namespace
+
+std::string Query::ToString() const {
+  std::string out;
+  for (const Rule& r : rules) {
+    out += r.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+StatusOr<Query> ParseQuery(std::string_view text) {
+  StatusOr<std::vector<Rule>> rules = ParseQueryRules(text);
+  if (!rules.ok()) return rules.status();
+  Query query;
+  query.head_name = rules.value().front().head.relation;
+  query.arity = rules.value().front().head.terms.size();
+  for (const Rule& r : rules.value()) {
+    if (r.head.relation != query.head_name) {
+      return Status::InvalidArgument(
+          "query rules must share one head predicate: " + query.head_name +
+          " vs " + r.head.relation);
+    }
+    if (r.head.terms.size() != query.arity) {
+      return Status::InvalidArgument(StrFormat(
+          "query head arity mismatch for %s: %zu vs %zu",
+          query.head_name.c_str(), query.arity, r.head.terms.size()));
+    }
+  }
+  query.rules = std::move(rules).value();
+  return query;
+}
+
+Status ResolveQuery(Query* query, const Database& db) {
+  for (Rule& rule : query->rules) {
+    for (Atom& a : rule.body) {
+      int idx = db.RelationIndex(a.relation);
+      if (idx < 0) {
+        return Status::NotFound("unknown relation in query: " + a.relation);
+      }
+      if (db.relation(static_cast<uint32_t>(idx)).arity() !=
+          a.terms.size()) {
+        return Status::InvalidArgument(StrFormat(
+            "arity mismatch for %s: schema %zu vs atom %zu",
+            a.relation.c_str(),
+            db.relation(static_cast<uint32_t>(idx)).arity(),
+            a.terms.size()));
+      }
+      a.relation_index = idx;
+    }
+  }
+  return Status::OK();
+}
+
+std::map<Tuple, AnswerProvenance> GroundQuery(InstanceView* view,
+                                              const Query& query,
+                                              ExecContext* ctx) {
+  std::map<Tuple, AnswerProvenance> answers;
+  Grounder grounder(view);
+  for (size_t i = 0; i < query.rules.size(); ++i) {
+    if (ctx != nullptr && ctx->stopped()) break;
+    const Rule& rule = query.rules[i];
+    std::vector<HeadSource> plan = HeadPlan(rule);
+    grounder.EnumerateRule(
+        rule, static_cast<int>(i), BaseMatch::kLive, DeltaMatch::kCurrent,
+        [&](const GroundAssignment& ga) {
+          if (ctx != nullptr && ctx->Tick()) return false;
+          answers[AnswerOf(plan, view->db(), ga)].monomials.push_back(
+              MonomialOf(ga));
+          return true;
+        });
+  }
+  for (auto& [answer, prov] : answers) {
+    std::sort(prov.monomials.begin(), prov.monomials.end());
+    prov.monomials.erase(
+        std::unique(prov.monomials.begin(), prov.monomials.end()),
+        prov.monomials.end());
+  }
+  return answers;
+}
+
+std::vector<Tuple> EvalQuery(InstanceView* view, const Query& query) {
+  std::map<Tuple, AnswerProvenance> grounded =
+      GroundQuery(view, query, nullptr);
+  std::vector<Tuple> out;
+  out.reserve(grounded.size());
+  for (auto& [answer, prov] : grounded) out.push_back(answer);
+  return out;
+}
+
+}  // namespace deltarepair

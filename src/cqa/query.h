@@ -1,0 +1,73 @@
+// Monotone queries for consistent query answering: a union of
+// conjunctive queries (UCQ) over the base relations, with comparisons.
+// Written in the delta-program surface syntax minus the '~':
+//
+//     Q(a, n) :- Author(a, n, o), Writes(a, p), p < 7.
+//     Q(a, n) :- Author(a, n, o), Org(o, 'ERC').
+//
+// Queries never mention delta relations, so their answers are monotone
+// under deletions: Q(D \ S) ⊆ Q(D) for every deletion set S. Grounding a
+// query over the *live* instance therefore yields every answer any
+// repair can have, and each answer's why-provenance — the set of
+// distinct body-tuple combinations (monomials) that derive it — is a
+// positive DNF over tuple survival. CQA decides, per answer, whether
+// some monomial survives every repair (certain) or some repair
+// (possible).
+#ifndef DELTAREPAIR_CQA_QUERY_H_
+#define DELTAREPAIR_CQA_QUERY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "relation/database.h"
+
+namespace deltarepair {
+
+class InstanceView;
+class ExecContext;
+
+/// A resolved UCQ: one or more conjunctive rules sharing the same
+/// virtual head predicate (name + arity).
+struct Query {
+  std::string head_name;
+  size_t arity = 0;
+  std::vector<Rule> rules;  // self_atom == -1, bodies resolved
+
+  std::string ToString() const;
+};
+
+/// Parses a UCQ (see header comment for the syntax). Rules must share
+/// one head predicate with a consistent arity.
+StatusOr<Query> ParseQuery(std::string_view text);
+
+/// Resolves every body atom against `db` (existence + arity). The head
+/// predicate is virtual and stays unresolved. Must be called before
+/// grounding.
+Status ResolveQuery(Query* query, const Database& db);
+
+/// Why-provenance of one answer tuple: each monomial is a sorted,
+/// deduplicated set of base tuples whose joint survival re-derives the
+/// answer. The answer survives a deletion set S iff some monomial is
+/// disjoint from S.
+struct AnswerProvenance {
+  std::vector<std::vector<TupleId>> monomials;
+};
+
+/// All answers of `query` over the view's current live state, with
+/// why-provenance, keyed by answer tuple (deterministic order: Value's
+/// total order, lexicographic). Monomials are deduplicated per answer.
+/// `ctx` may be null; when it trips mid-grounding the map is incomplete
+/// (the caller observes ctx->stopped()).
+std::map<Tuple, AnswerProvenance> GroundQuery(InstanceView* view,
+                                              const Query& query,
+                                              ExecContext* ctx);
+
+/// Answer tuples only (no provenance), e.g. for evaluating the query
+/// against one explicit repair in the brute-force reference path.
+std::vector<Tuple> EvalQuery(InstanceView* view, const Query& query);
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_CQA_QUERY_H_

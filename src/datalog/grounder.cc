@@ -113,7 +113,10 @@ bool Grounder::EnumerateRule(const Rule& rule, int rule_index, BaseMatch bm,
                              DeltaMatch dm, const AssignmentCallback& cb,
                              int pivot_atom,
                              const std::vector<uint32_t>* pivot_rows) {
-  DR_CHECK_MSG(rule.self_atom >= 0, "rule not validated");
+  // Delta rules carry a validated self atom; query rules (cqa) have a
+  // plain head, self_atom == -1, and ground with an invalid head id.
+  DR_CHECK_MSG(rule.self_atom >= 0 || !rule.head.is_delta,
+               "rule not validated");
   std::vector<PlanStep> plan = MakePlan(rule, pivot_atom);
   Bindings bindings(rule.num_vars);
   std::vector<TupleId> atom_rows(rule.body.size());
@@ -137,7 +140,8 @@ bool Grounder::EnumerateRule(const Rule& rule, int rule_index, BaseMatch bm,
       GroundAssignment ga;
       ga.rule = &rule;
       ga.rule_index = rule_index;
-      ga.head = atom_rows[rule.self_atom];
+      ga.head =
+          rule.self_atom >= 0 ? atom_rows[rule.self_atom] : TupleId{};
       ga.body = atom_rows;
       ++assignments_enumerated_;
       if (!cb(ga)) keep_going = false;

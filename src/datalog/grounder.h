@@ -37,6 +37,7 @@ struct GroundAssignment {
   const Rule* rule = nullptr;
   int rule_index = -1;
   /// Row bound to the self atom — the tuple the rule derives (α(head)).
+  /// Invalid (!valid()) for headless query rules (self_atom == -1).
   TupleId head;
   /// Row bound to each body atom, in body order. Whether entry i denotes a
   /// base or delta tuple follows rule->body[i].is_delta.

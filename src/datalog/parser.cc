@@ -200,6 +200,87 @@ class Parser {
     return body;
   }
 
+  StatusOr<std::vector<Rule>> ParseQueryRulesTokens() {
+    std::vector<Rule> rules;
+    while (!At(TokKind::kEnd)) {
+      StatusOr<Rule> rule = ParseOneQueryRule();
+      if (!rule.ok()) return rule.status();
+      rules.push_back(std::move(rule).value());
+    }
+    if (rules.empty()) {
+      return Status::InvalidArgument("empty query");
+    }
+    return rules;
+  }
+
+  StatusOr<Rule> ParseOneQueryRule() {
+    Rule rule;
+    vars_.clear();
+    StatusOr<Atom> head = ParseAtom();
+    if (!head.ok()) return head.status();
+    rule.head = std::move(head).value();
+    if (rule.head.is_delta) {
+      return Status::InvalidArgument(
+          "query head must be a plain atom, not a ~delta atom");
+    }
+    if (!Consume(TokKind::kTurnstile)) {
+      return Status::InvalidArgument("expected ':-' after query head");
+    }
+    for (;;) {
+      if (At(TokKind::kTilde) ||
+          (At(TokKind::kIdent) && Peek(1).kind == TokKind::kLParen)) {
+        StatusOr<Atom> atom = ParseAtom();
+        if (!atom.ok()) return atom.status();
+        if (atom.value().is_delta) {
+          return Status::InvalidArgument(
+              "monotone queries range over base relations only; delta "
+              "atom not allowed: ~" +
+              atom.value().relation);
+        }
+        rule.body.push_back(std::move(atom).value());
+      } else {
+        StatusOr<Comparison> cmp = ParseComparison();
+        if (!cmp.ok()) return cmp.status();
+        rule.comparisons.push_back(std::move(cmp).value());
+      }
+      if (Consume(TokKind::kComma)) continue;
+      break;
+    }
+    Consume(TokKind::kDot);  // optional terminator
+    rule.var_names.resize(vars_.size());
+    for (const auto& [name, id] : vars_) rule.var_names[id] = name;
+    // Query-specific safety checks (ValidateRule is delta-rule shaped:
+    // it demands a delta head and a self atom, neither of which apply).
+    if (rule.body.empty()) {
+      return Status::InvalidArgument(
+          "query body must contain at least one relational atom");
+    }
+    std::vector<uint8_t> body_vars(vars_.size(), 0);
+    for (const auto& a : rule.body) {
+      for (const auto& t : a.terms) {
+        if (t.is_var()) body_vars[t.var] = 1;
+      }
+    }
+    for (const auto& t : rule.head.terms) {
+      if (t.is_var() && !body_vars[t.var]) {
+        return Status::InvalidArgument("unsafe head variable '" +
+                                       rule.var_names[t.var] +
+                                       "' in query " + rule.head.relation);
+      }
+    }
+    for (const auto& c : rule.comparisons) {
+      for (const Term* t : {&c.lhs, &c.rhs}) {
+        if (t->is_var() && !body_vars[t->var]) {
+          return Status::InvalidArgument(
+              "comparison uses a variable not bound in the query body");
+        }
+      }
+    }
+    rule.self_atom = -1;
+    rule.num_vars = static_cast<uint32_t>(vars_.size());
+    return rule;
+  }
+
   StatusOr<Rule> ParseOneRule() {
     Rule rule;
     vars_.clear();
@@ -333,6 +414,13 @@ StatusOr<Rule> ParseRule(std::string_view text) {
   if (!st.ok()) return st;
   Parser parser(std::move(tokens));
   return parser.ParseOneRule();
+}
+
+StatusOr<std::vector<Rule>> ParseQueryRules(std::string_view text) {
+  std::vector<Token> tokens;
+  Status st = Lexer(text).Tokenize(&tokens);
+  if (!st.ok()) return st;
+  return Parser(std::move(tokens)).ParseQueryRulesTokens();
 }
 
 StatusOr<ParsedBody> ParseBody(std::string_view text) {

@@ -35,6 +35,20 @@ struct ParsedBody {
 /// Parses "Atom(..), Atom(..), x < y, ..." (no head, no ':-').
 StatusOr<ParsedBody> ParseBody(std::string_view text);
 
+/// Parses monotone query rules, e.g.
+///
+///     Q(a, n) :- Author(a, n, o), Writes(a, p).
+///     Q(a, n) :- Author(a, n, o), Org(o, 'ERC').
+///
+/// (multiple rules = a union of conjunctive queries). Unlike delta
+/// rules, the head is a plain (non-delta) atom over a *virtual* output
+/// predicate and no self atom is required; delta atoms are rejected in
+/// the body (queries range over base relations only, so answers are
+/// monotone under deletions). Head and comparison variables must be
+/// bound by a body atom. Returned rules have self_atom == -1 and their
+/// head unresolved; cqa::ResolveQuery binds the body against a Database.
+StatusOr<std::vector<Rule>> ParseQueryRules(std::string_view text);
+
 }  // namespace deltarepair
 
 #endif  // DELTAREPAIR_DATALOG_PARSER_H_

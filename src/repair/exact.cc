@@ -8,10 +8,6 @@
 
 namespace deltarepair {
 
-namespace {
-
-/// Enumerates k-subsets of [0, n) in lexicographic order, invoking `fn`
-/// with index vectors; `fn` returns true to stop.
 bool ForEachSubset(size_t n, size_t k, uint64_t* budget,
                    const std::function<bool(const std::vector<size_t>&)>& fn) {
   std::vector<size_t> idx(k);
@@ -34,8 +30,6 @@ bool ForEachSubset(size_t n, size_t k, uint64_t* budget,
     if (k == 0) return false;
   }
 }
-
-}  // namespace
 
 std::optional<RepairResult> ExactIndependent(Database* db,
                                              const Program& program,

@@ -9,6 +9,7 @@
 #ifndef DELTAREPAIR_REPAIR_EXACT_H_
 #define DELTAREPAIR_REPAIR_EXACT_H_
 
+#include <functional>
 #include <optional>
 
 #include "repair/semantics.h"
@@ -30,6 +31,13 @@ std::optional<RepairResult> ExactIndependent(Database* db,
 /// the budget is exhausted.
 std::optional<RepairResult> ExactStep(Database* db, const Program& program,
                                       const ExactOptions& options = {});
+
+/// Enumerates k-subsets of [0, n) in lexicographic order, invoking `fn`
+/// with index vectors until it returns true (early stop) or `budget`
+/// decrements to zero. Returns whether `fn` requested the stop. Shared
+/// by ExactIndependent and the brute-force CQA repair enumerator.
+bool ForEachSubset(size_t n, size_t k, uint64_t* budget,
+                   const std::function<bool(const std::vector<size_t>&)>& fn);
 
 }  // namespace deltarepair
 

@@ -21,6 +21,27 @@ const char* SemanticsName(SemanticsKind k) {
   return "?";
 }
 
+void RepairStats::Add(const RepairStats& other) {
+  eval_seconds += other.eval_seconds;
+  process_prov_seconds += other.process_prov_seconds;
+  solve_seconds += other.solve_seconds;
+  traverse_seconds += other.traverse_seconds;
+  total_seconds += other.total_seconds;
+  assignments += other.assignments;
+  iterations += other.iterations;
+  cnf_vars += other.cnf_vars;
+  cnf_clauses += other.cnf_clauses;
+  cnf_dup_clauses += other.cnf_dup_clauses;
+  cnf_subsumed_clauses += other.cnf_subsumed_clauses;
+  graph_nodes += other.graph_nodes;
+  graph_layers += other.graph_layers;
+  sat_conflicts += other.sat_conflicts;
+  sat_learned_clauses += other.sat_learned_clauses;
+  sat_restarts += other.sat_restarts;
+  sat_solve_calls += other.sat_solve_calls;
+  optimal = optimal && other.optimal;
+}
+
 bool RepairResult::Contains(TupleId t) const {
   return std::binary_search(deleted.begin(), deleted.end(), t);
 }

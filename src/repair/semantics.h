@@ -46,6 +46,11 @@ struct RepairStats {
   /// For the heuristic algorithms: whether the result is provably
   /// minimum (Alg. 1 with an exhausted budget reports false).
   bool optimal = true;
+
+  /// Accumulates `other` into this: times and counters add, `optimal`
+  /// ANDs. Used by aggregating consumers (CQA folds the repair-space
+  /// construction and every entailment solve into one report).
+  void Add(const RepairStats& other);
 };
 
 /// The outcome of running one semantics: the set S of deleted (non-delta)

@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "common/timer.h"
+#include "sat/totalizer.h"
 
 namespace deltarepair {
 
@@ -187,37 +188,6 @@ void SeedGreedyCover(CdclSolver* solver, const ClauseRange& clauses,
   }
 }
 
-/// Emits the totalizer subtree over inputs[lo, hi) into `solver` and
-/// returns its output literals, capped at `cap`: outputs[i] is forced
-/// true whenever at least i+1 of the inputs are true (the only direction
-/// an at-most bound needs). Assuming ¬outputs[t] then enforces sum <= t
-/// for any t < cap.
-std::vector<Lit> BuildTotalizer(CdclSolver* solver,
-                                const std::vector<Lit>& inputs, size_t lo,
-                                size_t hi, uint32_t cap) {
-  if (hi - lo == 1) return {inputs[lo]};
-  size_t mid = lo + (hi - lo) / 2;
-  std::vector<Lit> left = BuildTotalizer(solver, inputs, lo, mid, cap);
-  std::vector<Lit> right = BuildTotalizer(solver, inputs, mid, hi, cap);
-  size_t m = std::min<size_t>(cap, hi - lo);
-  std::vector<Lit> outs;
-  outs.reserve(m);
-  for (size_t i = 0; i < m; ++i) outs.push_back(PosLit(solver->NewVar()));
-  for (size_t i = 0; i <= left.size(); ++i) {
-    for (size_t j = 0; j <= right.size(); ++j) {
-      size_t k = i + j;
-      if (k == 0 || k > m) continue;
-      std::vector<Lit> clause;
-      clause.reserve(3);
-      if (i > 0) clause.push_back(-left[i - 1]);
-      if (j > 0) clause.push_back(-right[j - 1]);
-      clause.push_back(outs[k - 1]);
-      solver->AddClause(std::move(clause));
-    }
-  }
-  return outs;
-}
-
 /// Lower bound from variable-disjoint all-positive clauses: each needs
 /// its own true variable (negative literals elsewhere cannot pay for
 /// them). Greedy single pass over `clauses`; `used` is caller-provided
@@ -354,7 +324,7 @@ ComponentOutcome SolveComponent(const Cnf& sub,
             std::vector<Lit> inputs;
             inputs.reserve(n);
             for (uint32_t v = 0; v < n; ++v) inputs.push_back(PosLit(v));
-            outputs = BuildTotalizer(&solver, inputs, 0, inputs.size(), ub);
+            outputs = BuildTotalizer(&solver, inputs, ub);
           }
           assumptions.assign(1, -outputs[probe]);  // require sum <= probe
         }

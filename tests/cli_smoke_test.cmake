@@ -261,4 +261,117 @@ if(bad_threads_rc EQUAL 0)
   message(FATAL_ERROR "--threads 0 should have been rejected")
 endif()
 
+# Pass 6: consistent query answering. --query runs CQA against every
+# semantics' repair space; the JSON report carries per-answer verdicts.
+# Under end/stage/step the ERC author is deleted (impossible answer);
+# the minimum repair deletes only the ERC org row, so under independent
+# semantics every author survives (all certain).
+file(WRITE "${WORK_DIR}/query.dl"
+"Q(n) :- Author(a, n, o).
+")
+execute_process(
+  COMMAND "${DREPAIR_CLI}"
+    --data "${WORK_DIR}/data"
+    --program "${WORK_DIR}/repair.dl"
+    --semantics all --threads 2 --annotate
+    --query "${WORK_DIR}/query.dl"
+    --json "${WORK_DIR}/cqa_report.json"
+  OUTPUT_VARIABLE cqa_out
+  ERROR_VARIABLE cqa_err
+  RESULT_VARIABLE cqa_rc
+)
+message(STATUS "drepair_cli --query output:\n${cqa_out}")
+if(NOT cqa_rc EQUAL 0)
+  message(FATAL_ERROR "drepair_cli --query exited with ${cqa_rc}\nstderr:\n${cqa_err}")
+endif()
+if(NOT EXISTS "${WORK_DIR}/cqa_report.json")
+  message(FATAL_ERROR "--query --json did not write cqa_report.json")
+endif()
+if(PYTHON3)
+  execute_process(
+    COMMAND "${PYTHON3}" -c
+"import json, sys
+d = json.load(open(sys.argv[1]))
+assert d['mode'] == 'cqa', d
+results = d['results']
+names = [r['semantics'] for r in results]
+assert names == ['end', 'stage', 'step', 'independent'], names
+for r in results:
+    assert r['termination'] == 'complete', r
+    assert r['query_head'] == 'Q', r
+    stats = r['stats']
+    assert stats['space_exact'] is True, stats
+    assert stats['answers'] == 3, stats
+    verdicts = {tuple(a['values']): a for a in r['answers']}
+    assert set(verdicts) == {('Alice',), ('Bob',), ('Carol',)}, verdicts
+    for a in r['answers']:
+        assert a['decided'] is True, a
+        assert a['certain_decided'] is True, a
+        assert a['possible_decided'] is True, a
+        assert a['possible'] or not a['certain'], a
+    if r['semantics'] == 'independent':
+        assert verdicts[('Alice',)]['certain'] is True, verdicts
+        assert stats['space_repairs'] == 0, stats  # symbolic space
+        assert stats['sat_solve_calls'] > 0, stats
+    else:
+        assert verdicts[('Alice',)]['certain'] is False, verdicts
+        assert verdicts[('Alice',)]['possible'] is False, verdicts
+        cex = verdicts[('Alice',)]['counterexample']
+        assert len(cex) == stats['repair_size'], (cex, stats)
+    assert verdicts[('Bob',)]['certain'] is True, verdicts
+print('cqa report ok:', names)
+"
+      "${WORK_DIR}/cqa_report.json"
+    RESULT_VARIABLE cqa_py_rc
+    OUTPUT_VARIABLE cqa_py_out
+    ERROR_VARIABLE cqa_py_err
+  )
+  if(NOT cqa_py_rc EQUAL 0)
+    message(FATAL_ERROR "CQA report failed to validate:\n${cqa_py_out}\n${cqa_py_err}")
+  endif()
+  message(STATUS "${cqa_py_out}")
+endif()
+# Query-mode argument validation: CQA flags demand --query, and --apply
+# is meaningless against a space of repairs.
+execute_process(
+  COMMAND "${DREPAIR_CLI}"
+    --data "${WORK_DIR}/data" --program "${WORK_DIR}/repair.dl"
+    --annotate
+  OUTPUT_QUIET ERROR_QUIET
+  RESULT_VARIABLE cqa_noq_rc
+)
+if(cqa_noq_rc EQUAL 0)
+  message(FATAL_ERROR "--annotate without --query should have been rejected")
+endif()
+execute_process(
+  COMMAND "${DREPAIR_CLI}"
+    --data "${WORK_DIR}/data" --program "${WORK_DIR}/repair.dl"
+    --semantics end --apply --query "${WORK_DIR}/query.dl"
+  OUTPUT_QUIET ERROR_QUIET
+  RESULT_VARIABLE cqa_apply_rc
+)
+if(cqa_apply_rc EQUAL 0)
+  message(FATAL_ERROR "--apply with --query should have been rejected")
+endif()
+execute_process(
+  COMMAND "${DREPAIR_CLI}"
+    --data "${WORK_DIR}/data" --program "${WORK_DIR}/repair.dl"
+    --query "Q(n) :- ~Author(a, n, o)."
+  OUTPUT_QUIET ERROR_QUIET
+  RESULT_VARIABLE cqa_badq_rc
+)
+if(cqa_badq_rc EQUAL 0)
+  message(FATAL_ERROR "a delta atom in --query should have been rejected")
+endif()
+execute_process(
+  COMMAND "${DREPAIR_CLI}"
+    --data "${WORK_DIR}/data" --program "${WORK_DIR}/repair.dl"
+    --verify --query "${WORK_DIR}/query.dl"
+  OUTPUT_QUIET ERROR_QUIET
+  RESULT_VARIABLE cqa_verify_rc
+)
+if(cqa_verify_rc EQUAL 0)
+  message(FATAL_ERROR "--verify with --query should have been rejected (it would be silently ignored)")
+endif()
+
 message(STATUS "cli_smoke_test passed")

@@ -1,9 +1,12 @@
-// drepair — command-line declarative repair over CSV data.
+// drepair — command-line declarative repair and consistent query
+// answering over CSV data.
 //
 // Usage:
 //   drepair --data <dir> --program <file> [--semantics <name>] [--apply]
 //           [--out <dir>] [--show <n>] [--verify] [--budget-ms <n>]
 //           [--seed <n>] [--json <path>] [--threads <n>]
+//           [--query <file-or-text>] [--certain] [--possible]
+//           [--annotate]
 //
 //   --data       directory of <Relation>.csv files; first line is the
 //                schema, e.g. "aid:int,name:str,oid:int"
@@ -13,15 +16,28 @@
 //   --semantics  end | stage | step | independent | all   (default: all)
 //   --apply      apply the repair (with --out, write repaired CSVs);
 //                requires a single --semantics, not "all"
-//   --show n     print up to n deleted tuples per semantics (default 10)
+//   --show n     print up to n deleted tuples / answers per semantics
+//                (default 10)
 //   --verify     re-check that the result is a stabilizing set
 //   --budget-ms  wall-clock budget per semantics run, in milliseconds;
 //                budget-exhausted runs report termination
 //                "budget_exhausted" and still return a stabilizing set
+//                (repair mode) / conservative verdicts (query mode)
 //   --seed       RNG seed forwarded to randomized strategies
 //   --json       write a machine-readable report of every run to <path>
 //   --threads    worker threads for the batch of runs (default 1 =
 //                sequential); results are identical either way
+//
+// Query mode (consistent query answering) — instead of reporting the
+// repairs themselves, report which query answers survive them:
+//   --query      a UCQ, inline or a file path, e.g.
+//                  Q(a, n) :- Author(a, n, o), Writes(a, p).
+//                Runs CQA against each selected semantics' repair space.
+//   --certain    only compute certain answers (in every repair)
+//   --possible   only compute possible answers (in some repair)
+//                (default: both; flags restrict to save solver calls)
+//   --annotate   attach a minimal counterexample deletion set to every
+//                non-certain answer
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
@@ -35,6 +51,8 @@
 #include <string>
 
 #include "common/json_writer.h"
+#include "common/string_util.h"
+#include "cqa/cqa.h"
 #include "datalog/parser.h"
 #include "relation/csv.h"
 #include "repair/repair_engine.h"
@@ -50,7 +68,9 @@ int Usage(const char* argv0) {
                "usage: %s --data <dir> --program <file> "
                "[--semantics end|stage|step|independent|all] [--apply] "
                "[--out <dir>] [--show <n>] [--verify] [--budget-ms <n>] "
-               "[--seed <n>] [--json <path>] [--threads <n>]\n",
+               "[--seed <n>] [--json <path>] [--threads <n>] "
+               "[--query <file-or-text>] [--certain] [--possible] "
+               "[--annotate]\n",
                argv0);
   return 2;
 }
@@ -133,12 +153,137 @@ void WriteOutcomeJson(JsonWriter& json, Database& db,
   json.EndObject();
 }
 
+/// Strongest label the per-verdict proof bits support ("possible" may
+/// still be certain when only --possible was computed).
+const char* VerdictLabel(const CqaAnswer& answer) {
+  if (answer.certain_decided && answer.certain) return "certain";
+  if (answer.possible_decided && !answer.possible) return "impossible";
+  if (answer.possible_decided && answer.possible) return "possible";
+  return "undecided";
+}
+
+void PrintCqaResult(Database& db, const CqaResult& result, size_t show,
+                    bool annotate) {
+  const CqaStats& stats = result.stats;
+  std::printf("%-12s: %zu answers, %llu certain, %llu possible",
+              result.semantics.c_str(), result.answers.size(),
+              static_cast<unsigned long long>(stats.certain_answers),
+              static_cast<unsigned long long>(stats.possible_answers));
+  if (stats.undecided_answers > 0) {
+    std::printf(", %llu undecided",
+                static_cast<unsigned long long>(stats.undecided_answers));
+  }
+  if (!stats.space_exact) {
+    std::printf("  [%.1fms, %s, space truncated]",
+                stats.total_seconds * 1e3,
+                TerminationReasonName(result.termination));
+  } else if (stats.space_repairs > 0) {
+    std::printf("  [%.1fms, %s, %llu repairs x %u deletions]",
+                stats.total_seconds * 1e3,
+                TerminationReasonName(result.termination),
+                static_cast<unsigned long long>(stats.space_repairs),
+                stats.repair_size);
+  } else {
+    std::printf("  [%.1fms, %s, symbolic space, %u deletions]",
+                stats.total_seconds * 1e3,
+                TerminationReasonName(result.termination),
+                stats.repair_size);
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < result.answers.size() && i < show; ++i) {
+    const CqaAnswer& answer = result.answers[i];
+    std::printf("    %s %s  %s", answer.certain ? "+" : "-",
+                TupleToString(answer.values).c_str(), VerdictLabel(answer));
+    if (annotate && !answer.counterexample.empty()) {
+      std::printf("  killed by {");
+      for (size_t t = 0; t < answer.counterexample.size(); ++t) {
+        if (t) std::printf(", ");
+        std::printf("%s", db.TupleToStr(answer.counterexample[t]).c_str());
+      }
+      std::printf("}%s", answer.counterexample_minimal ? "" : " (anytime)");
+    }
+    std::printf("\n");
+  }
+  if (result.answers.size() > show) {
+    std::printf("    ... and %zu more\n", result.answers.size() - show);
+  }
+}
+
+void WriteValueJson(JsonWriter& json, const Value& value) {
+  switch (value.type()) {
+    case ValueType::kNull:
+      json.Null();
+      break;
+    case ValueType::kInt:
+      json.Int(value.AsInt());
+      break;
+    case ValueType::kString:
+      json.String(value.AsString());
+      break;
+  }
+}
+
+void WriteCqaResultJson(JsonWriter& json, Database& db,
+                        const CqaResult& result) {
+  const CqaStats& stats = result.stats;
+  json.BeginObject();
+  json.Field("semantics", result.semantics);
+  json.Field("termination", TerminationReasonName(result.termination));
+  json.Field("query_head", result.query_head);
+  json.Key("answers").BeginArray();
+  for (const CqaAnswer& answer : result.answers) {
+    json.BeginObject();
+    json.Key("values").BeginArray();
+    for (const Value& v : answer.values) WriteValueJson(json, v);
+    json.EndArray();
+    json.Field("certain", answer.certain);
+    json.Field("possible", answer.possible);
+    json.Field("certain_decided", answer.certain_decided);
+    json.Field("possible_decided", answer.possible_decided);
+    json.Field("decided", answer.decided);
+    json.Field("derivations", answer.derivations);
+    if (!answer.counterexample.empty()) {
+      json.Key("counterexample").BeginArray();
+      for (const TupleId& t : answer.counterexample) {
+        json.String(db.TupleToStr(t));
+      }
+      json.EndArray();
+      json.Field("counterexample_minimal", answer.counterexample_minimal);
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("stats").BeginObject();
+  json.Field("ground_seconds", stats.ground_seconds);
+  json.Field("space_seconds", stats.space_seconds);
+  json.Field("entail_seconds", stats.entail_seconds);
+  json.Field("total_seconds", stats.total_seconds);
+  json.Field("answers", stats.answers);
+  json.Field("monomials", stats.monomials);
+  json.Field("certain_answers", stats.certain_answers);
+  json.Field("possible_answers", stats.possible_answers);
+  json.Field("undecided_answers", stats.undecided_answers);
+  json.Field("space_repairs", stats.space_repairs);
+  json.Field("repair_size", static_cast<uint64_t>(stats.repair_size));
+  json.Field("space_exact", stats.space_exact);
+  json.Field("assignments", stats.repair.assignments);
+  json.Field("cnf_vars", stats.repair.cnf_vars);
+  json.Field("cnf_clauses", stats.repair.cnf_clauses);
+  json.Field("sat_conflicts", stats.repair.sat_conflicts);
+  json.Field("sat_learned_clauses", stats.repair.sat_learned_clauses);
+  json.Field("sat_restarts", stats.repair.sat_restarts);
+  json.Field("sat_solve_calls", stats.repair.sat_solve_calls);
+  json.EndObject();
+  json.EndObject();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string data_dir, program_path, out_dir, json_path;
+  std::string data_dir, program_path, out_dir, json_path, query_arg;
   std::string semantics_name = "all";
   bool apply = false, verify = false;
+  bool only_certain = false, only_possible = false, annotate = false;
   size_t show = 10;
   uint64_t budget_ms = 0, seed = 0, threads = 1;
 
@@ -198,6 +343,16 @@ int main(int argc, char** argv) {
                              " got '%s'\n", v ? v : "");
         return Usage(argv[0]);
       }
+    } else if (arg == "--query") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      query_arg = v;
+    } else if (arg == "--certain") {
+      only_certain = true;
+    } else if (arg == "--possible") {
+      only_possible = true;
+    } else if (arg == "--annotate") {
+      annotate = true;
     } else if (arg == "--apply") {
       apply = true;
     } else if (arg == "--verify") {
@@ -240,6 +395,23 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "--apply with --semantics all is ambiguous (which repair "
                  "would be kept?); pick one semantics\n");
+    return Usage(argv[0]);
+  }
+  if (!query_arg.empty() && apply) {
+    std::fprintf(stderr,
+                 "--query answers over the space of repairs; it never "
+                 "applies one (drop --apply)\n");
+    return Usage(argv[0]);
+  }
+  if (!query_arg.empty() && verify) {
+    std::fprintf(stderr,
+                 "--verify re-checks a repair result; query mode has "
+                 "none (drop --verify)\n");
+    return Usage(argv[0]);
+  }
+  if (query_arg.empty() && (only_certain || only_possible || annotate)) {
+    std::fprintf(stderr,
+                 "--certain/--possible/--annotate require --query\n");
     return Usage(argv[0]);
   }
 
@@ -294,6 +466,59 @@ int main(int argc, char** argv) {
   }
   bool stable_before = IsStable(&db, engine->program());
   std::printf("database stable: %s\n\n", stable_before ? "yes" : "no");
+
+  // Query mode: consistent query answering over each selected
+  // semantics' repair space instead of the repair sweep.
+  if (!query_arg.empty()) {
+    std::string query_text = query_arg;
+    std::error_code query_ec;
+    if (fs::is_regular_file(query_arg, query_ec)) {
+      std::ifstream qin(query_arg);
+      std::stringstream qbuf;
+      qbuf << qin.rdbuf();
+      query_text = qbuf.str();
+    }
+    std::vector<CqaRequest> cqa_requests;
+    for (const RepairRequest& request : requests) {
+      CqaRequest cqa(request.semantics, query_text);
+      cqa.options = request.options;
+      cqa.certain = !only_possible || only_certain;
+      cqa.possible = !only_certain || only_possible;
+      cqa.annotate = annotate;
+      cqa_requests.push_back(std::move(cqa));
+    }
+    std::vector<CqaResult> results =
+        AnswerQueryBatch(&engine.value(), cqa_requests);
+    for (const CqaResult& result : results) {
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status.ToString().c_str());
+        return 1;
+      }
+      PrintCqaResult(db, result, show, annotate);
+    }
+    if (!json_path.empty()) {
+      JsonWriter json;
+      json.BeginObject();
+      json.Field("tool", "drepair");
+      json.Field("mode", "cqa");
+      json.Field("data", data_dir);
+      json.Field("program", program_path);
+      json.Field("query", query_text);
+      json.Field("budget_ms", budget_ms);
+      json.Field("seed", seed);
+      json.Field("threads", threads);
+      json.Field("stable_before", stable_before);
+      json.Key("results").BeginArray();
+      for (const CqaResult& result : results) {
+        WriteCqaResultJson(json, db, result);
+      }
+      json.EndArray();
+      json.EndObject();
+      if (!WriteFileOrWarn(json_path, json.str())) return 1;
+      std::printf("\nJSON report written to %s\n", json_path.c_str());
+    }
+    return 0;
+  }
 
   std::vector<RepairOutcome> outcomes;
   if (apply) {
