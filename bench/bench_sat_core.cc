@@ -79,7 +79,9 @@ int Main() {
     SolverStats total;
     WallTimer timer;
     for (int r = 0; r < repeats; ++r) {
-      CdclSolver solver;
+      SolverOptions options;
+      options.inprocessing = true;  // the repair stack's configuration
+      CdclSolver solver(options);
       solver.AddCnf(cnf);
       status = solver.Solve();
       total.Add(solver.stats());

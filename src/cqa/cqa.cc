@@ -185,7 +185,16 @@ std::vector<CqaResult> AnswerQueryBatch(
     for (;;) {
       size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= requests.size()) break;
-      out[i] = AnswerQueryOnView(&view, engine->program(), requests[i]);
+      if (workers > 1 && requests[i].options.threads > 1) {
+        // The thread budget is spent on batch workers; a per-request
+        // solver portfolio on top would oversubscribe (and make the
+        // batch outcome depend on worker scheduling).
+        CqaRequest clamped = requests[i];
+        clamped.options.threads = 1;
+        out[i] = AnswerQueryOnView(&view, engine->program(), clamped);
+      } else {
+        out[i] = AnswerQueryOnView(&view, engine->program(), requests[i]);
+      }
     }
   };
 

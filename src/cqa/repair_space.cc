@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <set>
+#include <unordered_map>
 
 #include "common/timer.h"
 #include "datalog/grounder.h"
@@ -154,10 +156,7 @@ SymbolicRepairSpace::SymbolicRepairSpace(InstanceView* view,
     }
     solved = MinOnesSat(builder_.cnf(), solver_options);
   }
-  stats_.sat_conflicts = solved.solver.conflicts;
-  stats_.sat_learned_clauses = solved.solver.learned_clauses;
-  stats_.sat_restarts = solved.solver.restarts;
-  stats_.sat_solve_calls = solved.solver.solve_calls;
+  stats_.AddSolver(solved.solver);
   if (!solved.satisfiable || !solved.optimal || ctx->ShouldStop()) {
     exact_ = false;
     stats_.optimal = false;
@@ -171,19 +170,61 @@ SymbolicRepairSpace::SymbolicRepairSpace(InstanceView* view,
   SolverOptions entail_options;
   entail_options.learning = min_ones_options_.enable_learning;
   entail_options.restarts = min_ones_options_.enable_restarts;
+  // No inprocessing here: the stability CNF is already normalized and
+  // the totalizer is arc-consistent, so a sweep removes nothing, and
+  // its detach/canonicalize/reattach cycle both costs more than the
+  // entailment solves it would amortize over and measurably degrades
+  // their propagation order.
+  entail_options.inprocessing = false;
   *solver_.mutable_options() = entail_options;
+  portfolio_threads_ = std::max(1, options.threads);
   solver_.AddCnf(builder_.cnf());
   const uint32_t n = builder_.num_vars();
-  if (n > repair_size_) {
-    std::vector<Lit> inputs;
-    inputs.reserve(n);
-    for (uint32_t v = 0; v < n; ++v) inputs.push_back(PosLit(v));
-    std::vector<Lit> outputs =
-        BuildTotalizer(&solver_, inputs, repair_size_ + 1);
-    if (outputs.size() > repair_size_) {
-      solver_.AddClause({-outputs[repair_size_]});
+  solver_.FreezeRange(0, n);
+
+  // The cardinality cap is laid down per connected component of the
+  // stability CNF, not as one global counter. Components share no
+  // variables, so the minimum repair size decomposes as k = sum k_i
+  // over per-component minima, and a deletion set is a minimum repair
+  // iff every component slice is a minimum component repair: capping
+  // each component at its own k_i (read off the optimal model — any
+  // slice of a global optimum is a component optimum) admits exactly
+  // the models of the single cap at k. The counters total
+  // sum n_i * k_i clauses instead of n * k — orders of magnitude
+  // smaller when violations are spread over many small components.
+  std::vector<uint32_t> parent(n);
+  for (uint32_t v = 0; v < n; ++v) parent[v] = v;
+  std::function<uint32_t(uint32_t)> find = [&](uint32_t v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (const std::vector<Lit>& clause : builder_.cnf().clauses()) {
+    for (size_t i = 1; i < clause.size(); ++i) {
+      parent[find(LitVar(clause[i]))] = find(LitVar(clause[0]));
     }
   }
+  std::unordered_map<uint32_t, std::vector<uint32_t>> components;
+  for (uint32_t v = 0; v < n; ++v) components[find(v)].push_back(v);
+  for (auto& [root, vars] : components) {
+    uint32_t k = 0;
+    for (uint32_t v : vars) k += solved.model[v] ? 1 : 0;
+    if (k == 0) {
+      // Only clause-free variables sit in a zero-cost component; they
+      // can never be part of a minimum repair.
+      for (uint32_t v : vars) solver_.AddClause({NegLit(v)});
+      continue;
+    }
+    if (k >= vars.size()) continue;  // cap would be vacuous
+    std::vector<Lit> inputs;
+    inputs.reserve(vars.size());
+    for (uint32_t v : vars) inputs.push_back(PosLit(v));
+    std::vector<Lit> outputs = BuildTotalizer(&solver_, inputs, k + 1);
+    if (outputs.size() > k) solver_.AddClause({-outputs[k]});
+  }
+  solver_.FreezeRange(n, solver_.num_vars());
 }
 
 bool SymbolicRepairSpace::DeathClause(const std::vector<TupleId>& monomial,
@@ -207,7 +248,9 @@ SolveStatus SymbolicRepairSpace::SolveUnder(
       std::isinf(remaining) ? 0 : std::max(remaining, 1e-9);
   opts->cancel =
       ctx->cancel_token() != nullptr ? ctx->cancel_token()->flag() : nullptr;
-  return solver_.Solve(assumptions);
+  return portfolio_threads_ > 1
+             ? solver_.SolvePortfolio(portfolio_threads_, assumptions)
+             : solver_.Solve(assumptions);
 }
 
 CqaVerdict SymbolicRepairSpace::Certain(const AnswerProvenance& prov,
@@ -291,10 +334,7 @@ std::optional<CqaCounterexample> SymbolicRepairSpace::Counterexample(
     options.cancel = ctx->cancel_token()->flag();
   }
   MinOnesResult solved = MinOnesSat(cnf, options);
-  stats_.sat_conflicts += solved.solver.conflicts;
-  stats_.sat_learned_clauses += solved.solver.learned_clauses;
-  stats_.sat_restarts += solved.solver.restarts;
-  stats_.sat_solve_calls += solved.solver.solve_calls;
+  stats_.AddSolver(solved.solver);
   if (!solved.satisfiable) {
     ctx->ShouldStop();
     return std::nullopt;  // proven certain, or budget before any model
@@ -310,11 +350,7 @@ std::optional<CqaCounterexample> SymbolicRepairSpace::Counterexample(
 
 void SymbolicRepairSpace::AddStats(RepairStats* stats) const {
   RepairStats total = stats_;
-  const SolverStats& entail = solver_.stats();
-  total.sat_conflicts += entail.conflicts;
-  total.sat_learned_clauses += entail.learned_clauses;
-  total.sat_restarts += entail.restarts;
-  total.sat_solve_calls += entail.solve_calls;
+  total.AddSolver(solver_.stats());
   stats->Add(total);
 }
 

@@ -171,6 +171,9 @@ class SymbolicRepairSpace : public RepairSpace {
   DeletionCnfBuilder builder_;
   CdclSolver solver_;
   MinOnesOptions min_ones_options_;
+  /// From RepairOptions::threads: > 1 races SolvePortfolio clones per
+  /// entailment solve (verdicts exact, counterexample models racy).
+  int portfolio_threads_ = 1;
 };
 
 /// Builds the repair space of one semantics over the view's current

@@ -102,10 +102,7 @@ RepairResult IndependentSemantics::Run(InstanceView* view, const Program& progra
   // unsatisfiability would indicate an encoding bug.
   DR_CHECK_MSG(solved.satisfiable, "negated provenance must be satisfiable");
   result.stats.optimal = solved.optimal;
-  result.stats.sat_conflicts = solved.solver.conflicts;
-  result.stats.sat_learned_clauses = solved.solver.learned_clauses;
-  result.stats.sat_restarts = solved.solver.restarts;
-  result.stats.sat_solve_calls = solved.solver.solve_calls;
+  result.stats.AddSolver(solved.solver);
   // Latch kBudgetExhausted/kCancelled when the solver was cut short and
   // the run-level budget or token (not just the solver's own work caps)
   // is to blame.

@@ -12,6 +12,8 @@
 
 namespace deltarepair {
 
+struct SolverStats;
+
 enum class SemanticsKind {
   kEnd,          // Def. 3.10 — datalog baseline, deletions applied at fixpoint
   kStage,        // Def. 3.7  — semi-naive rounds, deterministic
@@ -43,6 +45,15 @@ struct RepairStats {
   uint64_t sat_learned_clauses = 0;
   uint64_t sat_restarts = 0;
   uint64_t sat_solve_calls = 0;
+  // Engine inprocessing (simplification between solves) per-pass
+  // counters, and portfolio clause-sharing traffic.
+  uint64_t sat_inprocess_runs = 0;
+  uint64_t sat_equivalent_vars = 0;      // SCC equivalence substitutions
+  uint64_t sat_subsumed_clauses = 0;
+  uint64_t sat_strengthened_clauses = 0;  // self-subsuming resolution
+  uint64_t sat_vivified_clauses = 0;
+  uint64_t sat_eliminated_vars = 0;       // bounded variable elimination
+  uint64_t sat_shared_clauses = 0;        // portfolio lemmas adopted
   /// For the heuristic algorithms: whether the result is provably
   /// minimum (Alg. 1 with an exhausted budget reports false).
   bool optimal = true;
@@ -51,6 +62,8 @@ struct RepairStats {
   /// ANDs. Used by aggregating consumers (CQA folds the repair-space
   /// construction and every entailment solve into one report).
   void Add(const RepairStats& other);
+  /// Folds one engine's counters into the sat_* fields.
+  void AddSolver(const SolverStats& solver);
 };
 
 /// The outcome of running one semantics: the set S of deleted (non-delta)

@@ -204,10 +204,7 @@ StatusOr<SideEffectResult> MinimalSourceSideEffect(
   }
   result.optimal = solved.optimal;
   result.stats.optimal = solved.optimal;
-  result.stats.sat_conflicts = solved.solver.conflicts;
-  result.stats.sat_learned_clauses = solved.solver.learned_clauses;
-  result.stats.sat_restarts = solved.solver.restarts;
-  result.stats.sat_solve_calls = solved.solver.solve_calls;
+  result.stats.AddSolver(solved.solver);
   for (uint32_t v = 0; v < builder.num_vars(); ++v) {
     if (solved.model[v]) result.deleted.push_back(builder.TupleOfVar(v));
   }

@@ -1,0 +1,197 @@
+// Inprocessing driver: orchestrates the passes around a detach /
+// simplify-on-occurrence-lists / reattach cycle, keeping the solver's
+// incremental state (trail, learnts, watches) consistent throughout.
+#include "sat/inprocess_passes.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace deltarepair {
+
+Inprocessor::Inprocessor(CdclSolver* solver)
+    : s_(*solver),
+      cfg_(solver->options_.inprocess),
+      stats_(solver->stats_.inprocess) {}
+
+bool Inprocessor::Fail() {
+  s_.ok_ = false;
+  return false;
+}
+
+bool Inprocessor::Run() {
+  DR_CHECK(s_.DecisionLevel() == 0);
+  if (!s_.ok_) return false;
+  if (s_.Propagate() != nullptr) return Fail();
+  DetachAll();
+  if (!TopLevelSimplify()) return Fail();
+  BuildOccurrence();
+  if (!PropagateUnitsOcc()) return Fail();
+  if (cfg_.scc && !SccPass()) return Fail();
+  if (cfg_.subsume && !SubsumePass()) return Fail();
+  if (cfg_.eliminate && !EliminatePass()) return Fail();
+  if (!Reattach()) return Fail();
+  if (cfg_.vivify && !VivifyPass()) return Fail();
+  ++stats_.runs;
+  return true;
+}
+
+void Inprocessor::DetachAll() {
+  for (auto& ws : s_.watches_) ws.clear();
+  // Top-level reasons are never consulted again (conflict analysis skips
+  // level-0 literals) and would dangle once clauses move or die.
+  for (Lit p : s_.trail_) s_.reason_[LitVar(p)] = nullptr;
+}
+
+void Inprocessor::KillClause(Clause* c) {
+  if (c->dead) return;
+  c->dead = true;
+  c->lits.clear();
+}
+
+bool Inprocessor::TopLevelSimplify() {
+  // Strip assigned literals out of the problem clauses. Units found here
+  // are assigned immediately; clauses processed earlier catch up during
+  // occurrence propagation.
+  for (auto& owned : s_.clauses_) {
+    Clause* c = owned.get();
+    if (c->dead) continue;
+    bool satisfied = false;
+    for (Lit l : c->lits) {
+      if (s_.LitValue(l) == 1) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (satisfied) {
+      KillClause(c);
+      continue;
+    }
+    c->lits.erase(std::remove_if(c->lits.begin(), c->lits.end(),
+                                 [&](Lit l) { return s_.LitValue(l) == 0; }),
+                  c->lits.end());
+    if (c->lits.empty()) return false;
+    if (c->lits.size() == 1) {
+      if (!AssignUnit(c->lits[0])) return false;
+      KillClause(c);
+    }
+  }
+  return true;
+}
+
+void Inprocessor::OccInsert(Clause* c) {
+  for (Lit l : c->lits) {
+    occ_[CdclSolver::WatchIndex(l)].push_back(c);
+  }
+}
+
+void Inprocessor::BuildOccurrence() {
+  occ_.assign(static_cast<size_t>(s_.num_vars()) * 2, {});
+  for (auto& owned : s_.clauses_) {
+    if (!owned->dead) OccInsert(owned.get());
+  }
+}
+
+bool Inprocessor::AssignUnit(Lit l) {
+  int8_t val = s_.LitValue(l);
+  if (val == 1) return true;
+  if (val == 0) return false;
+  s_.UncheckedEnqueue(l, nullptr);  // level 0: DecisionLevel() == 0
+  pending_.push_back(l);
+  return true;
+}
+
+bool Inprocessor::StripLiteral(Clause* c, Lit l) {
+  if (c->dead) return true;
+  c->lits.erase(std::remove(c->lits.begin(), c->lits.end(), l),
+                c->lits.end());
+  c->sig = Signature(*c);
+  if (c->lits.empty()) return false;
+  if (c->lits.size() == 1) {
+    if (!AssignUnit(c->lits[0])) return false;
+    // The clause is satisfied by its own unit; occurrence propagation of
+    // that literal reaps it.
+  }
+  return true;
+}
+
+bool Inprocessor::PropagateUnitsOcc() {
+  while (!pending_.empty()) {
+    Lit l = pending_.back();
+    pending_.pop_back();
+    auto& sat = occ_[CdclSolver::WatchIndex(l)];
+    steps_ += sat.size();
+    for (Clause* c : sat) KillClause(c);
+    sat.clear();
+    auto& falsified = occ_[CdclSolver::WatchIndex(-l)];
+    steps_ += falsified.size();
+    for (Clause* c : falsified) {
+      if (!StripLiteral(c, -l)) return false;
+    }
+    falsified.clear();
+  }
+  return true;
+}
+
+uint64_t Inprocessor::Signature(const Clause& c) {
+  uint64_t sig = 0;
+  for (Lit l : c.lits) sig |= uint64_t{1} << (LitVar(l) & 63);
+  return sig;
+}
+
+bool Inprocessor::Reattach() {
+  // Problem clauses: reap the dead, attach the survivors.
+  auto& clauses = s_.clauses_;
+  clauses.erase(std::remove_if(clauses.begin(), clauses.end(),
+                               [](const std::unique_ptr<Clause>& c) {
+                                 return c->dead;
+                               }),
+                clauses.end());
+  for (auto& c : clauses) {
+    DR_CHECK(c->lits.size() >= 2);
+    s_.AttachClause(c.get());
+  }
+  // Learnts survive inprocessing (incremental amortization) unless they
+  // mention a removed variable or died at the top level.
+  auto& learnts = s_.learnts_;
+  size_t kept = 0;
+  for (auto& owned : learnts) {
+    Clause* c = owned.get();
+    bool drop = c->dead;
+    if (!drop) {
+      for (Lit l : c->lits) {
+        if (s_.eliminated_[LitVar(l)] != 0 || s_.LitValue(l) == 1) {
+          drop = true;
+          break;
+        }
+      }
+    }
+    if (!drop) {
+      c->lits.erase(std::remove_if(c->lits.begin(), c->lits.end(),
+                                   [&](Lit l) {
+                                     return s_.LitValue(l) == 0;
+                                   }),
+                    c->lits.end());
+      if (c->lits.empty()) return false;
+      if (c->lits.size() == 1) {
+        if (!AssignUnit(c->lits[0])) return false;
+        drop = true;  // absorbed into the trail
+      }
+    }
+    if (drop) {
+      owned.reset();
+      continue;
+    }
+    s_.AttachClause(c);
+    learnts[kept++] = std::move(owned);
+  }
+  learnts.resize(kept);
+  pending_.clear();  // units are on the trail; watched propagation takes over
+  // Re-propagate the whole trail over the fresh watch lists: idempotent
+  // at level 0, and it restores every watch invariant.
+  s_.qhead_ = 0;
+  if (s_.Propagate() != nullptr) return false;
+  return true;
+}
+
+}  // namespace deltarepair

@@ -1,0 +1,82 @@
+// Public knobs and counters for the CDCL inprocessing pipeline
+// (inprocess_passes.h holds the engine-internal pass machinery). The
+// pipeline runs between Solve() calls, at decision level 0, under a
+// work budget, and simplifies the *problem* clause set while keeping
+// the incremental contract intact:
+//
+//  * SCC reduction over the binary implication graph substitutes each
+//    equivalence class by one representative literal,
+//  * subsumption removes implied clauses and self-subsuming resolution
+//    strengthens clauses in place,
+//  * vivification re-propagates each clause's literals to drop the
+//    redundant ones,
+//  * bounded variable elimination (BVE) resolves out variables whose
+//    elimination does not grow the formula.
+//
+// SCC substitution and BVE change the variable universe, so models are
+// rebuilt through a reconstruction stack (reconstruction.h), and any
+// variable the caller will mention again — in a future AddClause, as an
+// assumption, in a cardinality layer — must be frozen first
+// (CdclSolver::Freeze). Assumption variables are frozen automatically
+// when Solve(assumptions) runs; everything else is the caller's duty.
+#ifndef DELTAREPAIR_SAT_INPROCESS_H_
+#define DELTAREPAIR_SAT_INPROCESS_H_
+
+#include <cstdint>
+
+namespace deltarepair {
+
+/// Per-pass switches (the fuzz ablation cycles these) and budgets.
+struct InprocessConfig {
+  bool scc = true;        // binary-implication-graph equivalence reduction
+  bool subsume = true;    // subsumption + self-subsuming resolution
+  bool vivify = true;     // propagation-based clause strengthening
+  bool eliminate = true;  // bounded variable elimination
+
+  /// Work cap per run, in occurrence/propagation steps. Passes stop
+  /// mid-sweep when it runs out; the formula stays consistent.
+  uint64_t budget = 4'000'000;
+  /// The auto-trigger skips formulas with fewer problem clauses than
+  /// this — on instances solved in microseconds a sweep costs more than
+  /// it saves. Explicit Inprocess() calls ignore the gate.
+  uint64_t min_clauses = 64;
+  /// Auto-trigger thresholds: after the first run, MaybeInprocess only
+  /// fires again once this many problem clauses or conflicts have been
+  /// added since the previous run.
+  uint64_t min_new_clauses = 2'000;
+  uint64_t min_new_conflicts = 50'000;
+  /// Clauses wider than this are skipped by subsumption/vivification.
+  uint32_t max_clause_size = 64;
+  /// BVE candidate cap: variables with more than this many total
+  /// occurrences are not considered.
+  uint32_t elim_occurrence_cap = 16;
+  /// BVE: a resolvent wider than this vetoes the elimination.
+  uint32_t elim_resolvent_max = 24;
+  /// BVE: clauses the elimination may add beyond the count it removes.
+  uint32_t elim_growth = 0;
+};
+
+/// Per-pass counters, cumulative across runs (part of SolverStats).
+struct InprocessStats {
+  uint64_t runs = 0;
+  uint64_t equivalent_vars = 0;      // substituted by SCC reduction
+  uint64_t subsumed_clauses = 0;     // removed as implied
+  uint64_t strengthened_clauses = 0; // shrunk by self-subsumption
+  uint64_t vivified_clauses = 0;     // shrunk by vivification
+  uint64_t eliminated_vars = 0;      // resolved out by BVE
+  uint64_t elim_resolvents = 0;      // clauses BVE added back
+
+  void Add(const InprocessStats& o) {
+    runs += o.runs;
+    equivalent_vars += o.equivalent_vars;
+    subsumed_clauses += o.subsumed_clauses;
+    strengthened_clauses += o.strengthened_clauses;
+    vivified_clauses += o.vivified_clauses;
+    eliminated_vars += o.eliminated_vars;
+    elim_resolvents += o.elim_resolvents;
+  }
+};
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_SAT_INPROCESS_H_

@@ -1,0 +1,126 @@
+// Bounded variable elimination (NiVER/SatELite style): a variable v
+// whose resolvent set is no larger than the clauses it replaces is
+// resolved away. Soundness is existential projection — v must never be
+// mentioned again, which the Freeze() contract guarantees — and model
+// completeness comes from the reconstruction stack: the positive
+// occurrence clauses are recorded with witness +v, so extension sets v
+// true exactly when some recorded clause would otherwise be falsified.
+#include <algorithm>
+
+#include "sat/inprocess_passes.h"
+
+namespace deltarepair {
+
+namespace {
+
+// Resolvent of `pos` (contains +v) and `neg` (contains -v) on v, both
+// sorted. Returns false for a tautology, else fills sorted `out`.
+bool Resolve(const std::vector<Lit>& pos, const std::vector<Lit>& neg,
+             uint32_t v, std::vector<Lit>* out) {
+  out->clear();
+  size_t i = 0;
+  size_t j = 0;
+  while (i < pos.size() || j < neg.size()) {
+    if (i < pos.size() && LitVar(pos[i]) == v) {
+      ++i;
+      continue;
+    }
+    if (j < neg.size() && LitVar(neg[j]) == v) {
+      ++j;
+      continue;
+    }
+    if (j >= neg.size() ||
+        (i < pos.size() && LitVar(pos[i]) < LitVar(neg[j]))) {
+      out->push_back(pos[i++]);
+    } else if (i >= pos.size() || LitVar(neg[j]) < LitVar(pos[i])) {
+      out->push_back(neg[j++]);
+    } else {
+      if (pos[i] != neg[j]) return false;  // tautology: x and -x
+      out->push_back(pos[i]);
+      ++i;
+      ++j;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Inprocessor::EliminatePass() {
+  // Subsumption may have strengthened clauses behind the lists' back;
+  // start from a consistent view.
+  BuildOccurrence();
+
+  std::vector<Lit> resolvent;
+  std::vector<std::vector<Lit>> resolvents;
+  for (uint32_t v = 0; v < s_.num_vars(); ++v) {
+    if (OutOfBudget()) break;
+    if (s_.frozen_[v] != 0 || s_.eliminated_[v] != 0 || s_.assign_[v] != -1) {
+      continue;
+    }
+    auto& pos_occ = occ_[CdclSolver::WatchIndex(PosLit(v))];
+    auto& neg_occ = occ_[CdclSolver::WatchIndex(NegLit(v))];
+    pos_occ.erase(std::remove_if(pos_occ.begin(), pos_occ.end(),
+                                 [](Clause* c) { return c->dead; }),
+                  pos_occ.end());
+    neg_occ.erase(std::remove_if(neg_occ.begin(), neg_occ.end(),
+                                 [](Clause* c) { return c->dead; }),
+                  neg_occ.end());
+    if (pos_occ.size() > cfg_.elim_occurrence_cap ||
+        neg_occ.size() > cfg_.elim_occurrence_cap) {
+      continue;
+    }
+
+    // Trial resolution: count the non-tautological resolvents, bailing
+    // once the clause database would grow.
+    const size_t before = pos_occ.size() + neg_occ.size();
+    const size_t limit = before + cfg_.elim_growth;
+    resolvents.clear();
+    bool abort = false;
+    for (Clause* p : pos_occ) {
+      for (Clause* n : neg_occ) {
+        steps_ += p->lits.size() + n->lits.size();
+        if (!Resolve(p->lits, n->lits, v, &resolvent)) continue;
+        if (resolvent.size() > cfg_.elim_resolvent_max) {
+          abort = true;
+          break;
+        }
+        resolvents.push_back(resolvent);
+        if (resolvents.size() > limit) {
+          abort = true;
+          break;
+        }
+      }
+      if (abort) break;
+    }
+    if (abort) continue;
+
+    // Commit. Record the positive occurrences for model reconstruction
+    // before the clauses are killed (KillClause clears the literals).
+    for (Clause* p : pos_occ) s_.recon_.Push(p->lits, PosLit(v));
+    for (Clause* p : pos_occ) KillClause(p);
+    for (Clause* n : neg_occ) KillClause(n);
+    pos_occ.clear();
+    neg_occ.clear();
+    s_.eliminated_[v] = 1;
+    ++stats_.eliminated_vars;
+    for (auto& r : resolvents) {
+      if (r.empty()) return false;
+      if (r.size() == 1) {
+        if (!AssignUnit(r[0])) return false;
+        continue;
+      }
+      auto owned = std::make_unique<Clause>();
+      owned->lits = std::move(r);
+      owned->sig = Signature(*owned);
+      Clause* c = owned.get();
+      s_.clauses_.push_back(std::move(owned));
+      OccInsert(c);
+      ++stats_.elim_resolvents;
+    }
+    if (!PropagateUnitsOcc()) return false;
+  }
+  return true;
+}
+
+}  // namespace deltarepair

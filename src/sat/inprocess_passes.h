@@ -1,0 +1,71 @@
+// Engine-internal inprocessing machinery (public knobs in inprocess.h).
+// The Inprocessor detaches the watch lists, simplifies the problem
+// clause set on occurrence lists (SCC equivalence reduction,
+// subsumption + self-subsuming resolution, bounded variable
+// elimination), reattaches the survivors, and finishes with clause
+// vivification over the live propagation engine. One instance serves
+// one run; state lives in the solver.
+#ifndef DELTAREPAIR_SAT_INPROCESS_PASSES_H_
+#define DELTAREPAIR_SAT_INPROCESS_PASSES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/solver.h"
+
+namespace deltarepair {
+
+class Inprocessor {
+ public:
+  explicit Inprocessor(CdclSolver* solver);
+
+  /// Runs the configured pipeline at decision level 0. Returns false
+  /// when simplification refutes the formula (solver ok() goes false);
+  /// the solver is left consistent either way.
+  bool Run();
+
+ private:
+  using Clause = CdclSolver::Clause;
+
+  /// Marks the formula refuted and reports failure.
+  bool Fail();
+  bool OutOfBudget() const { return steps_ > cfg_.budget; }
+
+  // Driver plumbing (inprocess.cc).
+  void DetachAll();
+  bool TopLevelSimplify();
+  void BuildOccurrence();
+  void OccInsert(Clause* c);
+  /// Assigns a literal at the top level and queues it for
+  /// occurrence-list propagation. False on contradiction.
+  bool AssignUnit(Lit l);
+  /// Drains the pending top-level assignments against the occurrence
+  /// lists (kill satisfied clauses, strip falsified literals), to
+  /// fixpoint. False on refutation.
+  bool PropagateUnitsOcc();
+  void KillClause(Clause* c);
+  /// Strips `l` from `c` (preserving sorted order); false on refutation.
+  bool StripLiteral(Clause* c, Lit l);
+  bool Reattach();
+  static uint64_t Signature(const Clause& c);
+
+  // Passes, one translation unit each.
+  bool SccPass();        // inprocess_scc.cc
+  bool SubsumePass();    // inprocess_subsume.cc
+  bool EliminatePass();  // inprocess_eliminate.cc
+  bool VivifyPass();     // inprocess_vivify.cc
+
+  CdclSolver& s_;
+  const InprocessConfig& cfg_;
+  InprocessStats& stats_;
+  uint64_t steps_ = 0;
+  /// Per literal index (CdclSolver::WatchIndex), live problem clauses.
+  /// Entries may be stale after strengthening; consumers re-verify
+  /// membership.
+  std::vector<std::vector<Clause*>> occ_;
+  std::vector<Lit> pending_;  // assigned, occurrence-propagation due
+};
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_SAT_INPROCESS_PASSES_H_

@@ -1,0 +1,217 @@
+// Equivalent-literal substitution: Tarjan SCCs over the binary
+// implication graph (each binary clause (a ∨ b) contributes ¬a → b and
+// ¬b → a). Every literal in a cycle is equivalent; each class keeps one
+// representative and the rest are substituted away, with the defining
+// binaries pushed on the reconstruction stack so models restore them.
+// A class containing both polarities of a variable refutes the formula.
+#include <algorithm>
+
+#include "common/status.h"
+#include "sat/inprocess_passes.h"
+
+namespace deltarepair {
+
+namespace {
+
+Lit LitOfNode(uint32_t node) {
+  uint32_t var = node / 2;
+  return (node & 1) == 0 ? PosLit(var) : NegLit(var);
+}
+
+}  // namespace
+
+bool Inprocessor::SccPass() {
+  const uint32_t num_nodes = s_.num_vars() * 2;
+  if (num_nodes == 0) return true;
+
+  // CSR adjacency over literal nodes from live binary clauses.
+  std::vector<uint32_t> degree(num_nodes + 1, 0);
+  std::vector<const Clause*> binaries;
+  for (const auto& owned : s_.clauses_) {
+    const Clause* c = owned.get();
+    if (c->dead || c->lits.size() != 2) continue;
+    binaries.push_back(c);
+    ++degree[CdclSolver::WatchIndex(-c->lits[0]) + 1];
+    ++degree[CdclSolver::WatchIndex(-c->lits[1]) + 1];
+  }
+  if (binaries.empty()) return true;
+  steps_ += binaries.size() * 2;
+  for (size_t i = 1; i < degree.size(); ++i) degree[i] += degree[i - 1];
+  std::vector<uint32_t> edges(degree[num_nodes]);
+  {
+    std::vector<uint32_t> cursor(degree.begin(), degree.end() - 1);
+    for (const Clause* c : binaries) {
+      edges[cursor[CdclSolver::WatchIndex(-c->lits[0])]++] =
+          CdclSolver::WatchIndex(c->lits[1]);
+      edges[cursor[CdclSolver::WatchIndex(-c->lits[1])]++] =
+          CdclSolver::WatchIndex(c->lits[0]);
+    }
+  }
+
+  // Iterative Tarjan.
+  constexpr uint32_t kUnvisited = UINT32_MAX;
+  std::vector<uint32_t> index(num_nodes, kUnvisited);
+  std::vector<uint32_t> lowlink(num_nodes, 0);
+  std::vector<uint32_t> scc_of(num_nodes, kUnvisited);
+  std::vector<uint8_t> on_stack(num_nodes, 0);
+  std::vector<uint32_t> stack;
+  uint32_t next_index = 0;
+  uint32_t num_sccs = 0;
+  struct Frame {
+    uint32_t node;
+    uint32_t edge;  // next outgoing edge offset to explore
+  };
+  std::vector<Frame> dfs;
+  for (uint32_t root = 0; root < num_nodes; ++root) {
+    if (index[root] != kUnvisited) continue;
+    dfs.push_back({root, degree[root]});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = 1;
+    while (!dfs.empty()) {
+      Frame& f = dfs.back();
+      if (f.edge < degree[f.node + 1]) {
+        uint32_t next = edges[f.edge++];
+        ++steps_;
+        if (index[next] == kUnvisited) {
+          index[next] = lowlink[next] = next_index++;
+          stack.push_back(next);
+          on_stack[next] = 1;
+          dfs.push_back({next, degree[next]});
+        } else if (on_stack[next]) {
+          lowlink[f.node] = std::min(lowlink[f.node], index[next]);
+        }
+        continue;
+      }
+      uint32_t node = f.node;
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        lowlink[dfs.back().node] =
+            std::min(lowlink[dfs.back().node], lowlink[node]);
+      }
+      if (lowlink[node] == index[node]) {
+        for (;;) {
+          uint32_t member = stack.back();
+          stack.pop_back();
+          on_stack[member] = 0;
+          scc_of[member] = num_sccs;
+          if (member == node) break;
+        }
+        ++num_sccs;
+      }
+    }
+  }
+
+  // Group literals by class and substitute. Classes are visited via
+  // their lowest literal node, so the mirror class (all negations) is
+  // handled exactly once through the `done` mark on variables.
+  std::vector<std::vector<uint32_t>> members(num_sccs);
+  for (uint32_t node = 0; node < num_nodes; ++node) {
+    members[scc_of[node]].push_back(node);
+  }
+  std::vector<uint8_t> done(s_.num_vars(), 0);
+  std::vector<uint32_t> substituted;
+  for (uint32_t node = 0; node < num_nodes; ++node) {
+    const auto& group = members[scc_of[node]];
+    if (group.size() < 2 || group.front() != node) continue;
+    // Contradiction check: both polarities of one variable in a cycle.
+    for (uint32_t m : group) {
+      if (scc_of[m] == scc_of[m ^ 1]) return false;
+    }
+    bool handled = true;
+    for (uint32_t m : group) handled &= done[m / 2] != 0;
+    if (handled) continue;
+    // Representative: a frozen literal when the class has one (frozen
+    // variables must survive), else the lowest variable.
+    uint32_t rep_node = group.front();
+    for (uint32_t m : group) {
+      if (s_.frozen_[m / 2] != 0) {
+        rep_node = m;
+        break;
+      }
+    }
+    Lit rep = LitOfNode(rep_node);
+    for (uint32_t m : group) done[m / 2] = 1;
+    for (uint32_t m : group) {
+      uint32_t v = m / 2;
+      if (v == LitVar(rep) || s_.frozen_[v] != 0 || s_.assign_[v] != -1 ||
+          s_.eliminated_[v] != 0) {
+        continue;
+      }
+      Lit member = LitOfNode(m);
+      // member ≡ rep, so v ≡ target where target = rep under member's
+      // own sign.
+      Lit target = LitSign(member) ? rep : -rep;
+      s_.subst_[v] = target;
+      s_.eliminated_[v] = 1;
+      // The defining binaries, replayed by reconstruction to pin v.
+      s_.recon_.Push({PosLit(v), -target}, PosLit(v));
+      s_.recon_.Push({NegLit(v), target}, NegLit(v));
+      substituted.push_back(v);
+      ++stats_.equivalent_vars;
+    }
+  }
+  if (substituted.empty()) return true;
+
+  // Flatten older substitution chains through the new entries (new
+  // representatives are never substituted themselves, so one hop is
+  // enough).
+  for (uint32_t v = 0; v < s_.num_vars(); ++v) {
+    Lit t = s_.subst_[v];
+    if (t == 0) continue;
+    Lit t2 = s_.subst_[LitVar(t)];
+    if (t2 != 0) s_.subst_[v] = LitSign(t) ? t2 : -t2;
+  }
+
+  // Rewrite every clause touching a substituted variable.
+  for (uint32_t v : substituted) {
+    for (int sign = 0; sign < 2; ++sign) {
+      auto& list = occ_[v * 2 + static_cast<uint32_t>(sign)];
+      steps_ += list.size();
+      for (Clause* c : list) {
+        if (c->dead) continue;
+        std::vector<Lit> mapped;
+        mapped.reserve(c->lits.size());
+        for (Lit l : c->lits) mapped.push_back(s_.MapLit(l));
+        std::sort(mapped.begin(), mapped.end(), [](Lit a, Lit b) {
+          return LitVar(a) != LitVar(b) ? LitVar(a) < LitVar(b) : a < b;
+        });
+        std::vector<Lit> clean;
+        clean.reserve(mapped.size());
+        bool satisfied = false;
+        for (Lit l : mapped) {
+          if (!clean.empty() && clean.back() == l) continue;
+          if (!clean.empty() && LitVar(clean.back()) == LitVar(l)) {
+            satisfied = true;  // tautology after substitution
+            break;
+          }
+          int8_t val = s_.LitValue(l);
+          if (val == 1) {
+            satisfied = true;
+            break;
+          }
+          if (val == 0) continue;
+          clean.push_back(l);
+        }
+        if (satisfied) {
+          KillClause(c);
+          continue;
+        }
+        if (clean.empty()) return false;
+        if (clean.size() == 1) {
+          if (!AssignUnit(clean[0])) return false;
+          KillClause(c);
+          continue;
+        }
+        c->lits = std::move(clean);
+        c->sig = Signature(*c);
+      }
+    }
+  }
+  // Occurrence lists now point at rewritten clauses from stale slots;
+  // rebuild wholesale and settle any units the rewrite produced.
+  BuildOccurrence();
+  return PropagateUnitsOcc();
+}
+
+}  // namespace deltarepair

@@ -1,0 +1,107 @@
+// Clause subsumption and self-subsuming resolution over the detached
+// occurrence lists. Clauses are canonicalized (sorted by variable,
+// signature refreshed) so containment is a merge walk; the 64-bit
+// variable signature prunes most candidate pairs before the walk.
+//
+// Self-subsuming resolution: if C = P ∪ {l} and D ⊇ P ∪ {¬l}, the
+// resolvent of C and D on l subsumes D, so ¬l can be stripped from D.
+#include <algorithm>
+
+#include "sat/inprocess_passes.h"
+
+namespace deltarepair {
+
+namespace {
+
+bool LitOrder(Lit a, Lit b) {
+  return LitVar(a) != LitVar(b) ? LitVar(a) < LitVar(b) : a < b;
+}
+
+// True when every literal of `small` appears in sorted `big`, where the
+// literal equal to `flip` (if any) must appear negated instead. With
+// flip == 0 this is plain subset containment.
+bool SubsetWithFlip(const std::vector<Lit>& small, const std::vector<Lit>& big,
+                    Lit flip) {
+  size_t j = 0;
+  for (Lit x : small) {
+    Lit want = x == flip ? -x : x;
+    while (j < big.size() && LitVar(big[j]) < LitVar(want)) ++j;
+    if (j >= big.size() || big[j] != want) return false;
+    ++j;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Inprocessor::SubsumePass() {
+  // Canonicalize every live clause once.
+  std::vector<Clause*> live;
+  for (auto& owned : s_.clauses_) {
+    Clause* c = owned.get();
+    if (c->dead) continue;
+    std::sort(c->lits.begin(), c->lits.end(), LitOrder);
+    c->sig = Signature(*c);
+    live.push_back(c);
+  }
+  steps_ += live.size();
+  // Small clauses first: they are the strongest subsumers, and once a
+  // clause is killed it is skipped everywhere downstream.
+  std::sort(live.begin(), live.end(), [](const Clause* a, const Clause* b) {
+    return a->lits.size() < b->lits.size();
+  });
+
+  for (Clause* c : live) {
+    if (OutOfBudget()) break;
+    if (c->dead || c->lits.size() < 2 ||
+        c->lits.size() > cfg_.max_clause_size) {
+      continue;
+    }
+
+    // Backward subsumption, scanning only the rarest literal's list.
+    Lit rare = c->lits[0];
+    for (Lit l : c->lits) {
+      if (occ_[CdclSolver::WatchIndex(l)].size() <
+          occ_[CdclSolver::WatchIndex(rare)].size()) {
+        rare = l;
+      }
+    }
+    auto& candidates = occ_[CdclSolver::WatchIndex(rare)];
+    steps_ += candidates.size();
+    for (Clause* d : candidates) {
+      if (d == c || d->dead || d->lits.size() < c->lits.size()) continue;
+      if ((c->sig & ~d->sig) != 0) continue;
+      steps_ += d->lits.size();
+      if (SubsetWithFlip(c->lits, d->lits, 0)) {
+        KillClause(d);
+        ++stats_.subsumed_clauses;
+      }
+    }
+
+    // Self-subsuming resolution: strengthen clauses that contain the
+    // negation of one literal of c and all the others.
+    for (Lit l : c->lits) {
+      auto& list = occ_[CdclSolver::WatchIndex(-l)];
+      steps_ += list.size();
+      for (Clause* d : list) {
+        if (d == c || d->dead || d->lits.size() < c->lits.size() ||
+            d->lits.size() < 2) {
+          continue;
+        }
+        if ((c->sig & ~d->sig) != 0) continue;
+        steps_ += d->lits.size();
+        if (SubsetWithFlip(c->lits, d->lits, l)) {
+          // Entries for d under -l go stale here; every consumer
+          // re-checks membership, and occurrence lists are rebuilt
+          // before elimination.
+          if (!StripLiteral(d, -l)) return false;
+          ++stats_.strengthened_clauses;
+        }
+      }
+      if (OutOfBudget()) break;
+    }
+  }
+  return PropagateUnitsOcc();
+}
+
+}  // namespace deltarepair

@@ -1,0 +1,81 @@
+// Clause vivification: for each clause C = (l1 ∨ ... ∨ lk), assume the
+// negations ¬l1, ¬l2, ... in turn over the live propagation engine (C
+// itself detached so it cannot participate). Three shortenings arise:
+//  * li already false under the prefix — li is redundant, drop it;
+//  * li already true — the prefix implies li, the clause truncates to
+//    prefix ∪ {li};
+//  * propagation conflicts — the prefix alone is contradictory, the
+//    clause truncates to the prefix.
+// Runs attached (after Reattach), since it needs real unit propagation.
+#include "common/status.h"
+#include "sat/inprocess_passes.h"
+
+namespace deltarepair {
+
+bool Inprocessor::VivifyPass() {
+  DR_CHECK(s_.DecisionLevel() == 0);
+  // Reattach()'s propagation may have left level-0 reasons pointing at
+  // clauses this pass is about to rewrite; they are never consulted
+  // again (analysis skips level 0), so sever them.
+  for (Lit p : s_.trail_) s_.reason_[LitVar(p)] = nullptr;
+
+  std::vector<Lit> kept;
+  for (auto& owned : s_.clauses_) {
+    if (OutOfBudget()) break;
+    Clause* c = owned.get();
+    if (c->dead || c->lits.size() < 3 ||
+        c->lits.size() > cfg_.max_clause_size) {
+      continue;
+    }
+    bool satisfied = false;
+    for (Lit l : c->lits) {
+      if (s_.LitValue(l) == 1) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (satisfied) continue;
+
+    s_.DetachClause(c);
+    kept.clear();
+    for (Lit l : c->lits) {
+      int8_t val = s_.LitValue(l);
+      if (val == 0) continue;  // implied false by the prefix: redundant
+      if (val == 1) {          // prefix implies l: truncate after it
+        kept.push_back(l);
+        break;
+      }
+      s_.NewDecisionLevel();
+      s_.UncheckedEnqueue(-l, nullptr);
+      size_t before = s_.trail_.size();
+      Clause* conflict = s_.Propagate();
+      steps_ += (s_.trail_.size() - before) + 1;
+      kept.push_back(l);
+      if (conflict != nullptr) break;  // prefix contradictory: truncate
+    }
+    s_.CancelUntil(0);
+
+    if (kept.size() >= c->lits.size()) {
+      s_.AttachClause(c);
+      continue;
+    }
+    ++stats_.vivified_clauses;
+    if (kept.empty()) return false;
+    if (kept.size() == 1) {
+      Lit unit = kept[0];
+      KillClause(c);  // the unit subsumes it; reaped at the next run
+      if (s_.LitValue(unit) == 0) return false;
+      if (s_.LitValue(unit) == -1) {
+        s_.UncheckedEnqueue(unit, nullptr);
+        if (s_.Propagate() != nullptr) return false;
+      }
+      continue;
+    }
+    c->lits = kept;
+    c->sig = Signature(*c);
+    s_.AttachClause(c);
+  }
+  return true;
+}
+
+}  // namespace deltarepair

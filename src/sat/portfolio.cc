@@ -1,0 +1,205 @@
+// Portfolio solving: SolvePortfolio races diversified clones of one
+// solver on the same problem, sharing short learned clauses through the
+// ClauseExchange ring; the first clone to reach a verdict cancels the
+// rest. Verdicts are exact (every worker solves the full problem), but
+// which model comes back is a race, so callers that need run-to-run
+// determinism keep the default single-threaded path.
+#include "sat/portfolio.h"
+
+#include <thread>
+
+#include "common/status.h"
+#include "sat/solver.h"
+
+namespace deltarepair {
+
+void ClauseExchange::Publish(const Lit* lits, uint32_t size,
+                             uint32_t writer) {
+  DR_CHECK(size > 0 && size <= kMaxLits);
+  uint64_t pos = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[pos % kSlots];
+  const uint64_t claimed = (pos / kSlots) * 2 + 1;
+  uint64_t expected = slot.seq.load(std::memory_order_relaxed);
+  // Claim the slot for this lap. A newer lap already in (or through)
+  // the slot, or a concurrent writer mid-claim, makes us drop the
+  // publish instead of mixing payloads.
+  if (expected >= claimed || (expected & 1) != 0 ||
+      !slot.seq.compare_exchange_strong(expected, claimed,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+    return;
+  }
+  for (uint32_t i = 0; i < size; ++i) {
+    slot.lits[i].store(lits[i], std::memory_order_relaxed);
+  }
+  slot.meta.store(writer * 16u + size, std::memory_order_relaxed);
+  slot.seq.store(claimed + 1, std::memory_order_release);
+}
+
+void ClauseExchange::Drain(uint64_t* cursor, uint32_t reader,
+                           std::vector<std::vector<Lit>>* out) const {
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  uint64_t pos = *cursor;
+  if (head > kSlots && pos < head - kSlots) pos = head - kSlots;  // lapped
+  std::array<Lit, kMaxLits> buf;
+  for (; pos < head; ++pos) {
+    const Slot& slot = slots_[pos % kSlots];
+    const uint64_t want = (pos / kSlots) * 2 + 2;
+    if (slot.seq.load(std::memory_order_acquire) != want) continue;
+    const uint32_t meta = slot.meta.load(std::memory_order_relaxed);
+    const uint32_t size = meta & 15u;
+    for (uint32_t i = 0; i < size && i < kMaxLits; ++i) {
+      buf[i] = slot.lits[i].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != want) continue;
+    if (meta / 16u == reader || size == 0 || size > kMaxLits) continue;
+    out->emplace_back(buf.begin(), buf.begin() + size);
+  }
+  *cursor = head;
+}
+
+void CdclSolver::ImportShared() {
+  if (exchange_ == nullptr) return;
+  std::vector<std::vector<Lit>> incoming;
+  exchange_->Drain(&exchange_cursor_, exchange_id_, &incoming);
+  for (auto& lits : incoming) {
+    if (!ImportClause(std::move(lits))) return;
+  }
+}
+
+void CdclSolver::CopyProblemFrom(const CdclSolver& src) {
+  DR_CHECK(num_vars() == 0 && clauses_.empty());
+  EnsureVars(src.num_vars());
+  ok_ = src.ok_;
+  frozen_ = src.frozen_;
+  eliminated_ = src.eliminated_;
+  subst_ = src.subst_;
+  saved_phase_ = src.saved_phase_;
+  activity_ = src.activity_;
+  var_inc_ = src.var_inc_;
+  HeapRebuild();
+  if (ok_) {
+    // Level-0 facts first, then the clause database; AddClause keeps the
+    // propagation fixpoint as it goes.
+    for (Lit p : src.trail_) {
+      if (LitValue(p) == -1) UncheckedEnqueue(p, nullptr);
+    }
+    if (Propagate() != nullptr) ok_ = false;
+    for (const auto& c : src.clauses_) {
+      if (!ok_) break;
+      if (!c->dead) AddClause(c->lits);
+    }
+    // Seed short learnts too: they are the lemmas worth racing with.
+    for (const auto& c : src.learnts_) {
+      if (!ok_) break;
+      if (!c->dead && c->lits.size() <= ClauseExchange::kMaxLits) {
+        ImportClause(c->lits);
+      }
+    }
+  }
+  // The seeding work above is bookkeeping, not search: start the clone's
+  // counters from zero so portfolio aggregation stays meaningful.
+  stats_ = SolverStats{};
+}
+
+namespace {
+
+SolverOptions DiversifiedOptions(const SolverOptions& base, uint32_t worker,
+                                 const std::atomic<bool>* first_done) {
+  static constexpr uint32_t kRestartBases[] = {64, 150, 300, 700};
+  SolverOptions opts = base;
+  opts.inprocessing = false;  // clones never touch the reconstruction stack
+  opts.stop = first_done;
+  opts.learning = true;
+  opts.restarts = true;
+  opts.restart_base = kRestartBases[worker % 4];
+  opts.var_decay = worker % 2 == 0 ? base.var_decay : 0.99;
+  uint64_t seed = base.seed != 0 ? base.seed : 0x9e3779b97f4a7c15ULL;
+  opts.seed = seed ^ (0xbf58476d1ce4e5b9ULL * (worker + 1));
+  // Worker 0 is the reference configuration; the rest take a slice of
+  // random decisions to decorrelate their search trees.
+  opts.random_branch_freq = worker == 0 ? 0.0 : 0.02;
+  return opts;
+}
+
+}  // namespace
+
+SolveStatus CdclSolver::SolvePortfolio(int num_workers,
+                                       const std::vector<Lit>& assumptions) {
+  if (num_workers <= 1) return Solve(assumptions);
+  ++stats_.solve_calls;
+  ++stats_.portfolio_solves;
+  if (!ok_) return SolveStatus::kUnsat;
+  for (Lit a : assumptions) Freeze(LitVar(a));
+  MaybeInprocess();
+  if (!ok_) return SolveStatus::kUnsat;
+  std::vector<Lit> mapped;
+  mapped.reserve(assumptions.size());
+  for (Lit a : assumptions) {
+    Lit m = MapLit(a);
+    DR_CHECK_MSG(eliminated_[LitVar(m)] == 0,
+                 "assumption on an eliminated variable");
+    mapped.push_back(m);
+  }
+
+  ClauseExchange exchange;
+  std::atomic<bool> first_done{false};
+  const uint32_t n = static_cast<uint32_t>(num_workers);
+  std::vector<std::unique_ptr<CdclSolver>> workers;
+  workers.reserve(n);
+  for (uint32_t w = 0; w < n; ++w) {
+    auto worker = std::make_unique<CdclSolver>(
+        DiversifiedOptions(options_, w, &first_done));
+    worker->CopyProblemFrom(*this);
+    worker->exchange_ = &exchange;
+    worker->exchange_id_ = w + 1;  // 0 is the parent solver
+    workers.push_back(std::move(worker));
+  }
+
+  std::vector<SolveStatus> results(n, SolveStatus::kUnknown);
+  std::atomic<int> winner{-1};
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (uint32_t w = 0; w < n; ++w) {
+    threads.emplace_back([&, w] {
+      SolveStatus status = workers[w]->Solve(mapped);
+      results[w] = status;
+      if (status != SolveStatus::kUnknown) {
+        int expected = -1;
+        if (winner.compare_exchange_strong(expected, static_cast<int>(w))) {
+          first_done.store(true, std::memory_order_release);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Keep the race's lemmas: future Solve()/SolvePortfolio() calls on
+  // this solver start from everything the workers proved.
+  exchange_ = &exchange;
+  exchange_id_ = 0;
+  exchange_cursor_ = 0;
+  ImportShared();
+  exchange_ = nullptr;
+  exchange_cursor_ = 0;
+  for (const auto& worker : workers) {
+    SolverStats ws = worker->stats();
+    ws.solve_calls = 0;  // the race is one logical solve
+    stats_.Add(ws);
+  }
+
+  const int win = winner.load(std::memory_order_acquire);
+  if (win < 0) return SolveStatus::kUnknown;  // every worker hit a budget
+  const SolveStatus status = results[static_cast<size_t>(win)];
+  if (status == SolveStatus::kSat) {
+    model_ = workers[static_cast<size_t>(win)]->model_;
+    model_.resize(num_vars(), false);
+    recon_.Extend(&model_);
+  } else if (status == SolveStatus::kUnsat && mapped.empty()) {
+    ok_ = false;  // refuted outright, not just under assumptions
+  }
+  return status;
+}
+
+}  // namespace deltarepair

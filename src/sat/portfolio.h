@@ -1,0 +1,61 @@
+// Lock-free clause sharing for the solver portfolio. The exchange is a
+// fixed ring of seqlock slots: writers claim a slot with a CAS on its
+// sequence word (odd = being written, even = published for lap seq/2-1),
+// so a slot's payload is always the clause its sequence says it is;
+// readers revalidate the sequence after copying the payload and skip
+// slots that were overwritten or are mid-write. Sharing is best effort —
+// a clause lapped before every reader drained it is simply lost — which
+// keeps both sides wait-free. All payload accesses are atomic, so the
+// ring is clean under ThreadSanitizer by construction.
+#ifndef DELTAREPAIR_SAT_PORTFOLIO_H_
+#define DELTAREPAIR_SAT_PORTFOLIO_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "sat/cnf.h"
+
+namespace deltarepair {
+
+class ClauseExchange {
+ public:
+  /// Only short, low-LBD lemmas are worth the sharing traffic.
+  static constexpr uint32_t kMaxLits = 8;
+  static constexpr uint32_t kMaxLbd = 4;
+  static constexpr uint32_t kSlots = 4096;
+
+  ClauseExchange() = default;
+  ClauseExchange(const ClauseExchange&) = delete;
+  ClauseExchange& operator=(const ClauseExchange&) = delete;
+
+  /// Publishes a clause (`size` <= kMaxLits) tagged with the writer's
+  /// id. Dropped silently when the target slot is contended.
+  void Publish(const Lit* lits, uint32_t size, uint32_t writer);
+
+  /// Appends every clause published at or after `*cursor` — except the
+  /// reader's own and any lost to lapping — and advances the cursor to
+  /// the current head.
+  void Drain(uint64_t* cursor, uint32_t reader,
+             std::vector<std::vector<Lit>>* out) const;
+
+  /// Total clauses ever published (monotonic).
+  uint64_t published() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint32_t> meta{0};  // writer id * 16 + size
+    std::array<std::atomic<Lit>, kMaxLits> lits{};
+  };
+
+  std::atomic<uint64_t> head_{0};
+  std::array<Slot, kSlots> slots_{};
+};
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_SAT_PORTFOLIO_H_

@@ -1,0 +1,32 @@
+#include "sat/reconstruction.h"
+
+#include "common/status.h"
+
+namespace deltarepair {
+
+void ReconstructionStack::Push(const std::vector<Lit>& clause, Lit witness) {
+  if (starts_.empty()) starts_.push_back(0);
+  lits_.insert(lits_.end(), clause.begin(), clause.end());
+  starts_.push_back(static_cast<uint32_t>(lits_.size()));
+  witnesses_.push_back(witness);
+}
+
+void ReconstructionStack::Extend(std::vector<bool>* model) const {
+  for (size_t i = witnesses_.size(); i-- > 0;) {
+    bool satisfied = false;
+    for (uint32_t j = starts_[i]; j < starts_[i + 1]; ++j) {
+      Lit l = lits_[j];
+      DR_CHECK(LitVar(l) < model->size());
+      if ((*model)[LitVar(l)] == LitSign(l)) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) {
+      Lit w = witnesses_[i];
+      (*model)[LitVar(w)] = LitSign(w);
+    }
+  }
+}
+
+}  // namespace deltarepair

@@ -1,0 +1,44 @@
+// Model reconstruction for variable-eliminating inprocessing
+// (Järvisalo/Biere/Heule-style witness stack). Every clause removed
+// while eliminating a variable is pushed together with a witness
+// literal of that variable; Extend() replays the stack in reverse and
+// flips the witness whenever its clause is falsified by the model so
+// far. For BVE only the clauses containing the positive literal are
+// pushed (with witness +v): the default model value false satisfies the
+// negative-occurrence clauses, and flipping to true whenever a pushed
+// clause is falsified is sound because the resolvents — all satisfied
+// by the model — guarantee the negative clauses stay satisfied too.
+// Equivalence substitution v ≡ t pushes both defining binaries, which
+// forces v to t's value.
+#ifndef DELTAREPAIR_SAT_RECONSTRUCTION_H_
+#define DELTAREPAIR_SAT_RECONSTRUCTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/cnf.h"
+
+namespace deltarepair {
+
+class ReconstructionStack {
+ public:
+  /// Records that `clause` was removed while eliminating the variable of
+  /// `witness`. `clause` must contain `witness`.
+  void Push(const std::vector<Lit>& clause, Lit witness);
+
+  /// Rewrites `model` (indexed by variable, covering every pushed
+  /// variable) into a model of the original formula.
+  void Extend(std::vector<bool>* model) const;
+
+  bool empty() const { return witnesses_.empty(); }
+  size_t size() const { return witnesses_.size(); }
+
+ private:
+  std::vector<Lit> lits_;         // clause bodies, flattened
+  std::vector<uint32_t> starts_;  // clause i = lits_[starts_[i], starts_[i+1])
+  std::vector<Lit> witnesses_;    // per clause
+};
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_SAT_RECONSTRUCTION_H_

@@ -1,0 +1,317 @@
+// Unit tests for the inprocessing layer and the portfolio mode: each
+// pass (equivalent-literal substitution, subsumption, self-subsuming
+// resolution, vivification, bounded variable elimination) is exercised
+// on a crafted formula where its effect is predictable, the freezing
+// contract and model reconstruction are checked directly, and
+// SolvePortfolio must agree with Solve on both verdicts. (Randomized
+// differential coverage of the same machinery is in sat_fuzz_test.cc.)
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sat/min_ones.h"
+#include "sat/solver.h"
+
+namespace deltarepair {
+namespace {
+
+/// Options with every pass disabled except the ones named; the
+/// auto-trigger stays off so tests call Inprocess() explicitly.
+SolverOptions OnlyPasses(bool scc, bool subsume, bool eliminate,
+                         bool vivify) {
+  SolverOptions options;
+  options.inprocess.scc = scc;
+  options.inprocess.subsume = subsume;
+  options.inprocess.eliminate = eliminate;
+  options.inprocess.vivify = vivify;
+  return options;
+}
+
+TEST(InprocessTest, SccSubstitutesEquivalentLiterals) {
+  // a <=> b <=> c through binary implications, plus a clause keeping the
+  // class constrained. Two of the three variables must be substituted.
+  Cnf cnf(4);
+  cnf.AddClause({NegLit(0), PosLit(1)});
+  cnf.AddClause({PosLit(0), NegLit(1)});
+  cnf.AddClause({NegLit(1), PosLit(2)});
+  cnf.AddClause({PosLit(1), NegLit(2)});
+  cnf.AddClause({PosLit(0), PosLit(2), PosLit(3)});
+
+  CdclSolver solver(OnlyPasses(true, false, false, false));
+  solver.AddCnf(cnf);
+  ASSERT_TRUE(solver.Inprocess());
+  EXPECT_EQ(solver.stats().inprocess.equivalent_vars, 2u);
+  int eliminated = 0;
+  for (uint32_t v = 0; v < 3; ++v) eliminated += solver.IsEliminated(v);
+  EXPECT_EQ(eliminated, 2);
+
+  // Reconstruction must rebuild the substituted variables so the model
+  // satisfies the ORIGINAL formula, equivalences included.
+  ASSERT_EQ(solver.Solve(), SolveStatus::kSat);
+  EXPECT_TRUE(cnf.IsSatisfiedBy(solver.model()));
+  EXPECT_EQ(solver.model()[0], solver.model()[1]);
+  EXPECT_EQ(solver.model()[1], solver.model()[2]);
+}
+
+TEST(InprocessTest, SccRefutesContradictoryCycle) {
+  // a -> b -> -a -> c -> a puts a and -a in one SCC: unsatisfiable,
+  // detected by simplification alone.
+  CdclSolver solver(OnlyPasses(true, false, false, false));
+  solver.EnsureVars(3);
+  solver.AddClause({NegLit(0), PosLit(1)});
+  solver.AddClause({NegLit(1), NegLit(0)});
+  solver.AddClause({PosLit(0), PosLit(2)});
+  solver.AddClause({NegLit(2), PosLit(0)});
+  EXPECT_FALSE(solver.Inprocess());
+  EXPECT_FALSE(solver.ok());
+  EXPECT_EQ(solver.Solve(), SolveStatus::kUnsat);
+}
+
+TEST(InprocessTest, SubsumptionRemovesImpliedClauses) {
+  // {a, b} subsumes {a, b, c} and {a, -c, b}.
+  CdclSolver solver(OnlyPasses(false, true, false, false));
+  solver.EnsureVars(3);
+  solver.AddClause({PosLit(0), PosLit(1)});
+  solver.AddClause({PosLit(0), PosLit(1), PosLit(2)});
+  solver.AddClause({PosLit(0), NegLit(2), PosLit(1)});
+  ASSERT_TRUE(solver.Inprocess());
+  EXPECT_EQ(solver.stats().inprocess.subsumed_clauses, 2u);
+  EXPECT_EQ(solver.Solve(), SolveStatus::kSat);
+}
+
+TEST(InprocessTest, SelfSubsumingResolutionStrengthens) {
+  // Resolving {a, b} with {a, -b, c} on b yields {a, c}, which replaces
+  // the wider clause.
+  Cnf cnf(3);
+  cnf.AddClause({PosLit(0), PosLit(1)});
+  cnf.AddClause({PosLit(0), NegLit(1), PosLit(2)});
+
+  CdclSolver solver(OnlyPasses(false, true, false, false));
+  solver.AddCnf(cnf);
+  ASSERT_TRUE(solver.Inprocess());
+  EXPECT_GE(solver.stats().inprocess.strengthened_clauses, 1u);
+  ASSERT_EQ(solver.Solve(), SolveStatus::kSat);
+  EXPECT_TRUE(cnf.IsSatisfiedBy(solver.model()));
+}
+
+TEST(InprocessTest, VivificationShortensPropagationRedundantClause) {
+  // Under the trial assumption -a, the clause {a, b} propagates b, so
+  // {a, b, c} shrinks to {a, b}.
+  Cnf cnf(3);
+  cnf.AddClause({PosLit(0), PosLit(1)});
+  cnf.AddClause({PosLit(0), PosLit(1), PosLit(2)});
+
+  CdclSolver solver(OnlyPasses(false, false, false, true));
+  solver.AddCnf(cnf);
+  ASSERT_TRUE(solver.Inprocess());
+  EXPECT_GE(solver.stats().inprocess.vivified_clauses, 1u);
+  ASSERT_EQ(solver.Solve(), SolveStatus::kSat);
+  EXPECT_TRUE(cnf.IsSatisfiedBy(solver.model()));
+}
+
+TEST(InprocessTest, EliminationResolvesOutUnfrozenVariable) {
+  // e occurs once per polarity; eliminating it trades {e,a},{-e,b} for
+  // the single resolvent {a,b}. a and b are frozen and must survive.
+  Cnf cnf(3);
+  cnf.AddClause({PosLit(2), PosLit(0)});
+  cnf.AddClause({NegLit(2), PosLit(1)});
+
+  CdclSolver solver(OnlyPasses(false, false, true, false));
+  solver.AddCnf(cnf);
+  solver.Freeze(0);
+  solver.Freeze(1);
+  ASSERT_TRUE(solver.Inprocess());
+  EXPECT_GE(solver.stats().inprocess.eliminated_vars, 1u);
+  EXPECT_TRUE(solver.IsEliminated(2));
+  EXPECT_FALSE(solver.IsEliminated(0));
+  EXPECT_FALSE(solver.IsEliminated(1));
+
+  // The reconstructed model must pick a truth value for e that satisfies
+  // BOTH original clauses, whatever polarity the resolvent chose.
+  ASSERT_EQ(solver.Solve(), SolveStatus::kSat);
+  EXPECT_TRUE(cnf.IsSatisfiedBy(solver.model()));
+}
+
+TEST(InprocessTest, FrozenVariablesAreNeverTouched) {
+  Rng rng(0xf05e);
+  Cnf cnf(12);
+  for (int c = 0; c < 30; ++c) {
+    std::vector<Lit> lits;
+    for (int l = 0; l < 3; ++l) {
+      uint32_t v = static_cast<uint32_t>(rng.NextBounded(12));
+      lits.push_back(rng.NextBool(0.5) ? PosLit(v) : NegLit(v));
+    }
+    cnf.AddClause(lits);
+  }
+  CdclSolver solver(OnlyPasses(true, true, true, true));
+  solver.AddCnf(cnf);
+  solver.FreezeRange(0, cnf.num_vars());
+  ASSERT_TRUE(solver.Inprocess());
+  for (uint32_t v = 0; v < cnf.num_vars(); ++v) {
+    EXPECT_FALSE(solver.IsEliminated(v)) << "var " << v;
+  }
+  EXPECT_EQ(solver.stats().inprocess.equivalent_vars, 0u);
+  EXPECT_EQ(solver.stats().inprocess.eliminated_vars, 0u);
+}
+
+TEST(InprocessTest, AutoTriggerRunsOnFirstSolve) {
+  SolverOptions options;
+  options.inprocessing = true;
+  options.inprocess.min_clauses = 1;  // below the tiny-formula gate
+  CdclSolver solver(options);
+  solver.EnsureVars(3);
+  solver.AddClause({PosLit(0), PosLit(1)});
+  solver.AddClause({NegLit(0), PosLit(2)});
+  ASSERT_EQ(solver.Solve(), SolveStatus::kSat);
+  EXPECT_EQ(solver.stats().inprocess.runs, 1u);
+  // A second Solve with no new clauses or conflicts stays below the
+  // re-trigger thresholds.
+  ASSERT_EQ(solver.Solve(), SolveStatus::kSat);
+  EXPECT_EQ(solver.stats().inprocess.runs, 1u);
+}
+
+TEST(InprocessTest, AssumptionsOnInprocessedSolverStayValid) {
+  // The current call's assumptions are frozen by Solve() before
+  // inprocessing runs, so var 0 stays assumable in either polarity
+  // forever; var 1 is only assumable later because the caller froze it
+  // up front, per the contract in solver.h.
+  SolverOptions options;
+  options.inprocessing = true;
+  options.inprocess.min_clauses = 1;
+  CdclSolver solver(options);
+  Cnf cnf(5);
+  cnf.AddClause({PosLit(0), PosLit(1), PosLit(2)});
+  cnf.AddClause({NegLit(0), PosLit(3)});
+  cnf.AddClause({NegLit(3), PosLit(4)});
+  solver.AddCnf(cnf);
+  solver.Freeze(1);
+  ASSERT_EQ(solver.Solve({PosLit(0)}), SolveStatus::kSat);
+  EXPECT_TRUE(solver.model()[0]);
+  EXPECT_TRUE(solver.model()[3]);
+  ASSERT_EQ(solver.Solve({NegLit(0), NegLit(1)}), SolveStatus::kSat);
+  EXPECT_TRUE(cnf.IsSatisfiedBy(solver.model()));
+  EXPECT_TRUE(solver.model()[2]);
+}
+
+/// Pigeonhole PHP(holes+1, holes): unsatisfiable, forces real search.
+Cnf Pigeonhole(uint32_t holes) {
+  const uint32_t pigeons = holes + 1;
+  Cnf cnf(pigeons * holes);
+  auto var = [&](uint32_t p, uint32_t h) { return p * holes + h; };
+  for (uint32_t p = 0; p < pigeons; ++p) {
+    std::vector<Lit> some;
+    for (uint32_t h = 0; h < holes; ++h) some.push_back(PosLit(var(p, h)));
+    cnf.AddClause(some);
+  }
+  for (uint32_t h = 0; h < holes; ++h) {
+    for (uint32_t p = 0; p < pigeons; ++p) {
+      for (uint32_t q = p + 1; q < pigeons; ++q) {
+        cnf.AddClause({NegLit(var(p, h)), NegLit(var(q, h))});
+      }
+    }
+  }
+  return cnf;
+}
+
+TEST(PortfolioTest, AgreesWithSequentialOnUnsat) {
+  Cnf cnf = Pigeonhole(5);
+  CdclSolver solver;
+  solver.AddCnf(cnf);
+  EXPECT_EQ(solver.SolvePortfolio(4), SolveStatus::kUnsat);
+  EXPECT_EQ(solver.stats().portfolio_solves, 1u);
+  EXPECT_FALSE(solver.ok());
+}
+
+TEST(PortfolioTest, AgreesWithSequentialOnSat) {
+  Rng rng(0x9a7f01);
+  Cnf cnf(30);
+  // Under-constrained random 3-SAT: satisfiable with high probability;
+  // the sequential verdict is the reference either way.
+  for (int c = 0; c < 90; ++c) {
+    std::vector<Lit> lits;
+    for (int l = 0; l < 3; ++l) {
+      uint32_t v = static_cast<uint32_t>(rng.NextBounded(30));
+      lits.push_back(rng.NextBool(0.5) ? PosLit(v) : NegLit(v));
+    }
+    cnf.AddClause(lits);
+  }
+  CdclSolver reference;
+  reference.AddCnf(cnf);
+  SolveStatus expected = reference.Solve();
+
+  CdclSolver solver;
+  solver.AddCnf(cnf);
+  ASSERT_EQ(solver.SolvePortfolio(4), expected);
+  if (expected == SolveStatus::kSat) {
+    EXPECT_TRUE(cnf.IsSatisfiedBy(solver.model()));
+  }
+}
+
+TEST(PortfolioTest, RespectsAssumptionsAndStaysIncremental) {
+  Cnf cnf(6);
+  cnf.AddClause({PosLit(0), PosLit(1)});
+  cnf.AddClause({NegLit(0), PosLit(2)});
+  cnf.AddClause({NegLit(1), PosLit(3)});
+  cnf.AddClause({NegLit(2), NegLit(3), PosLit(4)});
+  CdclSolver solver;
+  solver.AddCnf(cnf);
+  ASSERT_EQ(solver.SolvePortfolio(3, {PosLit(0), NegLit(4)}),
+            SolveStatus::kSat);
+  EXPECT_TRUE(cnf.IsSatisfiedBy(solver.model()));
+  EXPECT_TRUE(solver.model()[0]);
+  EXPECT_FALSE(solver.model()[4]);
+  // Conflicting assumptions refute only the query, not the formula.
+  ASSERT_EQ(solver.SolvePortfolio(3, {PosLit(0), NegLit(2)}),
+            SolveStatus::kUnsat);
+  EXPECT_TRUE(solver.ok());
+  ASSERT_EQ(solver.Solve(), SolveStatus::kSat);
+}
+
+TEST(PortfolioTest, SingleWorkerFallsBackToSolve) {
+  Cnf cnf(2);
+  cnf.AddClause({PosLit(0), PosLit(1)});
+  CdclSolver solver;
+  solver.AddCnf(cnf);
+  EXPECT_EQ(solver.SolvePortfolio(1), SolveStatus::kSat);
+  EXPECT_EQ(solver.stats().portfolio_solves, 0u);
+}
+
+TEST(MinOnesInprocessTest, OptimaUnchangedByInprocessingAndPortfolio) {
+  // The optimizer's bound search must be oblivious to simplification:
+  // same optimum with inprocessing on, off, and with a portfolio race.
+  Rng rng(0x317a);
+  for (int i = 0; i < 20; ++i) {
+    Cnf cnf(10);
+    for (int c = 0; c < 18; ++c) {
+      std::vector<Lit> lits;
+      int width = 1 + static_cast<int>(rng.NextBounded(3));
+      for (int l = 0; l < width; ++l) {
+        uint32_t v = static_cast<uint32_t>(rng.NextBounded(10));
+        lits.push_back(rng.NextBool(0.6) ? PosLit(v) : NegLit(v));
+      }
+      cnf.AddClause(lits);
+    }
+    MinOnesOptions plain;
+    plain.enable_inprocessing = false;
+    MinOnesResult base = MinOnesSat(cnf, plain);
+
+    MinOnesOptions simplified;  // defaults: inprocessing on
+    MinOnesResult inproc = MinOnesSat(cnf, simplified);
+
+    MinOnesOptions raced = simplified;
+    raced.portfolio_threads = 2;
+    MinOnesResult portfolio = MinOnesSat(cnf, raced);
+
+    SCOPED_TRACE(testing::Message() << "instance " << i << "\n"
+                                    << cnf.ToString());
+    ASSERT_EQ(inproc.satisfiable, base.satisfiable);
+    ASSERT_EQ(portfolio.satisfiable, base.satisfiable);
+    if (!base.satisfiable) continue;
+    ASSERT_TRUE(cnf.IsSatisfiedBy(inproc.model));
+    ASSERT_TRUE(cnf.IsSatisfiedBy(portfolio.model));
+    ASSERT_EQ(inproc.num_true, base.num_true);
+    ASSERT_EQ(portfolio.num_true, base.num_true);
+  }
+}
+
+}  // namespace
+}  // namespace deltarepair

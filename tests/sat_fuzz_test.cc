@@ -2,11 +2,17 @@
 // Min-Ones optimizer: ~1k seeded random CNFs are checked against
 // brute-force enumeration — satisfiability, model validity, the exact
 // Min-Ones optimum, and the proved-optimal flag — cycling through the
-// ablation configurations (learning/restarts on and off). A second
-// suite certifies incremental solving under assumptions against
-// brute force with the assumptions added as unit clauses, on one
-// long-lived solver per formula.
+// ablation configurations (learning/restarts on and off, and every
+// on/off mask of the four inprocessing passes). A second suite
+// certifies incremental solving under assumptions against brute force
+// with the assumptions added as unit clauses, on one long-lived solver
+// per formula.
+//
+// DR_FUZZ_ITERS multiplies every instance count (the nightly CI job
+// runs at 10x); unset or 1 is the tier-1 default.
 #include <gtest/gtest.h>
+
+#include <cstdlib>
 
 #include "common/random.h"
 #include "sat/min_ones.h"
@@ -14,6 +20,14 @@
 
 namespace deltarepair {
 namespace {
+
+/// Scales a base iteration count by the DR_FUZZ_ITERS multiplier.
+int ScaledIters(int base) {
+  const char* env = std::getenv("DR_FUZZ_ITERS");
+  if (env == nullptr || *env == '\0') return base;
+  int mult = std::atoi(env);
+  return mult > 1 ? base * mult : base;
+}
 
 struct BruteForce {
   bool satisfiable = false;
@@ -64,7 +78,7 @@ MinOnesOptions ConfigFor(int instance) {
 }
 
 TEST(SatFuzzTest, CdclAndMinOnesMatchBruteForceOn1kInstances) {
-  constexpr int kInstances = 1000;
+  const int kInstances = ScaledIters(1000);
   int sat_count = 0;
   for (int i = 0; i < kInstances; ++i) {
     Rng rng(0x5eed0000 + static_cast<uint64_t>(i));
@@ -104,7 +118,7 @@ TEST(SatFuzzTest, CdclAndMinOnesMatchBruteForceOn1kInstances) {
 }
 
 TEST(SatFuzzTest, IncrementalAssumptionsMatchBruteForce) {
-  constexpr int kFormulas = 150;
+  const int kFormulas = ScaledIters(150);
   constexpr int kQueriesPerFormula = 8;
   for (int i = 0; i < kFormulas; ++i) {
     Rng rng(0xa55e5 + static_cast<uint64_t>(i));
@@ -148,7 +162,7 @@ TEST(SatFuzzTest, IncrementalAssumptionsMatchBruteForce) {
 TEST(SatFuzzTest, IncrementalClauseAdditionMatchesFromScratch) {
   // Interleave AddClause with Solve on one solver; a fresh solver over
   // the accumulated clauses must agree at every step.
-  constexpr int kFormulas = 100;
+  const int kFormulas = ScaledIters(100);
   for (int i = 0; i < kFormulas; ++i) {
     Rng rng(0xc1a05e + static_cast<uint64_t>(i));
     const uint32_t num_vars = 3 + static_cast<uint32_t>(rng.NextBounded(7));
@@ -181,7 +195,8 @@ TEST(SatFuzzTest, BlockingDescentModeMatchesBruteForce) {
   // Forcing max_totalizer_area = 0 routes every component through the
   // blocking-clause descent used for components too large to count —
   // its optimality claims must still be exact.
-  for (int i = 0; i < 400; ++i) {
+  const int kInstances = ScaledIters(400);
+  for (int i = 0; i < kInstances; ++i) {
     Rng rng(0xb10c + static_cast<uint64_t>(i));
     Cnf cnf = RandomCnf(&rng, 9);
     BruteForce expected = Enumerate(cnf);
@@ -204,7 +219,8 @@ TEST(SatFuzzTest, MinOnesAnytimeContractUnderTinyBudget) {
   // With a starved work budget the result must still be a model (or a
   // correct unsat claim); optimality may be forfeited but never lied
   // about.
-  for (int i = 0; i < 200; ++i) {
+  const int kInstances = ScaledIters(200);
+  for (int i = 0; i < kInstances; ++i) {
     Rng rng(0xb4d9e7 + static_cast<uint64_t>(i));
     Cnf cnf = RandomCnf(&rng, 10);
     BruteForce expected = Enumerate(cnf);
@@ -221,6 +237,108 @@ TEST(SatFuzzTest, MinOnesAnytimeContractUnderTinyBudget) {
     } else {
       ASSERT_FALSE(expected.satisfiable);
     }
+  }
+}
+
+/// Inprocessing ablation: instance index -> one of the 16 on/off masks
+/// of the four passes, with thresholds forced so the pipeline runs on
+/// every Solve-sized formula instead of waiting for real workloads.
+SolverOptions InprocessConfigFor(int instance) {
+  SolverOptions options;
+  options.inprocessing = true;
+  options.inprocess.scc = (instance & 1) != 0;
+  options.inprocess.subsume = (instance & 2) != 0;
+  options.inprocess.eliminate = (instance & 4) != 0;
+  options.inprocess.vivify = (instance & 8) != 0;
+  options.inprocess.min_clauses = 1;
+  options.inprocess.min_new_clauses = 1;
+  options.inprocess.min_new_conflicts = 1;
+  return options;
+}
+
+TEST(SatFuzzTest, InprocessingAblationMatchesBruteForce) {
+  // Every pass mask must preserve the verdict, and the reconstructed
+  // model must satisfy the ORIGINAL formula — eliminated and
+  // substituted variables included.
+  const int kInstances = ScaledIters(600);
+  for (int i = 0; i < kInstances; ++i) {
+    Rng rng(0x1a9b0c + static_cast<uint64_t>(i));
+    Cnf cnf = RandomCnf(&rng, 10);
+    BruteForce expected = Enumerate(cnf);
+    SCOPED_TRACE(testing::Message() << "instance " << i << " mask "
+                                    << (i % 16) << "\n" << cnf.ToString());
+    CdclSolver solver(InprocessConfigFor(i % 16));
+    solver.AddCnf(cnf);
+    SolveStatus status = solver.Solve();
+    ASSERT_EQ(status == SolveStatus::kSat, expected.satisfiable);
+    if (status == SolveStatus::kSat) {
+      ASSERT_TRUE(cnf.IsSatisfiedBy(solver.model()));
+    }
+  }
+}
+
+TEST(SatFuzzTest, InprocessingIncrementalAssumptionsMatchBruteForce) {
+  // Long-lived solver with explicit inprocessing runs between queries;
+  // all problem variables frozen so any of them may be assumed later.
+  const int kFormulas = ScaledIters(120);
+  constexpr int kQueriesPerFormula = 6;
+  for (int i = 0; i < kFormulas; ++i) {
+    Rng rng(0x1f20ce + static_cast<uint64_t>(i));
+    Cnf cnf = RandomCnf(&rng, 9);
+    CdclSolver solver(InprocessConfigFor(i % 16));
+    solver.AddCnf(cnf);
+    solver.FreezeRange(0, cnf.num_vars());
+    for (int q = 0; q < kQueriesPerFormula; ++q) {
+      if (q == 2 && solver.ok()) {
+        bool still_ok = solver.Inprocess();
+        ASSERT_EQ(still_ok, solver.ok());
+      }
+      std::vector<Lit> assumptions;
+      int num_assumptions = static_cast<int>(rng.NextBounded(4));
+      for (int a = 0; a < num_assumptions; ++a) {
+        uint32_t v =
+            static_cast<uint32_t>(rng.NextBounded(cnf.num_vars()));
+        assumptions.push_back(rng.NextBool(0.5) ? PosLit(v) : NegLit(v));
+      }
+      Cnf augmented = cnf;
+      for (Lit a : assumptions) augmented.AddClause({a});
+      BruteForce expected = Enumerate(augmented);
+      SCOPED_TRACE(testing::Message()
+                   << "formula " << i << " query " << q << "\n"
+                   << augmented.ToString());
+      SolveStatus status = solver.Solve(assumptions);
+      ASSERT_NE(status, SolveStatus::kUnknown);
+      ASSERT_EQ(status == SolveStatus::kSat, expected.satisfiable);
+      if (status == SolveStatus::kSat) {
+        ASSERT_TRUE(cnf.IsSatisfiedBy(solver.model()));
+        for (Lit a : assumptions) {
+          ASSERT_EQ(solver.model()[LitVar(a)], LitSign(a));
+        }
+      }
+    }
+  }
+}
+
+TEST(SatFuzzTest, MinOnesInprocessingAblationMatchesBruteForce) {
+  // The optimizer drives the solver through bounds, blocking clauses,
+  // and totalizer outputs; simplification under the freezing contract
+  // must never change the optimum.
+  const int kInstances = ScaledIters(300);
+  for (int i = 0; i < kInstances; ++i) {
+    Rng rng(0x310a8 + static_cast<uint64_t>(i));
+    Cnf cnf = RandomCnf(&rng, 10);
+    BruteForce expected = Enumerate(cnf);
+    MinOnesOptions options = ConfigFor(i);
+    options.enable_inprocessing = true;
+    options.inprocess = InprocessConfigFor(i % 16).inprocess;
+    MinOnesResult r = MinOnesSat(cnf, options);
+    SCOPED_TRACE(testing::Message() << "instance " << i << " mask "
+                                    << (i % 16) << "\n" << cnf.ToString());
+    ASSERT_EQ(r.satisfiable, expected.satisfiable);
+    if (!expected.satisfiable) continue;
+    ASSERT_TRUE(r.optimal);
+    ASSERT_EQ(static_cast<int>(r.num_true), expected.min_ones);
+    ASSERT_TRUE(cnf.IsSatisfiedBy(r.model));
   }
 }
 

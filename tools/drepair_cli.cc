@@ -146,6 +146,13 @@ void WriteOutcomeJson(JsonWriter& json, Database& db,
   json.Field("sat_learned_clauses", stats.sat_learned_clauses);
   json.Field("sat_restarts", stats.sat_restarts);
   json.Field("sat_solve_calls", stats.sat_solve_calls);
+  json.Field("sat_inprocess_runs", stats.sat_inprocess_runs);
+  json.Field("sat_equivalent_vars", stats.sat_equivalent_vars);
+  json.Field("sat_subsumed_clauses", stats.sat_subsumed_clauses);
+  json.Field("sat_strengthened_clauses", stats.sat_strengthened_clauses);
+  json.Field("sat_vivified_clauses", stats.sat_vivified_clauses);
+  json.Field("sat_eliminated_vars", stats.sat_eliminated_vars);
+  json.Field("sat_shared_clauses", stats.sat_shared_clauses);
   json.Field("graph_nodes", stats.graph_nodes);
   json.Field("graph_layers", stats.graph_layers);
   json.Field("optimal", stats.optimal);
@@ -273,6 +280,14 @@ void WriteCqaResultJson(JsonWriter& json, Database& db,
   json.Field("sat_learned_clauses", stats.repair.sat_learned_clauses);
   json.Field("sat_restarts", stats.repair.sat_restarts);
   json.Field("sat_solve_calls", stats.repair.sat_solve_calls);
+  json.Field("sat_inprocess_runs", stats.repair.sat_inprocess_runs);
+  json.Field("sat_equivalent_vars", stats.repair.sat_equivalent_vars);
+  json.Field("sat_subsumed_clauses", stats.repair.sat_subsumed_clauses);
+  json.Field("sat_strengthened_clauses",
+             stats.repair.sat_strengthened_clauses);
+  json.Field("sat_vivified_clauses", stats.repair.sat_vivified_clauses);
+  json.Field("sat_eliminated_vars", stats.repair.sat_eliminated_vars);
+  json.Field("sat_shared_clauses", stats.repair.sat_shared_clauses);
   json.EndObject();
   json.EndObject();
 }
