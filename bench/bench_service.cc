@@ -1,0 +1,231 @@
+// Service-layer benchmark: what the snapshot+WAL store buys at startup
+// (one binary read + decode vs re-importing CSVs), how fast WAL replay
+// runs, and the serve rate of the repair server over loopback TCP.
+// Expected shape: snapshot startup is several times faster than the CSV
+// path — the columnar decode skips text parsing and BulkLoadRows skips
+// re-hashing the dedupe table.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "relation/csv.h"
+#include "service/client.h"
+#include "service/request_codec.h"
+#include "service/server.h"
+#include "service/snapshot.h"
+#include "service/store.h"
+#include "service/wal.h"
+#include "workload/programs.h"
+
+namespace fs = std::filesystem;
+
+namespace deltarepair {
+namespace {
+
+constexpr int kTrials = 9;
+
+double Median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  return xs[xs.size() / 2];
+}
+
+int Main() {
+  MasData mas = BenchMas();
+  const size_t total_tuples = mas.db.TotalLive();
+  PrintHeader("Service: snapshot startup, WAL replay, serve rate");
+  std::printf("MAS instance: %zu relations, %zu tuples\n",
+              mas.db.num_relations(), total_tuples);
+  BenchReporter reporter("bench_service");
+
+  std::error_code ec;
+  fs::path dir =
+      fs::temp_directory_path() / "drepair_bench_service";
+  fs::remove_all(dir, ec);
+  fs::create_directories(dir / "data", ec);
+  fs::create_directories(dir / "store", ec);
+
+  // Materialize the instance both ways: CSV files and a snapshot.
+  std::vector<std::string> csv_files;
+  for (uint32_t r = 0; r < mas.db.num_relations(); ++r) {
+    fs::path path =
+        dir / "data" / (mas.db.relation(r).schema().name() + ".csv");
+    std::ofstream out(path);
+    out << RelationToCsv(mas.db, r);
+    csv_files.push_back(path.string());
+  }
+  std::string snapshot_path = (dir / "store" / "snapshot.drs").string();
+  Status st = WriteSnapshotFile(mas.db, snapshot_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "snapshot: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("snapshot size: %.1f KB\n",
+              static_cast<double>(fs::file_size(snapshot_path, ec)) / 1024);
+
+  // --- Startup: CSV re-import vs snapshot load. ---------------------------
+  std::vector<double> csv_times, snap_times;
+  for (int t = 0; t < kTrials; ++t) {
+    {
+      Database db;
+      WallTimer timer;
+      for (const std::string& path : csv_files) {
+        st = LoadCsvFile(&db, path);
+        if (!st.ok()) {
+          std::fprintf(stderr, "csv: %s\n", st.ToString().c_str());
+          return 1;
+        }
+      }
+      csv_times.push_back(timer.ElapsedSeconds());
+      if (db.TotalLive() != total_tuples) {
+        std::fprintf(stderr, "csv import lost tuples\n");
+        return 1;
+      }
+    }
+    {
+      Database db;
+      WallTimer timer;
+      st = LoadSnapshotFile(snapshot_path, &db);
+      snap_times.push_back(timer.ElapsedSeconds());
+      if (!st.ok() || db.TotalLive() != total_tuples) {
+        std::fprintf(stderr, "snapshot load failed\n");
+        return 1;
+      }
+    }
+  }
+  double csv_s = Median(csv_times);
+  double snap_s = Median(snap_times);
+  // Speedup from per-trial ratios: each trial runs both loads back to
+  // back, so a machine-wide slow patch hits both sides of one ratio and
+  // cancels, where a ratio of independent medians would wobble.
+  std::vector<double> ratios;
+  for (int t = 0; t < kTrials; ++t) {
+    if (snap_times[t] > 0) ratios.push_back(csv_times[t] / snap_times[t]);
+  }
+  double speedup = ratios.empty() ? 0 : Median(ratios);
+
+  // --- WAL replay. --------------------------------------------------------
+  const size_t kWalRecords = 2000;
+  std::string wal_path = (dir / "store" / "bench_wal.drl").string();
+  {
+    WalWriter wal;
+    st = wal.Open(wal_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "wal: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    uint32_t cite =
+        static_cast<uint32_t>(mas.db.RelationIndex(kMasCite));
+    for (size_t i = 0; i < kWalRecords; ++i) {
+      std::vector<Tuple> batch = {
+          {Value(static_cast<int64_t>(1000000 + i)),
+           Value(static_cast<int64_t>(2000000 + i))}};
+      st = wal.Append(WalOp::kInsert, cite, 2, batch, false);
+      if (!st.ok()) {
+        std::fprintf(stderr, "wal append: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  std::vector<double> replay_times;
+  size_t replay_applied = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    Database db = mas.db;  // copy outside the timed region
+    WalReplayStats stats;
+    WallTimer timer;
+    st = ReplayWal(wal_path, &db, &stats);
+    replay_times.push_back(timer.ElapsedSeconds());
+    if (!st.ok() || stats.records_applied != kWalRecords) {
+      std::fprintf(stderr, "wal replay failed\n");
+      return 1;
+    }
+    replay_applied = stats.records_applied;
+  }
+  double replay_s = Median(replay_times);
+
+  // --- Serve rate over loopback. ------------------------------------------
+  fs::create_directories(dir / "serve", ec);
+  StatusOr<std::unique_ptr<PersistentStore>> store =
+      PersistentStore::Create((dir / "serve").string(), mas.db);
+  if (!store.ok()) {
+    std::fprintf(stderr, "store: %s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  StatusOr<std::unique_ptr<RepairServer>> server = RepairServer::Start(
+      std::move(store).value(), MasProgram(1, mas.hubs));
+  if (!server.ok()) {
+    std::fprintf(stderr, "server: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  int port = (*server)->port();
+
+  const int kPings = 200;
+  WallTimer ping_timer;
+  for (int i = 0; i < kPings; ++i) {
+    StatusOr<std::string> r =
+        CallServerJson(port, FrameType::kPingRequest, "");
+    if (!r.ok()) {
+      std::fprintf(stderr, "ping: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+  }
+  double ping_s = ping_timer.ElapsedSeconds();
+
+  const int kRepairs = 10;
+  std::string repair_payload =
+      EncodeRepairRequest(RepairRequest("end"));
+  WallTimer repair_timer;
+  for (int i = 0; i < kRepairs; ++i) {
+    StatusOr<std::string> r =
+        CallServerJson(port, FrameType::kRepairRequest, repair_payload);
+    if (!r.ok()) {
+      std::fprintf(stderr, "repair: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+  }
+  double repair_s = repair_timer.ElapsedSeconds();
+  (*server)->Drain();
+
+  // --- Report. ------------------------------------------------------------
+  TablePrinter table({"Row", "Median", "Notes"});
+  table.AddRow({"startup/csv_import", Ms(csv_s),
+                StrFormat("%zu tuples", total_tuples)});
+  table.AddRow({"startup/snapshot_load", Ms(snap_s),
+                StrFormat("%.1fx faster", speedup)});
+  table.AddRow({"wal/replay", Ms(replay_s),
+                StrFormat("%zu records", replay_applied)});
+  table.AddRow({"serve/ping", Ms(ping_s / kPings),
+                StrFormat("%.0f req/s", kPings / ping_s)});
+  table.AddRow({"serve/repair_end", Ms(repair_s / kRepairs),
+                StrFormat("%.0f req/s", kRepairs / repair_s)});
+  table.Print();
+  std::printf("\nsnapshot startup speedup over CSV re-import: %.1fx\n",
+              speedup);
+
+  reporter.AddRow("startup_csv_import")
+      .Metric("seconds", csv_s)
+      .Metric("tuples", static_cast<int64_t>(total_tuples));
+  reporter.AddRow("startup_snapshot_load")
+      .Metric("seconds", snap_s)
+      .Metric("speedup_x", speedup);
+  reporter.AddRow("wal_replay")
+      .Metric("seconds", replay_s)
+      .Metric("records", static_cast<int64_t>(replay_applied));
+  reporter.AddRow("serve_ping")
+      .Metric("seconds", ping_s / kPings);
+  reporter.AddRow("serve_repair_end")
+      .Metric("seconds", repair_s / kRepairs);
+
+  fs::remove_all(dir, ec);
+  return 0;
+}
+
+}  // namespace
+}  // namespace deltarepair
+
+int main() { return deltarepair::Main(); }

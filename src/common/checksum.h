@@ -1,0 +1,19 @@
+// CRC32 (the ubiquitous reflected 0xEDB88320 polynomial): corruption
+// detection for the on-disk snapshot/WAL formats and the wire frames of
+// the service layer. Table-driven, deterministic across platforms, and
+// fast enough to checksum whole snapshot sections at load time.
+#ifndef DELTAREPAIR_COMMON_CHECKSUM_H_
+#define DELTAREPAIR_COMMON_CHECKSUM_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace deltarepair {
+
+/// CRC32 of `bytes`, optionally continuing from a previous crc (pass the
+/// prior return value to checksum data in chunks).
+uint32_t Crc32(std::string_view bytes, uint32_t seed = 0);
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_COMMON_CHECKSUM_H_

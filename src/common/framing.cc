@@ -1,0 +1,301 @@
+#include "common/framing.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/checksum.h"
+#include "common/string_util.h"
+
+namespace deltarepair {
+
+namespace {
+
+constexpr uint32_t kFrameMagic = 0x44525031;  // "DRP1"
+
+bool KnownFrameType(uint8_t t) {
+  switch (static_cast<FrameType>(t)) {
+    case FrameType::kRepairRequest:
+    case FrameType::kCqaRequest:
+    case FrameType::kUpdateRequest:
+    case FrameType::kStatsRequest:
+    case FrameType::kCompactRequest:
+    case FrameType::kPingRequest:
+    case FrameType::kJson:
+    case FrameType::kError:
+      return true;
+  }
+  return false;
+}
+
+/// read() exactly `n` bytes. Returns 0 on success, -1 on I/O error, and
+/// the number of missing bytes when EOF arrived first.
+ssize_t ReadFull(int fd, char* buf, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::read(fd, buf + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (r == 0) return static_cast<ssize_t>(n - got);
+    got += static_cast<size_t>(r);
+  }
+  return 0;
+}
+
+Status WriteFull(int fd, std::string_view bytes) {
+  size_t put = 0;
+  while (put < bytes.size()) {
+    ssize_t w = ::write(fd, bytes.data() + put, bytes.size() - put);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(StrFormat("frame write failed: %s",
+                                        std::strerror(errno)));
+    }
+    put += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void BinaryWriter::PutU32(uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out_.append(b, 4);
+}
+
+void BinaryWriter::PutU64(uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out_.append(b, 8);
+}
+
+void BinaryWriter::PutVarint64(uint64_t v) {
+  char b[10];
+  int n = 0;
+  while (v >= 0x80) {
+    b[n++] = static_cast<char>((v & 0x7F) | 0x80);
+    v >>= 7;
+  }
+  b[n++] = static_cast<char>(v);
+  out_.append(b, n);
+}
+
+void BinaryWriter::PutDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void BinaryWriter::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  out_.append(s.data(), s.size());
+}
+
+Status BinaryReader::Need(size_t n) {
+  if (remaining() < n) {
+    return Status::InvalidArgument(
+        StrFormat("truncated input: need %zu bytes at offset %zu, have %zu",
+                  n, pos_, remaining()));
+  }
+  return Status::OK();
+}
+
+Status BinaryReader::GetU8(uint8_t* v) {
+  DR_RETURN_IF_ERROR(Need(1));
+  *v = static_cast<uint8_t>(data_[pos_++]);
+  return Status::OK();
+}
+
+Status BinaryReader::GetU32(uint32_t* v) {
+  DR_RETURN_IF_ERROR(Need(4));
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+  }
+  pos_ += 4;
+  *v = out;
+  return Status::OK();
+}
+
+Status BinaryReader::GetVarint64(uint64_t* v) {
+  uint64_t out = 0;
+  for (int shift = 0; shift < 70; shift += 7) {
+    uint8_t byte;
+    DR_RETURN_IF_ERROR(GetU8(&byte));
+    out |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if (!(byte & 0x80)) {
+      *v = out;
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("varint longer than 10 bytes");
+}
+
+Status BinaryReader::GetU64(uint64_t* v) {
+  DR_RETURN_IF_ERROR(Need(8));
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+  }
+  pos_ += 8;
+  *v = out;
+  return Status::OK();
+}
+
+Status BinaryReader::GetI64(int64_t* v) {
+  uint64_t bits;
+  DR_RETURN_IF_ERROR(GetU64(&bits));
+  *v = static_cast<int64_t>(bits);
+  return Status::OK();
+}
+
+Status BinaryReader::GetDouble(double* v) {
+  uint64_t bits;
+  DR_RETURN_IF_ERROR(GetU64(&bits));
+  std::memcpy(v, &bits, sizeof(bits));
+  return Status::OK();
+}
+
+Status BinaryReader::GetStringView(std::string_view* v) {
+  uint32_t len;
+  DR_RETURN_IF_ERROR(GetU32(&len));
+  return GetRaw(len, v);
+}
+
+Status BinaryReader::GetString(std::string* v) {
+  std::string_view view;
+  DR_RETURN_IF_ERROR(GetStringView(&view));
+  v->assign(view.data(), view.size());
+  return Status::OK();
+}
+
+Status BinaryReader::GetRaw(size_t n, std::string_view* v) {
+  DR_RETURN_IF_ERROR(Need(n));
+  *v = data_.substr(pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  BinaryWriter w;
+  w.PutU32(kFrameMagic);
+  w.PutU8(static_cast<uint8_t>(type));
+  w.PutU32(static_cast<uint32_t>(payload.size()));
+  w.PutRaw(payload);
+  w.PutU32(Crc32(payload));
+  return w.Take();
+}
+
+Status DecodeFrame(std::string_view data, Frame* out) {
+  BinaryReader r(data);
+  uint32_t magic, len, crc;
+  uint8_t type;
+  DR_RETURN_IF_ERROR(r.GetU32(&magic));
+  if (magic != kFrameMagic) {
+    return Status::InvalidArgument("bad frame magic");
+  }
+  DR_RETURN_IF_ERROR(r.GetU8(&type));
+  if (!KnownFrameType(type)) {
+    return Status::InvalidArgument(
+        StrFormat("unknown frame type %u", static_cast<unsigned>(type)));
+  }
+  DR_RETURN_IF_ERROR(r.GetU32(&len));
+  std::string_view payload;
+  DR_RETURN_IF_ERROR(r.GetRaw(len, &payload));
+  DR_RETURN_IF_ERROR(r.GetU32(&crc));
+  if (crc != Crc32(payload)) {
+    return Status::InvalidArgument("frame checksum mismatch");
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after frame");
+  }
+  out->type = static_cast<FrameType>(type);
+  out->payload.assign(payload.data(), payload.size());
+  return Status::OK();
+}
+
+Status WriteFrame(int fd, FrameType type, std::string_view payload) {
+  return WriteFull(fd, EncodeFrame(type, payload));
+}
+
+Status ReadFrame(int fd, Frame* out, size_t max_payload) {
+  // Header: magic + type + payload length.
+  char header[9];
+  ssize_t missing = ReadFull(fd, header, sizeof(header));
+  if (missing < 0) {
+    return Status::Internal(StrFormat("frame read failed: %s",
+                                      std::strerror(errno)));
+  }
+  if (missing == sizeof(header)) {
+    return Status::NotFound("peer closed");  // clean EOF between frames
+  }
+  if (missing != 0) {
+    return Status::Internal("EOF inside frame header");
+  }
+  BinaryReader hr(std::string_view(header, sizeof(header)));
+  uint32_t magic, len;
+  uint8_t type;
+  DR_RETURN_IF_ERROR(hr.GetU32(&magic));
+  if (magic != kFrameMagic) {
+    return Status::InvalidArgument("bad frame magic");
+  }
+  DR_RETURN_IF_ERROR(hr.GetU8(&type));
+  if (!KnownFrameType(type)) {
+    return Status::InvalidArgument(
+        StrFormat("unknown frame type %u", static_cast<unsigned>(type)));
+  }
+  DR_RETURN_IF_ERROR(hr.GetU32(&len));
+  if (len > max_payload) {
+    return Status::InvalidArgument(
+        StrFormat("frame payload of %u bytes exceeds limit %zu", len,
+                  max_payload));
+  }
+  std::string payload(len, '\0');
+  if (len > 0) {
+    missing = ReadFull(fd, payload.data(), len);
+    if (missing < 0) {
+      return Status::Internal(StrFormat("frame read failed: %s",
+                                        std::strerror(errno)));
+    }
+    if (missing != 0) return Status::Internal("EOF inside frame payload");
+  }
+  char crc_bytes[4];
+  missing = ReadFull(fd, crc_bytes, sizeof(crc_bytes));
+  if (missing != 0) return Status::Internal("EOF inside frame checksum");
+  BinaryReader cr(std::string_view(crc_bytes, sizeof(crc_bytes)));
+  uint32_t crc;
+  DR_RETURN_IF_ERROR(cr.GetU32(&crc));
+  if (crc != Crc32(payload)) {
+    return Status::InvalidArgument("frame checksum mismatch");
+  }
+  out->type = static_cast<FrameType>(type);
+  out->payload = std::move(payload);
+  return Status::OK();
+}
+
+std::string EncodeErrorPayload(const Status& status) {
+  BinaryWriter w;
+  w.PutU32(static_cast<uint32_t>(status.code()));
+  w.PutString(status.message());
+  return w.Take();
+}
+
+Status DecodeErrorPayload(std::string_view payload) {
+  BinaryReader r(payload);
+  uint32_t code;
+  std::string message;
+  if (!r.GetU32(&code).ok() || !r.GetString(&message).ok() ||
+      code > static_cast<uint32_t>(StatusCode::kInternal) || code == 0) {
+    return Status::Internal("malformed error response");
+  }
+  return Status(static_cast<StatusCode>(code), std::move(message));
+}
+
+}  // namespace deltarepair

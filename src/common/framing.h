@@ -1,0 +1,138 @@
+// Binary encoding and message framing shared by the persistence formats
+// (snapshot, WAL) and the service wire protocol.
+//
+//  * BinaryWriter / BinaryReader — little-endian, bounds-checked
+//    primitives. Readers return Status instead of aborting, so a
+//    truncated or corrupt input is always a recoverable error, never a
+//    crash (the WAL-tail recovery contract depends on this).
+//  * Frame — the length-prefixed unit of the service protocol:
+//      u32 magic | u8 type | u32 payload_len | payload | u32 crc32(payload)
+//    One request or response per frame. ReadFrame/WriteFrame speak the
+//    format over a file descriptor (socket or pipe), handling partial
+//    reads/writes and EINTR.
+#ifndef DELTAREPAIR_COMMON_FRAMING_H_
+#define DELTAREPAIR_COMMON_FRAMING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace deltarepair {
+
+/// Append-only little-endian encoder over an owned buffer.
+class BinaryWriter {
+ public:
+  void PutU8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  /// LEB128: 7 value bits per byte, high bit = continuation. At most 10
+  /// bytes; small magnitudes take one or two.
+  void PutVarint64(uint64_t v);
+  /// Zigzag-mapped varint, so small negative ints stay short too.
+  void PutVarintI64(int64_t v) {
+    PutVarint64((static_cast<uint64_t>(v) << 1) ^
+                static_cast<uint64_t>(v >> 63));
+  }
+  /// IEEE-754 bit pattern; round-trips exactly.
+  void PutDouble(double v);
+  /// u32 length prefix + raw bytes.
+  void PutString(std::string_view s);
+  /// Raw bytes, no length prefix (caller knows the size).
+  void PutRaw(std::string_view s) { out_.append(s.data(), s.size()); }
+
+  const std::string& str() const { return out_; }
+  std::string&& Take() { return std::move(out_); }
+  size_t size() const { return out_.size(); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked little-endian decoder over a borrowed buffer. Every
+/// getter fails with InvalidArgument on underflow; no getter ever reads
+/// past the end.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  Status GetU8(uint8_t* v);
+  Status GetU32(uint32_t* v);
+  Status GetU64(uint64_t* v);
+  Status GetI64(int64_t* v);
+  Status GetDouble(double* v);
+  /// LEB128 varint; rejects encodings longer than 10 bytes.
+  Status GetVarint64(uint64_t* v);
+  /// Zigzag-mapped varint (inverse of PutVarintI64).
+  Status GetVarintI64(int64_t* v) {
+    uint64_t z;
+    DR_RETURN_IF_ERROR(GetVarint64(&z));
+    *v = static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
+    return Status::OK();
+  }
+  /// u32 length prefix + bytes; rejects lengths beyond the remainder.
+  Status GetString(std::string* v);
+  /// Zero-copy view variant of GetString.
+  Status GetStringView(std::string_view* v);
+  /// Exactly `n` raw bytes.
+  Status GetRaw(size_t n, std::string_view* v);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Status Need(size_t n);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// Wire-frame message kinds of the service protocol. Requests come from
+/// clients; a server answers every request with exactly one kJson or
+/// kError frame.
+enum class FrameType : uint8_t {
+  kRepairRequest = 1,   // request_codec-encoded RepairRequest + program
+  kCqaRequest = 2,      // request_codec-encoded CqaRequest + program
+  kUpdateRequest = 3,   // insert/delete of one tuple (WAL-backed)
+  kStatsRequest = 4,    // server/process counters
+  kCompactRequest = 5,  // fold the WAL into a fresh snapshot
+  kPingRequest = 6,     // liveness probe
+  kJson = 16,           // success: payload is a JSON report document
+  kError = 17,          // failure: u32 StatusCode + string message
+};
+
+struct Frame {
+  FrameType type = FrameType::kPingRequest;
+  std::string payload;
+};
+
+/// Serializes one frame (magic, type, length, payload, crc).
+std::string EncodeFrame(FrameType type, std::string_view payload);
+
+/// Decodes one frame from `data`, which must contain exactly one frame.
+/// Rejects bad magic, unknown type values, length overruns and checksum
+/// mismatches with InvalidArgument.
+Status DecodeFrame(std::string_view data, Frame* out);
+
+/// Writes one frame to `fd`, looping over partial writes. Returns
+/// Internal on I/O failure (EPIPE on a dead peer included).
+Status WriteFrame(int fd, FrameType type, std::string_view payload);
+
+/// Reads one frame from `fd`. Returns NotFound on clean EOF before any
+/// byte of a frame (peer closed between frames), InvalidArgument on a
+/// malformed frame, Internal on I/O failure or mid-frame EOF. Frames
+/// larger than `max_payload` are rejected without buffering them.
+Status ReadFrame(int fd, Frame* out, size_t max_payload = 1u << 26);
+
+/// Encodes an error-response frame payload (u32 code + message).
+std::string EncodeErrorPayload(const Status& status);
+
+/// Decodes an error-response frame payload back into a Status.
+Status DecodeErrorPayload(std::string_view payload);
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_COMMON_FRAMING_H_

@@ -159,6 +159,12 @@ CqaResult AnswerQuery(RepairEngine* engine, const CqaRequest& request) {
                            request);
 }
 
+CqaResult AnswerQueryOnSnapshot(RepairEngine* engine,
+                                const CqaRequest& request) {
+  InstanceView view = engine->db()->SnapshotView();
+  return AnswerQueryOnView(&view, engine->program(), request);
+}
+
 std::vector<CqaResult> AnswerQueryBatch(
     RepairEngine* engine, const std::vector<CqaRequest>& requests) {
   int threads = engine->default_options().threads;

@@ -136,6 +136,13 @@ struct CqaResult {
 /// never applies repairs).
 CqaResult AnswerQuery(RepairEngine* engine, const CqaRequest& request);
 
+/// Executes one CQA request on a fresh snapshot view of the canonical
+/// state, leaving it untouched. Safe to call from many threads at once
+/// as long as nothing mutates storage or the canonical state meanwhile
+/// — the server's concurrent read path.
+CqaResult AnswerQueryOnSnapshot(RepairEngine* engine,
+                                const CqaRequest& request);
+
 /// Executes many CQA requests, each against the same initial state.
 /// Worker count: the maximum options.threads across the requests
 /// (fallback engine default); <= 1 runs sequentially. Workers evaluate

@@ -34,6 +34,18 @@ void RelationView::SetDelta(uint32_t r) {
   }
 }
 
+void RelationView::Retract(uint32_t r) {
+  Grow(r);
+  if (live_[r]) {
+    live_[r] = 0;
+    --live_count_;
+  }
+  if (delta_[r]) {
+    delta_[r] = 0;
+    --delta_count_;
+  }
+}
+
 void RelationView::UnmarkDeleted(uint32_t r) {
   Grow(r);
   if (!live_[r]) {
@@ -95,6 +107,11 @@ void InstanceView::SetDelta(TupleId id) {
 void InstanceView::UnmarkDeleted(TupleId id) {
   DR_CHECK(id.row < db_->relation(id.relation).num_rows());
   rels_[id.relation].UnmarkDeleted(id.row);
+}
+
+void InstanceView::Retract(TupleId id) {
+  DR_CHECK(id.row < db_->relation(id.relation).num_rows());
+  rels_[id.relation].Retract(id.row);
 }
 
 InsertResult InstanceView::Insert(uint32_t rel, Tuple t) {

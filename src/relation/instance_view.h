@@ -49,6 +49,12 @@ class RelationView {
   /// semantics during derivation, where base relations stay frozen).
   void SetDelta(uint32_t r);
 
+  /// Removes the tuple from R_i *without* recording it in ∆_i: an
+  /// external update to the instance (service layer), not a repair
+  /// deletion. Also clears a stale delta flag, so the row reads as
+  /// simply absent.
+  void Retract(uint32_t r);
+
   /// Reverts a MarkDeleted: the tuple is live again and leaves ∆_i (used
   /// by the exact reference solvers to undo trial deletions).
   void UnmarkDeleted(uint32_t r);
@@ -107,6 +113,7 @@ class InstanceView {
   void MarkDeleted(TupleId id);
   void SetDelta(TupleId id);
   void UnmarkDeleted(TupleId id);
+  void Retract(TupleId id);
 
   /// Set-semantics insert of a live tuple: interns the row into shared
   /// storage (single-threaded; see class comment) and adopts it in this

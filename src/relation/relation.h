@@ -35,6 +35,61 @@ struct InsertResult {
   bool inserted = false;
 };
 
+/// Flat open-addressed map from full-tuple hash to the row slots bearing
+/// that hash. Replaces an unordered_map<u64, vector<u32>>: one slot
+/// array plus one per-row chain link, so interning and bulk loads do no
+/// per-entry heap allocation (snapshot recovery builds this table for
+/// every relation on startup).
+class DedupeTable {
+ public:
+  static constexpr uint32_t kNone = UINT32_MAX;
+
+  bool empty() const { return size_ == 0; }
+
+  /// Number of rows recorded (the chain-link array length).
+  size_t num_rows() const { return next_.size(); }
+
+  /// Pre-sizes the slot array for `n` distinct hashes.
+  void Reserve(size_t n);
+
+  /// First row slot recorded under `h`, or kNone. Follow Next() for the
+  /// (rare) further rows sharing the hash.
+  uint32_t Head(uint64_t h) const;
+  uint32_t Next(uint32_t row) const { return next_[row]; }
+
+  /// Records row `r` under hash `h`. Rows must be added with strictly
+  /// increasing `r` (the row-slot counter).
+  void Add(uint64_t h, uint32_t r);
+
+  /// Bulk build: replaces any contents with rows 0..n-1 under `hashes`.
+  /// Equivalent to Reserve + n Adds minus the per-add growth checks and
+  /// call overhead — snapshot recovery's hot path.
+  void BuildFrom(const uint64_t* hashes, uint32_t n);
+
+  /// BuildFrom over hashes serialized as unaligned little-endian u64s
+  /// (the snapshot wire layout), decoded in the build loop instead of
+  /// through a temporary array.
+  void BuildFromLe(const unsigned char* le_hashes, uint32_t n);
+
+ private:
+  void Grow(size_t min_slots);
+
+  // Shared BuildFrom/BuildFromLe loop; get_hash(r) yields row r's hash.
+  // Defined in relation.cc — both instantiations live there.
+  template <typename GetHash>
+  void BuildImpl(GetHash&& get_hash, uint32_t n);
+
+  // Parallel slot arrays (power-of-two length); probing scans only
+  // slot_hash_, so the probe working set is half of what a combined
+  // {hash, head} struct array would touch. Hash 0 marks an empty slot;
+  // real hashes are nudged to 1 (chains tolerate hash collisions — all
+  // callers verify tuple equality).
+  std::vector<uint64_t> slot_hash_;
+  std::vector<uint32_t> slot_head_;
+  std::vector<uint32_t> next_;  // per-row chain link
+  size_t size_ = 0;  // occupied slots
+};
+
 class Relation {
  public:
   explicit Relation(RelationSchema schema) : schema_(std::move(schema)) {}
@@ -63,6 +118,16 @@ class Relation {
 
   /// Row slot holding exactly `t`, or -1 if absent.
   int64_t FindRow(const Tuple& t) const;
+
+  /// Serialization hook (snapshot load): replaces this still-empty
+  /// relation's storage with `rows` and adopts `dedupe`, a table the
+  /// loader built from the per-row hashes recorded at snapshot-write
+  /// time (so recovery re-hashes nothing, and can build the table on a
+  /// worker thread before installation). `dedupe` must cover exactly
+  /// `rows` under their HashTuple hashes — the snapshot loader
+  /// validates its checksums before trusting them. Single-threaded,
+  /// like InternRow; every row's arity must match.
+  void BulkLoadRows(std::vector<Tuple> rows, DedupeTable dedupe);
 
   /// Bitmask with bit c set for each indexed column c.
   using ColumnMask = uint64_t;
@@ -98,7 +163,7 @@ class Relation {
   std::vector<Tuple> rows_;
   // Full-tuple hash -> row slots with that hash (for set-semantics
   // interning).
-  std::unordered_map<uint64_t, std::vector<uint32_t>> dedupe_;
+  DedupeTable dedupe_;
   // Column-mask -> index. Guarded by index_mu_ for map lookups/inserts;
   // each Index is immutable once built (InternRow maintains existing
   // indexes, but never runs concurrently with readers).

@@ -49,6 +49,15 @@ RepairOutcome RepairEngine::Execute(const RepairRequest& request) {
   return outcome;
 }
 
+RepairOutcome RepairEngine::ExecuteOnSnapshot(
+    const RepairRequest& request) const {
+  InstanceView view = db_->SnapshotView();
+  InstanceView::State initial = view.SaveState();
+  RepairRequest read_only = request;
+  read_only.apply = false;
+  return ExecuteOnView(&view, initial, read_only);
+}
+
 std::vector<RepairOutcome> RepairEngine::RunBatch(
     const std::vector<RepairRequest>& requests) {
   int threads = default_options_.threads;

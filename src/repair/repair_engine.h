@@ -28,6 +28,12 @@ class RepairEngine {
   /// outcome (unknown semantics name) carries kInvalidProgram.
   RepairOutcome Execute(const RepairRequest& request);
 
+  /// Executes one request on a fresh snapshot of the canonical state,
+  /// leaving that state untouched (`apply` is ignored). Safe to call
+  /// from many threads at once as long as nothing mutates storage or
+  /// the canonical state meanwhile — the server's concurrent read path.
+  RepairOutcome ExecuteOnSnapshot(const RepairRequest& request) const;
+
   /// Executes many requests against this engine's resolved program, each
   /// from the same initial database state (`apply` is ignored; batches
   /// are read-only sweeps — the canonical state is never touched).

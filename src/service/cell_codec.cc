@@ -1,0 +1,45 @@
+#include "service/cell_codec.h"
+
+#include "common/string_util.h"
+
+namespace deltarepair {
+
+void PutCell(BinaryWriter* w, const Value& v) {
+  w->PutU8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt:
+      w->PutVarintI64(v.AsInt());
+      break;
+    case ValueType::kString:
+      w->PutString(v.AsString());
+      break;
+  }
+}
+
+Status GetCell(BinaryReader* r, Value* out) {
+  uint8_t tag;
+  DR_RETURN_IF_ERROR(r->GetU8(&tag));
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      *out = Value();
+      return Status::OK();
+    case ValueType::kInt: {
+      int64_t v;
+      DR_RETURN_IF_ERROR(r->GetVarintI64(&v));
+      *out = Value(v);
+      return Status::OK();
+    }
+    case ValueType::kString: {
+      std::string s;
+      DR_RETURN_IF_ERROR(r->GetString(&s));
+      *out = Value(std::move(s));
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument(
+      StrFormat("unknown value tag %u", static_cast<unsigned>(tag)));
+}
+
+}  // namespace deltarepair

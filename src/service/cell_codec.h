@@ -1,0 +1,21 @@
+// Wire encoding of one Value cell, shared by the snapshot and the WAL:
+// u8 ValueType tag, then the payload (nothing for null, zigzag varint
+// for int, u32-length-prefixed bytes for string). The varint keeps the
+// typical id-sized int at two bytes instead of nine, which roughly
+// halves a snapshot of mostly-numeric relations — less to write, read
+// and checksum on every recovery.
+#ifndef DELTAREPAIR_SERVICE_CELL_CODEC_H_
+#define DELTAREPAIR_SERVICE_CELL_CODEC_H_
+
+#include "common/framing.h"
+#include "common/status.h"
+#include "relation/value.h"
+
+namespace deltarepair {
+
+void PutCell(BinaryWriter* w, const Value& v);
+Status GetCell(BinaryReader* r, Value* out);
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_SERVICE_CELL_CODEC_H_

@@ -1,0 +1,68 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace deltarepair {
+
+StatusOr<Frame> CallServer(int port, FrameType type,
+                           std::string_view payload) {
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument(
+        StrFormat("client: bad port %d", port));
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(
+        StrFormat("client: socket() failed: %s", std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal(
+        StrFormat("client: cannot connect to port %d: %s", port,
+                  err.c_str()));
+  }
+  Status st = WriteFrame(fd, type, payload);
+  if (!st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  Frame response;
+  st = ReadFrame(fd, &response);
+  ::close(fd);
+  if (!st.ok()) {
+    if (st.code() == StatusCode::kNotFound) {
+      return Status::Internal("client: server closed without a response");
+    }
+    return st;
+  }
+  return response;
+}
+
+StatusOr<std::string> CallServerJson(int port, FrameType type,
+                                     std::string_view payload) {
+  StatusOr<Frame> response = CallServer(port, type, payload);
+  if (!response.ok()) return response.status();
+  if (response->type == FrameType::kError) {
+    return DecodeErrorPayload(response->payload);
+  }
+  if (response->type != FrameType::kJson) {
+    return Status::Internal("client: unexpected response frame type");
+  }
+  return std::move(response->payload);
+}
+
+}  // namespace deltarepair

@@ -1,0 +1,27 @@
+// Minimal client side of the frame protocol: connect to a drepair
+// server on localhost, send one request frame, read the one response
+// frame. Used by the drepair_client tool and the in-process server
+// tests.
+#ifndef DELTAREPAIR_SERVICE_CLIENT_H_
+#define DELTAREPAIR_SERVICE_CLIENT_H_
+
+#include <string>
+
+#include "common/framing.h"
+#include "common/status.h"
+
+namespace deltarepair {
+
+/// One round-trip on a fresh connection to 127.0.0.1:port. Returns the
+/// raw response frame (kJson or kError).
+StatusOr<Frame> CallServer(int port, FrameType type,
+                           std::string_view payload);
+
+/// CallServer, unwrapped: the kJson payload on success, or the decoded
+/// kError Status.
+StatusOr<std::string> CallServerJson(int port, FrameType type,
+                                     std::string_view payload);
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_SERVICE_CLIENT_H_

@@ -1,0 +1,35 @@
+// Machine-readable report writers shared by the CLI's --json path and
+// the server's response frames: one emitter per result type, so a repair
+// answered over the wire is byte-identical to the same repair reported
+// by the batch CLI (timing fields aside — wall clocks differ run to
+// run).
+#ifndef DELTAREPAIR_SERVICE_REPORT_H_
+#define DELTAREPAIR_SERVICE_REPORT_H_
+
+#include "common/json_writer.h"
+#include "cqa/cqa.h"
+#include "relation/database.h"
+#include "repair/repair_options.h"
+
+namespace deltarepair {
+
+/// One repair outcome as a JSON object (semantics, termination, deletion
+/// breakdown, full stats block).
+void WriteOutcomeJson(JsonWriter& json, const Database& db,
+                      const RepairOutcome& outcome, bool applied);
+
+/// One CQA result as a JSON object (per-answer verdicts + stats block).
+void WriteCqaResultJson(JsonWriter& json, const Database& db,
+                        const CqaResult& result);
+
+/// One cell value as a JSON scalar (null / int / string).
+void WriteValueJson(JsonWriter& json, const Value& value);
+
+/// Strongest label the per-verdict proof bits support ("possible" may
+/// still be certain when only --possible was computed):
+/// certain | impossible | possible | undecided.
+const char* CqaVerdictLabel(const CqaAnswer& answer);
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_SERVICE_REPORT_H_

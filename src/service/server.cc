@@ -1,0 +1,415 @@
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <shared_mutex>
+
+#include "common/framing.h"
+#include "common/json_writer.h"
+#include "common/string_util.h"
+#include "service/report.h"
+#include "service/request_codec.h"
+
+namespace deltarepair {
+
+namespace {
+
+Status MakeListenSocket(int port, int* fd_out, int* port_out) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(
+        StrFormat("server: socket() failed: %s", std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal(
+        StrFormat("server: cannot bind port %d: %s", port, err.c_str()));
+  }
+  if (::listen(fd, 128) != 0) {
+    std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal(
+        StrFormat("server: listen() failed: %s", err.c_str()));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal(
+        StrFormat("server: getsockname() failed: %s", err.c_str()));
+  }
+  *fd_out = fd;
+  *port_out = static_cast<int>(ntohs(bound.sin_port));
+  return Status::OK();
+}
+
+void WriteError(int fd, const Status& status) {
+  // Best-effort: the peer may already be gone.
+  (void)WriteFrame(fd, FrameType::kError, EncodeErrorPayload(status));
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<RepairServer>> RepairServer::Start(
+    std::unique_ptr<PersistentStore> store, Program program,
+    ServerOptions options) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("server: null store");
+  }
+  if (options.workers < 1 || options.workers > 256) {
+    return Status::InvalidArgument("server: workers must be in [1, 256]");
+  }
+  auto server = std::unique_ptr<RepairServer>(new RepairServer());
+  server->options_ = options;
+  server->store_ = std::move(store);
+  StatusOr<RepairEngine> engine =
+      RepairEngine::Create(&server->store_->db(), std::move(program));
+  if (!engine.ok()) return engine.status();
+  server->engine_ =
+      std::make_unique<RepairEngine>(std::move(engine).value());
+  DR_RETURN_IF_ERROR(MakeListenSocket(options.port, &server->listen_fd_,
+                                      &server->port_));
+  server->accept_thread_ = std::thread(&RepairServer::AcceptLoop,
+                                       server.get());
+  server->workers_.reserve(static_cast<size_t>(options.workers));
+  for (int w = 0; w < options.workers; ++w) {
+    server->workers_.emplace_back(&RepairServer::WorkerLoop, server.get());
+  }
+  return server;
+}
+
+RepairServer::~RepairServer() { Drain(); }
+
+void RepairServer::Drain() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (draining_) {
+      // A second caller just waits for the first drain to finish via the
+      // joins below being no-ops once threads are gone.
+    }
+    draining_ = true;
+  }
+  queue_cv_.notify_all();
+  if (listen_fd_ >= 0) {
+    // Unblocks the accept thread.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void RepairServer::Stop() {
+  stopped_.store(true, std::memory_order_relaxed);
+  cancel_.Cancel();
+  Drain();
+}
+
+void RepairServer::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Shutdown/close of the listening socket lands here.
+      return;
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    bool reject_draining = false, reject_full = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (draining_) {
+        reject_draining = true;
+      } else if (queue_.size() >= options_.max_queue) {
+        reject_full = true;
+      } else {
+        queue_.push_back(fd);
+      }
+    }
+    if (reject_draining) {
+      WriteError(fd, Status::FailedPrecondition("server is draining"));
+      ::close(fd);
+      continue;
+    }
+    if (reject_full) {
+      rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+      WriteError(fd, Status::ResourceExhausted(StrFormat(
+                         "server overloaded: %zu connections queued",
+                         options_.max_queue)));
+      ::close(fd);
+      continue;
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void RepairServer::WorkerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] { return draining_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // draining and dry
+      fd = queue_.front();
+      queue_.pop_front();
+    }
+    // Count before answering: a client that has its response in hand
+    // must already see itself in the served counter.
+    served_.fetch_add(1, std::memory_order_relaxed);
+    ServeConnection(fd);
+    ::close(fd);
+  }
+}
+
+void RepairServer::ServeConnection(int fd) {
+  Frame frame;
+  Status st = ReadFrame(fd, &frame);
+  if (!st.ok()) {
+    request_errors_.fetch_add(1, std::memory_order_relaxed);
+    if (st.code() != StatusCode::kNotFound) WriteError(fd, st);
+    return;
+  }
+
+  // Shape the request's budget: default when unset, clamp to the
+  // server's maximum, and wire in the server-wide cancel token so a
+  // hard Stop() unwinds in-flight runs.
+  auto shape_options = [this](RepairOptions* o) {
+    if (o->budget_seconds <= 0) {
+      o->budget_seconds = options_.default_budget_seconds;
+    }
+    if (options_.max_budget_seconds > 0 &&
+        (o->budget_seconds <= 0 ||
+         o->budget_seconds > options_.max_budget_seconds)) {
+      o->budget_seconds = options_.max_budget_seconds;
+    }
+    o->cancel = &cancel_;
+  };
+
+  switch (frame.type) {
+    case FrameType::kPingRequest: {
+      (void)WriteFrame(fd, FrameType::kJson, "{\"ok\":true}");
+      return;
+    }
+    case FrameType::kRepairRequest: {
+      repair_requests_.fetch_add(1, std::memory_order_relaxed);
+      RepairRequest request;
+      st = DecodeRepairRequest(frame.payload, &request);
+      if (!st.ok()) {
+        request_errors_.fetch_add(1, std::memory_order_relaxed);
+        WriteError(fd, st);
+        return;
+      }
+      shape_options(&request.options);
+      RepairOutcome outcome;
+      if (request.apply) {
+        // Applying mutates the instance: run and persist the deletions
+        // under the exclusive lock so no reader sees a half-applied
+        // repair and the WAL records it durably.
+        std::unique_lock<std::shared_mutex> lock(store_->mutex());
+        outcome = engine_->ExecuteOnSnapshot(request);
+        if (outcome.ok()) {
+          std::map<uint32_t, std::vector<Tuple>> by_relation;
+          for (const TupleId& t : outcome.result.deleted) {
+            by_relation[t.relation].push_back(store_->db().tuple(t));
+          }
+          for (auto& [rel, tuples] : by_relation) {
+            st = store_->ApplyDelete(rel, tuples);
+            if (!st.ok()) break;
+          }
+          if (!st.ok()) {
+            request_errors_.fetch_add(1, std::memory_order_relaxed);
+            WriteError(fd, st);
+            return;
+          }
+        }
+      } else {
+        std::shared_lock<std::shared_mutex> lock(store_->mutex());
+        outcome = engine_->ExecuteOnSnapshot(request);
+      }
+      if (!outcome.ok()) {
+        request_errors_.fetch_add(1, std::memory_order_relaxed);
+        WriteError(fd, outcome.status);
+        return;
+      }
+      JsonWriter json;
+      {
+        std::shared_lock<std::shared_mutex> lock(store_->mutex());
+        WriteOutcomeJson(json, store_->db(), outcome, request.apply);
+      }
+      (void)WriteFrame(fd, FrameType::kJson, json.str());
+      return;
+    }
+    case FrameType::kCqaRequest: {
+      cqa_requests_.fetch_add(1, std::memory_order_relaxed);
+      CqaRequest request;
+      st = DecodeCqaRequest(frame.payload, &request);
+      if (!st.ok()) {
+        request_errors_.fetch_add(1, std::memory_order_relaxed);
+        WriteError(fd, st);
+        return;
+      }
+      shape_options(&request.options);
+      CqaResult result;
+      {
+        std::shared_lock<std::shared_mutex> lock(store_->mutex());
+        result = AnswerQueryOnSnapshot(engine_.get(), request);
+      }
+      if (!result.ok()) {
+        request_errors_.fetch_add(1, std::memory_order_relaxed);
+        WriteError(fd, result.status);
+        return;
+      }
+      JsonWriter json;
+      {
+        std::shared_lock<std::shared_mutex> lock(store_->mutex());
+        WriteCqaResultJson(json, store_->db(), result);
+      }
+      (void)WriteFrame(fd, FrameType::kJson, json.str());
+      return;
+    }
+    case FrameType::kUpdateRequest: {
+      update_requests_.fetch_add(1, std::memory_order_relaxed);
+      UpdateRequest request;
+      st = DecodeUpdateRequest(frame.payload, &request);
+      if (!st.ok()) {
+        request_errors_.fetch_add(1, std::memory_order_relaxed);
+        WriteError(fd, st);
+        return;
+      }
+      size_t total_live = 0;
+      {
+        std::unique_lock<std::shared_mutex> lock(store_->mutex());
+        int rel = store_->db().RelationIndex(request.relation);
+        if (rel < 0) {
+          st = Status::NotFound(
+              StrFormat("unknown relation '%s'", request.relation.c_str()));
+        } else if (request.op == WalOp::kInsert) {
+          st = store_->ApplyInsert(static_cast<uint32_t>(rel),
+                                   request.tuples);
+        } else {
+          st = store_->ApplyDelete(static_cast<uint32_t>(rel),
+                                   request.tuples);
+        }
+        total_live = store_->db().TotalLive();
+      }
+      if (!st.ok()) {
+        request_errors_.fetch_add(1, std::memory_order_relaxed);
+        WriteError(fd, st);
+        return;
+      }
+      JsonWriter json;
+      json.BeginObject();
+      json.Field("ok", true);
+      json.Field("op",
+                 request.op == WalOp::kInsert ? "insert" : "delete");
+      json.Field("tuples", static_cast<uint64_t>(request.tuples.size()));
+      json.Field("total_live", static_cast<uint64_t>(total_live));
+      json.EndObject();
+      (void)WriteFrame(fd, FrameType::kJson, json.str());
+      return;
+    }
+    case FrameType::kCompactRequest: {
+      {
+        std::unique_lock<std::shared_mutex> lock(store_->mutex());
+        st = store_->Compact();
+      }
+      if (!st.ok()) {
+        request_errors_.fetch_add(1, std::memory_order_relaxed);
+        WriteError(fd, st);
+        return;
+      }
+      compactions_.fetch_add(1, std::memory_order_relaxed);
+      (void)WriteFrame(fd, FrameType::kJson,
+                       "{\"ok\":true,\"wal_reset\":true}");
+      return;
+    }
+    case FrameType::kStatsRequest: {
+      (void)WriteFrame(fd, FrameType::kJson, HandleStats());
+      return;
+    }
+    case FrameType::kJson:
+    case FrameType::kError: {
+      request_errors_.fetch_add(1, std::memory_order_relaxed);
+      WriteError(fd, Status::InvalidArgument(
+                         "response frame type in a request"));
+      return;
+    }
+  }
+}
+
+std::string RepairServer::HandleStats() {
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("accepted", accepted_.load(std::memory_order_relaxed));
+  json.Field("served", served_.load(std::memory_order_relaxed));
+  json.Field("repair_requests",
+             repair_requests_.load(std::memory_order_relaxed));
+  json.Field("cqa_requests",
+             cqa_requests_.load(std::memory_order_relaxed));
+  json.Field("update_requests",
+             update_requests_.load(std::memory_order_relaxed));
+  json.Field("rejected_overload",
+             rejected_overload_.load(std::memory_order_relaxed));
+  json.Field("request_errors",
+             request_errors_.load(std::memory_order_relaxed));
+  json.Field("compactions", compactions_.load(std::memory_order_relaxed));
+  json.Field("workers", static_cast<int64_t>(options_.workers));
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    json.Field("queued", static_cast<uint64_t>(queue_.size()));
+    json.Field("draining", draining_);
+  }
+  {
+    std::shared_lock<std::shared_mutex> lock(store_->mutex());
+    json.Field("relations",
+               static_cast<uint64_t>(store_->db().num_relations()));
+    json.Field("total_live",
+               static_cast<uint64_t>(store_->db().TotalLive()));
+    json.Field("total_rows",
+               static_cast<uint64_t>(store_->db().TotalRows()));
+    json.Field("updates_applied", store_->updates_applied());
+    json.Field("recovered_wal_records",
+               static_cast<uint64_t>(store_->recovery_stats()
+                                         .records_applied));
+    json.Field("recovered_wal_bytes_dropped",
+               static_cast<uint64_t>(store_->recovery_stats()
+                                         .bytes_dropped));
+  }
+  json.EndObject();
+  return json.str();
+}
+
+RepairServer::Stats RepairServer::stats() const {
+  Stats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.served = served_.load(std::memory_order_relaxed);
+  s.repair_requests = repair_requests_.load(std::memory_order_relaxed);
+  s.cqa_requests = cqa_requests_.load(std::memory_order_relaxed);
+  s.update_requests = update_requests_.load(std::memory_order_relaxed);
+  s.rejected_overload =
+      rejected_overload_.load(std::memory_order_relaxed);
+  s.request_errors = request_errors_.load(std::memory_order_relaxed);
+  s.compactions = compactions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace deltarepair

@@ -1,0 +1,48 @@
+// Columnar on-disk snapshot of a Database: the immutable relation store
+// (schema header, per-column value segments, row dedupe table) plus the
+// canonical base-view membership bitmaps (live / delta), one checksummed
+// section per relation. Startup becomes a single read + decode instead
+// of a CSV re-import; see service/store.h for the WAL that rides on top.
+//
+// File layout (little-endian; version 2):
+//   header section:  "DRSNAP01" | u32 version | u32 num_relations
+//                    | num_relations x (u64 offset, u64 length)
+//                    | u32 crc32(section)
+//   per relation:    name | u32 arity | arity x (attr name, u8 type)
+//                    | u64 row_count
+//                    | arity column segments (u8 tag + payload per cell)
+//                    | row_count x u64 row hash   (dedupe table)
+//                    | live bitmap | delta bitmap (packed, LSB-first)
+//                    | u32 crc32(section)
+// The header directory gives every relation section's file offset and
+// length (crc included), so sections are self-contained and recovery
+// decodes them on several threads at once — that, the stored row
+// hashes, and the columnar cell segments are what make a snapshot open
+// several times faster than re-importing the CSVs it was built from.
+// A loader rejects bad magic, unknown versions, checksum mismatches,
+// truncation and trailing garbage with a typed Status — it never aborts.
+#ifndef DELTAREPAIR_SERVICE_SNAPSHOT_H_
+#define DELTAREPAIR_SERVICE_SNAPSHOT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "relation/database.h"
+
+namespace deltarepair {
+
+/// Serializes `db`'s storage and canonical state to bytes.
+std::string EncodeSnapshot(const Database& db);
+
+/// Decodes a snapshot into `db`, which must be empty (no relations).
+Status DecodeSnapshot(std::string_view bytes, Database* db);
+
+/// Writes the snapshot of `db` to `path` atomically (temp file + rename).
+Status WriteSnapshotFile(const Database& db, const std::string& path);
+
+/// Reads `path` and decodes it into the empty database `db`.
+Status LoadSnapshotFile(const std::string& path, Database* db);
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_SERVICE_SNAPSHOT_H_

@@ -1,0 +1,93 @@
+// PersistentStore: a Database backed by an on-disk snapshot + WAL pair.
+//
+//   <dir>/snapshot.drs   columnar snapshot (service/snapshot.h)
+//   <dir>/wal.drl        append-only update log (service/wal.h)
+//
+// Open() recovers the instance: load the snapshot (checksum-verified),
+// then replay the WAL's valid prefix, dropping any torn tail. Updates go
+// through ApplyInsert/ApplyDelete, which append to the WAL *before*
+// touching the in-memory state (write-ahead). Compact() folds the log
+// into a fresh snapshot: write snapshot atomically (temp + rename), then
+// reset the WAL — a crash between the two replays the old log over the
+// new snapshot, which is harmless because replay is idempotent.
+//
+// Thread model: evaluation over the store's database happens on per-run
+// SnapshotViews, so readers only need the storage to stay put. The
+// server serializes updates/compaction against readers with `mutex()`
+// (readers shared, writers exclusive); the store itself does no locking.
+#ifndef DELTAREPAIR_SERVICE_STORE_H_
+#define DELTAREPAIR_SERVICE_STORE_H_
+
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/database.h"
+#include "service/wal.h"
+
+namespace deltarepair {
+
+struct StoreOptions {
+  /// fsync every WAL append (crash-durable but slower). Flush-only by
+  /// default: records survive process death, not power loss.
+  bool sync_wal = false;
+};
+
+class PersistentStore {
+ public:
+  using Options = StoreOptions;
+
+  /// Creates a store at `dir` (which must exist) from `db`: writes the
+  /// initial snapshot and an empty WAL. Fails if a snapshot is already
+  /// present.
+  static StatusOr<std::unique_ptr<PersistentStore>> Create(
+      const std::string& dir, Database db, Options options = {});
+
+  /// Opens + recovers the store at `dir`: snapshot, then WAL replay.
+  static StatusOr<std::unique_ptr<PersistentStore>> Open(
+      const std::string& dir, Options options = {});
+
+  Database& db() { return db_; }
+  const Database& db() const { return db_; }
+
+  /// Readers take shared, updates/compaction take exclusive.
+  std::shared_mutex& mutex() { return mu_; }
+
+  /// Logs then applies set-semantics inserts into relation `rel` (revives
+  /// deleted duplicates). Caller holds the mutex exclusively.
+  Status ApplyInsert(uint32_t rel, const std::vector<Tuple>& tuples);
+
+  /// Logs then applies deletes; tuples not currently live are ignored.
+  /// Caller holds the mutex exclusively.
+  Status ApplyDelete(uint32_t rel, const std::vector<Tuple>& tuples);
+
+  /// Folds the WAL into a fresh snapshot. Caller holds the mutex
+  /// exclusively.
+  Status Compact();
+
+  /// What recovery found (zeros for a freshly created store).
+  const WalReplayStats& recovery_stats() const { return recovery_stats_; }
+
+  const std::string& dir() const { return dir_; }
+  uint64_t updates_applied() const { return updates_applied_; }
+
+  static std::string SnapshotPath(const std::string& dir);
+  static std::string WalPath(const std::string& dir);
+
+ private:
+  PersistentStore() = default;
+
+  std::string dir_;
+  Options options_;
+  Database db_;
+  WalWriter wal_;
+  WalReplayStats recovery_stats_;
+  uint64_t updates_applied_ = 0;
+  std::shared_mutex mu_;
+};
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_SERVICE_STORE_H_

@@ -1,0 +1,199 @@
+#include "service/wal.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "common/checksum.h"
+#include "common/framing.h"
+#include "common/string_util.h"
+#include "service/cell_codec.h"
+
+namespace deltarepair {
+
+namespace {
+
+constexpr char kWalMagic[] = "DRWAL001";  // 8 bytes, no terminator
+constexpr size_t kWalHeaderLen = 8;
+// A record claiming more than this is treated as tail corruption, not an
+// allocation request.
+constexpr uint32_t kMaxRecordLen = 1u << 26;
+
+}  // namespace
+
+std::string EncodeWalRecord(WalOp op, uint32_t relation, size_t arity,
+                            const std::vector<Tuple>& tuples) {
+  BinaryWriter w;
+  w.PutU8(static_cast<uint8_t>(op));
+  w.PutU32(relation);
+  w.PutU32(static_cast<uint32_t>(tuples.size()));
+  for (const Tuple& t : tuples) {
+    DR_CHECK_MSG(t.size() == arity, "WAL record arity mismatch");
+    for (const Value& v : t) PutCell(&w, v);
+  }
+  return w.Take();
+}
+
+WalWriter::~WalWriter() { Close(); }
+
+void WalWriter::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status WalWriter::Open(const std::string& path) {
+  Close();
+  path_ = path;
+  // "a" creates when missing and always appends; find out whether the
+  // header is already present.
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::Internal(
+        StrFormat("wal: cannot open %s: %s", path.c_str(),
+                  std::strerror(errno)));
+  }
+  // In append mode the initial position is implementation-defined; seek
+  // to the end explicitly before asking where we are.
+  long size = std::fseek(file_, 0, SEEK_END) == 0 ? std::ftell(file_) : -1;
+  if (size < 0) {
+    Close();
+    return Status::Internal("wal: ftell failed for " + path);
+  }
+  if (size == 0) {
+    if (std::fwrite(kWalMagic, 1, kWalHeaderLen, file_) != kWalHeaderLen ||
+        std::fflush(file_) != 0) {
+      Close();
+      return Status::Internal("wal: cannot write header to " + path);
+    }
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Append(WalOp op, uint32_t relation, size_t arity,
+                         const std::vector<Tuple>& tuples, bool sync) {
+  if (file_ == nullptr) return Status::FailedPrecondition("wal: not open");
+  std::string payload = EncodeWalRecord(op, relation, arity, tuples);
+  BinaryWriter framed;
+  framed.PutU32(static_cast<uint32_t>(payload.size()));
+  framed.PutRaw(payload);
+  framed.PutU32(Crc32(payload));
+  const std::string& bytes = framed.str();
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size() ||
+      std::fflush(file_) != 0) {
+    return Status::Internal("wal: append failed for " + path_);
+  }
+  if (sync && ::fsync(::fileno(file_)) != 0) {
+    return Status::Internal(
+        StrFormat("wal: fsync failed: %s", std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Reset() {
+  if (file_ == nullptr) return Status::FailedPrecondition("wal: not open");
+  Close();
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  if (f == nullptr ||
+      std::fwrite(kWalMagic, 1, kWalHeaderLen, f) != kWalHeaderLen ||
+      std::fflush(f) != 0) {
+    if (f != nullptr) std::fclose(f);
+    return Status::Internal("wal: reset failed for " + path_);
+  }
+  std::fclose(f);
+  return Open(path_);
+}
+
+Status ReplayWal(const std::string& path, Database* db,
+                 WalReplayStats* stats) {
+  *stats = WalReplayStats{};
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::OK();  // no log yet: nothing to replay
+  std::streamoff size = in.tellg();
+  in.seekg(0);
+  std::string bytes(static_cast<size_t>(size), '\0');
+  if (size > 0) in.read(&bytes[0], size);
+  if (!in) return Status::Internal("wal: read failed for " + path);
+  if (bytes.empty()) return Status::OK();
+  if (bytes.size() < kWalHeaderLen ||
+      std::string_view(bytes).substr(0, kWalHeaderLen) !=
+          std::string_view(kWalMagic, kWalHeaderLen)) {
+    return Status::InvalidArgument("wal: bad header in " + path);
+  }
+
+  std::string_view data(bytes);
+  size_t pos = kWalHeaderLen;
+  while (pos < data.size()) {
+    const size_t record_start = pos;
+    // Any framing/decoding failure from here on is a torn or corrupt
+    // tail: stop replaying and report the dropped remainder.
+    BinaryReader r(data.substr(pos));
+    uint32_t len = 0;
+    std::string_view payload;
+    uint32_t crc = 0;
+    bool frame_ok = r.GetU32(&len).ok() && len <= kMaxRecordLen &&
+                    r.GetRaw(len, &payload).ok() && r.GetU32(&crc).ok() &&
+                    crc == Crc32(payload);
+    if (!frame_ok) {
+      stats->bytes_dropped = data.size() - record_start;
+      break;
+    }
+    pos += r.position();
+
+    BinaryReader pr(payload);
+    uint8_t op = 0;
+    uint32_t rel = 0, count = 0;
+    if (!pr.GetU8(&op).ok() ||
+        (op != static_cast<uint8_t>(WalOp::kInsert) &&
+         op != static_cast<uint8_t>(WalOp::kDelete)) ||
+        !pr.GetU32(&rel).ok() || !pr.GetU32(&count).ok()) {
+      stats->bytes_dropped = data.size() - record_start;
+      break;
+    }
+    if (rel >= db->num_relations()) {
+      return Status::InvalidArgument(
+          StrFormat("wal: record for unknown relation %u", rel));
+    }
+    const size_t arity = db->relation(rel).arity();
+    std::vector<Tuple> tuples;
+    tuples.reserve(count);
+    bool tuples_ok = true;
+    for (uint32_t i = 0; i < count && tuples_ok; ++i) {
+      Tuple t(arity);
+      for (size_t c = 0; c < arity; ++c) {
+        if (!GetCell(&pr, &t[c]).ok()) {
+          tuples_ok = false;
+          break;
+        }
+      }
+      if (tuples_ok) tuples.push_back(std::move(t));
+    }
+    if (!tuples_ok || !pr.AtEnd()) {
+      stats->bytes_dropped = data.size() - record_start;
+      break;
+    }
+
+    for (Tuple& t : tuples) {
+      if (op == static_cast<uint8_t>(WalOp::kInsert)) {
+        // Insert adopts the row live in the base view; a dedupe hit on a
+        // deleted row revives it, so replay after compact is a no-op.
+        db->Insert(rel, std::move(t));
+      } else {
+        int64_t row = db->relation(rel).FindRow(t);
+        // External delete: out of the instance, not into ∆.
+        if (row >= 0) {
+          db->base_view().Retract(TupleId{rel, static_cast<uint32_t>(row)});
+        }
+      }
+      ++stats->tuples_applied;
+    }
+    ++stats->records_applied;
+  }
+  return Status::OK();
+}
+
+}  // namespace deltarepair

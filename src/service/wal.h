@@ -1,0 +1,81 @@
+// Append-only write-ahead log of instance updates (inserts / deletes),
+// riding on top of a snapshot (service/snapshot.h). Recovery replays the
+// log against the snapshot's state; a torn tail — a record cut short or
+// corrupted by a crash mid-append — is detected by length/checksum and
+// dropped, never a crash.
+//
+// File layout (little-endian):
+//   "DRWAL001"                                   (8-byte header)
+//   records: u32 len | payload | u32 crc32(payload)
+//   payload: u8 op (1=insert 2=delete) | u32 relation index
+//            | u32 tuple count | tuples (arity cells each; cell_codec)
+//
+// Replay is order-preserving and idempotent: an insert that dedupe-hits a
+// deleted row revives it, a delete only fires while the row is live. That
+// makes compaction crash-safe — replaying the *old* log over a snapshot
+// that already contains its effects is a no-op.
+#ifndef DELTAREPAIR_SERVICE_WAL_H_
+#define DELTAREPAIR_SERVICE_WAL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/database.h"
+
+namespace deltarepair {
+
+enum class WalOp : uint8_t { kInsert = 1, kDelete = 2 };
+
+/// Serializes one record payload (without the len/crc framing).
+std::string EncodeWalRecord(WalOp op, uint32_t relation, size_t arity,
+                            const std::vector<Tuple>& tuples);
+
+/// Appender. Open creates the file (writing the header) when missing or
+/// empty, and otherwise appends after whatever is already there — replay
+/// decides where the valid prefix ends.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  Status Open(const std::string& path);
+
+  /// Appends one framed record and flushes it to the OS. With
+  /// `sync` also fsyncs, making the record crash-durable.
+  Status Append(WalOp op, uint32_t relation, size_t arity,
+                const std::vector<Tuple>& tuples, bool sync);
+
+  /// Truncates back to just the header (after a compact folded the log
+  /// into a fresh snapshot).
+  Status Reset();
+
+  void Close();
+  bool is_open() const { return file_ != nullptr; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+struct WalReplayStats {
+  size_t records_applied = 0;
+  size_t tuples_applied = 0;
+  /// Bytes of torn/corrupt tail dropped (0 on a clean log).
+  size_t bytes_dropped = 0;
+};
+
+/// Replays the valid prefix of the log at `path` against `db`'s canonical
+/// state. A missing file is OK (empty log). The first invalid record ends
+/// the log: its bytes and everything after are reported in
+/// `stats->bytes_dropped` and ignored. Only a bad header or an op against
+/// a relation/arity the database does not have is an error.
+Status ReplayWal(const std::string& path, Database* db,
+                 WalReplayStats* stats);
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_SERVICE_WAL_H_

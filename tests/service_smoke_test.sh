@@ -1,0 +1,169 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the service layer. Drives the real binaries:
+#
+#   1. batch CLI --json baseline over the paper's running example
+#   2. drepair_server bootstrapped from the same CSVs (snapshot + WAL)
+#   3. repair + CQA through drepair_client; reports must be byte-identical
+#      to the CLI's (timing fields scrubbed)
+#   4. updates through the WAL, then kill -9 and restart: the store must
+#      recover from snapshot + log replay with identical verdicts
+#   5. SIGTERM must drain gracefully with exit code 0
+#
+# Usage: service_smoke_test.sh <drepair_server> <drepair_client> \
+#                              <drepair_cli> <work_dir>
+set -euo pipefail
+
+SERVER=$(realpath "$1")
+CLIENT=$(realpath "$2")
+CLI=$(realpath "$3")
+WORK=$4
+
+rm -rf "$WORK"
+mkdir -p "$WORK/data"
+cd "$WORK"
+
+cat > data/Author.csv <<'EOF'
+aid:int,name:str,oid:int
+1,Alice,100
+2,Bob,200
+3,Carol,300
+EOF
+cat > data/Org.csv <<'EOF'
+oid:int,oname:str
+100,ERC
+200,UCSD
+300,UCSD
+EOF
+cat > data/Writes.csv <<'EOF'
+aid:int,pid:int
+1,10
+2,10
+2,20
+3,20
+EOF
+cat > repair.dl <<'EOF'
+~Author(a, n, o) :- Author(a, n, o), Org(o, x), x = 'ERC'.
+~Writes(a, p) :- Writes(a, p), ~Author(a, n, o).
+EOF
+
+QUERY='q(n) :- Author(a, n, o)'
+
+# Scrubs every *_seconds field, then compares two JSON documents.
+# --first-result replaces the first document by its results[0] element
+# (the batch CLI wraps per-run reports in a document; the server sends
+# the report object alone).
+compare_json() {
+  python3 - "$@" <<'EOF'
+import json, sys
+
+def scrub(x):
+    if isinstance(x, dict):
+        return {k: (0 if k.endswith("_seconds") else scrub(v))
+                for k, v in x.items()}
+    if isinstance(x, list):
+        return [scrub(v) for v in x]
+    return x
+
+args = [a for a in sys.argv[1:] if not a.startswith("--")]
+a = json.load(open(args[0]))
+if "--first-result" in sys.argv:
+    a = a["results"][0]
+a = scrub(a)
+b = scrub(json.load(open(args[1])))
+if a != b:
+    print(f"JSON mismatch between {args[0]} and {args[1]}:",
+          file=sys.stderr)
+    print(json.dumps(a, indent=1), file=sys.stderr)
+    print("---", file=sys.stderr)
+    print(json.dumps(b, indent=1), file=sys.stderr)
+    sys.exit(1)
+EOF
+}
+
+wait_for_port_file() {
+  for _ in $(seq 1 100); do
+    [ -s "$1" ] && return 0
+    sleep 0.1
+  done
+  echo "server never wrote $1" >&2
+  return 1
+}
+
+# --- 1. Batch CLI baseline. -----------------------------------------------
+"$CLI" --data data --program repair.dl --semantics end --verify \
+  --json cli_repair.json > /dev/null
+"$CLI" --data data --program repair.dl --semantics stage \
+  --query "$QUERY" --json cli_cqa.json > /dev/null
+
+# --- 2. Bootstrap the server from the CSVs. -------------------------------
+"$SERVER" --store store --program repair.dl --init-data data \
+  --port-file port1.txt > server1.log 2>&1 &
+SERVER_PID=$!
+wait_for_port_file port1.txt
+
+"$CLIENT" --port-file port1.txt ping | grep -q '"ok":true'
+"$CLIENT" --port-file port1.txt repair --semantics end --verify \
+  > server_repair1.json
+"$CLIENT" --port-file port1.txt cqa --semantics stage --query "$QUERY" \
+  > server_cqa1.json
+
+# --- 3. Server and CLI reports are byte-identical (timings scrubbed). -----
+compare_json --first-result cli_repair.json server_repair1.json
+compare_json --first-result cli_cqa.json server_cqa1.json
+
+# --- 4. Updates through the WAL, kill -9, recover. ------------------------
+"$CLIENT" --port-file port1.txt insert --relation Writes --tuple 3,30 \
+  | grep -q '"ok":true'
+"$CLIENT" --port-file port1.txt insert --relation Writes --tuple 3,40 \
+  | grep -q '"ok":true'
+"$CLIENT" --port-file port1.txt delete --relation Writes --tuple 3,40 \
+  | grep -q '"ok":true'
+"$CLIENT" --port-file port1.txt stats | grep -q '"total_live":11'
+
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2> /dev/null || true
+
+"$SERVER" --store store --program repair.dl --port-file port2.txt \
+  > server2.log 2>&1 &
+SERVER_PID=$!
+wait_for_port_file port2.txt
+grep -q "WAL records replayed" server2.log
+
+# The net insert survived the crash, and the verdicts are unchanged
+# (Writes(3,30) is untouched by the ERC repair; q(n) ranges over Author).
+"$CLIENT" --port-file port2.txt stats | grep -q '"total_live":11'
+"$CLIENT" --port-file port2.txt repair --semantics end --verify \
+  > server_repair2.json
+"$CLIENT" --port-file port2.txt cqa --semantics stage --query "$QUERY" \
+  > server_cqa2.json
+compare_json server_repair1.json server_repair2.json
+compare_json server_cqa1.json server_cqa2.json
+
+# Compaction folds the WAL and keeps serving.
+"$CLIENT" --port-file port2.txt compact | grep -q '"wal_reset":true'
+"$CLIENT" --port-file port2.txt repair --semantics end --verify \
+  > server_repair3.json
+compare_json server_repair1.json server_repair3.json
+
+# --- 5. Graceful drain on SIGTERM. ----------------------------------------
+kill -TERM "$SERVER_PID"
+RC=0
+wait "$SERVER_PID" || RC=$?
+if [ "$RC" -ne 0 ]; then
+  echo "server exited $RC on SIGTERM" >&2
+  cat server2.log >&2
+  exit 1
+fi
+grep -q "draining" server2.log
+
+# A restart after the compact + drain still recovers cleanly (0 records).
+"$SERVER" --store store --program repair.dl --port-file port3.txt \
+  > server3.log 2>&1 &
+SERVER_PID=$!
+wait_for_port_file port3.txt
+grep -q "0 WAL records replayed" server3.log
+"$CLIENT" --port-file port3.txt stats | grep -q '"total_live":11'
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+
+echo "service smoke test passed"

@@ -166,7 +166,7 @@ def main():
             key = doc_key(doc)
             base_rows = baseline.get(key)
             if base_rows is None:
-                skipped_docs.append(f"{path}: {key[0]} @ scale {key[1]:g}")
+                skipped_docs.append((path, key[0], key[1]))
                 continue
             run_rows = {row["name"]: row for row in doc["rows"]}
             for name in base_rows:
@@ -208,9 +208,19 @@ def main():
                     elif cur < ref * (1 - band):
                         improvements.append(line)
 
-    for msg in skipped_docs:
+    for path, bench, scale in skipped_docs:
         level = "error" if args.require_doc else "warning"
-        print(f"{level}: no baseline document for {msg}")
+        print(
+            f"{level}: no baseline rows for bench '{bench}' at scale "
+            f"{scale:g} (run file {path}) — a brand-new bench or a new "
+            "scale is not gated yet.\n"
+            "  To start gating it, record a baseline document:\n"
+            f"    DR_SCALE={scale:g} DR_BENCH_JSON={path} "
+            f"./build/{bench}\n"
+            f"  then append that document to {args.baseline} (it is a "
+            "JSON array) and commit;\n"
+            "  its rows are compared automatically on the next run."
+        )
     for line in improvements:
         print(f"improved: {line}")
     for line in regressions:

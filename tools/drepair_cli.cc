@@ -52,11 +52,14 @@
 
 #include "common/json_writer.h"
 #include "common/string_util.h"
+#include "common/timer.h"
 #include "cqa/cqa.h"
 #include "datalog/parser.h"
 #include "relation/csv.h"
 #include "repair/repair_engine.h"
 #include "repair/stability.h"
+#include "service/report.h"
+#include "service/request_codec.h"
 
 namespace fs = std::filesystem;
 using namespace deltarepair;
@@ -111,64 +114,6 @@ void PrintResult(Database& db, const RepairOutcome& outcome, size_t show) {
   }
 }
 
-void WriteOutcomeJson(JsonWriter& json, Database& db,
-                      const RepairOutcome& outcome, bool applied) {
-  const RepairResult& result = outcome.result;
-  const RepairStats& stats = result.stats;
-  json.BeginObject();
-  json.Field("semantics", SemanticsName(result.semantics));
-  json.Field("termination", TerminationReasonName(outcome.termination));
-  json.Field("deleted", static_cast<uint64_t>(result.size()));
-  std::map<std::string, uint64_t> by_relation;
-  for (const TupleId& t : result.deleted) {
-    ++by_relation[db.relation(t.relation).name()];
-  }
-  json.Key("deleted_by_relation").BeginObject();
-  for (const auto& [rel, n] : by_relation) json.Field(rel, n);
-  json.EndObject();
-  if (outcome.verified.has_value()) {
-    json.Field("verified_stabilizing", *outcome.verified);
-  }
-  json.Field("applied", applied);
-  json.Key("stats").BeginObject();
-  json.Field("eval_seconds", stats.eval_seconds);
-  json.Field("process_prov_seconds", stats.process_prov_seconds);
-  json.Field("solve_seconds", stats.solve_seconds);
-  json.Field("traverse_seconds", stats.traverse_seconds);
-  json.Field("total_seconds", stats.total_seconds);
-  json.Field("assignments", stats.assignments);
-  json.Field("iterations", stats.iterations);
-  json.Field("cnf_vars", stats.cnf_vars);
-  json.Field("cnf_clauses", stats.cnf_clauses);
-  json.Field("cnf_dup_clauses", stats.cnf_dup_clauses);
-  json.Field("cnf_subsumed_clauses", stats.cnf_subsumed_clauses);
-  json.Field("sat_conflicts", stats.sat_conflicts);
-  json.Field("sat_learned_clauses", stats.sat_learned_clauses);
-  json.Field("sat_restarts", stats.sat_restarts);
-  json.Field("sat_solve_calls", stats.sat_solve_calls);
-  json.Field("sat_inprocess_runs", stats.sat_inprocess_runs);
-  json.Field("sat_equivalent_vars", stats.sat_equivalent_vars);
-  json.Field("sat_subsumed_clauses", stats.sat_subsumed_clauses);
-  json.Field("sat_strengthened_clauses", stats.sat_strengthened_clauses);
-  json.Field("sat_vivified_clauses", stats.sat_vivified_clauses);
-  json.Field("sat_eliminated_vars", stats.sat_eliminated_vars);
-  json.Field("sat_shared_clauses", stats.sat_shared_clauses);
-  json.Field("graph_nodes", stats.graph_nodes);
-  json.Field("graph_layers", stats.graph_layers);
-  json.Field("optimal", stats.optimal);
-  json.EndObject();
-  json.EndObject();
-}
-
-/// Strongest label the per-verdict proof bits support ("possible" may
-/// still be certain when only --possible was computed).
-const char* VerdictLabel(const CqaAnswer& answer) {
-  if (answer.certain_decided && answer.certain) return "certain";
-  if (answer.possible_decided && !answer.possible) return "impossible";
-  if (answer.possible_decided && answer.possible) return "possible";
-  return "undecided";
-}
-
 void PrintCqaResult(Database& db, const CqaResult& result, size_t show,
                     bool annotate) {
   const CqaStats& stats = result.stats;
@@ -200,7 +145,8 @@ void PrintCqaResult(Database& db, const CqaResult& result, size_t show,
   for (size_t i = 0; i < result.answers.size() && i < show; ++i) {
     const CqaAnswer& answer = result.answers[i];
     std::printf("    %s %s  %s", answer.certain ? "+" : "-",
-                TupleToString(answer.values).c_str(), VerdictLabel(answer));
+                TupleToString(answer.values).c_str(),
+                CqaVerdictLabel(answer));
     if (annotate && !answer.counterexample.empty()) {
       std::printf("  killed by {");
       for (size_t t = 0; t < answer.counterexample.size(); ++t) {
@@ -214,82 +160,6 @@ void PrintCqaResult(Database& db, const CqaResult& result, size_t show,
   if (result.answers.size() > show) {
     std::printf("    ... and %zu more\n", result.answers.size() - show);
   }
-}
-
-void WriteValueJson(JsonWriter& json, const Value& value) {
-  switch (value.type()) {
-    case ValueType::kNull:
-      json.Null();
-      break;
-    case ValueType::kInt:
-      json.Int(value.AsInt());
-      break;
-    case ValueType::kString:
-      json.String(value.AsString());
-      break;
-  }
-}
-
-void WriteCqaResultJson(JsonWriter& json, Database& db,
-                        const CqaResult& result) {
-  const CqaStats& stats = result.stats;
-  json.BeginObject();
-  json.Field("semantics", result.semantics);
-  json.Field("termination", TerminationReasonName(result.termination));
-  json.Field("query_head", result.query_head);
-  json.Key("answers").BeginArray();
-  for (const CqaAnswer& answer : result.answers) {
-    json.BeginObject();
-    json.Key("values").BeginArray();
-    for (const Value& v : answer.values) WriteValueJson(json, v);
-    json.EndArray();
-    json.Field("certain", answer.certain);
-    json.Field("possible", answer.possible);
-    json.Field("certain_decided", answer.certain_decided);
-    json.Field("possible_decided", answer.possible_decided);
-    json.Field("decided", answer.decided);
-    json.Field("derivations", answer.derivations);
-    if (!answer.counterexample.empty()) {
-      json.Key("counterexample").BeginArray();
-      for (const TupleId& t : answer.counterexample) {
-        json.String(db.TupleToStr(t));
-      }
-      json.EndArray();
-      json.Field("counterexample_minimal", answer.counterexample_minimal);
-    }
-    json.EndObject();
-  }
-  json.EndArray();
-  json.Key("stats").BeginObject();
-  json.Field("ground_seconds", stats.ground_seconds);
-  json.Field("space_seconds", stats.space_seconds);
-  json.Field("entail_seconds", stats.entail_seconds);
-  json.Field("total_seconds", stats.total_seconds);
-  json.Field("answers", stats.answers);
-  json.Field("monomials", stats.monomials);
-  json.Field("certain_answers", stats.certain_answers);
-  json.Field("possible_answers", stats.possible_answers);
-  json.Field("undecided_answers", stats.undecided_answers);
-  json.Field("space_repairs", stats.space_repairs);
-  json.Field("repair_size", static_cast<uint64_t>(stats.repair_size));
-  json.Field("space_exact", stats.space_exact);
-  json.Field("assignments", stats.repair.assignments);
-  json.Field("cnf_vars", stats.repair.cnf_vars);
-  json.Field("cnf_clauses", stats.repair.cnf_clauses);
-  json.Field("sat_conflicts", stats.repair.sat_conflicts);
-  json.Field("sat_learned_clauses", stats.repair.sat_learned_clauses);
-  json.Field("sat_restarts", stats.repair.sat_restarts);
-  json.Field("sat_solve_calls", stats.repair.sat_solve_calls);
-  json.Field("sat_inprocess_runs", stats.repair.sat_inprocess_runs);
-  json.Field("sat_equivalent_vars", stats.repair.sat_equivalent_vars);
-  json.Field("sat_subsumed_clauses", stats.repair.sat_subsumed_clauses);
-  json.Field("sat_strengthened_clauses",
-             stats.repair.sat_strengthened_clauses);
-  json.Field("sat_vivified_clauses", stats.repair.sat_vivified_clauses);
-  json.Field("sat_eliminated_vars", stats.repair.sat_eliminated_vars);
-  json.Field("sat_shared_clauses", stats.repair.sat_shared_clauses);
-  json.EndObject();
-  json.EndObject();
 }
 
 }  // namespace
@@ -394,15 +264,15 @@ int main(int argc, char** argv) {
       names = {semantics_name};
     }
     for (const std::string& name : names) {
-      StatusOr<const Semantics*> semantics =
-          SemanticsRegistry::Global().Get(name);
-      if (!semantics.ok()) {
-        std::fprintf(stderr, "%s\n", semantics.status().ToString().c_str());
-        return Usage(argv[0]);
-      }
       RepairRequest request;
       request.semantics = name;
       request.options = options;
+      // Same strict validation the server applies to wire requests.
+      Status st = ValidateRepairRequest(request);
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return Usage(argv[0]);
+      }
       requests.push_back(request);
     }
   }
@@ -431,6 +301,7 @@ int main(int argc, char** argv) {
   }
 
   // Load every CSV in the data directory.
+  WallTimer import_timer;
   Database db;
   std::vector<std::string> files;
   std::error_code ec;
@@ -456,10 +327,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "no .csv files found in %s\n", data_dir.c_str());
     return 1;
   }
-  std::printf("loaded %zu relations, %zu tuples\n", db.num_relations(),
-              db.TotalLive());
+  const double import_seconds = import_timer.ElapsedSeconds();
+  std::printf("loaded %zu relations, %zu tuples in %.1fms\n",
+              db.num_relations(), db.TotalLive(), import_seconds * 1e3);
 
   // Parse the program.
+  WallTimer parse_timer;
   std::ifstream in(program_path);
   if (!in) {
     std::fprintf(stderr, "cannot open %s\n", program_path.c_str());
@@ -479,6 +352,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "program: %s\n", engine.status().ToString().c_str());
     return 1;
   }
+  const double parse_seconds = parse_timer.ElapsedSeconds();
   bool stable_before = IsStable(&db, engine->program());
   std::printf("database stable: %s\n\n", stable_before ? "yes" : "no");
 
@@ -500,6 +374,11 @@ int main(int argc, char** argv) {
       cqa.certain = !only_possible || only_certain;
       cqa.possible = !only_certain || only_possible;
       cqa.annotate = annotate;
+      Status st = ValidateCqaRequest(cqa);
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 1;
+      }
       cqa_requests.push_back(std::move(cqa));
     }
     std::vector<CqaResult> results =
@@ -523,6 +402,9 @@ int main(int argc, char** argv) {
       json.Field("seed", seed);
       json.Field("threads", threads);
       json.Field("stable_before", stable_before);
+      // Startup cost, reported apart from the per-result solve times.
+      json.Field("import_seconds", import_seconds);
+      json.Field("parse_seconds", parse_seconds);
       json.Key("results").BeginArray();
       for (const CqaResult& result : results) {
         WriteCqaResultJson(json, db, result);
@@ -567,6 +449,9 @@ int main(int argc, char** argv) {
     json.Field("seed", seed);
     json.Field("threads", threads);
     json.Field("stable_before", stable_before);
+    // Startup cost, reported apart from the per-result solve times.
+    json.Field("import_seconds", import_seconds);
+    json.Field("parse_seconds", parse_seconds);
     json.Key("results").BeginArray();
     for (const RepairOutcome& outcome : outcomes) {
       WriteOutcomeJson(json, db, outcome, apply);

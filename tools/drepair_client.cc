@@ -1,0 +1,259 @@
+// drepair_client — command-line client for drepair_server.
+//
+// Usage:
+//   drepair_client (--port <n> | --port-file <path>) <command> [args]
+//
+// Commands:
+//   ping
+//   stats
+//   compact
+//   repair --semantics <name> [--budget-ms <n>] [--seed <n>] [--verify]
+//          [--apply] [--threads <n>]
+//   cqa    --semantics <name> --query <text-or-file> [--certain]
+//          [--possible] [--annotate] [--budget-ms <n>] [--seed <n>]
+//   insert --relation <name> --tuple <v1,v2,...> [--tuple ...]
+//   delete --relation <name> --tuple <v1,v2,...> [--tuple ...]
+//
+// The JSON response is printed to stdout; server errors go to stderr and
+// exit 1. Tuple cells are typed heuristically: `null` is null, an
+// optionally-signed integer is an int, anything else a string; wrap a
+// cell in single quotes to force string ('123').
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "service/client.h"
+#include "service/request_codec.h"
+
+using namespace deltarepair;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s (--port <n> | --port-file <path>) <command> [args]\n"
+      "commands: ping | stats | compact |\n"
+      "  repair --semantics <name> [--budget-ms n] [--seed n] [--verify]"
+      " [--apply] [--threads n]\n"
+      "  cqa --semantics <name> --query <text-or-file> [--certain]"
+      " [--possible] [--annotate] [--budget-ms n] [--seed n]\n"
+      "  insert --relation <name> --tuple <v1,v2,...> [--tuple ...]\n"
+      "  delete --relation <name> --tuple <v1,v2,...> [--tuple ...]\n",
+      argv0);
+  return 2;
+}
+
+bool ParseUint(const char* s, uint64_t* out) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno == ERANGE || end == s || *end != '\0') return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+/// `null` -> null; optionally-signed digits -> int; 'quoted' -> the
+/// quoted text as string; anything else -> string.
+Value ParseCellHeuristic(const std::string& raw) {
+  std::string cell = std::string(Trim(raw));
+  if (cell == "null") return Value();
+  if (cell.size() >= 2 && cell.front() == '\'' && cell.back() == '\'') {
+    return Value(cell.substr(1, cell.size() - 2));
+  }
+  size_t start = (!cell.empty() && (cell[0] == '-' || cell[0] == '+'))
+                     ? 1
+                     : 0;
+  bool numeric = cell.size() > start;
+  for (size_t i = start; i < cell.size() && numeric; ++i) {
+    numeric = std::isdigit(static_cast<unsigned char>(cell[i])) != 0;
+  }
+  if (numeric) {
+    errno = 0;
+    char* end = nullptr;
+    long long v = std::strtoll(cell.c_str(), &end, 10);
+    if (errno != ERANGE && end != nullptr && *end == '\0') {
+      return Value(static_cast<int64_t>(v));
+    }
+  }
+  return Value(cell);
+}
+
+int Call(int port, FrameType type, const std::string& payload) {
+  StatusOr<std::string> response = CallServerJson(port, type, payload);
+  if (!response.ok()) {
+    std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", response.value().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t port = 0;
+  std::string port_file, command;
+  std::string semantics, query_arg, relation;
+  std::vector<std::string> tuple_args;
+  uint64_t budget_ms = 0, seed = 0, threads = 0;
+  bool verify = false, apply = false;
+  bool only_certain = false, only_possible = false, annotate = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--port") {
+      if (!ParseUint(next(), &port) || port == 0 || port > 65535) {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--port-file") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      port_file = v;
+    } else if (arg == "--semantics") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      semantics = v;
+    } else if (arg == "--query") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      query_arg = v;
+    } else if (arg == "--relation") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      relation = v;
+    } else if (arg == "--tuple") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      tuple_args.push_back(v);
+    } else if (arg == "--budget-ms") {
+      if (!ParseUint(next(), &budget_ms)) return Usage(argv[0]);
+    } else if (arg == "--seed") {
+      if (!ParseUint(next(), &seed)) return Usage(argv[0]);
+    } else if (arg == "--threads") {
+      if (!ParseUint(next(), &threads) || threads > 1024) {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--verify") {
+      verify = true;
+    } else if (arg == "--apply") {
+      apply = true;
+    } else if (arg == "--certain") {
+      only_certain = true;
+    } else if (arg == "--possible") {
+      only_possible = true;
+    } else if (arg == "--annotate") {
+      annotate = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return Usage(argv[0]);
+    } else if (command.empty()) {
+      command = arg;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      return Usage(argv[0]);
+    }
+  }
+
+  if (!port_file.empty()) {
+    std::ifstream pf(port_file);
+    uint64_t p = 0;
+    if (!(pf >> p) || p == 0 || p > 65535) {
+      std::fprintf(stderr, "cannot read a port from %s\n",
+                   port_file.c_str());
+      return 1;
+    }
+    port = p;
+  }
+  if (port == 0 || command.empty()) return Usage(argv[0]);
+  int iport = static_cast<int>(port);
+
+  if (command == "ping") {
+    return Call(iport, FrameType::kPingRequest, "");
+  }
+  if (command == "stats") {
+    return Call(iport, FrameType::kStatsRequest, "");
+  }
+  if (command == "compact") {
+    return Call(iport, FrameType::kCompactRequest, "");
+  }
+  if (command == "repair") {
+    if (semantics.empty()) return Usage(argv[0]);
+    RepairRequest request;
+    request.semantics = semantics;
+    request.apply = apply;
+    request.options.budget_seconds =
+        static_cast<double>(budget_ms) / 1e3;
+    request.options.seed = seed;
+    request.options.verify_after_run = verify;
+    request.options.threads = static_cast<int>(threads);
+    Status st = ValidateRepairRequest(request);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    return Call(iport, FrameType::kRepairRequest,
+                EncodeRepairRequest(request));
+  }
+  if (command == "cqa") {
+    if (semantics.empty() || query_arg.empty()) return Usage(argv[0]);
+    std::string query_text = query_arg;
+    {
+      std::ifstream qin(query_arg);
+      if (qin) {
+        std::stringstream qbuf;
+        qbuf << qin.rdbuf();
+        query_text = qbuf.str();
+      }
+    }
+    CqaRequest request(semantics, query_text);
+    request.certain = !only_possible || only_certain;
+    request.possible = !only_certain || only_possible;
+    request.annotate = annotate;
+    request.options.budget_seconds =
+        static_cast<double>(budget_ms) / 1e3;
+    request.options.seed = seed;
+    request.options.threads = static_cast<int>(threads);
+    Status st = ValidateCqaRequest(request);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    return Call(iport, FrameType::kCqaRequest, EncodeCqaRequest(request));
+  }
+  if (command == "insert" || command == "delete") {
+    if (relation.empty() || tuple_args.empty()) return Usage(argv[0]);
+    UpdateRequest request;
+    request.op = command == "insert" ? WalOp::kInsert : WalOp::kDelete;
+    request.relation = relation;
+    size_t arity = 0;
+    for (const std::string& spec : tuple_args) {
+      Tuple t;
+      for (const std::string& cell : Split(spec, ',')) {
+        t.push_back(ParseCellHeuristic(cell));
+      }
+      if (request.tuples.empty()) {
+        arity = t.size();
+      } else if (t.size() != arity) {
+        std::fprintf(stderr,
+                     "all --tuple args must have the same arity\n");
+        return 1;
+      }
+      request.tuples.push_back(std::move(t));
+    }
+    return Call(iport, FrameType::kUpdateRequest,
+                EncodeUpdateRequest(request));
+  }
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  return Usage(argv[0]);
+}
