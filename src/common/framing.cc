@@ -22,6 +22,7 @@ bool KnownFrameType(uint8_t t) {
     case FrameType::kStatsRequest:
     case FrameType::kCompactRequest:
     case FrameType::kPingRequest:
+    case FrameType::kSchemaRequest:
     case FrameType::kJson:
     case FrameType::kError:
       return true;

@@ -100,6 +100,7 @@ enum class FrameType : uint8_t {
   kStatsRequest = 4,    // server/process counters
   kCompactRequest = 5,  // fold the WAL into a fresh snapshot
   kPingRequest = 6,     // liveness probe
+  kSchemaRequest = 7,   // relation schemas (names, arities, cell types)
   kJson = 16,           // success: payload is a JSON report document
   kError = 17,          // failure: u32 StatusCode + string message
 };

@@ -11,6 +11,66 @@ namespace deltarepair {
 
 namespace {
 
+/// Phase 3, shared by the cold and warm paths: per-answer verdicts in
+/// deterministic (sorted) order, with optional cache hooks.
+void EvaluateAnswers(const CqaRequest& request,
+                     std::map<Tuple, AnswerProvenance>& grounded,
+                     RepairSpace* space, const CqaAnswerHooks* hooks,
+                     ExecContext* ctx, CqaResult* result) {
+  ScopedTimer t(&result->stats.entail_seconds);
+  result->answers.reserve(grounded.size());
+  for (auto& [values, prov] : grounded) {
+    CqaAnswer answer;
+    answer.values = values;
+    answer.derivations = prov.monomials.size();
+    result->stats.monomials += prov.monomials.size();
+
+    CqaVerdict certain{false, false};
+    CqaVerdict possible{true, false};
+    bool cached = hooks != nullptr && hooks->lookup &&
+                  hooks->lookup(values, prov, &certain, &possible);
+    if (!cached) {
+      certain = {false, false};
+      possible = {true, false};
+      if (request.certain) {
+        certain = space->Certain(prov, ctx);
+      }
+      if (certain.decided && certain.holds) {
+        // Certain implies possible (repair spaces are non-empty).
+        possible = {true, true};
+      }
+      if (request.possible && !possible.decided) {
+        possible = space->Possible(prov, ctx);
+      }
+      if (possible.decided && !possible.holds && !certain.decided) {
+        // Impossible answers are never certain.
+        certain = {false, true};
+      }
+      if (hooks != nullptr && hooks->store) {
+        hooks->store(values, prov, certain, possible);
+      }
+    }
+    answer.certain = certain.holds;
+    answer.certain_decided = certain.decided;
+    answer.possible = possible.holds;
+    answer.possible_decided = possible.decided;
+    answer.decided = (certain.decided || !request.certain) &&
+                     (possible.decided || !request.possible);
+    if (request.annotate && !(certain.decided && certain.holds)) {
+      std::optional<CqaCounterexample> cex = space->Counterexample(prov, ctx);
+      if (cex.has_value()) {
+        answer.counterexample = std::move(cex->deleted);
+        answer.counterexample_minimal = cex->minimal;
+      }
+    }
+
+    if (answer.certain) ++result->stats.certain_answers;
+    if (answer.possible) ++result->stats.possible_answers;
+    if (!answer.decided) ++result->stats.undecided_answers;
+    result->answers.push_back(std::move(answer));
+  }
+}
+
 /// The sequential core: evaluates one request on `view` (restoring its
 /// state before returning).
 CqaResult AnswerQueryOnView(InstanceView* view, const Program& program,
@@ -73,52 +133,7 @@ CqaResult AnswerQueryOnView(InstanceView* view, const Program& program,
   result.stats.space_exact = space->exact();
 
   // Phase 3: per-answer verdicts, in deterministic (sorted) order.
-  {
-    ScopedTimer t(&result.stats.entail_seconds);
-    result.answers.reserve(grounded.size());
-    for (auto& [values, prov] : grounded) {
-      CqaAnswer answer;
-      answer.values = values;
-      answer.derivations = prov.monomials.size();
-      result.stats.monomials += prov.monomials.size();
-
-      CqaVerdict certain{false, false};
-      CqaVerdict possible{true, false};
-      if (request.certain) {
-        certain = space->Certain(prov, &ctx);
-      }
-      if (certain.decided && certain.holds) {
-        // Certain implies possible (repair spaces are non-empty).
-        possible = {true, true};
-      }
-      if (request.possible && !possible.decided) {
-        possible = space->Possible(prov, &ctx);
-      }
-      if (possible.decided && !possible.holds && !certain.decided) {
-        // Impossible answers are never certain.
-        certain = {false, true};
-      }
-      answer.certain = certain.holds;
-      answer.certain_decided = certain.decided;
-      answer.possible = possible.holds;
-      answer.possible_decided = possible.decided;
-      answer.decided = (certain.decided || !request.certain) &&
-                       (possible.decided || !request.possible);
-      if (request.annotate && !(certain.decided && certain.holds)) {
-        std::optional<CqaCounterexample> cex =
-            space->Counterexample(prov, &ctx);
-        if (cex.has_value()) {
-          answer.counterexample = std::move(cex->deleted);
-          answer.counterexample_minimal = cex->minimal;
-        }
-      }
-
-      if (answer.certain) ++result.stats.certain_answers;
-      if (answer.possible) ++result.stats.possible_answers;
-      if (!answer.decided) ++result.stats.undecided_answers;
-      result.answers.push_back(std::move(answer));
-    }
-  }
+  EvaluateAnswers(request, grounded, space.get(), nullptr, &ctx, &result);
   space->AddStats(&result.stats.repair);
 
   view->RestoreState(snapshot);
@@ -137,6 +152,61 @@ CqaResult AnswerQueryOnView(InstanceView* view, const Program& program,
 }
 
 }  // namespace
+
+CqaResult AnswerQueryWithSpace(InstanceView* view, const CqaRequest& request,
+                               RepairSpace* space,
+                               const CqaAnswerHooks* hooks) {
+  WallTimer total;
+  CqaResult result;
+
+  StatusOr<const Semantics*> semantics =
+      SemanticsRegistry::Global().Get(request.semantics);
+  if (!semantics.ok()) {
+    result.status = semantics.status();
+    result.termination = TerminationReason::kInvalidProgram;
+    return result;
+  }
+  result.semantics = semantics.value()->name();
+  result.kind = semantics.value()->kind();
+  StatusOr<Query> query = ParseQuery(request.query);
+  if (!query.ok()) {
+    result.status = query.status();
+    result.termination = TerminationReason::kInvalidProgram;
+    return result;
+  }
+  Status resolved = ResolveQuery(&query.value(), view->db());
+  if (!resolved.ok()) {
+    result.status = resolved;
+    result.termination = TerminationReason::kInvalidProgram;
+    return result;
+  }
+  result.query_head = query.value().head_name;
+
+  ExecContext ctx(request.options);
+
+  // Grounding still runs fresh — it is cheap next to space
+  // construction, which is exactly what the warm path amortizes.
+  std::map<Tuple, AnswerProvenance> grounded;
+  {
+    ScopedTimer t(&result.stats.ground_seconds);
+    grounded = GroundQuery(view, query.value(), &ctx);
+  }
+  result.stats.space_repairs = space->NumEnumerated();
+  result.stats.repair_size = space->repair_size();
+  result.stats.space_exact = space->exact();
+
+  EvaluateAnswers(request, grounded, space, hooks, &ctx, &result);
+  space->AddStats(&result.stats.repair);
+
+  result.stats.answers = result.answers.size();
+  result.termination = ctx.reason();
+  if (result.termination == TerminationReason::kComplete &&
+      !result.stats.space_exact) {
+    result.termination = TerminationReason::kBudgetExhausted;
+  }
+  result.stats.total_seconds = total.ElapsedSeconds();
+  return result;
+}
 
 std::vector<Tuple> CqaResult::CertainAnswers() const {
   std::vector<Tuple> out;

@@ -1,0 +1,169 @@
+#include "cqa/warm_space.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deltarepair {
+
+WarmRepairSpace::WarmRepairSpace(IncrementalDeletionCnf* cnf,
+                                 const WarmMinOnesResult& optimum,
+                                 const MinOnesOptions& min_ones_options,
+                                 int threads)
+    : cnf_(cnf),
+      min_ones_options_(min_ones_options),
+      portfolio_threads_(threads) {
+  // Without a proven warm optimum the space cannot be characterized —
+  // same rule as the cold symbolic space.
+  exact_ = optimum.satisfiable && optimum.optimal &&
+           cnf_->SolvedAtCurrentEpoch();
+  repair_size_ = static_cast<uint32_t>(optimum.num_true);
+}
+
+bool WarmRepairSpace::DeathClause(const std::vector<TupleId>& monomial,
+                                  std::vector<Lit>* out) {
+  bool touched = false;
+  for (const TupleId& t : monomial) {
+    int64_t v = cnf_->FindVar(t);
+    if (v >= 0) {
+      out->push_back(PosLit(static_cast<uint32_t>(v)));
+      touched = true;
+    }
+  }
+  return touched;
+}
+
+SolveStatus WarmRepairSpace::SolveUnder(ExecContext* ctx,
+                                        const std::vector<Lit>& assumptions) {
+  CdclSolver* solver = cnf_->solver();
+  SolverOptions* opts = solver->mutable_options();
+  double remaining = ctx->RemainingSeconds();
+  opts->time_limit_seconds =
+      std::isinf(remaining) ? 0 : std::max(remaining, 1e-9);
+  opts->cancel =
+      ctx->cancel_token() != nullptr ? ctx->cancel_token()->flag() : nullptr;
+  return portfolio_threads_ > 1
+             ? solver->SolvePortfolio(portfolio_threads_, assumptions)
+             : solver->Solve(assumptions);
+}
+
+CqaVerdict WarmRepairSpace::Certain(const AnswerProvenance& prov,
+                                    ExecContext* ctx) {
+  if (!exact_) return {false, false};
+  if (ctx->ShouldStop()) return {false, false};
+  // ¬φ: every monomial loses a tuple, checked against the minimum
+  // repairs selected by the entailment assumptions. A monomial with no
+  // deletion variable at all makes the answer certain outright.
+  std::vector<std::vector<Lit>> clauses;
+  clauses.reserve(prov.monomials.size());
+  for (const std::vector<TupleId>& m : prov.monomials) {
+    std::vector<Lit> clause;
+    if (!DeathClause(m, &clause)) return {true, true};
+    clauses.push_back(std::move(clause));
+  }
+  CdclSolver* solver = cnf_->solver();
+  const Lit selector = PosLit(solver->NewVar());
+  for (std::vector<Lit>& clause : clauses) {
+    clause.push_back(-selector);
+    solver->AddClause(std::move(clause));
+  }
+  std::vector<Lit> assumptions = cnf_->entail_assumptions();
+  assumptions.push_back(selector);
+  SolveStatus status = SolveUnder(ctx, assumptions);
+  solver->AddClause({-selector});  // retire
+  if (status == SolveStatus::kUnknown) {
+    ctx->ShouldStop();  // latch the budget/cancel reason
+    return {false, false};
+  }
+  return {status == SolveStatus::kUnsat, true};
+}
+
+CqaVerdict WarmRepairSpace::Possible(const AnswerProvenance& prov,
+                                     ExecContext* ctx) {
+  if (!exact_) return {true, false};
+  if (ctx->ShouldStop()) return {true, false};
+  // φ: some monomial fully survives — Tseitin monomial variables under
+  // a retired selector, mirroring the cold space.
+  for (const std::vector<TupleId>& m : prov.monomials) {
+    std::vector<Lit> death;
+    if (!DeathClause(m, &death)) return {true, true};
+  }
+  CdclSolver* solver = cnf_->solver();
+  const Lit selector = PosLit(solver->NewVar());
+  std::vector<Lit> some_monomial{-selector};
+  for (const std::vector<TupleId>& m : prov.monomials) {
+    const Lit mono = PosLit(solver->NewVar());
+    some_monomial.push_back(mono);
+    for (const TupleId& t : m) {
+      int64_t v = cnf_->FindVar(t);
+      if (v >= 0) {
+        solver->AddClause({-mono, NegLit(static_cast<uint32_t>(v))});
+      }
+    }
+  }
+  solver->AddClause(std::move(some_monomial));
+  std::vector<Lit> assumptions = cnf_->entail_assumptions();
+  assumptions.push_back(selector);
+  SolveStatus status = SolveUnder(ctx, assumptions);
+  solver->AddClause({-selector});  // retire
+  if (status == SolveStatus::kUnknown) {
+    ctx->ShouldStop();
+    return {true, false};
+  }
+  return {status == SolveStatus::kSat, true};
+}
+
+void WarmRepairSpace::EnsureScratch() {
+  if (extracted_) return;
+  scratch_cnf_ = cnf_->ExtractActiveCnf(&scratch_tuples_);
+  scratch_var_.reserve(scratch_tuples_.size());
+  for (uint32_t i = 0; i < scratch_tuples_.size(); ++i) {
+    scratch_var_[scratch_tuples_[i].Pack()] = i;
+  }
+  extracted_ = true;
+}
+
+std::optional<CqaCounterexample> WarmRepairSpace::Counterexample(
+    const AnswerProvenance& prov, ExecContext* ctx) {
+  if (!exact_) return std::nullopt;
+  // Min-Ones over stability ∧ ¬φ on a dense snapshot of the active
+  // clauses — the smallest stabilizing set killing the answer, exactly
+  // the cold space's counterexample query.
+  EnsureScratch();
+  Cnf cnf = scratch_cnf_;
+  for (const std::vector<TupleId>& m : prov.monomials) {
+    std::vector<Lit> clause;
+    bool touched = false;
+    for (const TupleId& t : m) {
+      auto it = scratch_var_.find(t.Pack());
+      if (it != scratch_var_.end()) {
+        clause.push_back(PosLit(it->second));
+        touched = true;
+      }
+    }
+    if (!touched) return std::nullopt;  // unkillable
+    cnf.AddClause(std::move(clause));
+  }
+  MinOnesOptions options = min_ones_options_;
+  options.time_limit_seconds =
+      std::min(options.time_limit_seconds, ctx->RemainingSeconds());
+  if (ctx->cancel_token() != nullptr) {
+    options.cancel = ctx->cancel_token()->flag();
+  }
+  MinOnesResult solved = MinOnesSat(cnf, options);
+  stats_.AddSolver(solved.solver);
+  if (!solved.satisfiable) {
+    ctx->ShouldStop();
+    return std::nullopt;  // proven certain, or budget before any model
+  }
+  CqaCounterexample cex;
+  for (uint32_t v = 0; v < scratch_tuples_.size(); ++v) {
+    if (v < solved.model.size() && solved.model[v]) {
+      cex.deleted.push_back(scratch_tuples_[v]);
+    }
+  }
+  std::sort(cex.deleted.begin(), cex.deleted.end());
+  cex.minimal = solved.optimal;
+  return cex;
+}
+
+}  // namespace deltarepair

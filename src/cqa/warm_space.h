@@ -1,0 +1,77 @@
+// WarmRepairSpace: the symbolic independent repair space served from
+// warm incremental state instead of a per-request rebuild.
+//
+// SymbolicRepairSpace re-grounds the hypothetical program, re-normalizes
+// the stability CNF, re-runs Min-Ones and loads a fresh entailment
+// solver on every CQA request. The warm space skips all four: it borrows
+// the engine's long-lived IncrementalDeletionCnf — whose solver already
+// holds the guarded stability clauses, cached per-component totalizer
+// caps and learned clauses from earlier requests — and answers
+// Certain/Possible with the same per-answer assumption solves as the
+// cold space, adding entail_assumptions() (active rule selectors +
+// component caps + pinned unconstrained vars) under each query selector.
+// Counterexamples run Min-Ones over a dense snapshot of the active
+// clauses (extracted lazily, once per space).
+//
+// Lifetime contract: the space borrows the long-lived solver, so exactly
+// one WarmRepairSpace may be live at a time and its owner must hold the
+// engine lock for the space's whole lifetime (IncrementalEngine does).
+#ifndef DELTAREPAIR_CQA_WARM_SPACE_H_
+#define DELTAREPAIR_CQA_WARM_SPACE_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cqa/repair_space.h"
+#include "provenance/incremental_cnf.h"
+
+namespace deltarepair {
+
+class WarmRepairSpace : public RepairSpace {
+ public:
+  /// `cnf` must have run SolveMinOnes at its current epoch; `optimum` is
+  /// that solve's result. The space is inexact (all verdicts undecided)
+  /// when the warm optimum is unsatisfiable or unproven.
+  WarmRepairSpace(IncrementalDeletionCnf* cnf,
+                  const WarmMinOnesResult& optimum,
+                  const MinOnesOptions& min_ones_options, int threads);
+
+  CqaVerdict Certain(const AnswerProvenance& prov,
+                     ExecContext* ctx) override;
+  CqaVerdict Possible(const AnswerProvenance& prov,
+                      ExecContext* ctx) override;
+  std::optional<CqaCounterexample> Counterexample(
+      const AnswerProvenance& prov, ExecContext* ctx) override;
+
+  // AddStats inherits the default (scratch counters only): the borrowed
+  // solver's counters are cumulative across the engine's lifetime and
+  // would multi-count if folded into every request; the engine reports
+  // them once through its own stats instead.
+
+ private:
+  /// Positive deletion literals of the monomial's tuples that have a
+  /// deletion variable. False when none has one (the answer then
+  /// survives every repair outright). Variables pinned false by the
+  /// entailment assumptions may appear — their literals are simply dead
+  /// under those assumptions, which is exactly the intended semantics.
+  bool DeathClause(const std::vector<TupleId>& monomial,
+                   std::vector<Lit>* out);
+  SolveStatus SolveUnder(ExecContext* ctx,
+                         const std::vector<Lit>& assumptions);
+  void EnsureScratch();
+
+  IncrementalDeletionCnf* cnf_;
+  MinOnesOptions min_ones_options_;
+  int portfolio_threads_ = 1;
+
+  // Lazily extracted dense snapshot for counterexample Min-Ones runs.
+  bool extracted_ = false;
+  Cnf scratch_cnf_;
+  std::vector<TupleId> scratch_tuples_;                 // dense var -> tuple
+  std::unordered_map<uint64_t, uint32_t> scratch_var_;  // packed -> dense
+};
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_CQA_WARM_SPACE_H_

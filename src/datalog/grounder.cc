@@ -249,6 +249,21 @@ bool Grounder::EnumerateRule(const Rule& rule, int rule_index, BaseMatch bm,
   return keep_going;
 }
 
+bool Grounder::EnumerateRuleDelta(
+    const Rule& rule, int rule_index, BaseMatch bm, DeltaMatch dm,
+    const std::vector<std::vector<uint32_t>>& rows_by_relation,
+    const AssignmentCallback& cb) {
+  for (int atom = 0; atom < static_cast<int>(rule.body.size()); ++atom) {
+    const int rel = rule.body[atom].relation_index;
+    if (rel < 0 || rel >= static_cast<int>(rows_by_relation.size())) continue;
+    const std::vector<uint32_t>& rows = rows_by_relation[rel];
+    if (rows.empty()) continue;
+    if (!EnumerateRule(rule, rule_index, bm, dm, cb, atom, &rows))
+      return false;
+  }
+  return true;
+}
+
 bool Grounder::AnyAssignment(const Program& program, BaseMatch bm,
                              DeltaMatch dm) {
   for (size_t i = 0; i < program.rules().size(); ++i) {

@@ -65,6 +65,20 @@ class Grounder {
                      int pivot_atom = -1,
                      const std::vector<uint32_t>* pivot_rows = nullptr);
 
+  /// Delta grounding (semi-naive against an external update): enumerates
+  /// only assignments that bind at least one of the given rows — for each
+  /// body atom whose relation has rows in `rows_by_relation` (indexed by
+  /// relation id), the join is re-run pivoted on that atom. An assignment
+  /// binding pivot rows at several atoms is emitted once per such atom;
+  /// callers dedupe (e.g. by rule index + packed body vector). Matching
+  /// modes are as in EnumerateRule; the pivot applies to base and delta
+  /// atoms alike, so hypothetical grounding (DeltaMatch::kHypothetical)
+  /// covers newly live rows bound at ∆ positions too.
+  bool EnumerateRuleDelta(const Rule& rule, int rule_index, BaseMatch bm,
+                          DeltaMatch dm,
+                          const std::vector<std::vector<uint32_t>>& rows_by_relation,
+                          const AssignmentCallback& cb);
+
   /// True if at least one satisfying assignment of any rule in `program`
   /// exists (i.e., the instance is *unstable* w.r.t. the program,
   /// Def. 3.12 negated).

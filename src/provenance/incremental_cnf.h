@@ -1,0 +1,175 @@
+// IncrementalDeletionCnf: the monotone-extensible successor of
+// DeletionCnfBuilder for warm (delta-aware) execution. One long-lived
+// CdclSolver carries the negated provenance formula of Algorithm 1
+// across instance versions: new ground rules append clauses between
+// Solve calls (learned clauses survive), and retracted ground rules are
+// retired through per-rule selector literals — every rule clause is
+// guarded as (C ∨ ¬sel), active rules contribute `sel` as an assumption,
+// and retirement asserts the unit ¬sel. Deletion variables are never
+// hard-poisoned: a variable whose clauses all retired is pinned false by
+// *assumption*, so a delete-then-reinsert revives the same tuple
+// variable instead of leaking a contradictory unit.
+//
+// Min-Ones warm-starts instead of re-solving: the active clause set is
+// split into connected components, each component is content-hashed, and
+// components untouched since the previous optimum reuse their cached
+// per-component minimum (re-verified against the clauses); only dirty
+// components are solved. The previous global optimum also drives phase
+// saving on the long-lived solver, which serves the CQA entailment
+// queries (per-component totalizer caps selected by assumptions).
+#ifndef DELTAREPAIR_PROVENANCE_INCREMENTAL_CNF_H_
+#define DELTAREPAIR_PROVENANCE_INCREMENTAL_CNF_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "datalog/ground_cache.h"
+#include "sat/min_ones.h"
+#include "sat/solver.h"
+
+namespace deltarepair {
+
+/// 128-bit content key of one CNF component (two independent 64-bit
+/// hashes; cached results are additionally re-verified, so a collision
+/// cannot corrupt correctness, only verdict caching).
+using ComponentKey = std::pair<uint64_t, uint64_t>;
+
+struct ComponentKeyHash {
+  size_t operator()(const ComponentKey& k) const {
+    return static_cast<size_t>(k.first ^ (k.second * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// Aggregated result of a warm Min-Ones pass.
+struct WarmMinOnesResult {
+  bool satisfiable = false;
+  bool optimal = false;
+  uint64_t num_true = 0;
+  /// Tuples deleted by the composed minimum repair (unsorted).
+  std::vector<TupleId> deleted;
+  size_t num_components = 0;
+  size_t reused_components = 0;  // served from the component cache
+  size_t solved_components = 0;  // handed to MinOnesSat
+};
+
+class IncrementalDeletionCnf {
+ public:
+  IncrementalDeletionCnf();
+
+  /// Discards all state and encodes the active ground rules of `cache`
+  /// onto a fresh long-lived solver (the cold path, and the garbage
+  /// collection path once too many selectors have been retired).
+  void Build(const Program& program, const GroundProgramCache& cache);
+
+  /// Advances the encoding across a ground-program patch: appends a
+  /// guarded clause per added (or revived) ground rule and retires the
+  /// selector of every retracted one.
+  void ApplyPatch(const Program& program, const GroundProgramCache& cache,
+                  const GroundProgramCache::Patch& patch);
+
+  /// Warm Min-Ones over the current active clause set. Budget applies to
+  /// the dirty components only (clean ones are cache hits). Optimal
+  /// per-component results populate the cache; a truncated component is
+  /// reported non-optimal and never cached.
+  WarmMinOnesResult SolveMinOnes(const MinOnesOptions& options);
+
+  /// The long-lived solver, for entailment-style queries layered on top
+  /// (CQA). Callers must pass entail_assumptions() to every Solve.
+  CdclSolver* solver() { return solver_.get(); }
+
+  /// Assumptions restricting solver models to exactly the minimum
+  /// repairs of the current version: active rule selectors, the
+  /// per-component totalizer cap at the component minimum, and pinned-
+  /// false literals for every unconstrained deletion variable. Valid
+  /// after the most recent SolveMinOnes (empty before; rebuilt lazily).
+  const std::vector<Lit>& entail_assumptions();
+
+  /// Deletion variable of tuple `t`, or -1 if the tuple never appeared
+  /// in any (active or retired) ground rule.
+  int64_t FindVar(TupleId t) const;
+
+  /// Tuple of deletion variable `var` (meaningful only for vars returned
+  /// by FindVar / listed in a component).
+  TupleId TupleOfVar(uint32_t var) const { return tuple_of_[var]; }
+
+  /// Dense snapshot of the active stability clauses, remapped onto a
+  /// fresh variable space (one var per deletion variable, constrained or
+  /// not), for scratch Min-Ones solves such as CQA counterexamples.
+  /// `tuples` receives dense var -> tuple.
+  Cnf ExtractActiveCnf(std::vector<TupleId>* tuples) const;
+
+  /// Content key of the component the deletion variable currently
+  /// belongs to, or (0,0) for an unconstrained variable (pinned false in
+  /// every minimum repair). Valid after the most recent SolveMinOnes.
+  ComponentKey ComponentKeyOf(uint32_t var) const;
+
+  /// Bumped by Build and by every non-empty ApplyPatch; cheap staleness
+  /// signal for layers caching per-answer state.
+  uint64_t epoch() const { return epoch_; }
+
+  /// True once SolveMinOnes has run at the current epoch (precondition
+  /// for entail_assumptions / ComponentKeyOf).
+  bool SolvedAtCurrentEpoch() const { return solved_epoch_ == epoch_; }
+
+  /// Selectors retired since the last Build (garbage pressure signal).
+  size_t retired_selectors() const { return retired_selectors_; }
+  size_t active_rules() const { return active_rules_; }
+
+ private:
+  struct RuleClause {
+    uint32_t sel = UINT32_MAX;  // UINT32_MAX: retired or tautology
+    bool active = false;
+    bool tautology = false;
+    std::vector<Lit> lits;  // deletion literals only (guard excluded)
+    // Content-hash contribution of `lits`, fixed at first encoding so a
+    // warm solve folds component keys without re-hashing every clause.
+    uint64_t h1 = 0, h2 = 0;
+  };
+
+  uint32_t VarOf(TupleId t);
+  // Encodes cache rule `id` (fresh or revived): builds lits, allocates a
+  // selector and emits the guarded clause unless tautological.
+  void Encode(const Program& program, const GroundProgramCache& cache,
+              uint32_t id);
+  void Retire(uint32_t id);
+
+  std::unique_ptr<CdclSolver> solver_;
+  std::unordered_map<uint64_t, uint32_t> var_of_;  // packed TupleId -> var
+  std::vector<TupleId> tuple_of_;   // solver var -> tuple (invalid: not a
+                                    // deletion var)
+  std::vector<uint32_t> deletion_vars_;
+  std::vector<RuleClause> clauses_;  // indexed by ground-cache rule id
+  size_t active_rules_ = 0;
+  size_t retired_selectors_ = 0;
+  uint64_t epoch_ = 0;
+
+  // ---- populated by SolveMinOnes ----
+  struct CachedComponent {
+    uint64_t num_true = 0;
+    std::vector<uint32_t> true_vars;  // solver var ids
+  };
+  std::unordered_map<ComponentKey, CachedComponent, ComponentKeyHash>
+      component_cache_;
+  // Totalizer outputs already laid down on the solver, keyed by
+  // component content (reusable while the component is unchanged).
+  std::unordered_map<ComponentKey, std::vector<Lit>, ComponentKeyHash>
+      totalizer_cache_;
+  std::unordered_map<uint32_t, ComponentKey> comp_key_of_var_;
+  // Per-component data of the latest solve, for assumption building.
+  struct LiveComponent {
+    ComponentKey key;
+    uint64_t num_true = 0;
+    std::vector<uint32_t> vars;
+  };
+  std::vector<LiveComponent> live_components_;
+  uint64_t solved_epoch_ = UINT64_MAX;
+  uint64_t assumptions_epoch_ = UINT64_MAX;
+  std::vector<Lit> entail_assumptions_;
+};
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_PROVENANCE_INCREMENTAL_CNF_H_

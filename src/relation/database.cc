@@ -7,7 +7,9 @@ namespace deltarepair {
 Database::Database(const Database& other)
     : relations_(other.relations_),
       by_name_(other.by_name_),
-      base_(other.base_) {
+      base_(other.base_),
+      version_(other.version_),
+      history_(other.history_) {
   base_.db_ = this;
 }
 
@@ -16,6 +18,8 @@ Database& Database::operator=(const Database& other) {
     relations_ = other.relations_;
     by_name_ = other.by_name_;
     base_ = other.base_;
+    version_ = other.version_;
+    history_ = other.history_;
     base_.db_ = this;
   }
   return *this;
@@ -24,7 +28,9 @@ Database& Database::operator=(const Database& other) {
 Database::Database(Database&& other) noexcept
     : relations_(std::move(other.relations_)),
       by_name_(std::move(other.by_name_)),
-      base_(std::move(other.base_)) {
+      base_(std::move(other.base_)),
+      version_(other.version_),
+      history_(std::move(other.history_)) {
   base_.db_ = this;
 }
 
@@ -33,6 +39,8 @@ Database& Database::operator=(Database&& other) noexcept {
     relations_ = std::move(other.relations_);
     by_name_ = std::move(other.by_name_);
     base_ = std::move(other.base_);
+    version_ = other.version_;
+    history_ = std::move(other.history_);
     base_.db_ = this;
   }
   return *this;
@@ -72,6 +80,51 @@ TupleId Database::Insert(const std::string& rel, Tuple t) {
 InsertResult Database::InsertChecked(uint32_t rel, Tuple t) {
   DR_CHECK(rel < relations_.size());
   return base_.Insert(rel, std::move(t));
+}
+
+Delta Database::ApplyUpdate(uint32_t rel, bool is_insert,
+                            const std::vector<Tuple>& tuples) {
+  DR_CHECK(rel < relations_.size());
+  Delta d;
+  d.from_version = version_;
+  d.to_version = version_;
+  d.rels.resize(relations_.size());
+  for (const Tuple& t : tuples) {
+    if (is_insert) {
+      InsertResult r = relations_[rel].InternRow(Tuple(t));
+      // Realized only when the row was not live before (new slot or a
+      // revival of a retracted/deleted row).
+      if (base_.rel(rel).AdoptLive(r.row)) d.rels[rel].inserted.push_back(r.row);
+    } else {
+      int64_t row = relations_[rel].FindRow(t);
+      if (row < 0) continue;
+      TupleId id{rel, static_cast<uint32_t>(row)};
+      if (!base_.live(id)) continue;
+      base_.Retract(id);
+      d.rels[rel].deleted.push_back(id.row);
+    }
+  }
+  if (!d.empty()) {
+    d.to_version = ++version_;
+    history_.push_back(d);
+    if (history_.size() > kMaxDeltaHistory) history_.pop_front();
+  }
+  return d;
+}
+
+bool Database::DeltaSince(uint64_t from_version, Delta* out) const {
+  out->rels.assign(relations_.size(), Delta::RelationDelta{});
+  out->from_version = from_version;
+  out->to_version = version_;
+  if (from_version == version_) return true;
+  if (from_version > version_) return false;
+  size_t i = 0;
+  while (i < history_.size() && history_[i].from_version < from_version) ++i;
+  if (i == history_.size() || history_[i].from_version != from_version)
+    return false;  // aged out of the bounded history
+  *out = history_[i];
+  for (++i; i < history_.size(); ++i) out->MergeFrom(history_[i]);
+  return true;
 }
 
 size_t Database::TotalRows() const {

@@ -9,10 +9,12 @@
 #ifndef DELTAREPAIR_RELATION_DATABASE_H_
 #define DELTAREPAIR_RELATION_DATABASE_H_
 
+#include <deque>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "relation/delta.h"
 #include "relation/instance_view.h"
 #include "relation/relation.h"
 
@@ -49,6 +51,31 @@ class Database {
   /// A per-run copy of the canonical state, sharing this database's
   /// storage. The backbone of parallel batch execution.
   InstanceView SnapshotView() { return base_; }
+
+  /// Monotonically increasing instance version. Bumped by every
+  /// ApplyUpdate whose realized delta is non-empty; repair-internal
+  /// membership flips (MarkDeleted/SetDelta, SaveState/RestoreState) do
+  /// not touch it. Version 0 is the loading phase — direct Insert calls
+  /// during initial population are not versioned.
+  uint64_t version() const { return version_; }
+
+  /// Applies one external update batch (all inserts or all deletes) to
+  /// the canonical state and returns the *realized* delta: inserts that
+  /// were already live and deletes of absent tuples are excluded. A
+  /// non-empty delta bumps the version and is recorded in the bounded
+  /// delta history; an empty one leaves the version unchanged.
+  Delta ApplyUpdate(uint32_t rel, bool is_insert,
+                    const std::vector<Tuple>& tuples);
+
+  /// Fills `out` with the merged realized delta covering
+  /// (from_version, version()]. Returns false when `from_version` is in
+  /// the future or has aged out of the bounded history — the caller must
+  /// fall back to a cold rebuild. An up-to-date caller gets an empty
+  /// delta and true.
+  bool DeltaSince(uint64_t from_version, Delta* out) const;
+
+  /// Realized deltas retained for DeltaSince. Older warm state goes cold.
+  static constexpr size_t kMaxDeltaHistory = 256;
 
   /// Inserts a live tuple into relation `rel`. A dedupe hit on a deleted
   /// row revives it (see InstanceView::Insert).
@@ -103,6 +130,10 @@ class Database {
   std::vector<Relation> relations_;
   std::unordered_map<std::string, uint32_t> by_name_;
   InstanceView base_;
+  uint64_t version_ = 0;
+  // Consecutive realized deltas; history_[i].to_version ==
+  // history_[i+1].from_version, back() ends at version_.
+  std::deque<Delta> history_;
 };
 
 }  // namespace deltarepair

@@ -1,0 +1,66 @@
+#include "relation/delta.h"
+
+#include <unordered_set>
+
+#include "common/status.h"
+
+namespace deltarepair {
+
+std::vector<TupleId> Delta::InsertedIds() const {
+  std::vector<TupleId> out;
+  for (uint32_t rel = 0; rel < rels.size(); ++rel)
+    for (uint32_t r : rels[rel].inserted) out.push_back(TupleId{rel, r});
+  return out;
+}
+
+std::vector<TupleId> Delta::DeletedIds() const {
+  std::vector<TupleId> out;
+  for (uint32_t rel = 0; rel < rels.size(); ++rel)
+    for (uint32_t r : rels[rel].deleted) out.push_back(TupleId{rel, r});
+  return out;
+}
+
+void Delta::MergeFrom(const Delta& next) {
+  DR_CHECK_MSG(next.from_version == to_version,
+               "merging non-consecutive deltas");
+  if (rels.size() < next.rels.size()) rels.resize(next.rels.size());
+  for (size_t i = 0; i < next.rels.size(); ++i) {
+    RelationDelta& cur = rels[i];
+    const RelationDelta& nxt = next.rels[i];
+    if (nxt.inserted.empty() && nxt.deleted.empty()) continue;
+    std::unordered_set<uint32_t> nxt_ins(nxt.inserted.begin(),
+                                         nxt.inserted.end());
+    std::unordered_set<uint32_t> nxt_del(nxt.deleted.begin(),
+                                         nxt.deleted.end());
+    std::unordered_set<uint32_t> cur_ins(cur.inserted.begin(),
+                                         cur.inserted.end());
+    std::unordered_set<uint32_t> cur_del(cur.deleted.begin(),
+                                         cur.deleted.end());
+    RelationDelta merged;
+    // Inserted here and not deleted since, or newly inserted and not a
+    // reinsert of a row this delta deleted (those pairs cancel).
+    for (uint32_t r : cur.inserted)
+      if (!nxt_del.count(r)) merged.inserted.push_back(r);
+    for (uint32_t r : nxt.inserted)
+      if (!cur_del.count(r)) merged.inserted.push_back(r);
+    for (uint32_t r : cur.deleted)
+      if (!nxt_ins.count(r)) merged.deleted.push_back(r);
+    for (uint32_t r : nxt.deleted)
+      if (!cur_ins.count(r)) merged.deleted.push_back(r);
+    cur = std::move(merged);
+  }
+  to_version = next.to_version;
+}
+
+std::string Delta::ToString() const {
+  size_t ins = 0, del = 0;
+  for (const auto& r : rels) {
+    ins += r.inserted.size();
+    del += r.deleted.size();
+  }
+  return "delta v" + std::to_string(from_version) + "->v" +
+         std::to_string(to_version) + ": +" + std::to_string(ins) + " -" +
+         std::to_string(del);
+}
+
+}  // namespace deltarepair

@@ -1,0 +1,71 @@
+// Delta: an explicit description of what changed in a database instance
+// between two versions — per-relation inserted/deleted row-id sets plus
+// the version interval they span. Deltas are *realized*: a row appears
+// under `inserted` only if the update actually turned it live (inserting
+// an already-live tuple is a no-op and is not recorded), and under
+// `deleted` only if it was live before. Consecutive deltas compose with
+// MergeFrom, which cancels insert-then-delete / delete-then-reinsert
+// pairs so the merged delta is again realized.
+//
+// The Database stamps every external update with a monotonically
+// increasing version and keeps a bounded history of realized deltas, so
+// warm engine state pinned at version v can ask "what changed since v?"
+// (Database::DeltaSince) instead of rebuilding from scratch.
+#ifndef DELTAREPAIR_RELATION_DELTA_H_
+#define DELTAREPAIR_RELATION_DELTA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relation/tuple.h"
+
+namespace deltarepair {
+
+struct Delta {
+  /// Row ids inserted / deleted in one relation. Within one realized
+  /// delta a row appears in at most one of the two lists.
+  struct RelationDelta {
+    std::vector<uint32_t> inserted;
+    std::vector<uint32_t> deleted;
+  };
+
+  /// The instance versions this delta spans: applying it to a state at
+  /// `from_version` yields the state at `to_version`.
+  uint64_t from_version = 0;
+  uint64_t to_version = 0;
+
+  /// One entry per relation of the database (indexed by relation id).
+  std::vector<RelationDelta> rels;
+
+  bool empty() const {
+    for (const auto& r : rels)
+      if (!r.inserted.empty() || !r.deleted.empty()) return false;
+    return true;
+  }
+
+  /// Total number of row changes recorded.
+  size_t size() const {
+    size_t n = 0;
+    for (const auto& r : rels) n += r.inserted.size() + r.deleted.size();
+    return n;
+  }
+
+  /// All inserted / deleted rows as TupleIds (relation-major order).
+  std::vector<TupleId> InsertedIds() const;
+  std::vector<TupleId> DeletedIds() const;
+
+  /// Composes `next` (whose from_version must equal this delta's
+  /// to_version) into this delta. Cancelling pairs collapse: a row
+  /// inserted here and deleted in `next` vanishes from the merge, and a
+  /// row deleted here and re-inserted in `next` likewise (the row ends
+  /// where it started — warm state needs no change for it).
+  void MergeFrom(const Delta& next);
+
+  /// Debug rendering, e.g. "delta v3->v5: +2 -1".
+  std::string ToString() const;
+};
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_RELATION_DELTA_H_

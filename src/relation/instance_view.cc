@@ -121,6 +121,14 @@ InsertResult InstanceView::Insert(uint32_t rel, Tuple t) {
   return r;
 }
 
+void InstanceView::ApplyDelta(const Delta& delta) {
+  const size_t n = std::min(delta.rels.size(), rels_.size());
+  for (uint32_t rel = 0; rel < n; ++rel) {
+    for (uint32_t r : delta.rels[rel].inserted) rels_[rel].AdoptLive(r);
+    for (uint32_t r : delta.rels[rel].deleted) rels_[rel].Retract(r);
+  }
+}
+
 size_t InstanceView::TotalLive() const {
   size_t n = 0;
   for (const auto& r : rels_) n += r.live_count();

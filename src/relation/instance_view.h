@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "relation/delta.h"
 #include "relation/relation.h"
 
 namespace deltarepair {
@@ -120,6 +121,13 @@ class InstanceView {
   /// view. A dedupe hit on a row this view had deleted *revives* it —
   /// live again, removed from ∆_i — and still reports inserted=false.
   InsertResult Insert(uint32_t rel, Tuple t);
+
+  /// Brings this view forward across an external update: adopts every
+  /// inserted row as live and retracts every deleted row. Used to carry a
+  /// snapshot view (or warm engine state) from one instance version to
+  /// the next without re-copying the whole bitmap set; the delta must
+  /// come from the same database's history (Database::DeltaSince).
+  void ApplyDelta(const Delta& delta);
 
   /// Total live tuples across relations (the size of D).
   size_t TotalLive() const;

@@ -16,11 +16,47 @@
 #ifndef DELTAREPAIR_REPAIR_FIXPOINT_H_
 #define DELTAREPAIR_REPAIR_FIXPOINT_H_
 
+#include <unordered_map>
+#include <vector>
+
 #include "provenance/prov_graph.h"
+#include "relation/delta.h"
 #include "repair/repair_options.h"
 #include "repair/semantics.h"
 
 namespace deltarepair {
+
+/// A reusable end-mode fixpoint: every derivation (ground assignment)
+/// enumerated while computing the least fixpoint, with enough indexing
+/// to replay it under an external update via delete-rederive. Valid for
+/// end semantics only — its fixpoint is monotone datalog (the base is
+/// frozen during derivation, delta relations only grow), so the derived
+/// set is the least fixpoint of the cached derivation hypergraph and
+/// can be maintained without re-joining untouched rows. Stage semantics
+/// shrinks the base between rounds and is not cached here.
+struct FixpointCache {
+  struct Derivation {
+    int rule_index = -1;
+    TupleId head;
+    std::vector<TupleId> body;
+  };
+
+  bool valid = false;
+  std::vector<Derivation> derivations;
+  std::vector<uint8_t> active;
+  /// Packed TupleId -> derivation ids whose body binds that row (base or
+  /// delta position; one entry per binding).
+  std::unordered_map<uint64_t, std::vector<uint32_t>> by_row;
+  /// Packed TupleId -> derivation ids consuming it at a *delta* position
+  /// (one entry per occurrence; drives support counting).
+  std::unordered_map<uint64_t, std::vector<uint32_t>> by_delta_use;
+  /// Content hash -> derivation ids (collision chain; content compared).
+  std::unordered_map<uint64_t, std::vector<uint32_t>> dedupe;
+  /// The derived delta set of the fixpoint this cache describes.
+  std::vector<TupleId> derived;
+
+  void Clear();
+};
 
 /// Runs the fixpoint; on return the delta relations hold every derived
 /// tuple (and, in stage mode, the base relations are already updated).
@@ -30,8 +66,28 @@ namespace deltarepair {
 /// and at every round boundary. Returns true when the fixpoint was
 /// reached; false when the run was interrupted (ctx->reason() says why —
 /// the delta relations then hold a prefix of the derivation).
+///
+/// `cache` (optional; end mode only, i.e. !delete_between_rounds)
+/// records every enumerated derivation for later incremental replay; on
+/// an interrupted run the cache is left invalid.
 bool RunSemiNaiveFixpoint(InstanceView* view, const Program& program,
                           bool delete_between_rounds, ProvenanceGraph* prov,
+                          RepairStats* stats, ExecContext* ctx,
+                          FixpointCache* cache = nullptr);
+
+/// Incremental end-mode fixpoint: advances a prior fixpoint (`cache`,
+/// from a full run or an earlier incremental one) across the realized
+/// update `delta` instead of re-deriving from scratch. `view` must hold
+/// the post-delta live set with *empty* delta relations; on return its
+/// delta relations hold the new fixpoint, exactly as a full run over the
+/// updated base would produce. Delete-rederive over the cached
+/// derivation hypergraph: derivations binding deleted rows are
+/// tombstoned, the surviving least fixpoint is recomputed by support
+/// counting, and insert-driven derivations are grounded semi-naively by
+/// pivoting only over the inserted rows. Returns false (cache
+/// invalidated) when interrupted.
+bool RunSemiNaiveFixpoint(InstanceView* view, const Program& program,
+                          const Delta& delta, FixpointCache* cache,
                           RepairStats* stats, ExecContext* ctx);
 
 }  // namespace deltarepair

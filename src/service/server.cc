@@ -78,10 +78,19 @@ StatusOr<std::unique_ptr<RepairServer>> RepairServer::Start(
   server->options_ = options;
   server->store_ = std::move(store);
   StatusOr<RepairEngine> engine =
-      RepairEngine::Create(&server->store_->db(), std::move(program));
+      RepairEngine::Create(&server->store_->db(), program);
   if (!engine.ok()) return engine.status();
   server->engine_ =
       std::make_unique<RepairEngine>(std::move(engine).value());
+  if (options.incremental) {
+    IncrementalEngineOptions inc_options;
+    inc_options.cold_fallback_fraction = options.cold_fallback_fraction;
+    StatusOr<std::unique_ptr<IncrementalEngine>> inc =
+        IncrementalEngine::Create(&server->store_->db(), std::move(program),
+                                  inc_options);
+    if (!inc.ok()) return inc.status();
+    server->inc_engine_ = std::move(inc).value();
+  }
   DR_RETURN_IF_ERROR(MakeListenSocket(options.port, &server->listen_fd_,
                                       &server->port_));
   server->accept_thread_ = std::thread(&RepairServer::AcceptLoop,
@@ -241,6 +250,12 @@ void RepairServer::ServeConnection(int fd) {
             return;
           }
         }
+      } else if (inc_engine_ != nullptr) {
+        // Warm path: the engine advances its cached grounding/solver/
+        // fixpoint state by the realized delta and answers from it (with
+        // an internal cold fallback when nothing warm applies).
+        std::shared_lock<std::shared_mutex> lock(store_->mutex());
+        outcome = inc_engine_->ExecuteRepair(request);
       } else {
         std::shared_lock<std::shared_mutex> lock(store_->mutex());
         outcome = engine_->ExecuteOnSnapshot(request);
@@ -271,7 +286,9 @@ void RepairServer::ServeConnection(int fd) {
       CqaResult result;
       {
         std::shared_lock<std::shared_mutex> lock(store_->mutex());
-        result = AnswerQueryOnSnapshot(engine_.get(), request);
+        result = inc_engine_ != nullptr
+                     ? inc_engine_->ExecuteCqa(request)
+                     : AnswerQueryOnSnapshot(engine_.get(), request);
       }
       if (!result.ok()) {
         request_errors_.fetch_add(1, std::memory_order_relaxed);
@@ -346,6 +363,10 @@ void RepairServer::ServeConnection(int fd) {
       (void)WriteFrame(fd, FrameType::kJson, HandleStats());
       return;
     }
+    case FrameType::kSchemaRequest: {
+      (void)WriteFrame(fd, FrameType::kJson, HandleSchema());
+      return;
+    }
     case FrameType::kJson:
     case FrameType::kError: {
       request_errors_.fetch_add(1, std::memory_order_relaxed);
@@ -354,6 +375,37 @@ void RepairServer::ServeConnection(int fd) {
       return;
     }
   }
+}
+
+std::string RepairServer::HandleSchema() {
+  JsonWriter json;
+  json.BeginObject();
+  std::shared_lock<std::shared_mutex> lock(store_->mutex());
+  json.Key("relations");
+  json.BeginArray();
+  for (uint32_t i = 0; i < store_->db().num_relations(); ++i) {
+    const RelationSchema& schema = store_->db().relation(i).schema();
+    json.BeginObject();
+    json.Field("name", schema.name());
+    json.Field("arity", static_cast<uint64_t>(schema.arity()));
+    json.Key("attributes");
+    json.BeginArray();
+    for (const Attribute& a : schema.attributes()) json.String(a.name);
+    json.EndArray();
+    // One declared-type code per attribute: i=int s=string n=null.
+    std::string types;
+    types.reserve(schema.arity());
+    for (const Attribute& a : schema.attributes()) {
+      types.push_back(a.type == ValueType::kInt      ? 'i'
+                      : a.type == ValueType::kString ? 's'
+                                                     : 'n');
+    }
+    json.Field("types", types);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
 }
 
 std::string RepairServer::HandleStats() {
@@ -387,15 +439,45 @@ std::string RepairServer::HandleStats() {
     json.Field("total_rows",
                static_cast<uint64_t>(store_->db().TotalRows()));
     json.Field("updates_applied", store_->updates_applied());
+    json.Field("instance_version", store_->db().version());
     json.Field("recovered_wal_records",
                static_cast<uint64_t>(store_->recovery_stats()
                                          .records_applied));
+    json.Field("recovered_wal_batches",
+               static_cast<uint64_t>(store_->recovery_stats()
+                                         .batches_applied));
     json.Field("recovered_wal_bytes_dropped",
                static_cast<uint64_t>(store_->recovery_stats()
                                          .bytes_dropped));
   }
+  json.Field("incremental", inc_engine_ != nullptr);
+  if (inc_engine_ != nullptr) {
+    const IncrementalEngine::Stats inc = inc_engine_->stats();
+    json.Field("warm_version", inc_engine_->warm_version());
+    json.Field("inc_syncs", inc.syncs);
+    json.Field("inc_noop_syncs", inc.noop_syncs);
+    json.Field("inc_incremental_syncs", inc.incremental_syncs);
+    json.Field("inc_cold_rebuilds", inc.cold_rebuilds);
+    json.Field("inc_empty_patches", inc.empty_patches);
+    json.Field("inc_incremental_repairs", inc.incremental_repairs);
+    json.Field("inc_reused_repair_results", inc.reused_repair_results);
+    json.Field("inc_cold_repairs", inc.cold_repairs);
+    json.Field("inc_warm_cqa", inc.warm_cqa);
+    json.Field("inc_cold_cqa", inc.cold_cqa);
+    json.Field("inc_verdict_cache_hits", inc.verdict_cache_hits);
+    json.Field("inc_verdict_cache_misses", inc.verdict_cache_misses);
+    json.Field("inc_minones_components_reused",
+               inc.minones_components_reused);
+    json.Field("inc_minones_components_solved",
+               inc.minones_components_solved);
+  }
   json.EndObject();
   return json.str();
+}
+
+IncrementalEngine::Stats RepairServer::incremental_stats() const {
+  return inc_engine_ != nullptr ? inc_engine_->stats()
+                                : IncrementalEngine::Stats{};
 }
 
 RepairServer::Stats RepairServer::stats() const {

@@ -40,6 +40,7 @@
 
 #include "datalog/ast.h"
 #include "repair/repair_engine.h"
+#include "service/incremental_engine.h"
 #include "service/store.h"
 
 namespace deltarepair {
@@ -56,6 +57,14 @@ struct ServerOptions {
   double default_budget_seconds = 0;
   /// Upper clamp on any request's budget (0 = no clamp).
   double max_budget_seconds = 0;
+  /// Serve read-only repair/CQA requests from warm delta-aware engine
+  /// state (service/incremental_engine.h) instead of re-grounding per
+  /// request. Correctness is identical: the engine cold-falls-back on
+  /// anything it cannot prove unchanged.
+  bool incremental = true;
+  /// Delta fraction above which the warm engine rebuilds from scratch
+  /// instead of patching (IncrementalEngineOptions).
+  double cold_fallback_fraction = 0.25;
 };
 
 class RepairServer {
@@ -95,6 +104,9 @@ class RepairServer {
 
   PersistentStore& store() { return *store_; }
 
+  /// Warm-engine counters (zeros when ServerOptions.incremental is off).
+  IncrementalEngine::Stats incremental_stats() const;
+
  private:
   RepairServer() = default;
 
@@ -103,10 +115,15 @@ class RepairServer {
   /// Serves one connection: one request frame in, one response out.
   void ServeConnection(int fd);
   std::string HandleStats();
+  std::string HandleSchema();
 
   ServerOptions options_;
   std::unique_ptr<PersistentStore> store_;
   std::unique_ptr<RepairEngine> engine_;
+  /// Warm serving state (null when options_.incremental is off). Readers
+  /// call it under the store's shared lock; the engine serializes its own
+  /// state internally (lock order: store mutex, then engine mutex).
+  std::unique_ptr<IncrementalEngine> inc_engine_;
   int listen_fd_ = -1;
   int port_ = 0;
 

@@ -61,7 +61,10 @@ Status PersistentStore::ApplyInsert(uint32_t rel,
   }
   DR_RETURN_IF_ERROR(wal_.Append(WalOp::kInsert, rel, arity, tuples,
                                  options_.sync_wal));
-  for (const Tuple& t : tuples) db_.Insert(rel, t);
+  // Versioned apply: the realized delta enters the database's bounded
+  // history, so warm engine state can advance via DeltaSince instead of
+  // rebuilding.
+  db_.ApplyUpdate(rel, /*is_insert=*/true, tuples);
   updates_applied_ += tuples.size();
   return Status::OK();
 }
@@ -82,13 +85,10 @@ Status PersistentStore::ApplyDelete(uint32_t rel,
   }
   DR_RETURN_IF_ERROR(wal_.Append(WalOp::kDelete, rel, arity, tuples,
                                  options_.sync_wal));
-  for (const Tuple& t : tuples) {
-    int64_t row = db_.relation(rel).FindRow(t);
-    if (row < 0) continue;
-    // External delete: the tuple leaves the instance without entering any
-    // delta relation (∆ is per-repair-run bookkeeping).
-    db_.base_view().Retract(TupleId{rel, static_cast<uint32_t>(row)});
-  }
+  // External delete: the tuple leaves the instance without entering any
+  // delta relation (∆ is per-repair-run bookkeeping); tuples not live
+  // are skipped inside ApplyUpdate, keeping the recorded delta realized.
+  db_.ApplyUpdate(rel, /*is_insert=*/false, tuples);
   updates_applied_ += tuples.size();
   return Status::OK();
 }

@@ -127,6 +127,23 @@ Status ReplayWal(const std::string& path, Database* db,
 
   std::string_view data(bytes);
   size_t pos = kWalHeaderLen;
+
+  // Pending coalesced batch: consecutive records with the same
+  // (op, relation) accumulate here and flush as one versioned
+  // ApplyUpdate (one realized delta, one version bump).
+  bool have_batch = false;
+  uint8_t batch_op = 0;
+  uint32_t batch_rel = 0;
+  std::vector<Tuple> batch;
+  auto flush_batch = [&] {
+    if (!have_batch) return;
+    db->ApplyUpdate(batch_rel,
+                    batch_op == static_cast<uint8_t>(WalOp::kInsert), batch);
+    ++stats->batches_applied;
+    batch.clear();
+    have_batch = false;
+  };
+
   while (pos < data.size()) {
     const size_t record_start = pos;
     // Any framing/decoding failure from here on is a torn or corrupt
@@ -155,6 +172,7 @@ Status ReplayWal(const std::string& path, Database* db,
       break;
     }
     if (rel >= db->num_relations()) {
+      flush_batch();
       return Status::InvalidArgument(
           StrFormat("wal: record for unknown relation %u", rel));
     }
@@ -177,22 +195,17 @@ Status ReplayWal(const std::string& path, Database* db,
       break;
     }
 
-    for (Tuple& t : tuples) {
-      if (op == static_cast<uint8_t>(WalOp::kInsert)) {
-        // Insert adopts the row live in the base view; a dedupe hit on a
-        // deleted row revives it, so replay after compact is a no-op.
-        db->Insert(rel, std::move(t));
-      } else {
-        int64_t row = db->relation(rel).FindRow(t);
-        // External delete: out of the instance, not into ∆.
-        if (row >= 0) {
-          db->base_view().Retract(TupleId{rel, static_cast<uint32_t>(row)});
-        }
-      }
-      ++stats->tuples_applied;
+    if (have_batch && (op != batch_op || rel != batch_rel)) flush_batch();
+    if (!have_batch) {
+      have_batch = true;
+      batch_op = op;
+      batch_rel = rel;
     }
+    for (Tuple& t : tuples) batch.push_back(std::move(t));
+    stats->tuples_applied += count;
     ++stats->records_applied;
   }
+  flush_batch();
   return Status::OK();
 }
 

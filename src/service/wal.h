@@ -64,6 +64,10 @@ class WalWriter {
 struct WalReplayStats {
   size_t records_applied = 0;
   size_t tuples_applied = 0;
+  /// Coalesced Database::ApplyUpdate batches actually issued: consecutive
+  /// records with the same (op, relation) replay as one versioned delta
+  /// application, so this is <= records_applied.
+  size_t batches_applied = 0;
   /// Bytes of torn/corrupt tail dropped (0 on a clean log).
   size_t bytes_dropped = 0;
 };
@@ -73,6 +77,13 @@ struct WalReplayStats {
 /// the log: its bytes and everything after are reported in
 /// `stats->bytes_dropped` and ignored. Only a bad header or an op against
 /// a relation/arity the database does not have is an error.
+///
+/// Runs of consecutive records with the same (op, relation) are coalesced
+/// into a single Database::ApplyUpdate call — one realized delta and one
+/// version bump per run instead of per record, which keeps recovery of
+/// long fine-grained logs cheap and the post-recovery delta history
+/// short. Order across differing runs is preserved, so the replayed state
+/// is identical to record-at-a-time replay.
 Status ReplayWal(const std::string& path, Database* db,
                  WalReplayStats* stats);
 

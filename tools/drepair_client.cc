@@ -7,6 +7,7 @@
 //   ping
 //   stats
 //   compact
+//   schema
 //   repair --semantics <name> [--budget-ms <n>] [--seed <n>] [--verify]
 //          [--apply] [--threads <n>]
 //   cqa    --semantics <name> --query <text-or-file> [--certain]
@@ -15,9 +16,12 @@
 //   delete --relation <name> --tuple <v1,v2,...> [--tuple ...]
 //
 // The JSON response is printed to stdout; server errors go to stderr and
-// exit 1. Tuple cells are typed heuristically: `null` is null, an
-// optionally-signed integer is an int, anything else a string; wrap a
-// cell in single quotes to force string ('123').
+// exit 1. Tuple cells are typed by the relation's declared schema,
+// fetched from the server before encoding: an int column requires an
+// optionally-signed integer, a string column takes the cell text as-is
+// (single quotes stripped, so '123' stays valid), and `null` is null in
+// any column. Mismatches are rejected client-side, before anything hits
+// the WAL.
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -39,7 +43,7 @@ int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s (--port <n> | --port-file <path>) <command> [args]\n"
-      "commands: ping | stats | compact |\n"
+      "commands: ping | stats | compact | schema |\n"
       "  repair --semantics <name> [--budget-ms n] [--seed n] [--verify]"
       " [--apply] [--threads n]\n"
       "  cqa --semantics <name> --query <text-or-file> [--certain]"
@@ -60,30 +64,92 @@ bool ParseUint(const char* s, uint64_t* out) {
   return true;
 }
 
-/// `null` -> null; optionally-signed digits -> int; 'quoted' -> the
-/// quoted text as string; anything else -> string.
-Value ParseCellHeuristic(const std::string& raw) {
+/// Declared-type codes ('i'/'s'/'n' per column) of `relation`, looked up
+/// in the server's schema response. Empty + error message on failure
+/// (unreachable server or unknown relation).
+bool FetchRelationTypes(int port, const std::string& relation,
+                        std::string* types, std::string* error) {
+  StatusOr<std::string> response =
+      CallServerJson(port, FrameType::kSchemaRequest, "");
+  if (!response.ok()) {
+    *error = response.status().ToString();
+    return false;
+  }
+  // Targeted scan of the schema JSON (the server emits exactly
+  // {"relations":[{"name":...,"arity":...,"attributes":[...],
+  // "types":"..."},...]}); relation names are identifiers, so the quoted
+  // needle cannot collide with escaped content.
+  const std::string& json = response.value();
+  const std::string needle = "\"name\":\"" + relation + "\"";
+  size_t at = json.find(needle);
+  if (at == std::string::npos) {
+    *error = "unknown relation '" + relation + "' (see `schema`)";
+    return false;
+  }
+  const std::string types_key = "\"types\":\"";
+  size_t tpos = json.find(types_key, at);
+  size_t next_rel = json.find("\"name\":\"", at + needle.size());
+  if (tpos == std::string::npos ||
+      (next_rel != std::string::npos && tpos > next_rel)) {
+    *error = "malformed schema response for '" + relation + "'";
+    return false;
+  }
+  tpos += types_key.size();
+  size_t tend = json.find('"', tpos);
+  if (tend == std::string::npos) {
+    *error = "malformed schema response for '" + relation + "'";
+    return false;
+  }
+  *types = json.substr(tpos, tend - tpos);
+  return true;
+}
+
+/// Encodes one cell against its column's declared type code. `null` is
+/// accepted in any column; an int column requires an optionally-signed
+/// integer; a string column takes the text as-is (one level of single
+/// quotes stripped, for compatibility with the old force-string syntax).
+bool ParseCellTyped(const std::string& raw, char type_code, Value* out,
+                    std::string* error) {
   std::string cell = std::string(Trim(raw));
-  if (cell == "null") return Value();
-  if (cell.size() >= 2 && cell.front() == '\'' && cell.back() == '\'') {
-    return Value(cell.substr(1, cell.size() - 2));
+  if (cell == "null") {
+    *out = Value();
+    return true;
   }
-  size_t start = (!cell.empty() && (cell[0] == '-' || cell[0] == '+'))
-                     ? 1
-                     : 0;
-  bool numeric = cell.size() > start;
-  for (size_t i = start; i < cell.size() && numeric; ++i) {
-    numeric = std::isdigit(static_cast<unsigned char>(cell[i])) != 0;
-  }
-  if (numeric) {
-    errno = 0;
-    char* end = nullptr;
-    long long v = std::strtoll(cell.c_str(), &end, 10);
-    if (errno != ERANGE && end != nullptr && *end == '\0') {
-      return Value(static_cast<int64_t>(v));
+  switch (type_code) {
+    case 'i': {
+      size_t start =
+          (!cell.empty() && (cell[0] == '-' || cell[0] == '+')) ? 1 : 0;
+      bool numeric = cell.size() > start;
+      for (size_t i = start; i < cell.size() && numeric; ++i) {
+        numeric = std::isdigit(static_cast<unsigned char>(cell[i])) != 0;
+      }
+      if (numeric) {
+        errno = 0;
+        char* end = nullptr;
+        long long v = std::strtoll(cell.c_str(), &end, 10);
+        if (errno != ERANGE && end != nullptr && *end == '\0') {
+          *out = Value(static_cast<int64_t>(v));
+          return true;
+        }
+      }
+      *error = "'" + cell + "' is not an integer (column is int-typed)";
+      return false;
     }
+    case 's': {
+      if (cell.size() >= 2 && cell.front() == '\'' &&
+          cell.back() == '\'') {
+        cell = cell.substr(1, cell.size() - 2);
+      }
+      *out = Value(cell);
+      return true;
+    }
+    case 'n':
+      *error = "'" + cell + "' in a null-typed column (only null fits)";
+      return false;
+    default:
+      *error = std::string("unknown schema type code '") + type_code + "'";
+      return false;
   }
-  return Value(cell);
 }
 
 int Call(int port, FrameType type, const std::string& payload) {
@@ -187,6 +253,9 @@ int main(int argc, char** argv) {
   if (command == "compact") {
     return Call(iport, FrameType::kCompactRequest, "");
   }
+  if (command == "schema") {
+    return Call(iport, FrameType::kSchemaRequest, "");
+  }
   if (command == "repair") {
     if (semantics.empty()) return Usage(argv[0]);
     RepairRequest request;
@@ -233,21 +302,34 @@ int main(int argc, char** argv) {
   }
   if (command == "insert" || command == "delete") {
     if (relation.empty() || tuple_args.empty()) return Usage(argv[0]);
+    std::string types, error;
+    if (!FetchRelationTypes(iport, relation, &types, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
     UpdateRequest request;
     request.op = command == "insert" ? WalOp::kInsert : WalOp::kDelete;
     request.relation = relation;
-    size_t arity = 0;
     for (const std::string& spec : tuple_args) {
-      Tuple t;
-      for (const std::string& cell : Split(spec, ',')) {
-        t.push_back(ParseCellHeuristic(cell));
-      }
-      if (request.tuples.empty()) {
-        arity = t.size();
-      } else if (t.size() != arity) {
+      std::vector<std::string> cells = Split(spec, ',');
+      if (cells.size() != types.size()) {
         std::fprintf(stderr,
-                     "all --tuple args must have the same arity\n");
+                     "tuple '%s' has %zu cells; relation %s has arity "
+                     "%zu\n",
+                     spec.c_str(), cells.size(), relation.c_str(),
+                     types.size());
         return 1;
+      }
+      Tuple t;
+      t.reserve(cells.size());
+      for (size_t c = 0; c < cells.size(); ++c) {
+        Value v;
+        if (!ParseCellTyped(cells[c], types[c], &v, &error)) {
+          std::fprintf(stderr, "tuple '%s', column %zu: %s\n",
+                       spec.c_str(), c, error.c_str());
+          return 1;
+        }
+        t.push_back(std::move(v));
       }
       request.tuples.push_back(std::move(t));
     }

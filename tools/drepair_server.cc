@@ -7,6 +7,7 @@
 //                  [--workers <n>] [--max-queue <n>]
 //                  [--default-budget-ms <n>] [--max-budget-ms <n>]
 //                  [--sync-wal] [--compact-on-start]
+//                  [--no-incremental] [--cold-fallback-fraction <f>]
 //
 //   --store        store directory (snapshot.drs + wal.drl)
 //   --program      delta-rule file, resolved once at startup
@@ -21,6 +22,12 @@
 //   --max-budget-ms      upper clamp on any request's budget
 //   --sync-wal     fsync every WAL append (crash-durable updates)
 //   --compact-on-start   fold the recovered WAL into a fresh snapshot
+//   --no-incremental     serve every request cold (per-request snapshot
+//                        re-ground) instead of from warm delta-aware
+//                        engine state
+//   --cold-fallback-fraction <f>  delta fraction above which the warm
+//                        engine rebuilds instead of patching (default
+//                        0.25)
 //
 // SIGTERM/SIGINT drain gracefully: stop accepting, serve the queue dry,
 // exit 0.
@@ -56,7 +63,8 @@ int Usage(const char* argv0) {
                "[--init-data <csvdir>] [--port <n>] [--port-file <p>] "
                "[--workers <n>] [--max-queue <n>] "
                "[--default-budget-ms <n>] [--max-budget-ms <n>] "
-               "[--sync-wal] [--compact-on-start]\n",
+               "[--sync-wal] [--compact-on-start] [--no-incremental] "
+               "[--cold-fallback-fraction <f>]\n",
                argv0);
   return 2;
 }
@@ -100,6 +108,8 @@ int main(int argc, char** argv) {
   uint64_t port = 0, workers = 4, max_queue = 64;
   uint64_t default_budget_ms = 0, max_budget_ms = 0;
   bool sync_wal = false, compact_on_start = false;
+  bool incremental = true;
+  double cold_fallback_fraction = 0.25;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -140,6 +150,16 @@ int main(int argc, char** argv) {
       sync_wal = true;
     } else if (arg == "--compact-on-start") {
       compact_on_start = true;
+    } else if (arg == "--no-incremental") {
+      incremental = false;
+    } else if (arg == "--cold-fallback-fraction") {
+      const char* v = next();
+      char* end = nullptr;
+      cold_fallback_fraction = v != nullptr ? std::strtod(v, &end) : -1;
+      if (v == nullptr || end == v || *end != '\0' ||
+          cold_fallback_fraction < 0 || cold_fallback_fraction > 1) {
+        return Usage(argv[0]);
+      }
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return Usage(argv[0]);
@@ -185,9 +205,10 @@ int main(int argc, char** argv) {
       store = std::move(opened).value();
       const WalReplayStats& rs = store->recovery_stats();
       std::printf("recovered store %s: %zu WAL records replayed"
-                  " (%zu tuples), %zu torn-tail bytes dropped\n",
+                  " (%zu tuples, coalesced into %zu delta batches),"
+                  " %zu torn-tail bytes dropped\n",
                   store_dir.c_str(), rs.records_applied, rs.tuples_applied,
-                  rs.bytes_dropped);
+                  rs.batches_applied, rs.bytes_dropped);
     }
   }
   std::printf("store: %zu relations, %zu live tuples\n",
@@ -225,6 +246,8 @@ int main(int argc, char** argv) {
       static_cast<double>(default_budget_ms) / 1e3;
   server_options.max_budget_seconds =
       static_cast<double>(max_budget_ms) / 1e3;
+  server_options.incremental = incremental;
+  server_options.cold_fallback_fraction = cold_fallback_fraction;
 
   StatusOr<std::unique_ptr<RepairServer>> server = RepairServer::Start(
       std::move(store), std::move(program).value(), server_options);
@@ -233,9 +256,10 @@ int main(int argc, char** argv) {
                  server.status().ToString().c_str());
     return 1;
   }
-  std::printf("listening on 127.0.0.1:%d (%llu workers)\n",
+  std::printf("listening on 127.0.0.1:%d (%llu workers, %s serving)\n",
               (*server)->port(),
-              static_cast<unsigned long long>(workers));
+              static_cast<unsigned long long>(workers),
+              incremental ? "incremental" : "cold");
   std::fflush(stdout);
   if (!port_file.empty()) {
     std::ofstream pf(port_file);
