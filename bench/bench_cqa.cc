@@ -54,6 +54,12 @@ int Main() {
         reporter.AddRow(label)
             .Metric("ground_seconds", stats.ground_seconds)
             .Metric("space_seconds", stats.space_seconds)
+            // The slicing layer's share: cone_seconds (preprocessing +
+            // residual decomposition, inside space_seconds) and
+            // slice_seconds (per-cone sub-CNF builds, inside
+            // entail_seconds for lazily built slices).
+            .Metric("cone_seconds", stats.slice.cone_seconds)
+            .Metric("slice_seconds", stats.slice.slice_seconds)
             .Metric("entail_seconds", stats.entail_seconds)
             .Metric("total_seconds", stats.total_seconds)
             .Metric("answers", static_cast<int64_t>(stats.answers))
@@ -65,6 +71,13 @@ int Main() {
             .Metric("repair_size", static_cast<int64_t>(stats.repair_size))
             .Metric("sat_solve_calls",
                     static_cast<int64_t>(stats.repair.sat_solve_calls))
+            .Metric("cone_vars", static_cast<int64_t>(stats.slice.cone_vars))
+            .Metric("cone_clauses",
+                    static_cast<int64_t>(stats.slice.cone_clauses))
+            .Metric("sliced_solve_calls",
+                    static_cast<int64_t>(stats.slice.sliced_solve_calls))
+            .Metric("slice_fallbacks",
+                    static_cast<int64_t>(stats.slice.slice_fallbacks))
             .Metric("space_exact", stats.space_exact ? "yes" : "no");
         table.AddRow({StrFormat("mas%d/%s", num, query.name),
                       result.semantics, Ms(stats.ground_seconds),

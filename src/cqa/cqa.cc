@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <memory>
 #include <thread>
 
 #include "common/timer.h"
@@ -11,63 +13,156 @@ namespace deltarepair {
 
 namespace {
 
+/// One answer's pending verdict work (parallel evaluation slot).
+struct AnswerTask {
+  const Tuple* values = nullptr;
+  const AnswerProvenance* prov = nullptr;
+  CqaVerdict certain{false, false};
+  CqaVerdict possible{true, false};
+  bool cached = false;
+  std::optional<CqaCounterexample> cex;
+};
+
+/// Converts one finished task into its CqaAnswer and folds the
+/// per-answer counters (sequential tail — keeps result order sorted).
+void AppendAnswer(const CqaRequest& request, AnswerTask& task,
+                  CqaResult* result) {
+  CqaAnswer answer;
+  answer.values = *task.values;
+  answer.derivations = task.prov->monomials.size();
+  result->stats.monomials += task.prov->monomials.size();
+  answer.certain = task.certain.holds;
+  answer.certain_decided = task.certain.decided;
+  answer.possible = task.possible.holds;
+  answer.possible_decided = task.possible.decided;
+  answer.decided = (task.certain.decided || !request.certain) &&
+                   (task.possible.decided || !request.possible);
+  if (task.cex.has_value()) {
+    answer.counterexample = std::move(task.cex->deleted);
+    answer.counterexample_minimal = task.cex->minimal;
+  }
+  if (answer.certain) ++result->stats.certain_answers;
+  if (answer.possible) ++result->stats.possible_answers;
+  if (!answer.decided) ++result->stats.undecided_answers;
+  result->answers.push_back(std::move(answer));
+}
+
+/// The per-answer verdict protocol, identical on every path: the
+/// requested solver checks with the free implications (certain ⇒
+/// possible, impossible ⇒ not certain), then the annotate
+/// counterexample for non-certain answers (cached ones included).
+template <typename Judge>
+void EvaluateTask(const CqaRequest& request, Judge* judge, AnswerTask* task,
+                  ExecContext* ctx) {
+  if (!task->cached) {
+    if (request.certain) {
+      task->certain = judge->Certain(*task->prov, ctx);
+    }
+    if (task->certain.decided && task->certain.holds) {
+      // Certain implies possible (repair spaces are non-empty).
+      task->possible = {true, true};
+    }
+    if (request.possible && !task->possible.decided) {
+      task->possible = judge->Possible(*task->prov, ctx);
+    }
+    if (task->possible.decided && !task->possible.holds &&
+        !task->certain.decided) {
+      // Impossible answers are never certain.
+      task->certain = {false, true};
+    }
+  }
+  if (request.annotate &&
+      !(task->certain.decided && task->certain.holds)) {
+    task->cex = judge->Counterexample(*task->prov, ctx);
+  }
+}
+
 /// Phase 3, shared by the cold and warm paths: per-answer verdicts in
-/// deterministic (sorted) order, with optional cache hooks.
+/// deterministic (sorted) order, with optional cache hooks. When the
+/// space hands out judges and options.threads > 1, the solver work fans
+/// out across workers (each with its own judge); cache lookups, cache
+/// stores and the answer list stay in sorted order, so the report is
+/// identical to the sequential path.
 void EvaluateAnswers(const CqaRequest& request,
                      std::map<Tuple, AnswerProvenance>& grounded,
                      RepairSpace* space, const CqaAnswerHooks* hooks,
                      ExecContext* ctx, CqaResult* result) {
   ScopedTimer t(&result->stats.entail_seconds);
   result->answers.reserve(grounded.size());
+
+  space->PrepareJudges(grounded.size());
+  std::unique_ptr<AnswerJudge> main_judge = space->NewJudge();
+  if (main_judge == nullptr) {
+    // Enumerated spaces: direct sequential calls on the space.
+    for (auto& [values, prov] : grounded) {
+      AnswerTask task;
+      task.values = &values;
+      task.prov = &prov;
+      task.cached = hooks != nullptr && hooks->lookup &&
+                    hooks->lookup(values, prov, &task.certain,
+                                  &task.possible);
+      EvaluateTask(request, space, &task, ctx);
+      if (!task.cached && hooks != nullptr && hooks->store) {
+        hooks->store(values, prov, task.certain, task.possible);
+      }
+      AppendAnswer(request, task, result);
+    }
+    return;
+  }
+
+  // Judge-based evaluation. Cache lookups run first, sequentially and
+  // in sorted order (hook implementations may be stateful).
+  std::vector<AnswerTask> tasks;
+  tasks.reserve(grounded.size());
   for (auto& [values, prov] : grounded) {
-    CqaAnswer answer;
-    answer.values = values;
-    answer.derivations = prov.monomials.size();
-    result->stats.monomials += prov.monomials.size();
+    AnswerTask task;
+    task.values = &values;
+    task.prov = &prov;
+    task.cached = hooks != nullptr && hooks->lookup &&
+                  hooks->lookup(values, prov, &task.certain, &task.possible);
+    tasks.push_back(std::move(task));
+  }
 
-    CqaVerdict certain{false, false};
-    CqaVerdict possible{true, false};
-    bool cached = hooks != nullptr && hooks->lookup &&
-                  hooks->lookup(values, prov, &certain, &possible);
-    if (!cached) {
-      certain = {false, false};
-      possible = {true, false};
-      if (request.certain) {
-        certain = space->Certain(prov, ctx);
-      }
-      if (certain.decided && certain.holds) {
-        // Certain implies possible (repair spaces are non-empty).
-        possible = {true, true};
-      }
-      if (request.possible && !possible.decided) {
-        possible = space->Possible(prov, ctx);
-      }
-      if (possible.decided && !possible.holds && !certain.decided) {
-        // Impossible answers are never certain.
-        certain = {false, true};
-      }
-      if (hooks != nullptr && hooks->store) {
-        hooks->store(values, prov, certain, possible);
-      }
+  size_t workers =
+      request.options.threads > 1
+          ? std::min<size_t>(request.options.threads, tasks.size())
+          : 1;
+  if (workers <= 1) {
+    for (AnswerTask& task : tasks) {
+      EvaluateTask(request, main_judge.get(), &task, ctx);
     }
-    answer.certain = certain.holds;
-    answer.certain_decided = certain.decided;
-    answer.possible = possible.holds;
-    answer.possible_decided = possible.decided;
-    answer.decided = (certain.decided || !request.certain) &&
-                     (possible.decided || !request.possible);
-    if (request.annotate && !(certain.decided && certain.holds)) {
-      std::optional<CqaCounterexample> cex = space->Counterexample(prov, ctx);
-      if (cex.has_value()) {
-        answer.counterexample = std::move(cex->deleted);
-        answer.counterexample_minimal = cex->minimal;
+  } else {
+    // Fan the solver work out: workers claim tasks by atomic index,
+    // each with its own judge and an ExecContext slaved to the main
+    // budget/token. Verdicts land in their task slots; everything
+    // order-sensitive happens after the join.
+    double remaining = ctx->RemainingSeconds();
+    RepairOptions worker_options = request.options;
+    worker_options.budget_seconds =
+        std::isinf(remaining) ? 0 : std::max(remaining, 1e-9);
+    std::atomic<size_t> next{0};
+    auto work = [&]() {
+      std::unique_ptr<AnswerJudge> judge = space->NewJudge();
+      ExecContext worker_ctx(worker_options);
+      for (;;) {
+        size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= tasks.size()) break;
+        EvaluateTask(request, judge.get(), &tasks[i], &worker_ctx);
       }
-    }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) pool.emplace_back(work);
+    for (std::thread& th : pool) th.join();
+    ctx->ShouldStop();  // latch a budget/cancel that tripped meanwhile
+  }
 
-    if (answer.certain) ++result->stats.certain_answers;
-    if (answer.possible) ++result->stats.possible_answers;
-    if (!answer.decided) ++result->stats.undecided_answers;
-    result->answers.push_back(std::move(answer));
+  // Sequential tail: cache stores and the answer list, in sorted order.
+  for (AnswerTask& task : tasks) {
+    if (!task.cached && hooks != nullptr && hooks->store) {
+      hooks->store(*task.values, *task.prov, task.certain, task.possible);
+    }
+    AppendAnswer(request, task, result);
   }
 }
 
@@ -135,6 +230,7 @@ CqaResult AnswerQueryOnView(InstanceView* view, const Program& program,
   // Phase 3: per-answer verdicts, in deterministic (sorted) order.
   EvaluateAnswers(request, grounded, space.get(), nullptr, &ctx, &result);
   space->AddStats(&result.stats.repair);
+  space->AddSliceStats(&result.stats.slice);
 
   view->RestoreState(snapshot);
   result.stats.answers = result.answers.size();
@@ -197,6 +293,7 @@ CqaResult AnswerQueryWithSpace(InstanceView* view, const CqaRequest& request,
 
   EvaluateAnswers(request, grounded, space, hooks, &ctx, &result);
   space->AddStats(&result.stats.repair);
+  space->AddSliceStats(&result.stats.slice);
 
   result.stats.answers = result.answers.size();
   result.termination = ctx.reason();

@@ -111,6 +111,12 @@ struct CqaStats {
   /// CNF, Min-Ones) plus every CQA entailment solve — sat_solve_calls
   /// here covers the assumption-based certain/possible checks too.
   RepairStats repair;
+
+  /// Cone-of-influence slicing layer: cone decomposition / slice build
+  /// timers split out of space/entail time, slice sizes, how many
+  /// verdicts ran sliced vs fell back to the full CNF, and the warm
+  /// path's long-lived-solver scrub counters.
+  SliceStats slice;
 };
 
 /// Status-or-result shape of one executed CQA request.

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "common/timer.h"
+#include "cqa/entailment.h"
 #include "datalog/grounder.h"
 #include "relation/instance_view.h"
 #include "repair/semantics_registry.h"
@@ -112,6 +113,7 @@ SymbolicRepairSpace::SymbolicRepairSpace(InstanceView* view,
                                          const RepairOptions& options,
                                          ExecContext* ctx) {
   min_ones_options_ = options.independent.min_ones;
+  slice_options_ = options.cqa_slice;
 
   // Phase 1 (Eval): hypothetical grounding, exactly Algorithm 1's CNF —
   // the models of builder_.cnf() are the stabilizing sets.
@@ -163,10 +165,29 @@ SymbolicRepairSpace::SymbolicRepairSpace(InstanceView* view,
     return;
   }
   repair_size_ = solved.num_true;
+  min_model_ = std::move(solved.model);
 
-  // Phase 3: load the incremental entailment solver with the stability
-  // CNF plus a permanent cardinality cap at k — its models under no
-  // assumptions are now exactly the minimum repairs.
+  // Phase 3 (Cone): decompose the minimum-repair space around the
+  // proven optimum. Per-answer entailment then runs on memoized cone
+  // slices; the full-CNF fallback solver is loaded lazily on first
+  // need (often never — constant propagation decides most answers).
+  {
+    std::vector<uint64_t> content_ids(builder_.num_vars());
+    for (uint32_t v = 0; v < builder_.num_vars(); ++v) {
+      content_ids[v] = builder_.TupleOfVar(v).Pack();
+    }
+    slicer_ = std::make_unique<ConeSlicer>(builder_.cnf(), min_model_,
+                                           /*optimal=*/true,
+                                           std::move(content_ids));
+  }
+}
+
+void SymbolicRepairSpace::EnsureFallbackLoadedLocked() {
+  if (fallback_loaded_) return;
+  fallback_loaded_ = true;
+  // The pre-slicing entailment backend: the stability CNF plus a
+  // permanent cardinality cap at k on one incremental solver — its
+  // models under no assumptions are exactly the minimum repairs.
   SolverOptions entail_options;
   entail_options.learning = min_ones_options_.enable_learning;
   entail_options.restarts = min_ones_options_.enable_restarts;
@@ -177,7 +198,6 @@ SymbolicRepairSpace::SymbolicRepairSpace(InstanceView* view,
   // their propagation order.
   entail_options.inprocessing = false;
   *solver_.mutable_options() = entail_options;
-  portfolio_threads_ = std::max(1, options.threads);
   solver_.AddCnf(builder_.cnf());
   const uint32_t n = builder_.num_vars();
   solver_.FreezeRange(0, n);
@@ -210,7 +230,7 @@ SymbolicRepairSpace::SymbolicRepairSpace(InstanceView* view,
   for (uint32_t v = 0; v < n; ++v) components[find(v)].push_back(v);
   for (auto& [root, vars] : components) {
     uint32_t k = 0;
-    for (uint32_t v : vars) k += solved.model[v] ? 1 : 0;
+    for (uint32_t v : vars) k += min_model_[v] ? 1 : 0;
     if (k == 0) {
       // Only clause-free variables sit in a zero-cost component; they
       // can never be part of a minimum repair.
@@ -248,14 +268,13 @@ SolveStatus SymbolicRepairSpace::SolveUnder(
       std::isinf(remaining) ? 0 : std::max(remaining, 1e-9);
   opts->cancel =
       ctx->cancel_token() != nullptr ? ctx->cancel_token()->flag() : nullptr;
-  return portfolio_threads_ > 1
-             ? solver_.SolvePortfolio(portfolio_threads_, assumptions)
-             : solver_.Solve(assumptions);
+  return solver_.Solve(assumptions);
 }
 
-CqaVerdict SymbolicRepairSpace::Certain(const AnswerProvenance& prov,
-                                        ExecContext* ctx) {
-  if (!exact_) return {false, false};
+CqaVerdict SymbolicRepairSpace::FallbackCertain(const AnswerProvenance& prov,
+                                                ExecContext* ctx) {
+  std::lock_guard<std::mutex> lock(fallback_mu_);
+  EnsureFallbackLoadedLocked();
   if (ctx->ShouldStop()) return {false, false};
   // ¬φ: every monomial loses a tuple. A monomial no minimum repair can
   // touch makes the answer certain outright (untouched tuples are never
@@ -282,9 +301,10 @@ CqaVerdict SymbolicRepairSpace::Certain(const AnswerProvenance& prov,
   return {status == SolveStatus::kUnsat, true};
 }
 
-CqaVerdict SymbolicRepairSpace::Possible(const AnswerProvenance& prov,
-                                         ExecContext* ctx) {
-  if (!exact_) return {true, false};
+CqaVerdict SymbolicRepairSpace::FallbackPossible(const AnswerProvenance& prov,
+                                                 ExecContext* ctx) {
+  std::lock_guard<std::mutex> lock(fallback_mu_);
+  EnsureFallbackLoadedLocked();
   if (ctx->ShouldStop()) return {true, false};
   // φ: some monomial fully survives — Tseitin monomial variables under
   // a retired selector.
@@ -314,9 +334,8 @@ CqaVerdict SymbolicRepairSpace::Possible(const AnswerProvenance& prov,
   return {status == SolveStatus::kSat, true};
 }
 
-std::optional<CqaCounterexample> SymbolicRepairSpace::Counterexample(
+std::optional<CqaCounterexample> SymbolicRepairSpace::FallbackCounterexample(
     const AnswerProvenance& prov, ExecContext* ctx) {
-  if (!exact_) return std::nullopt;
   // Min-Ones over stability ∧ ¬φ: the smallest stabilizing set killing
   // the answer. When the answer is non-certain that minimum equals the
   // space's cardinality, so the witness is itself a minimum repair.
@@ -334,7 +353,10 @@ std::optional<CqaCounterexample> SymbolicRepairSpace::Counterexample(
     options.cancel = ctx->cancel_token()->flag();
   }
   MinOnesResult solved = MinOnesSat(cnf, options);
-  stats_.AddSolver(solved.solver);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.AddSolver(solved.solver);
+  }
   if (!solved.satisfiable) {
     ctx->ShouldStop();
     return std::nullopt;  // proven certain, or budget before any model
@@ -348,10 +370,108 @@ std::optional<CqaCounterexample> SymbolicRepairSpace::Counterexample(
   return cex;
 }
 
+// The per-worker judge: sliced entailment first, full-CNF fallback when
+// a soundness gate declines. One judge per worker thread; the SlicedJudge
+// inside uses fresh throwaway solvers, so concurrent judges only meet at
+// the memoized slice table, the shared fallback solver's mutex, and the
+// stats flush.
+class SymbolicJudge : public AnswerJudge {
+ public:
+  explicit SymbolicJudge(SymbolicRepairSpace* space)
+      : space_(space),
+        sliced_(space->slicer_.get(), space->slice_options_,
+                space->min_ones_options_) {}
+
+  ~SymbolicJudge() override {
+    std::lock_guard<std::mutex> lock(space_->stats_mu_);
+    space_->slice_stats_.Add(sliced_.slice_stats());
+    space_->stats_.Add(sliced_.repair_stats());
+  }
+
+  CqaVerdict Certain(const AnswerProvenance& prov,
+                     ExecContext* ctx) override {
+    if (!space_->exact()) return {false, false};
+    if (sliced_.enabled()) {
+      std::optional<CqaVerdict> v = sliced_.Certain(Reduce(prov), ctx);
+      if (v.has_value()) return *v;
+    }
+    return space_->FallbackCertain(prov, ctx);
+  }
+
+  CqaVerdict Possible(const AnswerProvenance& prov,
+                      ExecContext* ctx) override {
+    if (!space_->exact()) return {true, false};
+    if (sliced_.enabled()) {
+      std::optional<CqaVerdict> v = sliced_.Possible(Reduce(prov), ctx);
+      if (v.has_value()) return *v;
+    }
+    return space_->FallbackPossible(prov, ctx);
+  }
+
+  std::optional<CqaCounterexample> Counterexample(
+      const AnswerProvenance& prov, ExecContext* ctx) override {
+    if (!space_->exact()) return std::nullopt;
+    if (sliced_.enabled()) {
+      SlicedJudge::CexOutcome out = sliced_.Counterexample(Reduce(prov), ctx);
+      if (out.kind == SlicedJudge::CexOutcome::Kind::kNone) {
+        return std::nullopt;
+      }
+      if (out.kind == SlicedJudge::CexOutcome::Kind::kFound) {
+        CqaCounterexample cex;
+        cex.deleted.reserve(out.deleted_vars.size());
+        for (uint32_t v : out.deleted_vars) {
+          cex.deleted.push_back(space_->builder_.TupleOfVar(v));
+        }
+        std::sort(cex.deleted.begin(), cex.deleted.end());
+        cex.minimal = out.minimal;
+        return cex;
+      }
+    }
+    return space_->FallbackCounterexample(prov, ctx);
+  }
+
+ private:
+  ConeSlicer::ReducedAnswer Reduce(const AnswerProvenance& prov) const {
+    return space_->slicer_->Reduce(
+        prov.monomials,
+        [this](TupleId t) { return space_->builder_.FindVar(t); });
+  }
+
+  SymbolicRepairSpace* space_;
+  SlicedJudge sliced_;
+};
+
+CqaVerdict SymbolicRepairSpace::Certain(const AnswerProvenance& prov,
+                                        ExecContext* ctx) {
+  SymbolicJudge judge(this);
+  return judge.Certain(prov, ctx);
+}
+
+CqaVerdict SymbolicRepairSpace::Possible(const AnswerProvenance& prov,
+                                         ExecContext* ctx) {
+  SymbolicJudge judge(this);
+  return judge.Possible(prov, ctx);
+}
+
+std::optional<CqaCounterexample> SymbolicRepairSpace::Counterexample(
+    const AnswerProvenance& prov, ExecContext* ctx) {
+  SymbolicJudge judge(this);
+  return judge.Counterexample(prov, ctx);
+}
+
+std::unique_ptr<AnswerJudge> SymbolicRepairSpace::NewJudge() {
+  return std::make_unique<SymbolicJudge>(this);
+}
+
 void SymbolicRepairSpace::AddStats(RepairStats* stats) const {
   RepairStats total = stats_;
   total.AddSolver(solver_.stats());
   stats->Add(total);
+}
+
+void SymbolicRepairSpace::AddSliceStats(SliceStats* stats) const {
+  stats->Add(slice_stats_);
+  if (slicer_ != nullptr) stats->Add(slicer_->stats());
 }
 
 // ---------------------------------------------------------------------------

@@ -49,6 +49,7 @@
 
 #include "cqa/query.h"
 #include "provenance/bool_formula.h"
+#include "provenance/cone.h"
 #include "repair/repair_options.h"
 #include "sat/min_ones.h"
 #include "sat/solver.h"
@@ -73,6 +74,22 @@ struct CqaCounterexample {
   /// answer (Min-Ones proved its bound); false there means an anytime
   /// incumbent whose minimality was not proven.
   bool minimal = false;
+};
+
+/// Per-worker entailment handle of one RepairSpace. Parallel per-answer
+/// evaluation gives each worker thread its own judge (thread-confined
+/// scratch state; judges of one space are safe to use concurrently with
+/// each other). Judges flush their work counters into the space on
+/// destruction — destroy every judge before reading the space's stats.
+class AnswerJudge {
+ public:
+  virtual ~AnswerJudge() = default;
+  virtual CqaVerdict Certain(const AnswerProvenance& prov,
+                             ExecContext* ctx) = 0;
+  virtual CqaVerdict Possible(const AnswerProvenance& prov,
+                              ExecContext* ctx) = 0;
+  virtual std::optional<CqaCounterexample> Counterexample(
+      const AnswerProvenance& prov, ExecContext* ctx) = 0;
 };
 
 class RepairSpace {
@@ -101,10 +118,23 @@ class RepairSpace {
   virtual std::optional<CqaCounterexample> Counterexample(
       const AnswerProvenance& prov, ExecContext* ctx) = 0;
 
+  /// Called once by the evaluator with the grounded answer count before
+  /// any judge is created or any verdict is asked. Lets a space size its
+  /// shared machinery to the request — e.g. the warm space only builds
+  /// its cone decomposition when enough answers will amortize it.
+  virtual void PrepareJudges(size_t num_answers) { (void)num_answers; }
+
+  /// Per-worker judge for parallel evaluation, or nullptr when the
+  /// space only supports direct (sequential) calls on its own methods.
+  virtual std::unique_ptr<AnswerJudge> NewJudge() { return nullptr; }
+
   /// Folds construction + entailment work counters into `stats`
   /// (satisfies the CLI contract that sat_solve_calls etc. cover CQA
   /// entailment calls, not just Min-Ones).
   virtual void AddStats(RepairStats* stats) const { stats->Add(stats_); }
+  /// Folds the slicing layer's counters into `stats` (no-op for spaces
+  /// without one).
+  virtual void AddSliceStats(SliceStats* stats) const { (void)stats; }
 
  protected:
   bool exact_ = true;
@@ -141,8 +171,13 @@ class EnumeratedRepairSpace : public RepairSpace {
   std::vector<std::unordered_set<uint64_t>> packed_;  // per repair
 };
 
-/// The independent space, symbolically: stability CNF + cardinality cap
-/// on one incremental CDCL solver.
+/// The independent space, symbolically: the stability CNF reduced to a
+/// minimum-repair cone decomposition (provenance/cone.h). Per-answer
+/// verdicts run through SlicedJudge on the answer's memoized cone slice
+/// (fresh throwaway solvers — thread-safe and deterministic); the
+/// pre-slicing full-CNF machinery (one shared incremental CDCL solver
+/// with per-component totalizer caps, loaded lazily on first use) stays
+/// as the soundness fallback and the differential-test oracle.
 class SymbolicRepairSpace : public RepairSpace {
  public:
   /// Builds the space over the view's current state. Reads ctx for
@@ -150,6 +185,7 @@ class SymbolicRepairSpace : public RepairSpace {
   SymbolicRepairSpace(InstanceView* view, const Program& program,
                       const RepairOptions& options, ExecContext* ctx);
 
+  /// Direct calls delegate to a temporary judge.
   CqaVerdict Certain(const AnswerProvenance& prov,
                      ExecContext* ctx) override;
   CqaVerdict Possible(const AnswerProvenance& prov,
@@ -157,9 +193,27 @@ class SymbolicRepairSpace : public RepairSpace {
   std::optional<CqaCounterexample> Counterexample(
       const AnswerProvenance& prov, ExecContext* ctx) override;
 
+  std::unique_ptr<AnswerJudge> NewJudge() override;
+
   void AddStats(RepairStats* stats) const override;
+  void AddSliceStats(SliceStats* stats) const override;
 
  private:
+  friend class SymbolicJudge;
+
+  /// Loads the shared fallback solver with the full stability CNF plus
+  /// per-component totalizer caps. Requires fallback_mu_.
+  void EnsureFallbackLoadedLocked();
+  /// Full-CNF verdicts on the shared solver (selector-retired clause
+  /// groups); serialize internally on fallback_mu_.
+  CqaVerdict FallbackCertain(const AnswerProvenance& prov, ExecContext* ctx);
+  CqaVerdict FallbackPossible(const AnswerProvenance& prov,
+                              ExecContext* ctx);
+  /// Full-CNF counterexample: Min-Ones over a private copy of
+  /// stability ∧ ¬φ (no shared solver — runs concurrently).
+  std::optional<CqaCounterexample> FallbackCounterexample(
+      const AnswerProvenance& prov, ExecContext* ctx);
+
   /// Monomial death clause: the positive deletion literals of the
   /// monomial's touched tuples. Returns false when the monomial has no
   /// touched tuple (it survives every repair).
@@ -169,11 +223,18 @@ class SymbolicRepairSpace : public RepairSpace {
   SolveStatus SolveUnder(ExecContext* ctx, const std::vector<Lit>& assumptions);
 
   DeletionCnfBuilder builder_;
-  CdclSolver solver_;
   MinOnesOptions min_ones_options_;
-  /// From RepairOptions::threads: > 1 races SolvePortfolio clones per
-  /// entailment solve (verdicts exact, counterexample models racy).
-  int portfolio_threads_ = 1;
+  SliceOptions slice_options_;
+  /// The proven-minimum model of the stability CNF (phase 2).
+  std::vector<bool> min_model_;
+  std::unique_ptr<ConeSlicer> slicer_;
+
+  std::mutex fallback_mu_;  // serializes solver_ use and lazy loading
+  bool fallback_loaded_ = false;
+  CdclSolver solver_;
+
+  std::mutex stats_mu_;  // judges flush counters concurrently
+  SliceStats slice_stats_;
 };
 
 /// Builds the repair space of one semantics over the view's current

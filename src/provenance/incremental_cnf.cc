@@ -111,8 +111,10 @@ void IncrementalDeletionCnf::Encode(const Program& program,
       rc.h1 = Mix(0, rc.lits.size());
       rc.h2 = Mix2(0, rc.lits.size());
       for (Lit l : rc.lits) {
-        const uint64_t x = static_cast<uint64_t>(
-            static_cast<int64_t>(l) + (1LL << 32));
+        // Hash tuple content, not the solver var id: component keys
+        // then survive the dense renumbering of Scrub.
+        const uint64_t x =
+            tuple_of_[LitVar(l)].Pack() * 2 + (LitSign(l) ? 1 : 0);
         rc.h1 = Mix(rc.h1, x);
         rc.h2 = Mix2(rc.h2, x);
       }
@@ -156,10 +158,102 @@ void IncrementalDeletionCnf::Build(const Program& program,
   live_components_.clear();
   solved_epoch_ = UINT64_MAX;
   assumptions_epoch_ = UINT64_MAX;
+  phase_by_slot_.clear();
+  // scrub_runs_/clauses_reclaimed_/vars_reclaimed_ are lifetime gauges
+  // and deliberately survive rebuilds.
   for (uint32_t id = 0; id < cache.num_rules(); ++id) {
     if (cache.active(id)) Encode(program, cache, id);
   }
   ++epoch_;
+}
+
+void IncrementalDeletionCnf::Scrub() {
+  const uint64_t old_vars = solver_->num_vars();
+  const uint64_t old_clauses = solver_->num_problem_clauses();
+
+  // Deletion var -> dense slot. deletion_vars_ only ever appends, so
+  // slot order equals creation order and every dense extraction taken
+  // before the scrub maps onto the same tuples afterwards.
+  const uint32_t num_deletion = static_cast<uint32_t>(deletion_vars_.size());
+  std::unordered_map<uint32_t, uint32_t> remap;
+  remap.reserve(num_deletion);
+  for (uint32_t i = 0; i < num_deletion; ++i) remap[deletion_vars_[i]] = i;
+
+  solver_.reset(new CdclSolver());
+  solver_->mutable_options()->inprocessing = false;
+  solver_->EnsureVars(num_deletion);
+
+  // Remap every encoded rule clause — retired ones included, so a later
+  // revival re-adds them with the new numbering — and re-emit only the
+  // active ones under fresh selectors. The unit-retired selector
+  // clauses (and the retired selectors themselves) simply never reach
+  // the new solver; that is the reclamation.
+  retired_selectors_ = 0;
+  for (RuleClause& rc : clauses_) {
+    if (rc.lits.empty()) {
+      rc.sel = UINT32_MAX;
+      continue;
+    }
+    for (Lit& l : rc.lits) {
+      const uint32_t nv = remap.at(LitVar(l));
+      l = LitSign(l) ? PosLit(nv) : NegLit(nv);
+    }
+    if (rc.active && !rc.tautology) {
+      rc.sel = solver_->NewVar();
+      std::vector<Lit> guarded = rc.lits;
+      guarded.push_back(NegLit(rc.sel));
+      solver_->AddClause(std::move(guarded));
+    } else {
+      rc.sel = UINT32_MAX;
+    }
+  }
+
+  // Variable tables follow the renumbering.
+  std::vector<TupleId> new_tuple_of(num_deletion);
+  for (uint32_t i = 0; i < num_deletion; ++i) {
+    new_tuple_of[i] = tuple_of_[deletion_vars_[i]];
+  }
+  tuple_of_ = std::move(new_tuple_of);
+  var_of_.clear();
+  var_of_.reserve(num_deletion);
+  for (uint32_t i = 0; i < num_deletion; ++i) {
+    var_of_[tuple_of_[i].Pack()] = i;
+    deletion_vars_[i] = i;
+  }
+
+  // Warm Min-Ones artifacts: keys are content-stable, models are var
+  // lists — remap them instead of throwing the work away.
+  for (auto& [key, cc] : component_cache_) {
+    (void)key;
+    for (uint32_t& v : cc.true_vars) v = remap.at(v);
+  }
+  for (LiveComponent& lc : live_components_) {
+    for (uint32_t& v : lc.vars) v = remap.at(v);
+  }
+  std::unordered_map<uint32_t, ComponentKey> new_comp_key;
+  new_comp_key.reserve(comp_key_of_var_.size());
+  for (const auto& [v, key] : comp_key_of_var_) new_comp_key[remap.at(v)] = key;
+  comp_key_of_var_ = std::move(new_comp_key);
+
+  // Totalizer outputs lived on the old solver; entail_assumptions()
+  // re-lays them lazily from live_components_.
+  totalizer_cache_.clear();
+  assumptions_epoch_ = UINT64_MAX;
+
+  // Re-seed the saved optimum's phases (slot i is var i now).
+  for (uint32_t i = 0;
+       i < phase_by_slot_.size() && i < num_deletion; ++i) {
+    solver_->SetPhase(i, phase_by_slot_[i]);
+  }
+
+  // The epoch is untouched: the active clause *set* is unchanged, so a
+  // solved-at-current-epoch state (and every layer keyed on it) stays
+  // valid.
+  ++scrub_runs_;
+  const uint64_t new_vars = solver_->num_vars();
+  const uint64_t new_clauses = solver_->num_problem_clauses();
+  if (old_vars > new_vars) vars_reclaimed_ += old_vars - new_vars;
+  if (old_clauses > new_clauses) clauses_reclaimed_ += old_clauses - new_clauses;
 }
 
 void IncrementalDeletionCnf::ApplyPatch(
@@ -317,10 +411,14 @@ WarmMinOnesResult IncrementalDeletionCnf::SolveMinOnes(
   }
 
   if (out.satisfiable) {
-    for (uint32_t v : deletion_vars_) {
+    phase_by_slot_.assign(deletion_vars_.size(), false);
+    for (size_t i = 0; i < deletion_vars_.size(); ++i) {
+      const uint32_t v = deletion_vars_[i];
       if (global_true[v]) out.deleted.push_back(tuple_of_[v]);
       // Phase saving: seed the long-lived solver's polarity with the
-      // latest optimum so entailment solves start near a model.
+      // latest optimum so entailment solves start near a model. Saved
+      // by slot so Scrub can re-seed its fresh solver.
+      phase_by_slot_[i] = global_true[v];
       solver_->SetPhase(v, global_true[v]);
     }
     solved_epoch_ = epoch_;

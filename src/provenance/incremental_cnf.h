@@ -70,6 +70,18 @@ class IncrementalDeletionCnf {
   void ApplyPatch(const Program& program, const GroundProgramCache& cache,
                   const GroundProgramCache::Patch& patch);
 
+  /// Compacts the long-lived solver in place: physically drops every
+  /// unit-retired selector clause *and* reclaims the retired selector /
+  /// totalizer variables by renumbering the deletion variables densely
+  /// (their order — and thus every dense extraction — is preserved) onto
+  /// a fresh solver. Unlike Build this keeps all warm artifacts: rule
+  /// clause encodings (retired ones stay revivable), the component
+  /// result cache, the live component list and the saved phases are
+  /// remapped rather than discarded, and the epoch does NOT advance —
+  /// a solved-at-current-epoch state stays solved. Learned clauses are
+  /// the only warm state given up.
+  void Scrub();
+
   /// Warm Min-Ones over the current active clause set. Budget applies to
   /// the dirty components only (clean ones are cache hits). Optimal
   /// per-component results populate the cache; a truncated component is
@@ -114,9 +126,17 @@ class IncrementalDeletionCnf {
   /// for entail_assumptions / ComponentKeyOf).
   bool SolvedAtCurrentEpoch() const { return solved_epoch_ == epoch_; }
 
-  /// Selectors retired since the last Build (garbage pressure signal).
+  /// Selectors retired since the last Build/Scrub (garbage pressure
+  /// signal).
   size_t retired_selectors() const { return retired_selectors_; }
   size_t active_rules() const { return active_rules_; }
+
+  /// Lifetime compaction counters (never reset — gauges for stats
+  /// surfaces): Scrub passes run, and the problem clauses / solver
+  /// variables they reclaimed.
+  uint64_t scrub_runs() const { return scrub_runs_; }
+  uint64_t clauses_reclaimed() const { return clauses_reclaimed_; }
+  uint64_t vars_reclaimed() const { return vars_reclaimed_; }
 
  private:
   struct RuleClause {
@@ -126,6 +146,9 @@ class IncrementalDeletionCnf {
     std::vector<Lit> lits;  // deletion literals only (guard excluded)
     // Content-hash contribution of `lits`, fixed at first encoding so a
     // warm solve folds component keys without re-hashing every clause.
+    // Hashed over *tuple* content (packed ids + polarity), not solver
+    // var ids, so keys — and every cache keyed by them — survive the
+    // variable renumbering of Scrub and full rebuilds alike.
     uint64_t h1 = 0, h2 = 0;
   };
 
@@ -145,6 +168,13 @@ class IncrementalDeletionCnf {
   size_t active_rules_ = 0;
   size_t retired_selectors_ = 0;
   uint64_t epoch_ = 0;
+  uint64_t scrub_runs_ = 0;
+  uint64_t clauses_reclaimed_ = 0;
+  uint64_t vars_reclaimed_ = 0;
+  // Phase hints of the latest optimum, indexed by deletion-var *slot*
+  // (position in deletion_vars_, which only appends) so Scrub can
+  // re-seed the fresh solver without a phase getter.
+  std::vector<bool> phase_by_slot_;
 
   // ---- populated by SolveMinOnes ----
   struct CachedComponent {

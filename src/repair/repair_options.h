@@ -45,6 +45,24 @@ struct IndependentOptions {
   MinOnesOptions min_ones;
 };
 
+/// Knobs of the CQA cone-of-influence slicing layer (query-scoped
+/// pruning of the stability CNF; see provenance/cone.h).
+struct SliceOptions {
+  /// Decide per-answer entailment on the sliced CNF when sound,
+  /// falling back to the full formula otherwise. Disabling forces every
+  /// verdict through the full-CNF path (the differential test oracle).
+  bool enable = true;
+  /// Cones wider than this fraction of the deletion variables fall back
+  /// to the full CNF (slicing overhead would exceed the saving). A
+  /// floor of 32 variables keeps tiny instances sliceable.
+  double max_cone_fraction = 0.5;
+  /// Warm serving only: the engine's per-epoch cone decomposition is
+  /// (re)built lazily, and only for requests grounding at least this
+  /// many answers — below it the warm long-lived solver answers faster
+  /// than the decomposition costs to refresh.
+  size_t warm_min_answers = 16;
+};
+
 /// Cooperative cancellation. Cancel() may be called from any thread; the
 /// running semantics observes it at its next periodic check and unwinds
 /// with TerminationReason::kCancelled.
@@ -102,6 +120,8 @@ struct RepairOptions {
   int threads = 0;
   /// Min-Ones SAT knobs (independent semantics, Algorithm 1).
   IndependentOptions independent;
+  /// CQA query-scoped CNF slicing knobs (certain/possible entailment).
+  SliceOptions cqa_slice;
   /// Greedy-traversal knobs (step semantics, Algorithm 2).
   StepOptions step;
   /// When non-null, end semantics records every derivation here (the

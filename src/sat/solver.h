@@ -111,6 +111,9 @@ class CdclSolver {
   /// Adds one fresh variable and returns it.
   uint32_t NewVar();
   uint32_t num_vars() const { return static_cast<uint32_t>(assign_.size()); }
+  /// Problem clauses currently held (learned clauses excluded) — the
+  /// footprint signal scrub/compaction passes account against.
+  size_t num_problem_clauses() const { return clauses_.size(); }
 
   /// Adds a clause (legal between Solve() calls — the solver is always at
   /// decision level 0 outside Solve). Duplicate literals are dropped and

@@ -46,7 +46,11 @@ StatusOr<std::unique_ptr<IncrementalEngine>> IncrementalEngine::Create(
 
 IncrementalEngine::Stats IncrementalEngine::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats out = stats_;
+  out.scrub_runs = cnf_.scrub_runs();
+  out.clauses_reclaimed = cnf_.clauses_reclaimed();
+  out.vars_reclaimed = cnf_.vars_reclaimed();
+  return out;
 }
 
 uint64_t IncrementalEngine::warm_version() const {
@@ -131,11 +135,13 @@ void IncrementalEngine::SyncLocked() {
     // request reseeds it.
   }
 
-  if (cnf_.retired_selectors() > options_.selector_gc_threshold &&
-      cnf_.retired_selectors() > cnf_.active_rules()) {
-    // Retired-selector garbage dominates the solver; re-encode fresh.
-    cnf_.Build(program(), ground_cache_);
-    minones_valid_ = false;
+  if (cnf_.retired_selectors() > options_.selector_gc_threshold) {
+    // Retired-selector garbage has piled up; compact in place. Scrub
+    // physically drops the unit-retired selector clauses *and* reclaims
+    // their variables, but keeps the component cache, the saved phases
+    // and the current epoch — a valid warm optimum stays valid, so
+    // (unlike the old full re-encode) no warm state is invalidated.
+    cnf_.Scrub();
   }
 }
 
@@ -158,6 +164,36 @@ void IncrementalEngine::EnsureWarmSolveLocked(const MinOnesOptions& base,
   // retries with its own budget.
   minones_valid_ = last_minones_.satisfiable && last_minones_.optimal &&
                    cnf_.SolvedAtCurrentEpoch();
+}
+
+void IncrementalEngine::EnsureWarmSliceLocked() {
+  if (warm_slice_.epoch == cnf_.epoch() && warm_slice_.slicer != nullptr) {
+    return;
+  }
+  WallTimer timer;
+  warm_slice_.slicer.reset();
+  warm_slice_.cnf = cnf_.ExtractActiveCnf(&warm_slice_.tuples);
+  warm_slice_.var_of.clear();
+  warm_slice_.var_of.reserve(warm_slice_.tuples.size());
+  // Packed tuple ids double as the renumbering-stable content identity
+  // of each dense variable, so residual-component content keys — and
+  // the verdict-cache signatures built from them — survive scrubs and
+  // rebuilds.
+  std::vector<uint64_t> content_ids;
+  content_ids.reserve(warm_slice_.tuples.size());
+  for (uint32_t i = 0; i < warm_slice_.tuples.size(); ++i) {
+    warm_slice_.var_of[warm_slice_.tuples[i].Pack()] = i;
+    content_ids.push_back(warm_slice_.tuples[i].Pack());
+  }
+  std::vector<bool> min_model(warm_slice_.tuples.size(), false);
+  for (const TupleId& t : last_minones_.deleted) {
+    auto it = warm_slice_.var_of.find(t.Pack());
+    if (it != warm_slice_.var_of.end()) min_model[it->second] = true;
+  }
+  warm_slice_.extract_seconds = timer.ElapsedSeconds();
+  warm_slice_.slicer = std::make_unique<ConeSlicer>(
+      warm_slice_.cnf, min_model, /*optimal=*/true, std::move(content_ids));
+  warm_slice_.epoch = cnf_.epoch();
 }
 
 RepairOutcome IncrementalEngine::ExecuteRepair(const RepairRequest& request) {
@@ -294,10 +330,44 @@ std::pair<uint64_t, uint64_t> IncrementalEngine::AnswerSignatureLocked(
     b = (b + v) * 0x9e3779b97f4a7c15ULL;
     b ^= b >> 29;
   };
+  const bool cone_grained = warm_slice_.epoch == cnf_.epoch() &&
+                            warm_slice_.slicer != nullptr &&
+                            warm_slice_.slicer->valid();
   for (const std::vector<TupleId>& m : prov.monomials) {
     feed(m.size());
     for (const TupleId& t : m) {
       feed(t.Pack() + 1);
+      if (cone_grained) {
+        // Cone-grained: the tuple's forced state under the minimum-
+        // repair propagation fixpoint pins its contribution outright;
+        // only *open* variables key in their residual component — a far
+        // smaller unit than a raw CNF component, so an unrelated delta
+        // inside the same giant component no longer invalidates this
+        // answer's cached verdict.
+        auto it = warm_slice_.var_of.find(t.Pack());
+        if (it == warm_slice_.var_of.end()) {
+          feed(0);  // no deletion variable: never deletable
+          continue;
+        }
+        const ConeSlicer& slicer = *warm_slice_.slicer;
+        switch (slicer.state(it->second)) {
+          case ConeSlicer::VarState::kForcedKept:
+            feed(1);
+            break;
+          case ConeSlicer::VarState::kForcedDeleted:
+            feed(2);
+            break;
+          case ConeSlicer::VarState::kOpen: {
+            feed(3);
+            const std::pair<uint64_t, uint64_t> key =
+                slicer.component_content(slicer.component_of(it->second));
+            feed(key.first);
+            feed(key.second);
+            break;
+          }
+        }
+        continue;
+      }
       const int64_t var = cnf_.FindVar(t);
       if (var >= 0) {
         // The component content key pins the entire restricted
@@ -380,9 +450,17 @@ CqaResult IncrementalEngine::ExecuteCqa(const CqaRequest& request) {
       ExecContext ctx(request.options);
       EnsureWarmSolveLocked(request.options.independent.min_ones, &ctx);
       if (!minones_valid_) break;  // cold fallback
-      WarmRepairSpace space(&cnf_, last_minones_,
-                            request.options.independent.min_ones,
-                            request.options.threads);
+      // The cone decomposition is rebuilt lazily: only when this request
+      // grounds enough answers to amortize it (PrepareJudges gates on
+      // SliceOptions::warm_min_answers). mu_ is already held here, so the
+      // Locked refresh is safe from the provider.
+      WarmRepairSpace space(
+          &cnf_, last_minones_, request.options.independent.min_ones,
+          [this]() {
+            EnsureWarmSliceLocked();
+            return &warm_slice_;
+          },
+          request.options.cqa_slice);
       CqaAnswerHooks hooks;
       hooks.lookup = [this, &request](const Tuple& values,
                                       const AnswerProvenance& prov,

@@ -45,6 +45,7 @@
 #include <unordered_map>
 
 #include "cqa/cqa.h"
+#include "cqa/warm_space.h"
 #include "datalog/ground_cache.h"
 #include "provenance/incremental_cnf.h"
 #include "repair/fixpoint.h"
@@ -58,9 +59,11 @@ struct IncrementalEngineOptions {
   /// point re-grounding is cheaper than patching. <= 0 disables the
   /// fallback (always incremental).
   double cold_fallback_fraction = 0.25;
-  /// Rebuild the long-lived solver (dropping retired-selector garbage)
-  /// once this many selectors have been retired *and* they outnumber the
-  /// active ground rules.
+  /// Scrub (compact in place) the long-lived solver once this many
+  /// selectors have been retired: the unit-retired selector clauses are
+  /// physically dropped and the retired selector / stale totalizer
+  /// variables reclaimed, while the component cache, saved phases and
+  /// the solved epoch survive (only learned clauses are given up).
   size_t selector_gc_threshold = 4096;
   /// Per-answer CQA verdict cache entries kept before a full clear.
   size_t max_verdict_cache_entries = 1 << 20;
@@ -100,6 +103,11 @@ class IncrementalEngine {
     uint64_t verdict_cache_misses = 0;
     uint64_t minones_components_reused = 0;
     uint64_t minones_components_solved = 0;
+    /// Long-lived-solver compaction gauges (cumulative, mirrored from
+    /// the CNF layer at read time).
+    uint64_t scrub_runs = 0;
+    uint64_t clauses_reclaimed = 0;
+    uint64_t vars_reclaimed = 0;
   };
   Stats stats() const;
 
@@ -123,6 +131,9 @@ class IncrementalEngine {
   /// Runs/reuses the warm Min-Ones pass; after a successful return
   /// cnf_.SolvedAtCurrentEpoch() holds and last_minones_ is current.
   void EnsureWarmSolveLocked(const MinOnesOptions& base, ExecContext* ctx);
+  /// Rebuilds warm_slice_ (dense snapshot + cone decomposition) when the
+  /// CNF epoch moved. Requires a valid warm optimum (minones_valid_).
+  void EnsureWarmSliceLocked();
   /// End semantics from warm state: cached fixpoint replay, or a full
   /// fixpoint run (on the warm view) that seeds the cache.
   RepairOutcome EndRepairLocked(const RepairRequest& request);
@@ -132,10 +143,15 @@ class IncrementalEngine {
                                           SemanticsKind kind);
   RepairOutcome IndependentRepairLocked(const RepairRequest& request);
 
-  /// 128-bit signature of one answer's provenance cone: monomial tuple
-  /// ids interleaved with the content keys of the CNF components their
-  /// deletion variables live in. Equal signatures across versions imply
-  /// equal certain/possible verdicts.
+  /// 128-bit signature of one answer's provenance cone. Cone-grained
+  /// when the warm slice state is current: monomial tuple ids
+  /// interleaved with each deletion variable's forced state and — for
+  /// open variables — the content key of its *residual* component,
+  /// which is far smaller than a raw CNF component on join-heavy
+  /// programs, so fewer deltas invalidate cached verdicts. Falls back
+  /// to raw component content keys when no slice state is current.
+  /// Equal signatures across versions imply equal certain/possible
+  /// verdicts.
   std::pair<uint64_t, uint64_t> AnswerSignatureLocked(
       const AnswerProvenance& prov) const;
 
@@ -160,6 +176,10 @@ class IncrementalEngine {
   uint64_t ground_epoch_ = 0;
   WarmMinOnesResult last_minones_;
   bool minones_valid_ = false;
+  /// Dense active-clause snapshot + cone decomposition, rebuilt lazily
+  /// per CNF epoch; serves warm CQA slicing and the cone-grained
+  /// verdict-cache signatures.
+  WarmSliceState warm_slice_;
   RepairResult stage_result_, step_result_;
   uint64_t stage_epoch_ = UINT64_MAX, step_epoch_ = UINT64_MAX;
 

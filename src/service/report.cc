@@ -132,6 +132,14 @@ void WriteCqaResultJson(JsonWriter& json, const Database& db,
   json.Field("sat_vivified_clauses", stats.repair.sat_vivified_clauses);
   json.Field("sat_eliminated_vars", stats.repair.sat_eliminated_vars);
   json.Field("sat_shared_clauses", stats.repair.sat_shared_clauses);
+  json.Field("cone_seconds", stats.slice.cone_seconds);
+  json.Field("slice_seconds", stats.slice.slice_seconds);
+  json.Field("cone_vars", stats.slice.cone_vars);
+  json.Field("cone_clauses", stats.slice.cone_clauses);
+  json.Field("sliced_solve_calls", stats.slice.sliced_solve_calls);
+  json.Field("slice_fallbacks", stats.slice.slice_fallbacks);
+  json.Field("scrub_runs", stats.slice.scrub_runs);
+  json.Field("clauses_reclaimed", stats.slice.clauses_reclaimed);
   json.EndObject();
   json.EndObject();
 }

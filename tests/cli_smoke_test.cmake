@@ -331,6 +331,60 @@ print('cqa report ok:', names)
   endif()
   message(STATUS "${cqa_py_out}")
 endif()
+# Pass 7: parallel per-answer entailment. With one semantics the answer
+# checks fan out across the worker pool; the answers array (ordering,
+# verdicts, counterexamples) must be byte-identical to the sequential
+# run — only wall-clock fields and solver-effort counters may move.
+execute_process(
+  COMMAND "${DREPAIR_CLI}"
+    --data "${WORK_DIR}/data"
+    --program "${WORK_DIR}/repair.dl"
+    --semantics independent --annotate --threads 1
+    --query "${WORK_DIR}/query.dl"
+    --json "${WORK_DIR}/cqa_seq.json"
+  OUTPUT_QUIET ERROR_VARIABLE cqa_seq_err RESULT_VARIABLE cqa_seq_rc
+)
+if(NOT cqa_seq_rc EQUAL 0)
+  message(FATAL_ERROR "drepair_cli --query --threads 1 exited with ${cqa_seq_rc}\nstderr:\n${cqa_seq_err}")
+endif()
+execute_process(
+  COMMAND "${DREPAIR_CLI}"
+    --data "${WORK_DIR}/data"
+    --program "${WORK_DIR}/repair.dl"
+    --semantics independent --annotate --threads 4
+    --query "${WORK_DIR}/query.dl"
+    --json "${WORK_DIR}/cqa_par.json"
+  OUTPUT_QUIET ERROR_VARIABLE cqa_par_err RESULT_VARIABLE cqa_par_rc
+)
+if(NOT cqa_par_rc EQUAL 0)
+  message(FATAL_ERROR "drepair_cli --query --threads 4 exited with ${cqa_par_rc}\nstderr:\n${cqa_par_err}")
+endif()
+if(PYTHON3)
+  execute_process(
+    COMMAND "${PYTHON3}" -c
+"import json, sys
+seq = json.load(open(sys.argv[1]))['results']
+par = json.load(open(sys.argv[2]))['results']
+assert len(seq) == len(par) == 1, (seq, par)
+s, p = seq[0], par[0]
+assert json.dumps(s['answers']) == json.dumps(p['answers']), (
+    s['answers'], p['answers'])
+for k in ('answers', 'certain_answers', 'possible_answers',
+          'undecided_answers', 'repair_size', 'space_exact'):
+    assert s['stats'][k] == p['stats'][k], (k, s['stats'], p['stats'])
+print('parallel CQA answers match sequential byte-for-byte')
+"
+      "${WORK_DIR}/cqa_seq.json" "${WORK_DIR}/cqa_par.json"
+    RESULT_VARIABLE cqa_thr_rc
+    OUTPUT_VARIABLE cqa_thr_out
+    ERROR_VARIABLE cqa_thr_err
+  )
+  if(NOT cqa_thr_rc EQUAL 0)
+    message(FATAL_ERROR "parallel CQA diverged from sequential:\n${cqa_thr_out}\n${cqa_thr_err}")
+  endif()
+  message(STATUS "${cqa_thr_out}")
+endif()
+
 # Query-mode argument validation: CQA flags demand --query, and --apply
 # is meaningless against a space of repairs.
 execute_process(

@@ -47,6 +47,10 @@ COUNTER_METRICS = (
     "work",
     "sat_solve_calls",
     "engine_assignments",
+    "cone_vars",
+    "cone_clauses",
+    "sliced_solve_calls",
+    "slice_fallbacks",
 )
 
 
