@@ -23,8 +23,11 @@ bool KnownFrameType(uint8_t t) {
     case FrameType::kCompactRequest:
     case FrameType::kPingRequest:
     case FrameType::kSchemaRequest:
+    case FrameType::kMetricsRequest:
+    case FrameType::kTraceRequest:
     case FrameType::kJson:
     case FrameType::kError:
+    case FrameType::kText:
       return true;
   }
   return false;

@@ -91,8 +91,8 @@ class BinaryReader {
 };
 
 /// Wire-frame message kinds of the service protocol. Requests come from
-/// clients; a server answers every request with exactly one kJson or
-/// kError frame.
+/// clients; a server answers every request with exactly one kJson,
+/// kText or kError frame.
 enum class FrameType : uint8_t {
   kRepairRequest = 1,   // request_codec-encoded RepairRequest + program
   kCqaRequest = 2,      // request_codec-encoded CqaRequest + program
@@ -101,8 +101,11 @@ enum class FrameType : uint8_t {
   kCompactRequest = 5,  // fold the WAL into a fresh snapshot
   kPingRequest = 6,     // liveness probe
   kSchemaRequest = 7,   // relation schemas (names, arities, cell types)
+  kMetricsRequest = 8,  // Prometheus text exposition of the registry
+  kTraceRequest = 9,    // Chrome trace_event JSON of the span rings
   kJson = 16,           // success: payload is a JSON report document
   kError = 17,          // failure: u32 StatusCode + string message
+  kText = 18,           // success: payload is plain text (metrics scrape)
 };
 
 struct Frame {

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/timer.h"
+#include "obs/trace.h"
 #include "relation/instance_view.h"
 
 namespace deltarepair {
@@ -54,6 +55,8 @@ void AppendAnswer(const CqaRequest& request, AnswerTask& task,
 template <typename Judge>
 void EvaluateTask(const CqaRequest& request, Judge* judge, AnswerTask* task,
                   ExecContext* ctx) {
+  Span span("cqa.judge_answer");
+  span.SetArg("derivations", task->prov->monomials.size());
   if (!task->cached) {
     if (request.certain) {
       task->certain = judge->Certain(*task->prov, ctx);
@@ -87,6 +90,8 @@ void EvaluateAnswers(const CqaRequest& request,
                      std::map<Tuple, AnswerProvenance>& grounded,
                      RepairSpace* space, const CqaAnswerHooks* hooks,
                      ExecContext* ctx, CqaResult* result) {
+  Span entail_span("cqa.entail");
+  entail_span.SetArg("answers", grounded.size());
   ScopedTimer t(&result->stats.entail_seconds);
   result->answers.reserve(grounded.size());
 
@@ -141,7 +146,9 @@ void EvaluateAnswers(const CqaRequest& request,
     worker_options.budget_seconds =
         std::isinf(remaining) ? 0 : std::max(remaining, 1e-9);
     std::atomic<size_t> next{0};
-    auto work = [&]() {
+    const uint64_t parent_trace_id = Trace::CurrentTraceId();
+    auto work = [&, parent_trace_id]() {
+      TraceIdScope trace_scope(parent_trace_id);
       std::unique_ptr<AnswerJudge> judge = space->NewJudge();
       ExecContext worker_ctx(worker_options);
       for (;;) {
@@ -170,6 +177,7 @@ void EvaluateAnswers(const CqaRequest& request,
 /// state before returning).
 CqaResult AnswerQueryOnView(InstanceView* view, const Program& program,
                             const CqaRequest& request) {
+  Span span("cqa.answer_query");
   WallTimer total;
   CqaResult result;
 
@@ -211,6 +219,7 @@ CqaResult AnswerQueryOnView(InstanceView* view, const Program& program,
   // answer's monomials are its survival DNF.
   std::map<Tuple, AnswerProvenance> grounded;
   {
+    Span span("cqa.ground_query");
     ScopedTimer t(&result.stats.ground_seconds);
     grounded = GroundQuery(view, query.value(), &ctx);
   }
@@ -219,6 +228,7 @@ CqaResult AnswerQueryOnView(InstanceView* view, const Program& program,
   // the view; restore to the grounding state afterwards).
   std::unique_ptr<RepairSpace> space;
   {
+    Span span("cqa.build_space");
     ScopedTimer t(&result.stats.space_seconds);
     space = (*builder.value())(view, program, request.options, &ctx);
     view->RestoreState(snapshot);
@@ -252,6 +262,7 @@ CqaResult AnswerQueryOnView(InstanceView* view, const Program& program,
 CqaResult AnswerQueryWithSpace(InstanceView* view, const CqaRequest& request,
                                RepairSpace* space,
                                const CqaAnswerHooks* hooks) {
+  Span span("cqa.answer_query_warm");
   WallTimer total;
   CqaResult result;
 
@@ -284,6 +295,7 @@ CqaResult AnswerQueryWithSpace(InstanceView* view, const CqaRequest& request,
   // construction, which is exactly what the warm path amortizes.
   std::map<Tuple, AnswerProvenance> grounded;
   {
+    Span ground_span("cqa.ground_query");
     ScopedTimer t(&result.stats.ground_seconds);
     grounded = GroundQuery(view, query.value(), &ctx);
   }

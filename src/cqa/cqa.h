@@ -58,6 +58,8 @@ struct CqaRequest {
   /// Budget / cancellation / threads / solver knobs (shared shape with
   /// repair requests; step/record_provenance fields are ignored).
   RepairOptions options;
+  /// Observability correlation id (0 = none); see RepairRequest.
+  uint64_t trace_id = 0;
 };
 
 /// Verdicts for one answer tuple of Q(D).

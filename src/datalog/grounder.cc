@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace deltarepair {
 
 namespace {
@@ -117,6 +119,9 @@ bool Grounder::EnumerateRule(const Rule& rule, int rule_index, BaseMatch bm,
   // plain head, self_atom == -1, and ground with an invalid head id.
   DR_CHECK_MSG(rule.self_atom >= 0 || !rule.head.is_delta,
                "rule not validated");
+  Span span("ground.enumerate_rule");
+  span.SetArg("rule", static_cast<uint64_t>(rule_index));
+  const uint64_t assignments_before = assignments_enumerated_;
   std::vector<PlanStep> plan = MakePlan(rule, pivot_atom);
   Bindings bindings(rule.num_vars);
   std::vector<TupleId> atom_rows(rule.body.size());
@@ -246,6 +251,7 @@ bool Grounder::EnumerateRule(const Rule& rule, int rule_index, BaseMatch bm,
   };
 
   recurse(recurse, 0);
+  span.SetArg("assignments", assignments_enumerated_ - assignments_before);
   return keep_going;
 }
 

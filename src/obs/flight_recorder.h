@@ -1,0 +1,61 @@
+// Slow-request flight recorder: when a served request's latency crosses
+// a threshold, its full span tree (pulled out of the tracing rings by
+// trace id) is retained in a bounded in-memory log, dumpable through
+// the server's stats frame. This answers "what did the last slow
+// request spend its time on?" without tracing everything to disk.
+//
+// Only useful while tracing is enabled — with tracing off there are no
+// spans to retain, and MaybeRecord keeps only the metadata row.
+#ifndef DELTAREPAIR_OBS_FLIGHT_RECORDER_H_
+#define DELTAREPAIR_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace deltarepair {
+
+/// One retained slow request.
+struct FlightRecord {
+  uint64_t trace_id = 0;
+  std::string kind;  // request type: "repair" | "cqa" | "update" | ...
+  double duration_seconds = 0;
+  std::vector<TraceEvent> spans;  // the request's span tree, oldest first
+};
+
+class FlightRecorder {
+ public:
+  /// threshold_seconds <= 0 disables recording entirely.
+  FlightRecorder(size_t capacity, double threshold_seconds)
+      : capacity_(capacity), threshold_seconds_(threshold_seconds) {}
+
+  /// Called once per completed request. Retains the request (evicting
+  /// the oldest beyond capacity) iff recording is enabled, the request
+  /// had a trace id, and it ran at least the threshold. Returns whether
+  /// it was retained.
+  bool MaybeRecord(uint64_t trace_id, const char* kind, double seconds);
+
+  std::vector<FlightRecord> Snapshot() const;
+  size_t size() const;
+
+  double threshold_seconds() const { return threshold_seconds_; }
+  size_t capacity() const { return capacity_; }
+
+  /// The retained log as a JSON array (per record: trace id, kind,
+  /// duration, span list with microsecond offsets).
+  void WriteJson(JsonWriter& json) const;
+
+ private:
+  const size_t capacity_;
+  const double threshold_seconds_;
+  mutable std::mutex mu_;
+  std::deque<FlightRecord> records_;
+};
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_OBS_FLIGHT_RECORDER_H_

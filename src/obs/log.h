@@ -1,0 +1,59 @@
+// Process logging with two faces:
+//
+//  * Plain mode (default): Startup() lines print to stdout exactly as
+//    the tools always have (scripts grep them), and per-request Event()
+//    lines are silent — today's output shape, unchanged.
+//  * Structured mode (drepair_server --log-level=LEVEL): every line
+//    goes to stderr as `<RFC3339-ms UTC> LEVEL trace=<16-hex|-> msg`,
+//    filtered by the level threshold; Startup() lines log at INFO.
+//
+// Event() is cheap when filtered: one relaxed load and a compare before
+// any formatting.
+#ifndef DELTAREPAIR_OBS_LOG_H_
+#define DELTAREPAIR_OBS_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace deltarepair {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+class Log {
+ public:
+  /// Switches to structured mode at the given threshold. Never called =
+  /// plain mode.
+  static void SetStructured(LogLevel level);
+  static bool structured();
+  static LogLevel level();
+
+  /// "debug" | "info" | "warn" | "error" | "off" (case-sensitive).
+  /// Returns false on anything else.
+  static bool ParseLevel(const std::string& text, LogLevel* out);
+  static const char* LevelName(LogLevel level);
+
+  /// Tool lifecycle line: plain mode printf("%s\n") to stdout,
+  /// structured mode an INFO line (trace id 0).
+  static void Startup(const char* fmt, ...)
+      __attribute__((format(printf, 1, 2)));
+
+  /// Request-scoped line: silent in plain mode; in structured mode
+  /// emitted iff `level` passes the threshold.
+  static void Event(LogLevel level, uint64_t trace_id, const char* fmt, ...)
+      __attribute__((format(printf, 3, 4)));
+
+  static bool Enabled(LogLevel lvl) {
+    return structured() && static_cast<int>(lvl) >= static_cast<int>(level());
+  }
+};
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_OBS_LOG_H_

@@ -1,0 +1,251 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "common/status.h"
+
+namespace deltarepair {
+
+namespace {
+
+// Doubles ride in atomic<uint64_t> bit patterns (C++17 has no atomic
+// double fetch_add).
+uint64_t DoubleBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double BitsDouble(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void AtomicAddDouble(std::atomic<uint64_t>* bits, double delta) {
+  uint64_t old = bits->load(std::memory_order_relaxed);
+  while (!bits->compare_exchange_weak(old, DoubleBits(BitsDouble(old) + delta),
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+// Prometheus renders le bounds with %g (1e-06, 0.000128, 1.048576...).
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  out->append(buf);
+}
+
+void AppendUint(std::string* out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  out->append(buf);
+}
+
+}  // namespace
+
+uint64_t Gauge::Encode(double v) { return DoubleBits(v); }
+double Gauge::Decode(uint64_t bits) { return BitsDouble(bits); }
+
+double Histogram::UpperBound(int bucket) {
+  return 1e-6 * static_cast<double>(uint64_t{1} << bucket);
+}
+
+void Histogram::Observe(double v) {
+  if (std::isnan(v)) return;
+  int bucket = kNumBuckets;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (v <= UpperBound(i)) {
+      bucket = i;
+      break;
+    }
+  }
+  if (bucket < kNumBuckets) {
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  } else {
+    inf_bucket_.fetch_add(1, std::memory_order_relaxed);
+  }
+  AtomicAddDouble(&sum_bits_, v < 0 ? 0 : v);
+}
+
+uint64_t Histogram::count() const {
+  uint64_t total = inf_bucket_.load(std::memory_order_relaxed);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    total += buckets_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::sum() const {
+  return BitsDouble(sum_bits_.load(std::memory_order_relaxed));
+}
+
+uint64_t Histogram::CumulativeCount(int bucket) const {
+  uint64_t total = 0;
+  for (int i = 0; i <= bucket && i < kNumBuckets; ++i) {
+    total += buckets_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* kRegistry = new MetricsRegistry();
+  return *kRegistry;
+}
+
+MetricsRegistry::Series* MetricsRegistry::GetSeries(
+    const std::string& name, const std::string& help, Kind kind,
+    const std::string& label_key, const std::string& label_value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = families_.emplace(name, Family{});
+  Family& family = it->second;
+  if (inserted) {
+    family.help = help;
+    family.kind = kind;
+    family.label_key = label_key;
+  } else {
+    DR_CHECK_MSG(family.kind == kind && family.label_key == label_key,
+                 "metric family re-registered with a different shape");
+  }
+  for (const auto& series : family.series) {
+    if (series->label_value == label_value) return series.get();
+  }
+  family.series.push_back(std::make_unique<Series>());
+  Series* series = family.series.back().get();
+  series->label_value = label_value;
+  switch (kind) {
+    case Kind::kCounter:
+      series->counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      series->gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      series->histogram = std::make_unique<Histogram>();
+      break;
+  }
+  return series;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  return GetSeries(name, help, Kind::kCounter, "", "")->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  return GetSeries(name, help, Kind::kGauge, "", "")->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help) {
+  return GetSeries(name, help, Kind::kHistogram, "", "")->histogram.get();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help,
+                                     const std::string& label_key,
+                                     const std::string& label_value) {
+  return GetSeries(name, help, Kind::kCounter, label_key, label_value)
+      ->counter.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         const std::string& label_key,
+                                         const std::string& label_value) {
+  return GetSeries(name, help, Kind::kHistogram, label_key, label_value)
+      ->histogram.get();
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, family] : families_) {
+    out.append("# HELP ").append(name).append(" ").append(family.help);
+    out.push_back('\n');
+    out.append("# TYPE ").append(name).append(" ");
+    switch (family.kind) {
+      case Kind::kCounter:
+        out.append("counter");
+        break;
+      case Kind::kGauge:
+        out.append("gauge");
+        break;
+      case Kind::kHistogram:
+        out.append("histogram");
+        break;
+    }
+    out.push_back('\n');
+
+    // Deterministic order: series sorted by label value.
+    std::vector<const Series*> ordered;
+    ordered.reserve(family.series.size());
+    for (const auto& series : family.series) ordered.push_back(series.get());
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Series* a, const Series* b) {
+                return a->label_value < b->label_value;
+              });
+
+    for (const Series* series : ordered) {
+      std::string label;
+      if (!family.label_key.empty()) {
+        label = family.label_key + "=\"" + series->label_value + "\"";
+      }
+      switch (family.kind) {
+        case Kind::kCounter: {
+          out.append(name);
+          if (!label.empty()) out.append("{").append(label).append("}");
+          out.push_back(' ');
+          AppendUint(&out, series->counter->value());
+          out.push_back('\n');
+          break;
+        }
+        case Kind::kGauge: {
+          out.append(name);
+          if (!label.empty()) out.append("{").append(label).append("}");
+          out.push_back(' ');
+          AppendDouble(&out, series->gauge->value());
+          out.push_back('\n');
+          break;
+        }
+        case Kind::kHistogram: {
+          const Histogram* h = series->histogram.get();
+          uint64_t total = h->count();
+          std::string prefix = label.empty() ? "" : label + ",";
+          for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+            out.append(name).append("_bucket{").append(prefix).append(
+                "le=\"");
+            AppendDouble(&out, Histogram::UpperBound(i));
+            out.append("\"} ");
+            AppendUint(&out, h->CumulativeCount(i));
+            out.push_back('\n');
+          }
+          out.append(name).append("_bucket{").append(prefix).append(
+              "le=\"+Inf\"} ");
+          AppendUint(&out, total);
+          out.push_back('\n');
+          out.append(name).append("_sum");
+          if (!label.empty()) out.append("{").append(label).append("}");
+          out.push_back(' ');
+          AppendDouble(&out, h->sum());
+          out.push_back('\n');
+          out.append(name).append("_count");
+          if (!label.empty()) out.append("{").append(label).append("}");
+          out.push_back(' ');
+          AppendUint(&out, total);
+          out.push_back('\n');
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace deltarepair

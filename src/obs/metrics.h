@@ -1,0 +1,147 @@
+// Process-scoped metrics: named counters, gauges and exponential-bucket
+// histograms with cheap atomic recording, rendered in Prometheus text
+// exposition format.
+//
+// Relationship to the `*Stats` structs (RepairStats, CqaStats,
+// SolverStats, IncrementalEngine::Stats): those remain the
+// request-scoped API — one struct per run, returned with the result.
+// The registry is the process-scoped aggregate they also feed
+// (obs/stats_bridge.h folds a finished run's stats into the global
+// registry), plus live series the structs can't carry: latency
+// histograms, queue-wait distributions, I/O phase timings.
+//
+// Usage pattern at a call site — resolve once, record forever:
+//
+//   static Counter* rounds = MetricsRegistry::Global().GetCounter(
+//       "drepair_fixpoint_rounds_total", "Semi-naive fixpoint rounds");
+//   rounds->Inc();
+//
+// Returned pointers are stable for the registry's lifetime (series are
+// never removed). Recording is lock-free: counters/histogram buckets
+// are relaxed atomic adds, gauge/histogram-sum doubles are CAS loops.
+// Name lookup takes the registry mutex — cache the pointer.
+//
+// One metric family may carry one label key with multiple values
+// (e.g. drepair_requests_total{type="repair"}): pass the same
+// name/help/label_key with a different label_value.
+#ifndef DELTAREPAIR_OBS_METRICS_H_
+#define DELTAREPAIR_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace deltarepair {
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  void Inc(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous double value (Set wins over concurrent Add).
+class Gauge {
+ public:
+  void Set(double v) { bits_.store(Encode(v), std::memory_order_relaxed); }
+  void Add(double delta) {
+    uint64_t old = bits_.load(std::memory_order_relaxed);
+    while (!bits_.compare_exchange_weak(old, Encode(Decode(old) + delta),
+                                        std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return Decode(bits_.load(std::memory_order_relaxed)); }
+
+ private:
+  static uint64_t Encode(double v);
+  static double Decode(uint64_t bits);
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// Histogram with fixed exponential base-2 buckets: upper bounds
+/// 1e-6 * 2^i seconds for i in [0, kNumBuckets) — 1µs up to ~67s —
+/// plus +Inf. One layout for every series keeps recording branch-free
+/// and exposition aggregatable across processes.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 27;
+
+  void Observe(double v);
+
+  uint64_t count() const;
+  double sum() const;
+  /// Cumulative count of observations <= UpperBound(i); the +Inf bucket
+  /// is count().
+  uint64_t CumulativeCount(int bucket) const;
+  static double UpperBound(int bucket);
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> inf_bucket_{0};
+  std::atomic<uint64_t> sum_bits_{0};
+};
+
+/// Named metric registry. Instantiable for tests; production call sites
+/// use Global().
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Unlabeled series. Help text is taken from the first registration
+  /// of a family; kind mismatches on an existing name are a fatal bug.
+  Counter* GetCounter(const std::string& name, const std::string& help);
+  Gauge* GetGauge(const std::string& name, const std::string& help);
+  Histogram* GetHistogram(const std::string& name, const std::string& help);
+
+  /// Labeled series: one label key per family, any number of values.
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      const std::string& label_key,
+                      const std::string& label_value);
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          const std::string& label_key,
+                          const std::string& label_value);
+
+  /// Prometheus text exposition (families sorted by name, series by
+  /// label value).
+  std::string PrometheusText() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Series {
+    std::string label_value;  // empty = unlabeled
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    std::string help;
+    Kind kind = Kind::kCounter;
+    std::string label_key;  // empty = unlabeled family
+    std::vector<std::unique_ptr<Series>> series;
+  };
+
+  Series* GetSeries(const std::string& name, const std::string& help,
+                    Kind kind, const std::string& label_key,
+                    const std::string& label_value);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_OBS_METRICS_H_

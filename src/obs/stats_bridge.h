@@ -1,0 +1,25 @@
+// Folds finished runs' request-scoped stats structs (the per-request
+// API, unchanged) into the process-scoped MetricsRegistry. Called once
+// per completed repair / CQA execution by the serving layers (server,
+// warm engine, CLI batch) — never from inner loops, so the cost is a
+// handful of atomic adds per request.
+#ifndef DELTAREPAIR_OBS_STATS_BRIDGE_H_
+#define DELTAREPAIR_OBS_STATS_BRIDGE_H_
+
+namespace deltarepair {
+
+struct RepairStats;
+struct CqaStats;
+
+/// Adds one finished repair run's counters and phase timings to the
+/// global registry (drepair_engine_*, drepair_sat_*,
+/// drepair_repair_phase_seconds).
+void AddRepairStatsToMetrics(const RepairStats& stats);
+
+/// Adds one finished CQA run (answers/verdicts, slicing layer, plus the
+/// nested RepairStats) to the global registry.
+void AddCqaStatsToMetrics(const CqaStats& stats);
+
+}  // namespace deltarepair
+
+#endif  // DELTAREPAIR_OBS_STATS_BRIDGE_H_

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/timer.h"
+#include "obs/trace.h"
 
 namespace deltarepair {
 namespace {
@@ -61,6 +62,8 @@ void SliceStats::Add(const SliceStats& o) {
 
 ConeSlicer::ConeSlicer(const Cnf& cnf, const std::vector<bool>& min_model,
                        bool optimal, std::vector<uint64_t> content_ids) {
+  Span span("cone.decompose");
+  span.SetArg("vars", cnf.num_vars());
   ScopedTimer timer(&build_stats_.cone_seconds);
   num_vars_ = cnf.num_vars();
   // Pure-negative elimination pins variables to the value they take in
@@ -292,6 +295,9 @@ const ConeSlicer::Slice* ConeSlicer::GetSlice(
     return it->second.get();
   }
 
+  Span span("cone.slice");
+  span.SetArg("vars", total_vars);
+  span.SetArg("components", comps.size());
   ScopedTimer timer(&build_stats_.slice_seconds);
   auto slice = std::make_unique<Slice>();
   slice->comps = comps;

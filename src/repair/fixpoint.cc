@@ -2,6 +2,8 @@
 
 #include <unordered_set>
 
+#include "obs/trace.h"
+
 namespace deltarepair {
 
 namespace {
@@ -65,6 +67,7 @@ bool RunSemiNaiveFixpoint(InstanceView* view, const Program& program,
                           FixpointCache* cache) {
   DR_CHECK_MSG(cache == nullptr || !delete_between_rounds,
                "fixpoint cache is end-mode only");
+  Span fixpoint_span("fixpoint.semi_naive");
   if (cache != nullptr) cache->Clear();
   Grounder grounder(view);
   const auto& rules = program.rules();
@@ -87,10 +90,14 @@ bool RunSemiNaiveFixpoint(InstanceView* view, const Program& program,
   };
 
   // Round 1: seed rules only — delta-consuming rules cannot fire yet.
-  for (size_t i = 0; i < rules.size(); ++i) {
-    if (rules[i].NumDeltaBodyAtoms() > 0) continue;
-    grounder.EnumerateRule(rules[i], static_cast<int>(i), BaseMatch::kLive,
-                           DeltaMatch::kCurrent, handle);
+  {
+    Span round_span("fixpoint.round");
+    round_span.SetArg("round", 1);
+    for (size_t i = 0; i < rules.size(); ++i) {
+      if (rules[i].NumDeltaBodyAtoms() > 0) continue;
+      grounder.EnumerateRule(rules[i], static_cast<int>(i), BaseMatch::kLive,
+                             DeltaMatch::kCurrent, handle);
+    }
   }
 
   // Recent deltas (added in the previous round), per relation, for pivots.
@@ -109,6 +116,8 @@ bool RunSemiNaiveFixpoint(InstanceView* view, const Program& program,
     pending_set.clear();
     ++round;
 
+    Span round_span("fixpoint.round");
+    round_span.SetArg("round", static_cast<uint64_t>(round));
     for (size_t i = 0; i < rules.size(); ++i) {
       const Rule& rule = rules[i];
       if (rule.NumDeltaBodyAtoms() == 0) continue;
@@ -128,6 +137,8 @@ bool RunSemiNaiveFixpoint(InstanceView* view, const Program& program,
   }
   stats->iterations = static_cast<uint64_t>(round);
   stats->assignments += grounder.assignments_enumerated();
+  fixpoint_span.SetArg("rounds", static_cast<uint64_t>(round));
+  fixpoint_span.SetArg("assignments", grounder.assignments_enumerated());
   if (cache != nullptr && !ctx->stopped()) {
     cache->derived = view->DeltaTupleIds();
     cache->valid = true;
@@ -140,6 +151,7 @@ bool RunSemiNaiveFixpoint(InstanceView* view, const Program& program,
                           RepairStats* stats, ExecContext* ctx) {
   DR_CHECK_MSG(cache != nullptr && cache->valid,
                "incremental fixpoint needs a valid prior fixpoint");
+  Span span("fixpoint.incremental");
 
   // Phase 1 — tombstone every cached derivation binding a deleted row.
   // A deleted row invalidates derivations binding it at base positions

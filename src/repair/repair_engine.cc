@@ -4,6 +4,7 @@
 #include <atomic>
 #include <thread>
 
+#include "obs/trace.h"
 #include "repair/stability.h"
 
 namespace deltarepair {
@@ -17,6 +18,7 @@ StatusOr<RepairEngine> RepairEngine::Create(Database* db, Program program) {
 RepairOutcome RepairEngine::ExecuteOnView(
     InstanceView* view, const InstanceView::State& initial,
     const RepairRequest& request) const {
+  Span span("repair.execute");
   RepairOutcome outcome;
   StatusOr<const Semantics*> semantics =
       SemanticsRegistry::Global().Get(request.semantics);
@@ -80,7 +82,9 @@ std::vector<RepairOutcome> RepairEngine::RunBatch(
   // result order matches the request order and each unbudgeted outcome
   // is bit-identical to what the sequential path produces.
   std::atomic<size_t> next{0};
-  auto work = [&]() {
+  const uint64_t parent_trace_id = Trace::CurrentTraceId();
+  auto work = [&, parent_trace_id]() {
+    TraceIdScope trace_scope(parent_trace_id);
     InstanceView view = db_->SnapshotView();
     InstanceView::State initial = view.SaveState();
     for (;;) {

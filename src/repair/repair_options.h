@@ -145,6 +145,10 @@ struct RepairRequest {
   /// Leave the deletions applied to the database (RunBatch ignores this —
   /// batches are read-only sweeps over one initial state).
   bool apply = false;
+  /// Observability correlation id (0 = none). Carried through the frame
+  /// protocol, installed as the serving thread's TraceIdScope, and
+  /// echoed in the response report when nonzero.
+  uint64_t trace_id = 0;
 };
 
 /// Status-or-result shape of one executed request. `result` is meaningful

@@ -6,6 +6,7 @@
 #include <algorithm>
 
 #include "common/status.h"
+#include "obs/trace.h"
 
 namespace deltarepair {
 
@@ -21,17 +22,30 @@ bool Inprocessor::Fail() {
 
 bool Inprocessor::Run() {
   DR_CHECK(s_.DecisionLevel() == 0);
+  Span span("sat.inprocess");
   if (!s_.ok_) return false;
   if (s_.Propagate() != nullptr) return Fail();
   DetachAll();
   if (!TopLevelSimplify()) return Fail();
   BuildOccurrence();
   if (!PropagateUnitsOcc()) return Fail();
-  if (cfg_.scc && !SccPass()) return Fail();
-  if (cfg_.subsume && !SubsumePass()) return Fail();
-  if (cfg_.eliminate && !EliminatePass()) return Fail();
+  if (cfg_.scc) {
+    Span pass("sat.inprocess.scc");
+    if (!SccPass()) return Fail();
+  }
+  if (cfg_.subsume) {
+    Span pass("sat.inprocess.subsume");
+    if (!SubsumePass()) return Fail();
+  }
+  if (cfg_.eliminate) {
+    Span pass("sat.inprocess.eliminate");
+    if (!EliminatePass()) return Fail();
+  }
   if (!Reattach()) return Fail();
-  if (cfg_.vivify && !VivifyPass()) return Fail();
+  if (cfg_.vivify) {
+    Span pass("sat.inprocess.vivify");
+    if (!VivifyPass()) return Fail();
+  }
   ++stats_.runs;
   return true;
 }

@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "common/timer.h"
+#include "obs/trace.h"
 #include "sat/totalizer.h"
 
 namespace deltarepair {
@@ -239,6 +240,9 @@ ComponentOutcome SolveComponent(const Cnf& sub,
                                 const WallTimer* timer, double deadline,
                                 uint64_t work_budget,
                                 SolverStats* stats_out) {
+  Span span("sat.min_ones.component");
+  span.SetArg("vars", sub.num_vars());
+  span.SetArg("clauses", sub.clauses().size());
   SolverOptions solver_options;
   solver_options.learning = options.enable_learning;
   solver_options.restarts = options.enable_restarts;
@@ -396,6 +400,9 @@ ComponentOutcome SolveComponent(const Cnf& sub,
 }  // namespace
 
 MinOnesResult MinOnesSat(const Cnf& cnf, const MinOnesOptions& options) {
+  Span span("sat.min_ones");
+  span.SetArg("vars", cnf.num_vars());
+  span.SetArg("clauses", cnf.clauses().size());
   MinOnesResult result;
   result.optimal = true;
   WallTimer timer;

@@ -9,6 +9,8 @@
 #include <thread>
 
 #include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sat/solver.h"
 
 namespace deltarepair {
@@ -128,6 +130,12 @@ SolverOptions DiversifiedOptions(const SolverOptions& base, uint32_t worker,
 SolveStatus CdclSolver::SolvePortfolio(int num_workers,
                                        const std::vector<Lit>& assumptions) {
   if (num_workers <= 1) return Solve(assumptions);
+  Span span("sat.portfolio");
+  span.SetArg("workers", static_cast<uint64_t>(num_workers));
+  static Counter* races = MetricsRegistry::Global().GetCounter(
+      "drepair_sat_portfolio_races_total",
+      "Portfolio races launched (one per SolvePortfolio call)");
+  races->Inc();
   ++stats_.solve_calls;
   ++stats_.portfolio_solves;
   if (!ok_) return SolveStatus::kUnsat;
@@ -161,8 +169,12 @@ SolveStatus CdclSolver::SolvePortfolio(int num_workers,
   std::atomic<int> winner{-1};
   std::vector<std::thread> threads;
   threads.reserve(n);
+  const uint64_t parent_trace_id = Trace::CurrentTraceId();
   for (uint32_t w = 0; w < n; ++w) {
-    threads.emplace_back([&, w] {
+    threads.emplace_back([&, w, parent_trace_id] {
+      TraceIdScope trace_scope(parent_trace_id);
+      Span worker_span("sat.portfolio.worker");
+      worker_span.SetArg("worker", w);
       SolveStatus status = workers[w]->Solve(mapped);
       results[w] = status;
       if (status != SolveStatus::kUnknown) {

@@ -4,6 +4,7 @@
 
 #include "common/status.h"
 #include "common/timer.h"
+#include "obs/trace.h"
 #include "sat/inprocess_passes.h"
 #include "sat/portfolio.h"
 
@@ -534,6 +535,9 @@ SolveStatus CdclSolver::Search(const std::vector<Lit>& assumptions) {
 }
 
 SolveStatus CdclSolver::Solve(const std::vector<Lit>& assumptions) {
+  Span span("sat.solve");
+  span.SetArg("assumptions", assumptions.size());
+  const uint64_t conflicts_before = stats_.conflicts;
   ++stats_.solve_calls;
   if (!ok_) return SolveStatus::kUnsat;
   // Assumption variables are frozen before inprocessing can run, so
@@ -566,6 +570,7 @@ SolveStatus CdclSolver::Solve(const std::vector<Lit>& assumptions) {
     recon_.Extend(&model_);
   }
   CancelUntil(0);
+  span.SetArg("conflicts", stats_.conflicts - conflicts_before);
   return status;
 }
 

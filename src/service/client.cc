@@ -59,7 +59,8 @@ StatusOr<std::string> CallServerJson(int port, FrameType type,
   if (response->type == FrameType::kError) {
     return DecodeErrorPayload(response->payload);
   }
-  if (response->type != FrameType::kJson) {
+  if (response->type != FrameType::kJson &&
+      response->type != FrameType::kText) {
     return Status::Internal("client: unexpected response frame type");
   }
   return std::move(response->payload);

@@ -17,8 +17,8 @@ namespace deltarepair {
 StatusOr<Frame> CallServer(int port, FrameType type,
                            std::string_view payload);
 
-/// CallServer, unwrapped: the kJson payload on success, or the decoded
-/// kError Status.
+/// CallServer, unwrapped: the kJson (or kText — the metrics scrape)
+/// payload on success, or the decoded kError Status.
 StatusOr<std::string> CallServerJson(int port, FrameType type,
                                      std::string_view payload);
 

@@ -5,6 +5,8 @@
 
 #include "common/timer.h"
 #include "cqa/warm_space.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "relation/database.h"
 #include "repair/stability.h"
 
@@ -59,6 +61,11 @@ uint64_t IncrementalEngine::warm_version() const {
 }
 
 void IncrementalEngine::ColdRebuildLocked() {
+  Span span("warm.cold_rebuild");
+  static Counter* rebuilds = MetricsRegistry::Global().GetCounter(
+      "drepair_warm_cold_rebuilds_total",
+      "Warm engine full rebuilds (delta history exhausted or too large)");
+  rebuilds->Inc();
   ++stats_.cold_rebuilds;
   view_ = db_->SnapshotView();
   warm_version_ = db_->version();
@@ -75,6 +82,10 @@ void IncrementalEngine::ColdRebuildLocked() {
 }
 
 void IncrementalEngine::SyncLocked() {
+  Span span("warm.sync");
+  static Counter* syncs = MetricsRegistry::Global().GetCounter(
+      "drepair_warm_syncs_total", "Warm engine delta syncs");
+  syncs->Inc();
   ++stats_.syncs;
   const uint64_t current = db_->version();
   if (current == warm_version_) {
@@ -197,6 +208,7 @@ void IncrementalEngine::EnsureWarmSliceLocked() {
 }
 
 RepairOutcome IncrementalEngine::ExecuteRepair(const RepairRequest& request) {
+  Span span("warm.repair");
   std::lock_guard<std::mutex> lock(mu_);
   SyncLocked();
   StatusOr<const Semantics*> semantics =
@@ -388,6 +400,7 @@ std::pair<uint64_t, uint64_t> IncrementalEngine::AnswerSignatureLocked(
 }
 
 CqaResult IncrementalEngine::ExecuteCqa(const CqaRequest& request) {
+  Span span("warm.cqa");
   std::lock_guard<std::mutex> lock(mu_);
   SyncLocked();
   StatusOr<const Semantics*> semantics =

@@ -1,15 +1,27 @@
 #include "service/report.h"
 
+#include <cstdio>
 #include <map>
+
+namespace {
+std::string TraceIdHex(uint64_t id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+}  // namespace
 
 namespace deltarepair {
 
 void WriteOutcomeJson(JsonWriter& json, const Database& db,
-                      const RepairOutcome& outcome, bool applied) {
+                      const RepairOutcome& outcome, bool applied,
+                      uint64_t trace_id) {
   const RepairResult& result = outcome.result;
   const RepairStats& stats = result.stats;
   json.BeginObject();
   json.Field("semantics", SemanticsName(result.semantics));
+  if (trace_id != 0) json.Field("trace_id", TraceIdHex(trace_id));
   json.Field("termination", TerminationReasonName(outcome.termination));
   json.Field("deleted", static_cast<uint64_t>(result.size()));
   std::map<std::string, uint64_t> by_relation;
@@ -75,10 +87,11 @@ void WriteValueJson(JsonWriter& json, const Value& value) {
 }
 
 void WriteCqaResultJson(JsonWriter& json, const Database& db,
-                        const CqaResult& result) {
+                        const CqaResult& result, uint64_t trace_id) {
   const CqaStats& stats = result.stats;
   json.BeginObject();
   json.Field("semantics", result.semantics);
+  if (trace_id != 0) json.Field("trace_id", TraceIdHex(trace_id));
   json.Field("termination", TerminationReasonName(result.termination));
   json.Field("query_head", result.query_head);
   json.Key("answers").BeginArray();

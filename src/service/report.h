@@ -14,13 +14,17 @@
 namespace deltarepair {
 
 /// One repair outcome as a JSON object (semantics, termination, deletion
-/// breakdown, full stats block).
+/// breakdown, full stats block). A nonzero `trace_id` adds a
+/// "trace_id" field (16-hex correlation id); zero keeps the document
+/// byte-identical to the pre-tracing shape.
 void WriteOutcomeJson(JsonWriter& json, const Database& db,
-                      const RepairOutcome& outcome, bool applied);
+                      const RepairOutcome& outcome, bool applied,
+                      uint64_t trace_id = 0);
 
 /// One CQA result as a JSON object (per-answer verdicts + stats block).
+/// `trace_id` as in WriteOutcomeJson.
 void WriteCqaResultJson(JsonWriter& json, const Database& db,
-                        const CqaResult& result);
+                        const CqaResult& result, uint64_t trace_id = 0);
 
 /// One cell value as a JSON scalar (null / int / string).
 void WriteValueJson(JsonWriter& json, const Value& value);

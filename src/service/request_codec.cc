@@ -11,7 +11,10 @@ namespace deltarepair {
 
 namespace {
 
-constexpr uint8_t kCodecVersion = 1;
+// Version 2 appends a u64 trace id to repair/cqa requests; version-1
+// frames (no trace id) still decode, so old clients keep working.
+constexpr uint8_t kCodecVersion = 2;
+constexpr uint8_t kMinCodecVersion = 1;
 constexpr size_t kMaxSemanticsLen = 64;
 constexpr size_t kMaxQueryLen = 1u << 20;
 constexpr size_t kMaxRelationNameLen = 256;
@@ -145,6 +148,7 @@ std::string EncodeRepairRequest(const RepairRequest& request) {
   w.PutString(request.semantics);
   w.PutU8(request.apply ? 1 : 0);
   PutOptions(&w, request.options);
+  w.PutU64(request.trace_id);
   return w.Take();
 }
 
@@ -152,7 +156,7 @@ Status DecodeRepairRequest(std::string_view bytes, RepairRequest* out) {
   BinaryReader r(bytes);
   uint8_t version, apply;
   DR_RETURN_IF_ERROR(r.GetU8(&version));
-  if (version != kCodecVersion) {
+  if (version < kMinCodecVersion || version > kCodecVersion) {
     return Status::InvalidArgument(
         StrFormat("repair request: unsupported version %u",
                   static_cast<unsigned>(version)));
@@ -166,6 +170,9 @@ Status DecodeRepairRequest(std::string_view bytes, RepairRequest* out) {
   }
   req.apply = apply != 0;
   DR_RETURN_IF_ERROR(GetOptions(&r, &req.options));
+  if (version >= 2) {
+    DR_RETURN_IF_ERROR(r.GetU64(&req.trace_id));
+  }
   if (!r.AtEnd()) {
     return Status::InvalidArgument(
         StrFormat("repair request: %zu trailing bytes", r.remaining()));
@@ -184,6 +191,7 @@ std::string EncodeCqaRequest(const CqaRequest& request) {
   w.PutU8(request.possible ? 1 : 0);
   w.PutU8(request.annotate ? 1 : 0);
   PutOptions(&w, request.options);
+  w.PutU64(request.trace_id);
   return w.Take();
 }
 
@@ -191,7 +199,7 @@ Status DecodeCqaRequest(std::string_view bytes, CqaRequest* out) {
   BinaryReader r(bytes);
   uint8_t version, certain, possible, annotate;
   DR_RETURN_IF_ERROR(r.GetU8(&version));
-  if (version != kCodecVersion) {
+  if (version < kMinCodecVersion || version > kCodecVersion) {
     return Status::InvalidArgument(
         StrFormat("cqa request: unsupported version %u",
                   static_cast<unsigned>(version)));
@@ -210,6 +218,9 @@ Status DecodeCqaRequest(std::string_view bytes, CqaRequest* out) {
   req.possible = possible != 0;
   req.annotate = annotate != 0;
   DR_RETURN_IF_ERROR(GetOptions(&r, &req.options));
+  if (version >= 2) {
+    DR_RETURN_IF_ERROR(r.GetU64(&req.trace_id));
+  }
   if (!r.AtEnd()) {
     return Status::InvalidArgument(
         StrFormat("cqa request: %zu trailing bytes", r.remaining()));
@@ -240,7 +251,7 @@ Status DecodeUpdateRequest(std::string_view bytes, UpdateRequest* out) {
   BinaryReader r(bytes);
   uint8_t version, op;
   DR_RETURN_IF_ERROR(r.GetU8(&version));
-  if (version != kCodecVersion) {
+  if (version < kMinCodecVersion || version > kCodecVersion) {
     return Status::InvalidArgument(
         StrFormat("update request: unsupported version %u",
                   static_cast<unsigned>(version)));

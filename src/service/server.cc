@@ -14,6 +14,11 @@
 #include "common/framing.h"
 #include "common/json_writer.h"
 #include "common/string_util.h"
+#include "common/timer.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/stats_bridge.h"
+#include "obs/trace.h"
 #include "service/report.h"
 #include "service/request_codec.h"
 
@@ -63,6 +68,20 @@ void WriteError(int fd, const Status& status) {
   (void)WriteFrame(fd, FrameType::kError, EncodeErrorPayload(status));
 }
 
+// Per-type serving metrics; the label space is the fixed request-type
+// set, so handles are cached per call-site static.
+Counter* RequestsTotal(const char* type) {
+  return MetricsRegistry::Global().GetCounter(
+      "drepair_server_requests_total", "Requests handled by type", "type",
+      type);
+}
+
+Histogram* RequestSeconds(const char* type) {
+  return MetricsRegistry::Global().GetHistogram(
+      "drepair_server_request_seconds",
+      "Request latency from dequeue to response written", "type", type);
+}
+
 }  // namespace
 
 StatusOr<std::unique_ptr<RepairServer>> RepairServer::Start(
@@ -77,6 +96,8 @@ StatusOr<std::unique_ptr<RepairServer>> RepairServer::Start(
   auto server = std::unique_ptr<RepairServer>(new RepairServer());
   server->options_ = options;
   server->store_ = std::move(store);
+  server->flight_ = std::make_unique<FlightRecorder>(
+      options.flight_capacity, options.slow_request_seconds);
   StatusOr<RepairEngine> engine =
       RepairEngine::Create(&server->store_->db(), program);
   if (!engine.ok()) return engine.status();
@@ -134,6 +155,11 @@ void RepairServer::Stop() {
   Drain();
 }
 
+void RepairServer::Bump(uint64_t Stats::*field) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  counters_.*field += 1;
+}
+
 void RepairServer::AcceptLoop() {
   for (;;) {
     int fd = ::accept(listen_fd_, nullptr, nullptr);
@@ -142,7 +168,7 @@ void RepairServer::AcceptLoop() {
       // Shutdown/close of the listening socket lands here.
       return;
     }
-    accepted_.fetch_add(1, std::memory_order_relaxed);
+    Bump(&Stats::accepted);
     bool reject_draining = false, reject_full = false;
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
@@ -151,7 +177,7 @@ void RepairServer::AcceptLoop() {
       } else if (queue_.size() >= options_.max_queue) {
         reject_full = true;
       } else {
-        queue_.push_back(fd);
+        queue_.push_back(PendingConn{fd, Trace::NowNs()});
       }
     }
     if (reject_draining) {
@@ -160,7 +186,14 @@ void RepairServer::AcceptLoop() {
       continue;
     }
     if (reject_full) {
-      rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+      Bump(&Stats::rejected_overload);
+      static Counter* rejected = MetricsRegistry::Global().GetCounter(
+          "drepair_server_rejected_overload_total",
+          "Connections rejected because the accept queue was full");
+      rejected->Inc();
+      Log::Event(LogLevel::kWarn, 0,
+                 "rejected connection: %zu queued at capacity",
+                 options_.max_queue);
       WriteError(fd, Status::ResourceExhausted(StrFormat(
                          "server overloaded: %zu connections queued",
                          options_.max_queue)));
@@ -173,30 +206,55 @@ void RepairServer::AcceptLoop() {
 
 void RepairServer::WorkerLoop() {
   for (;;) {
-    int fd = -1;
+    PendingConn conn{-1, 0};
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock, [&] { return draining_ || !queue_.empty(); });
       if (queue_.empty()) return;  // draining and dry
-      fd = queue_.front();
+      conn = queue_.front();
       queue_.pop_front();
     }
     // Count before answering: a client that has its response in hand
     // must already see itself in the served counter.
-    served_.fetch_add(1, std::memory_order_relaxed);
-    ServeConnection(fd);
-    ::close(fd);
+    Bump(&Stats::served);
+    ServeConnection(conn.fd, conn.enqueue_ns, Trace::NowNs());
+    ::close(conn.fd);
   }
 }
 
-void RepairServer::ServeConnection(int fd) {
+void RepairServer::ServeConnection(int fd, uint64_t enqueue_ns,
+                                   uint64_t dequeue_ns) {
+  const double queue_wait =
+      static_cast<double>(dequeue_ns - enqueue_ns) * 1e-9;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    counters_.queue_wait_seconds += queue_wait;
+  }
+  static Histogram* queue_wait_hist =
+      MetricsRegistry::Global().GetHistogram(
+          "drepair_server_queue_wait_seconds",
+          "Seconds a served connection waited in the accept queue");
+  queue_wait_hist->Observe(queue_wait);
+  WallTimer timer;
+
   Frame frame;
   Status st = ReadFrame(fd, &frame);
   if (!st.ok()) {
-    request_errors_.fetch_add(1, std::memory_order_relaxed);
-    if (st.code() != StatusCode::kNotFound) WriteError(fd, st);
+    Bump(&Stats::request_errors);
+    if (st.code() != StatusCode::kNotFound) {
+      Log::Event(LogLevel::kWarn, 0, "bad frame: %s",
+                 st.message().c_str());
+      WriteError(fd, st);
+    }
     return;
   }
+
+  // The queue wait happened on the accept thread, so it cannot be a
+  // worker-side RAII span; it is injected with the request's trace id
+  // once that is known (lambda below), or with none for control frames.
+  auto emit_queue_wait = [&](uint64_t trace_id) {
+    Trace::Emit("server.queue_wait", enqueue_ns, dequeue_ns, trace_id);
+  };
 
   // Shape the request's budget: default when unset, clamp to the
   // server's maximum, and wire in the server-wide cancel token so a
@@ -215,105 +273,168 @@ void RepairServer::ServeConnection(int fd) {
 
   switch (frame.type) {
     case FrameType::kPingRequest: {
+      emit_queue_wait(0);
       (void)WriteFrame(fd, FrameType::kJson, "{\"ok\":true}");
+      RequestsTotal("ping")->Inc();
       return;
     }
     case FrameType::kRepairRequest: {
-      repair_requests_.fetch_add(1, std::memory_order_relaxed);
+      Bump(&Stats::repair_requests);
       RepairRequest request;
       st = DecodeRepairRequest(frame.payload, &request);
       if (!st.ok()) {
-        request_errors_.fetch_add(1, std::memory_order_relaxed);
+        Bump(&Stats::request_errors);
+        Log::Event(LogLevel::kWarn, 0, "repair decode failed: %s",
+                   st.message().c_str());
         WriteError(fd, st);
         return;
       }
+      // Client-sent ids are echoed in the response; requests arriving
+      // without one still get a server-assigned id so their spans form
+      // one collectable tree.
+      const uint64_t client_trace_id = request.trace_id;
+      const uint64_t trace_id =
+          client_trace_id != 0 ? client_trace_id : Trace::NewTraceId();
+      TraceIdScope trace_scope(trace_id);
+      emit_queue_wait(trace_id);
+      Span req_span("server.request");
+      req_span.SetArg("repair", 1);
       shape_options(&request.options);
       RepairOutcome outcome;
-      if (request.apply) {
-        // Applying mutates the instance: run and persist the deletions
-        // under the exclusive lock so no reader sees a half-applied
-        // repair and the WAL records it durably.
-        std::unique_lock<std::shared_mutex> lock(store_->mutex());
-        outcome = engine_->ExecuteOnSnapshot(request);
-        if (outcome.ok()) {
-          std::map<uint32_t, std::vector<Tuple>> by_relation;
-          for (const TupleId& t : outcome.result.deleted) {
-            by_relation[t.relation].push_back(store_->db().tuple(t));
+      {
+        Span exec_span("server.execute");
+        if (request.apply) {
+          // Applying mutates the instance: run and persist the deletions
+          // under the exclusive lock so no reader sees a half-applied
+          // repair and the WAL records it durably.
+          std::unique_lock<std::shared_mutex> lock(store_->mutex());
+          outcome = engine_->ExecuteOnSnapshot(request);
+          if (outcome.ok()) {
+            std::map<uint32_t, std::vector<Tuple>> by_relation;
+            for (const TupleId& t : outcome.result.deleted) {
+              by_relation[t.relation].push_back(store_->db().tuple(t));
+            }
+            for (auto& [rel, tuples] : by_relation) {
+              st = store_->ApplyDelete(rel, tuples);
+              if (!st.ok()) break;
+            }
+            if (!st.ok()) {
+              Bump(&Stats::request_errors);
+              Log::Event(LogLevel::kError, trace_id,
+                         "repair apply failed: %s", st.message().c_str());
+              WriteError(fd, st);
+              return;
+            }
           }
-          for (auto& [rel, tuples] : by_relation) {
-            st = store_->ApplyDelete(rel, tuples);
-            if (!st.ok()) break;
-          }
-          if (!st.ok()) {
-            request_errors_.fetch_add(1, std::memory_order_relaxed);
-            WriteError(fd, st);
-            return;
-          }
+        } else if (inc_engine_ != nullptr) {
+          // Warm path: the engine advances its cached grounding/solver/
+          // fixpoint state by the realized delta and answers from it
+          // (with an internal cold fallback when nothing warm applies).
+          std::shared_lock<std::shared_mutex> lock(store_->mutex());
+          outcome = inc_engine_->ExecuteRepair(request);
+        } else {
+          std::shared_lock<std::shared_mutex> lock(store_->mutex());
+          outcome = engine_->ExecuteOnSnapshot(request);
         }
-      } else if (inc_engine_ != nullptr) {
-        // Warm path: the engine advances its cached grounding/solver/
-        // fixpoint state by the realized delta and answers from it (with
-        // an internal cold fallback when nothing warm applies).
-        std::shared_lock<std::shared_mutex> lock(store_->mutex());
-        outcome = inc_engine_->ExecuteRepair(request);
-      } else {
-        std::shared_lock<std::shared_mutex> lock(store_->mutex());
-        outcome = engine_->ExecuteOnSnapshot(request);
       }
       if (!outcome.ok()) {
-        request_errors_.fetch_add(1, std::memory_order_relaxed);
+        Bump(&Stats::request_errors);
+        Log::Event(LogLevel::kWarn, trace_id, "repair failed: %s",
+                   outcome.status.message().c_str());
         WriteError(fd, outcome.status);
         return;
       }
       JsonWriter json;
       {
+        Span encode_span("server.encode");
         std::shared_lock<std::shared_mutex> lock(store_->mutex());
-        WriteOutcomeJson(json, store_->db(), outcome, request.apply);
+        WriteOutcomeJson(json, store_->db(), outcome, request.apply,
+                         client_trace_id);
       }
       (void)WriteFrame(fd, FrameType::kJson, json.str());
+      AddRepairStatsToMetrics(outcome.result.stats);
+      RequestsTotal("repair")->Inc();
+      const double seconds = timer.ElapsedSeconds();
+      RequestSeconds("repair")->Observe(seconds);
+      flight_->MaybeRecord(trace_id, "repair", seconds);
+      Log::Event(LogLevel::kInfo, trace_id,
+                 "repair served semantics=%s deleted=%llu in %.3fs",
+                 request.semantics.c_str(),
+                 static_cast<unsigned long long>(outcome.result.size()),
+                 seconds);
       return;
     }
     case FrameType::kCqaRequest: {
-      cqa_requests_.fetch_add(1, std::memory_order_relaxed);
+      Bump(&Stats::cqa_requests);
       CqaRequest request;
       st = DecodeCqaRequest(frame.payload, &request);
       if (!st.ok()) {
-        request_errors_.fetch_add(1, std::memory_order_relaxed);
+        Bump(&Stats::request_errors);
+        Log::Event(LogLevel::kWarn, 0, "cqa decode failed: %s",
+                   st.message().c_str());
         WriteError(fd, st);
         return;
       }
+      const uint64_t client_trace_id = request.trace_id;
+      const uint64_t trace_id =
+          client_trace_id != 0 ? client_trace_id : Trace::NewTraceId();
+      TraceIdScope trace_scope(trace_id);
+      emit_queue_wait(trace_id);
+      Span req_span("server.request");
+      req_span.SetArg("cqa", 1);
       shape_options(&request.options);
       CqaResult result;
       {
+        Span exec_span("server.execute");
         std::shared_lock<std::shared_mutex> lock(store_->mutex());
         result = inc_engine_ != nullptr
                      ? inc_engine_->ExecuteCqa(request)
                      : AnswerQueryOnSnapshot(engine_.get(), request);
       }
       if (!result.ok()) {
-        request_errors_.fetch_add(1, std::memory_order_relaxed);
+        Bump(&Stats::request_errors);
+        Log::Event(LogLevel::kWarn, trace_id, "cqa failed: %s",
+                   result.status.message().c_str());
         WriteError(fd, result.status);
         return;
       }
       JsonWriter json;
       {
+        Span encode_span("server.encode");
         std::shared_lock<std::shared_mutex> lock(store_->mutex());
-        WriteCqaResultJson(json, store_->db(), result);
+        WriteCqaResultJson(json, store_->db(), result, client_trace_id);
       }
       (void)WriteFrame(fd, FrameType::kJson, json.str());
+      AddCqaStatsToMetrics(result.stats);
+      RequestsTotal("cqa")->Inc();
+      const double seconds = timer.ElapsedSeconds();
+      RequestSeconds("cqa")->Observe(seconds);
+      flight_->MaybeRecord(trace_id, "cqa", seconds);
+      Log::Event(LogLevel::kInfo, trace_id,
+                 "cqa served answers=%zu certain=%llu in %.3fs",
+                 result.answers.size(),
+                 static_cast<unsigned long long>(
+                     result.stats.certain_answers),
+                 seconds);
       return;
     }
     case FrameType::kUpdateRequest: {
-      update_requests_.fetch_add(1, std::memory_order_relaxed);
+      Bump(&Stats::update_requests);
       UpdateRequest request;
       st = DecodeUpdateRequest(frame.payload, &request);
       if (!st.ok()) {
-        request_errors_.fetch_add(1, std::memory_order_relaxed);
+        Bump(&Stats::request_errors);
+        Log::Event(LogLevel::kWarn, 0, "update decode failed: %s",
+                   st.message().c_str());
         WriteError(fd, st);
         return;
       }
+      emit_queue_wait(0);
+      Span req_span("server.request");
+      req_span.SetArg("update", 1);
       size_t total_live = 0;
       {
+        Span exec_span("server.execute");
         std::unique_lock<std::shared_mutex> lock(store_->mutex());
         int rel = store_->db().RelationIndex(request.relation);
         if (rel < 0) {
@@ -329,7 +450,9 @@ void RepairServer::ServeConnection(int fd) {
         total_live = store_->db().TotalLive();
       }
       if (!st.ok()) {
-        request_errors_.fetch_add(1, std::memory_order_relaxed);
+        Bump(&Stats::request_errors);
+        Log::Event(LogLevel::kWarn, 0, "update failed: %s",
+                   st.message().c_str());
         WriteError(fd, st);
         return;
       }
@@ -342,34 +465,68 @@ void RepairServer::ServeConnection(int fd) {
       json.Field("total_live", static_cast<uint64_t>(total_live));
       json.EndObject();
       (void)WriteFrame(fd, FrameType::kJson, json.str());
+      RequestsTotal("update")->Inc();
+      RequestSeconds("update")->Observe(timer.ElapsedSeconds());
+      Log::Event(LogLevel::kInfo, 0, "update %s %s tuples=%zu live=%zu",
+                 request.op == WalOp::kInsert ? "insert" : "delete",
+                 request.relation.c_str(), request.tuples.size(),
+                 total_live);
       return;
     }
     case FrameType::kCompactRequest: {
+      emit_queue_wait(0);
+      Span req_span("server.request");
+      req_span.SetArg("compact", 1);
       {
         std::unique_lock<std::shared_mutex> lock(store_->mutex());
         st = store_->Compact();
       }
       if (!st.ok()) {
-        request_errors_.fetch_add(1, std::memory_order_relaxed);
+        Bump(&Stats::request_errors);
+        Log::Event(LogLevel::kWarn, 0, "compaction failed: %s",
+                   st.message().c_str());
         WriteError(fd, st);
         return;
       }
-      compactions_.fetch_add(1, std::memory_order_relaxed);
+      Bump(&Stats::compactions);
+      RequestsTotal("compact")->Inc();
+      Log::Event(LogLevel::kInfo, 0, "compacted WAL into snapshot");
       (void)WriteFrame(fd, FrameType::kJson,
                        "{\"ok\":true,\"wal_reset\":true}");
       return;
     }
     case FrameType::kStatsRequest: {
+      emit_queue_wait(0);
       (void)WriteFrame(fd, FrameType::kJson, HandleStats());
+      RequestsTotal("stats")->Inc();
       return;
     }
     case FrameType::kSchemaRequest: {
+      emit_queue_wait(0);
       (void)WriteFrame(fd, FrameType::kJson, HandleSchema());
+      RequestsTotal("schema")->Inc();
+      return;
+    }
+    case FrameType::kMetricsRequest: {
+      Bump(&Stats::metrics_requests);
+      emit_queue_wait(0);
+      (void)WriteFrame(fd, FrameType::kText,
+                       MetricsRegistry::Global().PrometheusText());
+      RequestsTotal("metrics")->Inc();
+      return;
+    }
+    case FrameType::kTraceRequest: {
+      Bump(&Stats::trace_requests);
+      emit_queue_wait(0);
+      (void)WriteFrame(fd, FrameType::kJson,
+                       Trace::ChromeJson(Trace::Collect()));
+      RequestsTotal("trace")->Inc();
       return;
     }
     case FrameType::kJson:
+    case FrameType::kText:
     case FrameType::kError: {
-      request_errors_.fetch_add(1, std::memory_order_relaxed);
+      Bump(&Stats::request_errors);
       WriteError(fd, Status::InvalidArgument(
                          "response frame type in a request"));
       return;
@@ -409,21 +566,20 @@ std::string RepairServer::HandleSchema() {
 }
 
 std::string RepairServer::HandleStats() {
+  const Stats s = stats();
   JsonWriter json;
   json.BeginObject();
-  json.Field("accepted", accepted_.load(std::memory_order_relaxed));
-  json.Field("served", served_.load(std::memory_order_relaxed));
-  json.Field("repair_requests",
-             repair_requests_.load(std::memory_order_relaxed));
-  json.Field("cqa_requests",
-             cqa_requests_.load(std::memory_order_relaxed));
-  json.Field("update_requests",
-             update_requests_.load(std::memory_order_relaxed));
-  json.Field("rejected_overload",
-             rejected_overload_.load(std::memory_order_relaxed));
-  json.Field("request_errors",
-             request_errors_.load(std::memory_order_relaxed));
-  json.Field("compactions", compactions_.load(std::memory_order_relaxed));
+  json.Field("accepted", s.accepted);
+  json.Field("served", s.served);
+  json.Field("repair_requests", s.repair_requests);
+  json.Field("cqa_requests", s.cqa_requests);
+  json.Field("update_requests", s.update_requests);
+  json.Field("metrics_requests", s.metrics_requests);
+  json.Field("trace_requests", s.trace_requests);
+  json.Field("rejected_overload", s.rejected_overload);
+  json.Field("request_errors", s.request_errors);
+  json.Field("compactions", s.compactions);
+  json.Field("queue_wait_seconds_total", s.queue_wait_seconds);
   json.Field("workers", static_cast<int64_t>(options_.workers));
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
@@ -471,6 +627,9 @@ std::string RepairServer::HandleStats() {
     json.Field("inc_minones_components_solved",
                inc.minones_components_solved);
   }
+  json.Field("flight_threshold_seconds", flight_->threshold_seconds());
+  json.Key("flight");
+  flight_->WriteJson(json);
   json.EndObject();
   return json.str();
 }
@@ -481,17 +640,8 @@ IncrementalEngine::Stats RepairServer::incremental_stats() const {
 }
 
 RepairServer::Stats RepairServer::stats() const {
-  Stats s;
-  s.accepted = accepted_.load(std::memory_order_relaxed);
-  s.served = served_.load(std::memory_order_relaxed);
-  s.repair_requests = repair_requests_.load(std::memory_order_relaxed);
-  s.cqa_requests = cqa_requests_.load(std::memory_order_relaxed);
-  s.update_requests = update_requests_.load(std::memory_order_relaxed);
-  s.rejected_overload =
-      rejected_overload_.load(std::memory_order_relaxed);
-  s.request_errors = request_errors_.load(std::memory_order_relaxed);
-  s.compactions = compactions_.load(std::memory_order_relaxed);
-  return s;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return counters_;
 }
 
 }  // namespace deltarepair

@@ -10,6 +10,16 @@
 //   kCompactRequest -> fold the WAL into a fresh snapshot + ack JSON
 //   kStatsRequest   -> serving/store counters as JSON
 //   kPingRequest    -> liveness ack
+//   kMetricsRequest -> Prometheus text exposition (kText response)
+//   kTraceRequest   -> Chrome trace_event JSON of the span rings
+//
+// Observability: every repair/CQA request runs under a trace id —
+// the one the client sent (echoed back in the response JSON) or a
+// server-assigned one — so its spans (queue wait, decode, execute,
+// encode, plus everything the engine records underneath) can be pulled
+// out of the rings as one tree. Requests slower than
+// ServerOptions.slow_request_seconds are retained in a flight recorder
+// dumped through the stats frame.
 //
 // Concurrency: an accept thread feeds a bounded connection queue drained
 // by a worker pool. Repair/CQA requests execute on per-request snapshot
@@ -39,6 +49,7 @@
 #include <vector>
 
 #include "datalog/ast.h"
+#include "obs/flight_recorder.h"
 #include "repair/repair_engine.h"
 #include "service/incremental_engine.h"
 #include "service/store.h"
@@ -65,6 +76,12 @@ struct ServerOptions {
   /// Delta fraction above which the warm engine rebuilds from scratch
   /// instead of patching (IncrementalEngineOptions).
   double cold_fallback_fraction = 0.25;
+  /// Requests slower than this are retained in the flight recorder
+  /// (span tree by trace id, dumped via the stats frame); <= 0 disables
+  /// it. Only useful with tracing enabled.
+  double slow_request_seconds = 0;
+  /// How many slow requests the flight recorder keeps (oldest evicted).
+  size_t flight_capacity = 8;
 };
 
 class RepairServer {
@@ -96,10 +113,17 @@ class RepairServer {
     uint64_t repair_requests = 0;
     uint64_t cqa_requests = 0;
     uint64_t update_requests = 0;
+    uint64_t metrics_requests = 0;
+    uint64_t trace_requests = 0;
     uint64_t rejected_overload = 0;
     uint64_t request_errors = 0;
     uint64_t compactions = 0;
+    /// Total seconds served connections spent in the accept queue.
+    double queue_wait_seconds = 0;
   };
+  /// Coherent snapshot: all counters are read under one lock, so the
+  /// fields are mutually consistent (served never exceeds accepted in
+  /// one snapshot, etc.).
   Stats stats() const;
 
   PersistentStore& store() { return *store_; }
@@ -113,9 +137,13 @@ class RepairServer {
   void AcceptLoop();
   void WorkerLoop();
   /// Serves one connection: one request frame in, one response out.
-  void ServeConnection(int fd);
+  /// The enqueue/dequeue timestamps (Trace::NowNs clock) bound the
+  /// connection's queue wait.
+  void ServeConnection(int fd, uint64_t enqueue_ns, uint64_t dequeue_ns);
   std::string HandleStats();
   std::string HandleSchema();
+  /// One locked increment of a Stats counter.
+  void Bump(uint64_t Stats::*field);
 
   ServerOptions options_;
   std::unique_ptr<PersistentStore> store_;
@@ -130,22 +158,27 @@ class RepairServer {
   std::thread accept_thread_;
   std::vector<std::thread> workers_;
 
+  /// One admitted connection waiting for a worker; the enqueue
+  /// timestamp feeds the queue-wait span and counters.
+  struct PendingConn {
+    int fd;
+    uint64_t enqueue_ns;
+  };
+
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
-  std::deque<int> queue_;
+  std::deque<PendingConn> queue_;
   bool draining_ = false;
 
   CancelToken cancel_;
   std::atomic<bool> stopped_{false};
 
-  std::atomic<uint64_t> accepted_{0};
-  std::atomic<uint64_t> served_{0};
-  std::atomic<uint64_t> repair_requests_{0};
-  std::atomic<uint64_t> cqa_requests_{0};
-  std::atomic<uint64_t> update_requests_{0};
-  std::atomic<uint64_t> rejected_overload_{0};
-  std::atomic<uint64_t> request_errors_{0};
-  std::atomic<uint64_t> compactions_{0};
+  /// Serving counters, mutated and snapshotted under one mutex so
+  /// stats() is coherent. Increments are rare next to request work.
+  mutable std::mutex stats_mu_;
+  Stats counters_;
+
+  std::unique_ptr<FlightRecorder> flight_;
 };
 
 }  // namespace deltarepair

@@ -15,6 +15,9 @@
 #include "common/checksum.h"
 #include "common/framing.h"
 #include "common/string_util.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/cell_codec.h"
 
 namespace deltarepair {
@@ -401,7 +404,12 @@ Status DecodeSnapshot(std::string_view bytes, Database* db) {
 }
 
 Status WriteSnapshotFile(const Database& db, const std::string& path) {
+  Span span("snapshot.write");
+  static Histogram* write_seconds = MetricsRegistry::Global().GetHistogram(
+      "drepair_snapshot_write_seconds", "Snapshot file write wall time");
+  WallTimer timer;
   std::string bytes = EncodeSnapshot(db);
+  span.SetArg("bytes", bytes.size());
   std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
@@ -419,10 +427,15 @@ Status WriteSnapshotFile(const Database& db, const std::string& path) {
     std::remove(tmp.c_str());
     return Status::Internal("snapshot: rename to " + path + " failed");
   }
+  write_seconds->Observe(timer.ElapsedSeconds());
   return Status::OK();
 }
 
 Status LoadSnapshotFile(const std::string& path, Database* db) {
+  Span span("snapshot.load");
+  static Histogram* load_seconds = MetricsRegistry::Global().GetHistogram(
+      "drepair_snapshot_load_seconds", "Snapshot file load wall time");
+  WallTimer timer;
   int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) return Status::NotFound("snapshot: cannot open " + path);
   struct stat st;
@@ -451,12 +464,15 @@ Status LoadSnapshotFile(const std::string& path, Database* db) {
     std::string bytes(size, '\0');
     in.read(&bytes[0], static_cast<std::streamsize>(size));
     if (!in) return Status::Internal("snapshot: read failed for " + path);
-    return DecodeSnapshot(bytes, db);
+    Status status = DecodeSnapshot(bytes, db);
+    if (status.ok()) load_seconds->Observe(timer.ElapsedSeconds());
+    return status;
   }
   Status status =
       DecodeSnapshot(std::string_view(static_cast<const char*>(map), size),
                      db);
   ::munmap(map, size);
+  if (status.ok()) load_seconds->Observe(timer.ElapsedSeconds());
   return status;
 }
 

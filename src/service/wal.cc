@@ -10,6 +10,8 @@
 #include "common/checksum.h"
 #include "common/framing.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/cell_codec.h"
 
 namespace deltarepair {
@@ -76,6 +78,11 @@ Status WalWriter::Open(const std::string& path) {
 
 Status WalWriter::Append(WalOp op, uint32_t relation, size_t arity,
                          const std::vector<Tuple>& tuples, bool sync) {
+  Span span("wal.append");
+  span.SetArg("tuples", tuples.size());
+  static Counter* appends = MetricsRegistry::Global().GetCounter(
+      "drepair_wal_appends_total", "WAL records appended");
+  appends->Inc();
   if (file_ == nullptr) return Status::FailedPrecondition("wal: not open");
   std::string payload = EncodeWalRecord(op, relation, arity, tuples);
   BinaryWriter framed;
@@ -110,6 +117,7 @@ Status WalWriter::Reset() {
 
 Status ReplayWal(const std::string& path, Database* db,
                  WalReplayStats* stats) {
+  Span span("wal.replay");
   *stats = WalReplayStats{};
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) return Status::OK();  // no log yet: nothing to replay

@@ -428,4 +428,93 @@ if(cqa_verify_rc EQUAL 0)
   message(FATAL_ERROR "--verify with --query should have been rejected (it would be silently ignored)")
 endif()
 
+# Pass 8: tracing. --trace-out must write a Chrome trace_event document
+# with at least one complete span per engine phase: grounding, fixpoint,
+# SAT solving, and the repair driver itself.
+execute_process(
+  COMMAND "${DREPAIR_CLI}"
+    --data "${WORK_DIR}/data"
+    --program "${WORK_DIR}/repair.dl"
+    --semantics all --verify
+    --trace-out "${WORK_DIR}/trace.json"
+  OUTPUT_VARIABLE trace_run_out
+  ERROR_VARIABLE trace_run_err
+  RESULT_VARIABLE trace_run_rc
+)
+if(NOT trace_run_rc EQUAL 0)
+  message(FATAL_ERROR "drepair_cli --trace-out exited with ${trace_run_rc}\nstderr:\n${trace_run_err}")
+endif()
+string(FIND "${trace_run_out}" "trace written to" trace_msg_pos)
+if(trace_msg_pos EQUAL -1)
+  message(FATAL_ERROR "--trace-out did not report the trace file:\n${trace_run_out}")
+endif()
+if(NOT EXISTS "${WORK_DIR}/trace.json")
+  message(FATAL_ERROR "--trace-out did not write ${WORK_DIR}/trace.json")
+endif()
+if(PYTHON3)
+  execute_process(
+    COMMAND "${PYTHON3}" -c
+"import json, sys
+d = json.load(open(sys.argv[1]))
+events = d['traceEvents']
+assert events, 'empty trace'
+names = set()
+for e in events:
+    assert e['ph'] == 'X', e
+    assert e['ts'] >= 0 and e['dur'] >= 0, e
+    names.add(e['name'])
+for phase in ('repair.execute', 'ground.enumerate_rule',
+              'fixpoint.semi_naive', 'sat.min_ones'):
+    assert phase in names, (phase, sorted(names))
+print('trace ok:', len(events), 'spans')
+"
+      "${WORK_DIR}/trace.json"
+    RESULT_VARIABLE trace_py_rc
+    OUTPUT_VARIABLE trace_py_out
+    ERROR_VARIABLE trace_py_err
+  )
+  if(NOT trace_py_rc EQUAL 0)
+    message(FATAL_ERROR "trace.json failed to validate:\n${trace_py_out}\n${trace_py_err}")
+  endif()
+  message(STATUS "${trace_py_out}")
+else()
+  file(READ "${WORK_DIR}/trace.json" trace_doc)
+  foreach(needle
+      "\"traceEvents\""
+      "\"repair.execute\""
+      "\"ground.enumerate_rule\""
+      "\"fixpoint.semi_naive\""
+      "\"sat.min_ones\"")
+    string(FIND "${trace_doc}" "${needle}" pos)
+    if(pos EQUAL -1)
+      message(FATAL_ERROR "expected ${needle} in trace.json")
+    endif()
+  endforeach()
+endif()
+
+# A traced CQA run records the query-answering phases too.
+execute_process(
+  COMMAND "${DREPAIR_CLI}"
+    --data "${WORK_DIR}/data"
+    --program "${WORK_DIR}/repair.dl"
+    --semantics independent --annotate
+    --query "${WORK_DIR}/query.dl"
+    --trace-out "${WORK_DIR}/trace_cqa.json"
+  OUTPUT_QUIET ERROR_VARIABLE trace_cqa_err RESULT_VARIABLE trace_cqa_rc
+)
+if(NOT trace_cqa_rc EQUAL 0)
+  message(FATAL_ERROR "drepair_cli --query --trace-out exited with ${trace_cqa_rc}\nstderr:\n${trace_cqa_err}")
+endif()
+file(READ "${WORK_DIR}/trace_cqa.json" trace_cqa_doc)
+foreach(needle
+    "\"cqa.answer_query\""
+    "\"cqa.ground_query\""
+    "\"cqa.entail\""
+    "\"sat.solve\"")
+  string(FIND "${trace_cqa_doc}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "expected ${needle} in trace_cqa.json")
+  endif()
+endforeach()
+
 message(STATUS "cli_smoke_test passed")

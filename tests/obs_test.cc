@@ -1,0 +1,380 @@
+// Unit tests for the observability layer: tracing spans + ring buffers,
+// trace ids and sampling, Chrome JSON export, the metrics registry with
+// Prometheus exposition, the flight recorder, and log-level parsing.
+//
+// Tracing state is process-global; every test that records spans brackets
+// itself with Trace::Enable/Clear so the tests stay order-independent.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace deltarepair {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Trace::SetSamplePeriod(1);
+    Trace::Enable(true);
+    Trace::Clear();
+  }
+  void TearDown() override {
+    Trace::Enable(false);
+    Trace::Clear();
+    Trace::SetSamplePeriod(1);
+  }
+};
+
+std::vector<TraceEvent> EventsNamed(const std::vector<TraceEvent>& events,
+                                    const std::string& name) {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events) {
+    if (e.name != nullptr && name == e.name) out.push_back(e);
+  }
+  return out;
+}
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  Trace::Enable(false);
+  {
+    Span span("off.span");
+    span.SetArg("k", 1);
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_TRUE(Trace::Collect().empty());
+}
+
+TEST_F(TraceTest, RecordsNameArgsAndDuration) {
+  {
+    Span span("test.work");
+    span.SetArg("items", 7);
+    span.SetArg("bytes", 512);
+  }
+  std::vector<TraceEvent> events = EventsNamed(Trace::Collect(),
+                                               "test.work");
+  ASSERT_EQ(events.size(), 1u);
+  const TraceEvent& e = events[0];
+  EXPECT_STREQ(e.arg_keys[0], "items");
+  EXPECT_EQ(e.arg_vals[0], 7u);
+  EXPECT_STREQ(e.arg_keys[1], "bytes");
+  EXPECT_EQ(e.arg_vals[1], 512u);
+  EXPECT_EQ(e.trace_id, 0u);
+  EXPECT_EQ(e.depth, 0u);
+}
+
+TEST_F(TraceTest, NestedSpansTrackDepthAndOrdering) {
+  {
+    Span outer("test.outer");
+    {
+      Span inner("test.inner");
+    }
+  }
+  std::vector<TraceEvent> events = Trace::Collect();
+  std::vector<TraceEvent> outer = EventsNamed(events, "test.outer");
+  std::vector<TraceEvent> inner = EventsNamed(events, "test.inner");
+  ASSERT_EQ(outer.size(), 1u);
+  ASSERT_EQ(inner.size(), 1u);
+  EXPECT_EQ(outer[0].depth, 0u);
+  EXPECT_EQ(inner[0].depth, 1u);
+  // Inner is fully contained in outer.
+  EXPECT_GE(inner[0].start_ns, outer[0].start_ns);
+  EXPECT_LE(inner[0].start_ns + inner[0].dur_ns,
+            outer[0].start_ns + outer[0].dur_ns);
+}
+
+TEST_F(TraceTest, TraceIdScopeTagsAndFilters) {
+  const uint64_t id_a = Trace::NewTraceId();
+  const uint64_t id_b = Trace::NewTraceId();
+  EXPECT_NE(id_a, 0u);
+  EXPECT_NE(id_a, id_b);
+  {
+    TraceIdScope scope(id_a);
+    EXPECT_EQ(Trace::CurrentTraceId(), id_a);
+    Span span("test.a");
+    {
+      TraceIdScope nested(id_b);
+      EXPECT_EQ(Trace::CurrentTraceId(), id_b);
+      Span span_b("test.b");
+    }
+    EXPECT_EQ(Trace::CurrentTraceId(), id_a);
+  }
+  EXPECT_EQ(Trace::CurrentTraceId(), 0u);
+  std::vector<TraceEvent> only_a = Trace::CollectTrace(id_a);
+  ASSERT_EQ(only_a.size(), 1u);
+  EXPECT_STREQ(only_a[0].name, "test.a");
+  std::vector<TraceEvent> only_b = Trace::CollectTrace(id_b);
+  ASSERT_EQ(only_b.size(), 1u);
+  EXPECT_STREQ(only_b[0].name, "test.b");
+}
+
+TEST_F(TraceTest, SamplingSuppressesUnsampledIds) {
+  Trace::SetSamplePeriod(2);
+  {
+    TraceIdScope scope(4);  // 4 % 2 == 0: sampled
+    Span span("test.sampled");
+  }
+  {
+    TraceIdScope scope(5);  // 5 % 2 != 0: suppressed
+    Span span("test.unsampled");
+  }
+  std::vector<TraceEvent> events = Trace::Collect();
+  EXPECT_EQ(EventsNamed(events, "test.sampled").size(), 1u);
+  EXPECT_TRUE(EventsNamed(events, "test.unsampled").empty());
+}
+
+TEST_F(TraceTest, EmitInjectsCrossThreadSpan) {
+  const uint64_t start = Trace::NowNs();
+  const uint64_t end = start + 1000000;
+  Trace::Emit("test.emitted", start, end, 42);
+  std::vector<TraceEvent> events = Trace::CollectTrace(42);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "test.emitted");
+  EXPECT_EQ(events[0].dur_ns, 1000000u);
+}
+
+TEST_F(TraceTest, RingWrapsKeepingNewestSpans) {
+  Trace::SetRingCapacity(64);
+  // A fresh thread gets a fresh (small) ring; 200 spans overflow it.
+  std::thread t([] {
+    for (int i = 0; i < 200; ++i) {
+      Span span("test.wrap");
+      span.SetArg("i", static_cast<uint64_t>(i));
+    }
+  });
+  t.join();
+  Trace::SetRingCapacity(4096);
+  std::vector<TraceEvent> events = EventsNamed(Trace::Collect(),
+                                               "test.wrap");
+  ASSERT_FALSE(events.empty());
+  EXPECT_LE(events.size(), 64u);
+  // The survivors are the newest records, ending at i=199.
+  EXPECT_EQ(events.back().arg_vals[0], 199u);
+  EXPECT_EQ(events.front().arg_vals[0], 200u - events.size());
+}
+
+TEST_F(TraceTest, CrossThreadSpansCarryDistinctTidsAndInheritedId) {
+  const uint64_t id = Trace::NewTraceId();
+  TraceIdScope scope(id);
+  {
+    Span root("test.root");
+    const uint64_t parent_id = Trace::CurrentTraceId();
+    std::thread worker([parent_id] {
+      TraceIdScope worker_scope(parent_id);
+      Span span("test.worker");
+    });
+    worker.join();
+  }
+  std::vector<TraceEvent> events = Trace::CollectTrace(id);
+  std::vector<TraceEvent> root = EventsNamed(events, "test.root");
+  std::vector<TraceEvent> worker = EventsNamed(events, "test.worker");
+  ASSERT_EQ(root.size(), 1u);
+  ASSERT_EQ(worker.size(), 1u);
+  EXPECT_NE(root[0].tid, worker[0].tid);
+}
+
+TEST_F(TraceTest, ChromeJsonShape) {
+  {
+    TraceIdScope scope(0xabcd);
+    Span span("test.json");
+    span.SetArg("n", 3);
+  }
+  std::string json = Trace::ChromeJson(Trace::Collect());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"test.json\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("000000000000abcd"), std::string::npos);
+  EXPECT_NE(json.find("\"n\":3"), std::string::npos);
+}
+
+TEST_F(TraceTest, ConcurrentRecordAndCollectStress) {
+  // Writers hammer their rings while a reader repeatedly snapshots;
+  // under TSan this exercises the per-slot seqlock protocol.
+  constexpr int kWriters = 4;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&stop, w] {
+      TraceIdScope scope(static_cast<uint64_t>(w) + 1);
+      while (!stop.load(std::memory_order_relaxed)) {
+        Span span("test.stress");
+        span.SetArg("w", static_cast<uint64_t>(w));
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    std::vector<TraceEvent> events = Trace::Collect();
+    for (const TraceEvent& e : events) {
+      ASSERT_NE(e.name, nullptr);
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : writers) t.join();
+}
+
+TEST(MetricsTest, CounterGaugeHistogramBasics) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("t_total", "help");
+  c->Inc();
+  c->Inc(4);
+  EXPECT_EQ(c->value(), 5u);
+  // Same name returns the same series.
+  EXPECT_EQ(registry.GetCounter("t_total", "help"), c);
+
+  Gauge* g = registry.GetGauge("t_gauge", "help");
+  g->Set(2.5);
+  g->Add(-1.0);
+  EXPECT_DOUBLE_EQ(g->value(), 1.5);
+
+  Histogram* h = registry.GetHistogram("t_seconds", "help");
+  h->Observe(0.5e-6);  // below the first bound
+  h->Observe(3e-6);    // in a low bucket
+  h->Observe(1e9);     // beyond every bound: +Inf only
+  EXPECT_EQ(h->count(), 3u);
+  EXPECT_NEAR(h->sum(), 1e9 + 3.5e-6, 1.0);
+  EXPECT_EQ(h->CumulativeCount(0), 1u);
+  EXPECT_EQ(h->CumulativeCount(Histogram::kNumBuckets - 1), 2u);
+  EXPECT_GT(Histogram::UpperBound(1), Histogram::UpperBound(0));
+}
+
+TEST(MetricsTest, LabeledFamilies) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("req_total", "reqs", "type", "repair");
+  Counter* b = registry.GetCounter("req_total", "reqs", "type", "cqa");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(registry.GetCounter("req_total", "reqs", "type", "repair"), a);
+  a->Inc(2);
+  b->Inc(3);
+  std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("req_total{type=\"repair\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("req_total{type=\"cqa\"} 3"), std::string::npos);
+}
+
+TEST(MetricsTest, PrometheusTextGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("aa_total", "first counter")->Inc(7);
+  registry.GetGauge("bb_gauge", "a gauge")->Set(1.5);
+  std::string text = registry.PrometheusText();
+  // Families render sorted by name, each with HELP/TYPE headers.
+  const std::string expected =
+      "# HELP aa_total first counter\n"
+      "# TYPE aa_total counter\n"
+      "aa_total 7\n"
+      "# HELP bb_gauge a gauge\n"
+      "# TYPE bb_gauge gauge\n"
+      "bb_gauge 1.5\n";
+  EXPECT_EQ(text, expected);
+}
+
+TEST(MetricsTest, PrometheusHistogramExposition) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat_seconds", "latency");
+  h->Observe(2e-6);
+  h->Observe(0.010);
+  std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("# TYPE lat_seconds histogram"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_count 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_sum"), std::string::npos);
+  // Cumulative buckets never decrease along the bound sequence.
+  uint64_t prev = 0;
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    uint64_t c = h->CumulativeCount(i);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(MetricsTest, ConcurrentRecordingStress) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("stress_total", "x");
+  Histogram* h = registry.GetHistogram("stress_seconds", "x");
+  Gauge* g = registry.GetGauge("stress_gauge", "x");
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        c->Inc();
+        h->Observe(1e-5);
+        g->Add(1.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c->value(), static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(h->count(), static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_DOUBLE_EQ(g->value(), static_cast<double>(kThreads) * kIters);
+}
+
+TEST(FlightRecorderTest, RecordsOnlySlowTracedRequests) {
+  Trace::SetSamplePeriod(1);
+  Trace::Enable(true);
+  Trace::Clear();
+  const uint64_t id = Trace::NewTraceId();
+  {
+    TraceIdScope scope(id);
+    Span span("flight.work");
+  }
+  FlightRecorder recorder(4, 0.010);
+  EXPECT_FALSE(recorder.MaybeRecord(id, "repair", 0.001));  // fast
+  EXPECT_FALSE(recorder.MaybeRecord(0, "repair", 1.0));     // no id
+  EXPECT_TRUE(recorder.MaybeRecord(id, "repair", 0.020));
+  ASSERT_EQ(recorder.size(), 1u);
+  std::vector<FlightRecord> records = recorder.Snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].trace_id, id);
+  EXPECT_EQ(records[0].kind, "repair");
+  ASSERT_EQ(records[0].spans.size(), 1u);
+  EXPECT_STREQ(records[0].spans[0].name, "flight.work");
+  Trace::Enable(false);
+  Trace::Clear();
+}
+
+TEST(FlightRecorderTest, CapacityEvictsOldest) {
+  FlightRecorder recorder(2, 0.001);
+  EXPECT_TRUE(recorder.MaybeRecord(11, "a", 1.0));
+  EXPECT_TRUE(recorder.MaybeRecord(12, "b", 1.0));
+  EXPECT_TRUE(recorder.MaybeRecord(13, "c", 1.0));
+  std::vector<FlightRecord> records = recorder.Snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].trace_id, 12u);
+  EXPECT_EQ(records[1].trace_id, 13u);
+}
+
+TEST(FlightRecorderTest, DisabledByThresholdOrCapacity) {
+  FlightRecorder off(4, 0);
+  EXPECT_FALSE(off.MaybeRecord(1, "a", 100.0));
+  FlightRecorder zero_cap(0, 0.001);
+  EXPECT_FALSE(zero_cap.MaybeRecord(1, "a", 100.0));
+}
+
+TEST(LogTest, ParseLevel) {
+  LogLevel level;
+  EXPECT_TRUE(Log::ParseLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(Log::ParseLevel("info", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(Log::ParseLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(Log::ParseLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_TRUE(Log::ParseLevel("off", &level));
+  EXPECT_EQ(level, LogLevel::kOff);
+  EXPECT_FALSE(Log::ParseLevel("verbose", &level));
+  EXPECT_FALSE(Log::ParseLevel("", &level));
+  EXPECT_STREQ(Log::LevelName(LogLevel::kWarn), "WARN");
+}
+
+}  // namespace
+}  // namespace deltarepair

@@ -5,9 +5,13 @@
 #   2. drepair_server bootstrapped from the same CSVs (snapshot + WAL)
 #   3. repair + CQA through drepair_client; reports must be byte-identical
 #      to the CLI's (timing fields scrubbed)
-#   4. updates through the WAL, then kill -9 and restart: the store must
+#   4. Prometheus scrape through `drepair_client metrics`: request
+#      counters and latency histograms move monotonically with traffic,
+#      and a client-supplied --trace-id is echoed in the response JSON
+#   5. updates through the WAL, then kill -9 and restart: the store must
 #      recover from snapshot + log replay with identical verdicts
-#   5. SIGTERM must drain gracefully with exit code 0
+#   6. SIGTERM must drain gracefully with exit code 0 (structured
+#      logging on the restarted server)
 #
 # Usage: service_smoke_test.sh <drepair_server> <drepair_client> \
 #                              <drepair_cli> <work_dir>
@@ -80,6 +84,11 @@ if a != b:
 EOF
 }
 
+# Prints the value of one Prometheus series from a metrics scrape.
+scrape() {  # scrape <port-file> <series>
+  "$CLIENT" --port-file "$1" metrics | awk -v s="$2" '$1 == s {print $2}'
+}
+
 wait_for_port_file() {
   for _ in $(seq 1 100); do
     [ -s "$1" ] && return 0
@@ -97,7 +106,7 @@ wait_for_port_file() {
 
 # --- 2. Bootstrap the server from the CSVs. -------------------------------
 "$SERVER" --store store --program repair.dl --init-data data \
-  --port-file port1.txt > server1.log 2>&1 &
+  --port-file port1.txt --trace > server1.log 2>&1 &
 SERVER_PID=$!
 wait_for_port_file port1.txt
 
@@ -111,7 +120,71 @@ wait_for_port_file port1.txt
 compare_json --first-result cli_repair.json server_repair1.json
 compare_json --first-result cli_cqa.json server_cqa1.json
 
-# --- 4. Updates through the WAL, kill -9, recover. ------------------------
+# --- 4. Metrics scrape + trace-id echo. -----------------------------------
+"$CLIENT" --port-file port1.txt metrics > metrics1.txt
+grep -q '^# TYPE drepair_server_requests_total counter$' metrics1.txt
+grep -q '^# TYPE drepair_server_request_seconds histogram$' metrics1.txt
+grep -q '^# TYPE drepair_server_queue_wait_seconds histogram$' metrics1.txt
+R1=$(scrape port1.txt 'drepair_server_requests_total{type="repair"}')
+H1=$(scrape port1.txt 'drepair_server_request_seconds_count{type="repair"}')
+if [ "$R1" != "1" ] || [ "$H1" != "1" ]; then
+  echo "expected one repair served so far, got counter=$R1 hist=$H1" >&2
+  exit 1
+fi
+
+# A client-supplied trace id is echoed back in the response JSON; the
+# report is otherwise identical to the untraced one.
+"$CLIENT" --port-file port1.txt repair --semantics end --verify \
+  --trace-id 7 > server_repair_traced.json
+grep -q '"trace_id":"0000000000000007"' server_repair_traced.json
+python3 - server_repair_traced.json server_repair1.json <<'EOF'
+import json, sys
+a = json.load(open(sys.argv[1]))
+del a["trace_id"]
+b = json.load(open(sys.argv[2]))
+def scrub(x):
+    if isinstance(x, dict):
+        return {k: (0 if k.endswith("_seconds") else scrub(v))
+                for k, v in x.items()}
+    if isinstance(x, list):
+        return [scrub(v) for v in x]
+    return x
+assert scrub(a) == scrub(b), "traced report diverged beyond trace_id"
+EOF
+
+# Counters and histogram counts advanced monotonically and agree.
+R2=$(scrape port1.txt 'drepair_server_requests_total{type="repair"}')
+H2=$(scrape port1.txt 'drepair_server_request_seconds_count{type="repair"}')
+C2=$(scrape port1.txt 'drepair_server_requests_total{type="cqa"}')
+if [ "$R2" != "2" ] || [ "$H2" != "2" ] || [ "$C2" != "1" ]; then
+  echo "metrics did not advance: repair=$R2 hist=$H2 cqa=$C2" >&2
+  cat metrics1.txt >&2
+  exit 1
+fi
+
+# The stats frame carries the coherent serving counters + flight state.
+"$CLIENT" --port-file port1.txt stats > stats1.json
+grep -q '"queue_wait_seconds_total"' stats1.json
+grep -q '"flight"' stats1.json
+grep -q '"metrics_requests"' stats1.json
+
+# The server runs with --trace: its span rings dump as Chrome trace JSON
+# carrying the full request tree, queue wait through engine internals.
+"$CLIENT" --port-file port1.txt trace > trace1.json
+python3 - trace1.json <<'EOF'
+import json, sys
+events = json.load(open(sys.argv[1]))["traceEvents"]
+names = {e["name"] for e in events}
+for needle in ("server.queue_wait", "server.request", "server.execute",
+               "server.encode", "ground.enumerate_rule",
+               "fixpoint.semi_naive"):
+    assert needle in names, (needle, sorted(names))
+traced = [e for e in events
+          if e.get("args", {}).get("trace_id") == "0000000000000007"]
+assert traced, "spans for --trace-id 7 missing from the server trace"
+EOF
+
+# --- 5. Updates through the WAL, kill -9, recover. ------------------------
 "$CLIENT" --port-file port1.txt insert --relation Writes --tuple 3,30 \
   | grep -q '"ok":true'
 "$CLIENT" --port-file port1.txt insert --relation Writes --tuple 3,40 \
@@ -145,7 +218,7 @@ compare_json server_cqa1.json server_cqa2.json
   > server_repair3.json
 compare_json server_repair1.json server_repair3.json
 
-# --- 5. Graceful drain on SIGTERM. ----------------------------------------
+# --- 6. Graceful drain on SIGTERM. ----------------------------------------
 kill -TERM "$SERVER_PID"
 RC=0
 wait "$SERVER_PID" || RC=$?
@@ -157,11 +230,15 @@ fi
 grep -q "draining" server2.log
 
 # A restart after the compact + drain still recovers cleanly (0 records).
+# This one runs with structured logging: every line carries a timestamp,
+# level, and trace field, but the legacy message text survives intact.
 "$SERVER" --store store --program repair.dl --port-file port3.txt \
-  > server3.log 2>&1 &
+  --log-level info > server3.log 2>&1 &
 SERVER_PID=$!
 wait_for_port_file port3.txt
 grep -q "0 WAL records replayed" server3.log
+grep -Eq '^[0-9]{4}-[0-9]{2}-[0-9]{2}T[0-9:.]+Z INFO +trace=- .*listening on' \
+  server3.log
 "$CLIENT" --port-file port3.txt stats | grep -q '"total_live":11'
 kill -TERM "$SERVER_PID"
 wait "$SERVER_PID"

@@ -6,7 +6,7 @@
 //           [--out <dir>] [--show <n>] [--verify] [--budget-ms <n>]
 //           [--seed <n>] [--json <path>] [--threads <n>]
 //           [--query <file-or-text>] [--certain] [--possible]
-//           [--annotate]
+//           [--annotate] [--trace-out <path>]
 //
 //   --data       directory of <Relation>.csv files; first line is the
 //                schema, e.g. "aid:int,name:str,oid:int"
@@ -38,6 +38,11 @@
 //                (default: both; flags restrict to save solver calls)
 //   --annotate   attach a minimal counterexample deletion set to every
 //                non-certain answer
+//
+//   --trace-out  enable in-process span tracing for the whole run and
+//                write the recorded spans to <path> as Chrome
+//                trace_event JSON (load in chrome://tracing or
+//                ui.perfetto.dev)
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
@@ -54,6 +59,7 @@
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "cqa/cqa.h"
+#include "obs/trace.h"
 #include "datalog/parser.h"
 #include "relation/csv.h"
 #include "repair/repair_engine.h"
@@ -73,7 +79,7 @@ int Usage(const char* argv0) {
                "[--out <dir>] [--show <n>] [--verify] [--budget-ms <n>] "
                "[--seed <n>] [--json <path>] [--threads <n>] "
                "[--query <file-or-text>] [--certain] [--possible] "
-               "[--annotate]\n",
+               "[--annotate] [--trace-out <path>]\n",
                argv0);
   return 2;
 }
@@ -166,6 +172,7 @@ void PrintCqaResult(Database& db, const CqaResult& result, size_t show,
 
 int main(int argc, char** argv) {
   std::string data_dir, program_path, out_dir, json_path, query_arg;
+  std::string trace_out;
   std::string semantics_name = "all";
   bool apply = false, verify = false;
   bool only_certain = false, only_possible = false, annotate = false;
@@ -232,6 +239,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage(argv[0]);
       query_arg = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      trace_out = v;
     } else if (arg == "--certain") {
       only_certain = true;
     } else if (arg == "--possible") {
@@ -248,6 +259,19 @@ int main(int argc, char** argv) {
     }
   }
   if (data_dir.empty() || program_path.empty()) return Usage(argv[0]);
+
+  if (!trace_out.empty()) Trace::Enable(true);
+  // Dumps whatever was recorded on every exit path once tracing is on.
+  struct TraceDump {
+    std::string path;
+    ~TraceDump() {
+      if (path.empty()) return;
+      if (!WriteFileOrWarn(path, Trace::ChromeJson(Trace::Collect()))) {
+        return;
+      }
+      std::printf("trace written to %s\n", path.c_str());
+    }
+  } trace_dump{trace_out};
 
   // One request per selected semantics, validated against the registry.
   std::vector<RepairRequest> requests;

@@ -8,12 +8,20 @@
 //   stats
 //   compact
 //   schema
+//   metrics                      Prometheus text exposition scrape
+//   trace                        Chrome trace_event JSON of the server's
+//                                span rings (load in ui.perfetto.dev)
 //   repair --semantics <name> [--budget-ms <n>] [--seed <n>] [--verify]
-//          [--apply] [--threads <n>]
+//          [--apply] [--threads <n>] [--trace-id <n>]
 //   cqa    --semantics <name> --query <text-or-file> [--certain]
 //          [--possible] [--annotate] [--budget-ms <n>] [--seed <n>]
+//          [--trace-id <n>]
 //   insert --relation <name> --tuple <v1,v2,...> [--tuple ...]
 //   delete --relation <name> --tuple <v1,v2,...> [--tuple ...]
+//
+// --trace-id tags the request with a nonzero correlation id: the server
+// runs it under that id (its spans are filterable in the trace dump)
+// and echoes it back as "trace_id" in the response JSON.
 //
 // The JSON response is printed to stdout; server errors go to stderr and
 // exit 1. Tuple cells are typed by the relation's declared schema,
@@ -43,11 +51,12 @@ int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s (--port <n> | --port-file <path>) <command> [args]\n"
-      "commands: ping | stats | compact | schema |\n"
+      "commands: ping | stats | compact | schema | metrics | trace |\n"
       "  repair --semantics <name> [--budget-ms n] [--seed n] [--verify]"
-      " [--apply] [--threads n]\n"
+      " [--apply] [--threads n] [--trace-id n]\n"
       "  cqa --semantics <name> --query <text-or-file> [--certain]"
-      " [--possible] [--annotate] [--budget-ms n] [--seed n]\n"
+      " [--possible] [--annotate] [--budget-ms n] [--seed n]"
+      " [--trace-id n]\n"
       "  insert --relation <name> --tuple <v1,v2,...> [--tuple ...]\n"
       "  delete --relation <name> --tuple <v1,v2,...> [--tuple ...]\n",
       argv0);
@@ -169,7 +178,7 @@ int main(int argc, char** argv) {
   std::string port_file, command;
   std::string semantics, query_arg, relation;
   std::vector<std::string> tuple_args;
-  uint64_t budget_ms = 0, seed = 0, threads = 0;
+  uint64_t budget_ms = 0, seed = 0, threads = 0, trace_id = 0;
   bool verify = false, apply = false;
   bool only_certain = false, only_possible = false, annotate = false;
 
@@ -208,6 +217,10 @@ int main(int argc, char** argv) {
       if (!ParseUint(next(), &seed)) return Usage(argv[0]);
     } else if (arg == "--threads") {
       if (!ParseUint(next(), &threads) || threads > 1024) {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--trace-id") {
+      if (!ParseUint(next(), &trace_id) || trace_id == 0) {
         return Usage(argv[0]);
       }
     } else if (arg == "--verify") {
@@ -256,6 +269,12 @@ int main(int argc, char** argv) {
   if (command == "schema") {
     return Call(iport, FrameType::kSchemaRequest, "");
   }
+  if (command == "metrics") {
+    return Call(iport, FrameType::kMetricsRequest, "");
+  }
+  if (command == "trace") {
+    return Call(iport, FrameType::kTraceRequest, "");
+  }
   if (command == "repair") {
     if (semantics.empty()) return Usage(argv[0]);
     RepairRequest request;
@@ -266,6 +285,7 @@ int main(int argc, char** argv) {
     request.options.seed = seed;
     request.options.verify_after_run = verify;
     request.options.threads = static_cast<int>(threads);
+    request.trace_id = trace_id;
     Status st = ValidateRepairRequest(request);
     if (!st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -293,6 +313,7 @@ int main(int argc, char** argv) {
         static_cast<double>(budget_ms) / 1e3;
     request.options.seed = seed;
     request.options.threads = static_cast<int>(threads);
+    request.trace_id = trace_id;
     Status st = ValidateCqaRequest(request);
     if (!st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());

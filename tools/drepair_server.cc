@@ -8,6 +8,8 @@
 //                  [--default-budget-ms <n>] [--max-budget-ms <n>]
 //                  [--sync-wal] [--compact-on-start]
 //                  [--no-incremental] [--cold-fallback-fraction <f>]
+//                  [--log-level <lvl>] [--trace] [--trace-sample <n>]
+//                  [--slow-request-ms <n>]
 //
 //   --store        store directory (snapshot.drs + wal.drl)
 //   --program      delta-rule file, resolved once at startup
@@ -28,6 +30,17 @@
 //   --cold-fallback-fraction <f>  delta fraction above which the warm
 //                        engine rebuilds instead of patching (default
 //                        0.25)
+//   --log-level    debug|info|warn|error|off: switch to structured
+//                  stderr logging at that threshold (one line per
+//                  request with timestamp, level and trace id). Without
+//                  it the lifecycle lines print to stdout exactly as
+//                  before and per-request logging is off.
+//   --trace        enable in-process span recording at startup (the
+//                  rings are always scrapable via `drepair_client
+//                  trace`, but stay empty until enabled)
+//   --trace-sample <n>   record only 1-in-n request trace ids
+//   --slow-request-ms <n>  retain the span tree of requests slower than
+//                  this in the flight recorder (stats frame)
 //
 // SIGTERM/SIGINT drain gracefully: stop accepting, serve the queue dry,
 // exit 0.
@@ -44,6 +57,8 @@
 
 #include "common/string_util.h"
 #include "datalog/parser.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "relation/csv.h"
 #include "service/server.h"
 #include "service/snapshot.h"
@@ -64,7 +79,8 @@ int Usage(const char* argv0) {
                "[--workers <n>] [--max-queue <n>] "
                "[--default-budget-ms <n>] [--max-budget-ms <n>] "
                "[--sync-wal] [--compact-on-start] [--no-incremental] "
-               "[--cold-fallback-fraction <f>]\n",
+               "[--cold-fallback-fraction <f>] [--log-level <lvl>] "
+               "[--trace] [--trace-sample <n>] [--slow-request-ms <n>]\n",
                argv0);
   return 2;
 }
@@ -110,6 +126,8 @@ int main(int argc, char** argv) {
   bool sync_wal = false, compact_on_start = false;
   bool incremental = true;
   double cold_fallback_fraction = 0.25;
+  bool trace = false;
+  uint64_t trace_sample = 1, slow_request_ms = 0;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -152,6 +170,21 @@ int main(int argc, char** argv) {
       compact_on_start = true;
     } else if (arg == "--no-incremental") {
       incremental = false;
+    } else if (arg == "--log-level") {
+      const char* v = next();
+      LogLevel level;
+      if (v == nullptr || !Log::ParseLevel(v, &level)) {
+        return Usage(argv[0]);
+      }
+      Log::SetStructured(level);
+    } else if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--trace-sample") {
+      if (!ParseUint(next(), &trace_sample) || trace_sample == 0) {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--slow-request-ms") {
+      if (!ParseUint(next(), &slow_request_ms)) return Usage(argv[0]);
     } else if (arg == "--cold-fallback-fraction") {
       const char* v = next();
       char* end = nullptr;
@@ -166,6 +199,9 @@ int main(int argc, char** argv) {
     }
   }
   if (store_dir.empty() || program_path.empty()) return Usage(argv[0]);
+
+  if (trace) Trace::Enable(true);
+  Trace::SetSamplePeriod(trace_sample);
 
   // Bootstrap or recover the persistent store.
   StoreOptions store_options;
@@ -192,8 +228,8 @@ int main(int argc, char** argv) {
         return 1;
       }
       store = std::move(created).value();
-      std::printf("initialized store %s from %s\n", store_dir.c_str(),
-                  init_data.c_str());
+      Log::Startup("initialized store %s from %s", store_dir.c_str(),
+                   init_data.c_str());
     } else {
       StatusOr<std::unique_ptr<PersistentStore>> opened =
           PersistentStore::Open(store_dir, store_options);
@@ -204,15 +240,16 @@ int main(int argc, char** argv) {
       }
       store = std::move(opened).value();
       const WalReplayStats& rs = store->recovery_stats();
-      std::printf("recovered store %s: %zu WAL records replayed"
-                  " (%zu tuples, coalesced into %zu delta batches),"
-                  " %zu torn-tail bytes dropped\n",
-                  store_dir.c_str(), rs.records_applied, rs.tuples_applied,
-                  rs.batches_applied, rs.bytes_dropped);
+      Log::Startup("recovered store %s: %zu WAL records replayed"
+                   " (%zu tuples, coalesced into %zu delta batches),"
+                   " %zu torn-tail bytes dropped",
+                   store_dir.c_str(), rs.records_applied,
+                   rs.tuples_applied, rs.batches_applied,
+                   rs.bytes_dropped);
     }
   }
-  std::printf("store: %zu relations, %zu live tuples\n",
-              store->db().num_relations(), store->db().TotalLive());
+  Log::Startup("store: %zu relations, %zu live tuples",
+               store->db().num_relations(), store->db().TotalLive());
 
   if (compact_on_start) {
     Status st = store->Compact();
@@ -220,7 +257,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "compact: %s\n", st.ToString().c_str());
       return 1;
     }
-    std::printf("compacted WAL into a fresh snapshot\n");
+    Log::Startup("compacted WAL into a fresh snapshot");
   }
 
   // Parse + resolve the program.
@@ -248,6 +285,8 @@ int main(int argc, char** argv) {
       static_cast<double>(max_budget_ms) / 1e3;
   server_options.incremental = incremental;
   server_options.cold_fallback_fraction = cold_fallback_fraction;
+  server_options.slow_request_seconds =
+      static_cast<double>(slow_request_ms) / 1e3;
 
   StatusOr<std::unique_ptr<RepairServer>> server = RepairServer::Start(
       std::move(store), std::move(program).value(), server_options);
@@ -256,10 +295,10 @@ int main(int argc, char** argv) {
                  server.status().ToString().c_str());
     return 1;
   }
-  std::printf("listening on 127.0.0.1:%d (%llu workers, %s serving)\n",
-              (*server)->port(),
-              static_cast<unsigned long long>(workers),
-              incremental ? "incremental" : "cold");
+  Log::Startup("listening on 127.0.0.1:%d (%llu workers, %s serving)",
+               (*server)->port(),
+               static_cast<unsigned long long>(workers),
+               incremental ? "incremental" : "cold");
   std::fflush(stdout);
   if (!port_file.empty()) {
     std::ofstream pf(port_file);
@@ -276,16 +315,16 @@ int main(int argc, char** argv) {
     struct timespec ts = {0, 50 * 1000 * 1000};  // 50ms
     nanosleep(&ts, nullptr);
   }
-  std::printf("draining...\n");
+  Log::Startup("draining...");
   (*server)->Drain();
   RepairServer::Stats stats = (*server)->stats();
-  std::printf("served %llu requests (%llu repair, %llu cqa, %llu update,"
-              " %llu rejected, %llu errors)\n",
-              static_cast<unsigned long long>(stats.served),
-              static_cast<unsigned long long>(stats.repair_requests),
-              static_cast<unsigned long long>(stats.cqa_requests),
-              static_cast<unsigned long long>(stats.update_requests),
-              static_cast<unsigned long long>(stats.rejected_overload),
-              static_cast<unsigned long long>(stats.request_errors));
+  Log::Startup("served %llu requests (%llu repair, %llu cqa, %llu update,"
+               " %llu rejected, %llu errors)",
+               static_cast<unsigned long long>(stats.served),
+               static_cast<unsigned long long>(stats.repair_requests),
+               static_cast<unsigned long long>(stats.cqa_requests),
+               static_cast<unsigned long long>(stats.update_requests),
+               static_cast<unsigned long long>(stats.rejected_overload),
+               static_cast<unsigned long long>(stats.request_errors));
   return 0;
 }
